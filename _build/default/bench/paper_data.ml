@@ -1,0 +1,66 @@
+(* The published numbers of the paper's Tables 1-4, used to print the
+   measured-vs-paper comparisons.  Power in mW, area in lambda^2, in
+   row order: conventional non-gated, conventional gated, 1 clock,
+   2 clocks, 3 clocks. *)
+
+type row = { power : float; area : float }
+
+type table = { bench : string; rows : row list }
+
+let row power area = { power; area }
+
+let facet =
+  {
+    bench = "facet";
+    rows =
+      [
+        row 9.85 2680425.;
+        row 6.92 2383553.;
+        row 7.39 2668365.;
+        row 6.41 2552425.;
+        row 3.52 2484873.;
+      ];
+  }
+
+let hal =
+  {
+    bench = "hal";
+    rows =
+      [
+        row 12.48 3080133.;
+        row 8.12 2819025.;
+        row 5.61 2627484.;
+        row 4.98 2901501.;
+        row 3.73 2954465.;
+      ];
+  }
+
+let biquad =
+  {
+    bench = "biquad";
+    rows =
+      [
+        row 18.65 5118795.;
+        row 11.49 4826283.;
+        row 11.31 5126718.;
+        row 9.24 5194451.;
+        row 7.19 5327823.;
+      ];
+  }
+
+let bandpass =
+  {
+    bench = "bandpass";
+    rows =
+      [
+        row 18.01 5588975.;
+        row 8.87 4181238.;
+        row 7.39 3049956.;
+        row 6.15 3729654.;
+        row 5.78 4728731.;
+      ];
+  }
+
+let tables = [ facet; hal; biquad; bandpass ]
+
+let for_bench name = List.find_opt (fun t -> t.bench = name) tables

@@ -1,0 +1,392 @@
+(* mclock — multi-clock RTL power-management synthesis CLI.
+
+   Subcommands:
+     list       bundled workloads
+     show       print a behaviour, its schedule and lifetime table
+     synth      synthesize one design, report power/area, emit artifacts
+     table      the paper's five-design comparison table for a workload
+     waves      ASCII waveforms of an n-phase clocking scheme
+     sweep      clock-count sweep for a workload
+
+   Behaviours come from the bundled catalog (--workload) or a text-format
+   DFG file (--file); unscheduled files are scheduled with the chosen
+   scheduler. *)
+
+open Cmdliner
+
+let tech = Mclock_tech.Cmos08.t
+
+(* --- Behaviour loading --------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+type input = { graph : Mclock_dfg.Graph.t; schedule : Mclock_sched.Schedule.t }
+
+(* A file whose first meaningful token is 'behavior' is in the
+   behaviour description language; anything else is the DFG format. *)
+let is_behaviour_file path =
+  match read_file path with
+  | exception Sys_error _ -> false
+  | text ->
+      let lines = String.split_on_char '\n' text in
+      let meaningful =
+        List.find_opt
+          (fun l ->
+            let l = String.trim l in
+            l <> "" && l.[0] <> '#')
+          lines
+      in
+      (match meaningful with
+      | Some l ->
+          let l = String.trim l in
+          String.length l >= 8
+          && (String.sub l 0 8 = "behavior" || String.sub l 0 8 = "behaviou")
+      | None -> false)
+
+let load ~workload ~file ~scheduler =
+  match (workload, file) with
+  | Some name, None -> (
+      match Mclock_workloads.Catalog.find name with
+      | Some w ->
+          Ok
+            {
+              graph = Mclock_workloads.Workload.graph w;
+              schedule = Mclock_workloads.Workload.schedule w;
+            }
+      | None ->
+          Error
+            (Printf.sprintf "unknown workload %S (try: mclock list)" name))
+  | None, Some path when is_behaviour_file path -> (
+      match Mclock_lang.Compile.compile_string (read_file path) with
+      | exception Mclock_lang.Lexer.Error { line; message } ->
+          Error (Printf.sprintf "%s:%d: %s" path line message)
+      | exception Mclock_lang.Parser.Error { line; message } ->
+          Error (Printf.sprintf "%s:%d: %s" path line message)
+      | exception Mclock_lang.Compile.Error { line; message } ->
+          Error (Printf.sprintf "%s:%d: %s" path line message)
+      | exception Sys_error msg -> Error msg
+      | graph -> (
+          match scheduler with
+          | `Alap -> Ok { graph; schedule = Mclock_sched.Alap.run graph }
+          | `Asap -> Ok { graph; schedule = Mclock_sched.Asap.run graph }
+          | `Annotated | `Fds ->
+              (* Behaviour files carry no step annotations; default to
+                 force-directed scheduling. *)
+              Ok { graph; schedule = Mclock_sched.Force_directed.run graph }))
+  | None, Some path -> (
+      match Mclock_dfg.Parse.parse_string (read_file path) with
+      | exception Mclock_dfg.Parse.Error { line; message } ->
+          Error (Printf.sprintf "%s:%d: %s" path line message)
+      | exception Sys_error msg -> Error msg
+      | { Mclock_dfg.Parse.graph; steps } -> (
+          match (steps, scheduler) with
+          | _ :: _, `Annotated -> (
+              match Mclock_sched.Schedule.create graph steps with
+              | s -> Ok { graph; schedule = s }
+              | exception Mclock_sched.Schedule.Invalid m -> Error m)
+          | [], `Annotated ->
+              Error "file has no @step annotations; pick --scheduler"
+          | _, `Asap -> Ok { graph; schedule = Mclock_sched.Asap.run graph }
+          | _, `Alap -> Ok { graph; schedule = Mclock_sched.Alap.run graph }
+          | _, `Fds ->
+              Ok { graph; schedule = Mclock_sched.Force_directed.run graph }))
+  | Some _, Some _ -> Error "--workload and --file are mutually exclusive"
+  | None, None -> Error "need --workload NAME or --file PATH"
+
+(* --- Common options --------------------------------------------------------- *)
+
+let workload_arg =
+  Arg.(value & opt (some string) None & info [ "w"; "workload" ] ~docv:"NAME"
+         ~doc:"Bundled workload name (see $(b,mclock list)).")
+
+let file_arg =
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"PATH"
+         ~doc:"Text-format DFG file (with optional @step annotations).")
+
+let scheduler_arg =
+  let kind =
+    Arg.enum
+      [ ("annotated", `Annotated); ("asap", `Asap); ("alap", `Alap); ("fds", `Fds) ]
+  in
+  Arg.(value & opt kind `Annotated & info [ "scheduler" ] ~docv:"KIND"
+         ~doc:"Scheduler for unannotated files: annotated, asap, alap or fds.")
+
+let method_arg =
+  let kind = Arg.enum [ ("conv", `Conv); ("gated", `Gated); ("mc", `Mc); ("split", `Split) ] in
+  Arg.(value & opt kind `Mc & info [ "m"; "method" ] ~docv:"METHOD"
+         ~doc:"Allocation method: conv, gated, mc (integrated) or split.")
+
+let clocks_arg =
+  Arg.(value & opt int 2 & info [ "n"; "clocks" ] ~docv:"N"
+         ~doc:"Number of non-overlapping clocks (mc/split methods).")
+
+let iterations_arg =
+  Arg.(value & opt int 500 & info [ "iterations" ] ~docv:"N"
+         ~doc:"Number of simulated computations for power estimation.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Stimulus seed.")
+
+let method_of = function
+  | `Conv, _ -> Mclock_core.Flow.Conventional_non_gated
+  | `Gated, _ -> Mclock_core.Flow.Conventional_gated
+  | `Mc, n -> Mclock_core.Flow.Integrated n
+  | `Split, n -> Mclock_core.Flow.Split n
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      Fmt.epr "mclock: %s@." msg;
+      exit 1
+
+(* --- list --------------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun w -> Fmt.pr "%a@." Mclock_workloads.Workload.pp w)
+      Mclock_workloads.Catalog.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List bundled workloads.")
+    Term.(const run $ const ())
+
+(* --- show --------------------------------------------------------------------- *)
+
+let show_cmd =
+  let run workload file scheduler clocks =
+    let input = or_die (load ~workload ~file ~scheduler) in
+    Fmt.pr "%a@.@." Mclock_dfg.Graph.pp input.graph;
+    Fmt.pr "%a@." Mclock_sched.Schedule.pp input.schedule;
+    let problem = Mclock_core.Lifetime.analyze ~n:clocks input.schedule in
+    Fmt.pr "@.lifetimes (n=%d):@.%s@." clocks
+      (Mclock_core.Lifetime.render_table problem);
+    if clocks > 1 then
+      Fmt.pr "%s@."
+        (Mclock_core.Split_alloc.render_partitions ~n:clocks input.schedule)
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a behaviour, its schedule and lifetimes.")
+    Term.(const run $ workload_arg $ file_arg $ scheduler_arg $ clocks_arg)
+
+(* --- synth --------------------------------------------------------------------- *)
+
+let synth_cmd =
+  let vhdl_arg =
+    Arg.(value & opt (some string) None & info [ "vhdl" ] ~docv:"PATH"
+           ~doc:"Write structural VHDL to $(docv).")
+  in
+  let dot_arg =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"PATH"
+           ~doc:"Write a Graphviz datapath plot to $(docv).")
+  in
+  let verilog_arg =
+    Arg.(value & opt (some string) None & info [ "verilog" ] ~docv:"PATH"
+           ~doc:"Write structural Verilog to $(docv).")
+  in
+  let vcd_arg =
+    Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"PATH"
+           ~doc:"Write a VCD waveform trace of the first computations to $(docv).")
+  in
+  let run workload file scheduler method_ clocks iterations seed vhdl verilog dot vcd =
+    let input = or_die (load ~workload ~file ~scheduler) in
+    let m = method_of (method_, clocks) in
+    let name =
+      match (workload, file) with
+      | Some n, _ -> n
+      | _, Some p -> Filename.remove_extension (Filename.basename p)
+      | None, None -> "design"
+    in
+    let design = Mclock_core.Flow.synthesize ~method_:m ~name input.schedule in
+    let violations = Mclock_rtl.Check.all design in
+    List.iter
+      (fun v -> Fmt.epr "warning: %a@." Mclock_rtl.Check.pp_violation v)
+      violations;
+    let trace =
+      Option.map
+        (fun _ ->
+          {
+            Mclock_sim.Simulator.vcd = Mclock_sim.Vcd.create ();
+            max_cycles = 4 * Mclock_rtl.Design.num_steps design;
+          })
+        vcd
+    in
+    let sim = Mclock_sim.Simulator.run ~seed ?trace tech design ~iterations in
+    let verify =
+      Mclock_sim.Verify.check
+        ~width:(Mclock_rtl.Datapath.width (Mclock_rtl.Design.datapath design))
+        input.graph sim
+    in
+    let report =
+      Mclock_power.Report.evaluate ~seed ~iterations
+        ~label:(Mclock_core.Flow.method_label m) tech design input.graph
+    in
+    Fmt.pr "design:      %s (%s)@." name (Mclock_rtl.Design.style_label design);
+    Fmt.pr "power:       %.3f mW (%d computations)@." sim.Mclock_sim.Simulator.power_mw iterations;
+    Fmt.pr "area:        %.0f lambda^2@." report.Mclock_power.Report.area.Mclock_power.Area.design_total;
+    Fmt.pr "ALUs:        %s@." report.Mclock_power.Report.alus;
+    Fmt.pr "mem cells:   %d@." report.Mclock_power.Report.memory_cells;
+    Fmt.pr "mux inputs:  %d@." report.Mclock_power.Report.mux_inputs;
+    Fmt.pr "functional:  %s@."
+      (if Mclock_sim.Verify.ok verify then "verified against golden model"
+       else "MISMATCH");
+    print_endline (Mclock_power.Report.render_category_breakdown report);
+    let write path contents =
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      Fmt.pr "wrote %s@." path
+    in
+    Option.iter (fun p -> write p (Mclock_rtl.Vhdl.emit design)) vhdl;
+    Option.iter (fun p -> write p (Mclock_rtl.Verilog.emit design)) verilog;
+    Option.iter
+      (fun p -> write p (Mclock_rtl.Rtl_dot.emit (Mclock_rtl.Design.datapath design)))
+      dot;
+    Option.iter
+      (fun p ->
+        match trace with
+        | Some t -> write p (Mclock_sim.Vcd.contents t.Mclock_sim.Simulator.vcd)
+        | None -> ())
+      vcd;
+    if not (Mclock_sim.Verify.ok verify) then exit 2
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:"Synthesize one design; simulate, verify and report power/area.")
+    Term.(
+      const run $ workload_arg $ file_arg $ scheduler_arg $ method_arg
+      $ clocks_arg $ iterations_arg $ seed_arg $ vhdl_arg $ verilog_arg
+      $ dot_arg $ vcd_arg)
+
+(* --- table --------------------------------------------------------------------- *)
+
+let table_cmd =
+  let run workload file scheduler iterations seed =
+    let input = or_die (load ~workload ~file ~scheduler) in
+    let name = Option.value ~default:"design" workload in
+    let suite = Mclock_core.Flow.standard_suite ~name input.schedule in
+    let reports =
+      List.map
+        (fun (m, design) ->
+          Mclock_power.Report.evaluate ~seed ~iterations
+            ~label:(Mclock_core.Flow.method_label m) tech design input.graph)
+        suite
+    in
+    Mclock_util.Table.print
+      (Mclock_power.Report.paper_table
+         ~title:(Printf.sprintf "Multiple Clocks with Latches for %s" name)
+         reports)
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"The paper's five-design comparison table.")
+    Term.(
+      const run $ workload_arg $ file_arg $ scheduler_arg $ iterations_arg
+      $ seed_arg)
+
+(* --- controller ------------------------------------------------------------------ *)
+
+let controller_cmd =
+  let run workload file scheduler method_ clocks =
+    let input = or_die (load ~workload ~file ~scheduler) in
+    let m = method_of (method_, clocks) in
+    let design = Mclock_core.Flow.synthesize ~method_:m ~name:"ctl" input.schedule in
+    let reports =
+      List.map
+        (fun enc -> Mclock_ctrl.Synth.estimate tech design enc)
+        Mclock_ctrl.Encoding.all
+    in
+    print_string (Mclock_ctrl.Synth.render reports)
+  in
+  Cmd.v
+    (Cmd.info "controller"
+       ~doc:"Controller synthesis estimate per state encoding.")
+    Term.(const run $ workload_arg $ file_arg $ scheduler_arg $ method_arg $ clocks_arg)
+
+(* --- calibrate -------------------------------------------------------------------- *)
+
+let calibrate_cmd =
+  let samples_arg =
+    Arg.(value & opt int 3000 & info [ "samples" ] ~docv:"N"
+           ~doc:"Random operand pairs per operation.")
+  in
+  let width_arg =
+    Arg.(value & opt int 4 & info [ "width" ] ~docv:"BITS" ~doc:"Operand width.")
+  in
+  let run samples width =
+    let ms = Mclock_gatelevel.Calibrate.measure_all ~samples tech ~width in
+    print_string (Mclock_gatelevel.Calibrate.render ms)
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:"Gate-level calibration of the RTL ALU activity model.")
+    Term.(const run $ samples_arg $ width_arg)
+
+(* --- waves --------------------------------------------------------------------- *)
+
+let waves_cmd =
+  let cycles_arg =
+    Arg.(value & opt int 8 & info [ "cycles" ] ~docv:"N" ~doc:"Cycles to draw.")
+  in
+  let run clocks cycles =
+    let c = Mclock_rtl.Clock.create ~phases:clocks ~frequency:tech.Mclock_tech.Library.clock_frequency in
+    Fmt.pr "%a@.%s@." Mclock_rtl.Clock.pp c
+      (Mclock_rtl.Clock.render_waveforms c ~cycles)
+  in
+  Cmd.v
+    (Cmd.info "waves" ~doc:"ASCII waveforms of an n-phase clocking scheme.")
+    Term.(const run $ clocks_arg $ cycles_arg)
+
+(* --- sweep --------------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let max_arg =
+    Arg.(value & opt int 4 & info [ "max" ] ~docv:"N" ~doc:"Largest clock count.")
+  in
+  let run workload file scheduler iterations seed max_n =
+    let input = or_die (load ~workload ~file ~scheduler) in
+    let table =
+      Mclock_util.Table.create ~title:"clock-count sweep"
+        ~header:[ "clocks"; "power [mW]"; "area [l^2]"; "ALUs"; "mem"; "mux" ]
+        ~aligns:Mclock_util.Table.[ Right; Right; Right; Left; Right; Right ]
+        ()
+    in
+    List.iter
+      (fun n ->
+        let design =
+          Mclock_core.Flow.synthesize ~method_:(Mclock_core.Flow.Integrated n)
+            ~name:(Printf.sprintf "mc%d" n) input.schedule
+        in
+        let r =
+          Mclock_power.Report.evaluate ~seed ~iterations
+            ~label:(string_of_int n) tech design input.graph
+        in
+        Mclock_util.Table.add_row table
+          [
+            string_of_int n;
+            Printf.sprintf "%.2f" r.Mclock_power.Report.power_mw;
+            Printf.sprintf "%.0f" r.Mclock_power.Report.area.Mclock_power.Area.design_total;
+            r.Mclock_power.Report.alus;
+            string_of_int r.Mclock_power.Report.memory_cells;
+            string_of_int r.Mclock_power.Report.mux_inputs;
+          ])
+      (Mclock_util.List_ext.range 1 max_n);
+    Mclock_util.Table.print table
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Power/area across clock counts 1..N.")
+    Term.(
+      const run $ workload_arg $ file_arg $ scheduler_arg $ iterations_arg
+      $ seed_arg $ max_arg)
+
+let () =
+  let info =
+    Cmd.info "mclock" ~version:"1.0.0"
+      ~doc:"Multi-clock RTL power-management synthesis (DAC'96 reproduction)."
+  in
+  exit (Cmd.eval (Cmd.group info
+       [ list_cmd; show_cmd; synth_cmd; table_cmd; waves_cmd; sweep_cmd;
+         controller_cmd; calibrate_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_behaviour.ml: Fmt List Mclock_core Mclock_dfg Mclock_lang Mclock_power Mclock_sched Mclock_tech Mclock_util

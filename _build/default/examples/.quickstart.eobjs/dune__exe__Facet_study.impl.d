@@ -1,0 +1,1 @@
+examples/facet_study.ml: Fmt List Mclock_core Mclock_power Mclock_rtl Mclock_tech Mclock_util Mclock_workloads

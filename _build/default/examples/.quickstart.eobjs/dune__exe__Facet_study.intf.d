@@ -1,0 +1,1 @@
+examples/facet_study.mli:

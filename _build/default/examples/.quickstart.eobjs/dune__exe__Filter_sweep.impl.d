@@ -1,0 +1,1 @@
+examples/filter_sweep.ml: List Mclock_core Mclock_power Mclock_tech Mclock_util Mclock_workloads Printf

@@ -1,0 +1,1 @@
+examples/gated_vs_multiclock.ml: Fmt List Mclock_core Mclock_power Mclock_sim Mclock_tech Mclock_util Mclock_workloads Option Printf

@@ -1,0 +1,1 @@
+examples/gated_vs_multiclock.mli:

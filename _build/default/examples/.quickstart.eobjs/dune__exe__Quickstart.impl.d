@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Fmt Graph Mclock_core Mclock_dfg Mclock_power Mclock_rtl Mclock_sched Mclock_tech Mclock_util Op

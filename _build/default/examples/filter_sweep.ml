@@ -1,0 +1,57 @@
+(* Filter design-space sweep: the Biquad and Band-Pass benchmarks
+   across clock counts n = 1..4, showing the power/area trade-off and
+   its diminishing returns (the paper's closing observation: "you can
+   not keep adding clocks and expect power reduction").
+
+   Run with: dune exec examples/filter_sweep.exe *)
+
+let tech = Mclock_tech.Cmos08.t
+
+let sweep w =
+  let graph = Mclock_workloads.Workload.graph w in
+  let schedule = Mclock_workloads.Workload.schedule w in
+  let gated =
+    Mclock_power.Report.evaluate ~iterations:400 ~label:"gated baseline" tech
+      (Mclock_core.Flow.synthesize ~method_:Mclock_core.Flow.Conventional_gated
+         ~name:"baseline" schedule)
+      graph
+  in
+  let table =
+    Mclock_util.Table.create
+      ~title:
+        (Printf.sprintf "%s: clock-count sweep (baseline: gated %.2f mW)"
+           w.Mclock_workloads.Workload.name gated.Mclock_power.Report.power_mw)
+      ~header:[ "clocks"; "power [mW]"; "vs gated"; "area [l^2]"; "vs gated"; "ALUs"; "latches" ]
+      ~aligns:
+        Mclock_util.Table.[ Right; Right; Right; Right; Right; Left; Right ]
+      ()
+  in
+  List.iter
+    (fun n ->
+      let design =
+        Mclock_core.Flow.synthesize ~method_:(Mclock_core.Flow.Integrated n)
+          ~name:(Printf.sprintf "mc%d" n) schedule
+      in
+      let r =
+        Mclock_power.Report.evaluate ~iterations:400
+          ~label:(Printf.sprintf "%d" n) tech design graph
+      in
+      Mclock_util.Table.add_row table
+        [
+          string_of_int n;
+          Printf.sprintf "%.2f" r.Mclock_power.Report.power_mw;
+          Printf.sprintf "%+.0f%%"
+            (-.Mclock_power.Report.reduction_vs ~baseline:gated r);
+          Printf.sprintf "%.0f" r.Mclock_power.Report.area.Mclock_power.Area.design_total;
+          Printf.sprintf "%+.0f%%"
+            (Mclock_power.Report.area_increase_vs ~baseline:gated r);
+          r.Mclock_power.Report.alus;
+          string_of_int r.Mclock_power.Report.memory_cells;
+        ])
+    [ 1; 2; 3; 4 ];
+  Mclock_util.Table.print table;
+  print_newline ()
+
+let () =
+  sweep Mclock_workloads.Biquad.t;
+  sweep Mclock_workloads.Bandpass.t

@@ -1,0 +1,1 @@
+lib/core/alu_alloc.ml: Fmt Graph Int List Mclock_dfg Mclock_sched Mclock_tech Node Op Printf Schedule

@@ -1,0 +1,1 @@
+lib/core/alu_alloc.mli: Format Mclock_dfg Mclock_sched Mclock_tech Node Op Schedule

@@ -1,0 +1,1 @@
+lib/core/conventional.ml: Alu_alloc Lifetime Mclock_rtl Mclock_tech Partition Reg_alloc Structure

@@ -1,0 +1,1 @@
+lib/core/conventional.mli: Mclock_rtl Mclock_sched Mclock_tech Schedule

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Conventional Integrated List Mclock_tech Printf Split_alloc

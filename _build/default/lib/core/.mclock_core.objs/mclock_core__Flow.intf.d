@@ -1,0 +1,1 @@
+lib/core/flow.mli: Mclock_rtl Mclock_sched Mclock_tech Schedule

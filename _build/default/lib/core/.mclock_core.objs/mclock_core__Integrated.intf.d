@@ -1,0 +1,1 @@
+lib/core/integrated.mli: Alu_alloc Lifetime Mclock_rtl Mclock_sched Mclock_tech Reg_alloc Reg_bind Schedule

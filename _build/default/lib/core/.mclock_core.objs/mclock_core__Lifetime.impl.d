@@ -1,0 +1,1 @@
+lib/core/lifetime.ml: Fmt Graph Int List Mclock_dfg Mclock_sched Mclock_tech Mclock_util Node Option Partition Printf Schedule Var

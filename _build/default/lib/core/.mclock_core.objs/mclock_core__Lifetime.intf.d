@@ -1,0 +1,1 @@
+lib/core/lifetime.mli: Format Mclock_dfg Mclock_sched Mclock_tech Mclock_util Node Schedule Var

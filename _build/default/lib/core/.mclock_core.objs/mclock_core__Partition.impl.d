@@ -1,0 +1,1 @@
+lib/core/partition.ml: Graph List Mclock_dfg Mclock_sched Mclock_util Node Schedule

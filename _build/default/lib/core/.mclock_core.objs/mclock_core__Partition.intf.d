@@ -1,0 +1,1 @@
+lib/core/partition.mli: Mclock_dfg Mclock_sched Node Schedule Var

@@ -1,0 +1,1 @@
+lib/core/reg_alloc.ml: Fmt Int Lifetime List Mclock_dfg Mclock_util Printf Var

@@ -1,0 +1,1 @@
+lib/core/reg_alloc.mli: Format Lifetime Mclock_dfg Mclock_tech Var

@@ -1,0 +1,1 @@
+lib/core/reg_bind.ml: Alu_alloc Graph Int Lifetime List Mclock_dfg Mclock_sched Mclock_util Node Reg_alloc Schedule Var

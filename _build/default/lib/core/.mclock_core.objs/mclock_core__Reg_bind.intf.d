@@ -1,0 +1,1 @@
+lib/core/reg_bind.mli: Alu_alloc Lifetime Mclock_tech Reg_alloc

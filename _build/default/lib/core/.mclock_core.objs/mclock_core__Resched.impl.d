@@ -1,0 +1,1 @@
+lib/core/resched.ml: Graph Hashtbl List Mclock_dfg Mclock_sched Mclock_util Node Option Partition Schedule

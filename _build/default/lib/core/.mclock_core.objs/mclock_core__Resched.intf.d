@@ -1,0 +1,1 @@
+lib/core/resched.mli: Mclock_sched Schedule

@@ -1,0 +1,1 @@
+lib/core/split_alloc.ml: Alu_alloc Buffer Graph Hashtbl Int Lifetime List Mclock_dfg Mclock_rtl Mclock_sched Mclock_tech Mclock_util Node Partition Printf Reg_alloc Schedule String Structure Var

@@ -1,0 +1,1 @@
+lib/core/split_alloc.mli: Alu_alloc Mclock_rtl Mclock_sched Mclock_tech Reg_alloc Schedule

@@ -1,0 +1,1 @@
+lib/core/structure.mli: Alu_alloc Design Lifetime Mclock_rtl Mclock_tech Reg_alloc

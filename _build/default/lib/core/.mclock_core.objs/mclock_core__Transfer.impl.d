@@ -1,0 +1,1 @@
+lib/core/transfer.ml: Graph Int Lifetime List Mclock_dfg Mclock_sched Mclock_util Node Option Printf Schedule Var

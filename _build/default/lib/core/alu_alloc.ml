@@ -1,0 +1,128 @@
+(* ALU allocation — Step 3 of the integrated allocation.
+
+   Operations merge into (possibly multifunction) ALUs "according to
+   their partition": candidates must be in the same partition and not
+   occupy the same schedule step.  The greedy order walks operations by
+   step; each picks the cheapest placement, where cost is the area the
+   technology library says the placement adds (growing an existing
+   ALU's function set vs. instantiating a fresh single-function ALU).
+   The Add/Sub core sharing and the multifunction penalty of the
+   library thus steer merging exactly the way the paper discusses:
+   add/sub merges are attractive, mixed mul/or merges are not. *)
+
+open Mclock_dfg
+open Mclock_sched
+
+type alu = {
+  alu_id : int;
+  alu_partition : int;
+  alu_fset : Op.Set.t;
+  alu_nodes : (int * int) list; (* (node id, step), ascending by step *)
+}
+
+type config = {
+  tech : Mclock_tech.Library.t;
+  width : int;
+  merge : bool; (* false: one ALU per operation (no sharing at all) *)
+  merge_threshold : float;
+      (* merge when grow cost <= threshold * fresh cost; 1.0 is
+         area-optimal, higher values trade area for fewer ALUs (the
+         resource-minimizing bias of a conventional allocator) *)
+}
+
+let default_config =
+  { tech = Mclock_tech.Cmos08.t; width = 4; merge = true; merge_threshold = 1.0 }
+
+let busy_at alu step = List.exists (fun (_, s) -> s = step) alu.alu_nodes
+
+let grow_cost config alu op =
+  let before =
+    Mclock_tech.Library.alu_area config.tech ~width:config.width alu.alu_fset
+  in
+  let after =
+    Mclock_tech.Library.alu_area config.tech ~width:config.width
+      (Op.Set.add op alu.alu_fset)
+  in
+  after -. before
+
+let fresh_cost config op =
+  Mclock_tech.Library.alu_area config.tech ~width:config.width
+    (Op.Set.singleton op)
+
+let allocate ?(config = default_config) ~partitions schedule =
+  let graph = Schedule.graph schedule in
+  let nodes =
+    Graph.nodes graph
+    |> List.map (fun node ->
+           let step = Schedule.step schedule node in
+           let partition = Node.Map.find (Node.id node) partitions in
+           (node, step, partition))
+    |> List.sort (fun (a, sa, _) (b, sb, _) ->
+           let c = Int.compare sa sb in
+           if c <> 0 then c else Node.compare a b)
+  in
+  let alus = ref [] in
+  let next_id = ref 0 in
+  let place (node, step, partition) =
+    let op = Node.op node in
+    let candidates =
+      if config.merge then
+        List.filter
+          (fun alu -> alu.alu_partition = partition && not (busy_at alu step))
+          !alus
+      else []
+    in
+    let best =
+      List.fold_left
+        (fun best alu ->
+          let cost = grow_cost config alu op in
+          match best with
+          | Some (_, best_cost) when best_cost <= cost -> best
+          | Some _ | None -> Some (alu, cost))
+        None candidates
+    in
+    match best with
+    | Some (alu, cost) when cost <= config.merge_threshold *. fresh_cost config op ->
+        let updated =
+          {
+            alu with
+            alu_fset = Op.Set.add op alu.alu_fset;
+            alu_nodes = alu.alu_nodes @ [ (Node.id node, step) ];
+          }
+        in
+        alus :=
+          List.map (fun a -> if a.alu_id = alu.alu_id then updated else a) !alus
+    | Some _ | None ->
+        let id = !next_id in
+        incr next_id;
+        alus :=
+          !alus
+          @ [
+              {
+                alu_id = id;
+                alu_partition = partition;
+                alu_fset = Op.Set.singleton op;
+                alu_nodes = [ (Node.id node, step) ];
+              };
+            ]
+  in
+  List.iter place nodes;
+  !alus
+
+let alu_of alus node_id =
+  List.find_opt
+    (fun alu -> List.exists (fun (id, _) -> id = node_id) alu.alu_nodes)
+    alus
+
+let alu_of_exn alus node_id =
+  match alu_of alus node_id with
+  | Some alu -> alu
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Alu_alloc.alu_of_exn: node %d is unbound" node_id)
+
+let pp_alu ppf alu =
+  Fmt.pf ppf "A%d[p%d]%s nodes={%a}" alu.alu_id alu.alu_partition
+    (Op.Set.to_string alu.alu_fset)
+    (Fmt.list ~sep:Fmt.comma (fun ppf (id, s) -> Fmt.pf ppf "n%d@T%d" id s))
+    alu.alu_nodes

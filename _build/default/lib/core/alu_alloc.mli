@@ -1,0 +1,34 @@
+(** ALU allocation: greedy, partition-respecting merging of operations
+    into (multifunction) ALUs, costed by the technology area model
+    (paper §4.2, step 3). *)
+
+open Mclock_dfg
+open Mclock_sched
+
+type alu = {
+  alu_id : int;
+  alu_partition : int;
+  alu_fset : Op.Set.t;
+  alu_nodes : (int * int) list;  (** (node id, step) pairs *)
+}
+
+type config = {
+  tech : Mclock_tech.Library.t;
+  width : int;
+  merge : bool;  (** false disables sharing entirely (one ALU per op) *)
+  merge_threshold : float;
+      (** merge when grow cost <= threshold × fresh cost; 1.0 is
+          area-optimal, higher trades area for fewer ALUs *)
+}
+
+val default_config : config
+
+val allocate :
+  ?config:config -> partitions:int Node.Map.t -> Schedule.t -> alu list
+(** [partitions] maps every node id to its clock partition (all 1 for a
+    single-clock design). *)
+
+val alu_of : alu list -> int -> alu option
+val alu_of_exn : alu list -> int -> alu
+
+val pp_alu : Format.formatter -> alu -> unit

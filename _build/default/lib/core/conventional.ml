@@ -1,0 +1,49 @@
+(* Conventional single-clock allocation — the SYNTEST-like baseline of
+   the paper's tables.
+
+   Flip-flop registers, one free-running clock, classic left-edge
+   register merging and greedy ALU merging with no partition
+   constraints.  Two variants:
+   - non-gated: the clock reaches every register every cycle and the
+     controller re-emits (don't-care-filled) controls every step;
+   - gated [10]: register clocks are gated to load cycles, ALUs get
+     operand isolation, and idle controls hold — the "conventional
+     power management" the paper compares against. *)
+
+
+type params = { tech : Mclock_tech.Library.t; width : int }
+
+let default_params = { tech = Mclock_tech.Cmos08.t; width = 4 }
+
+let allocate ?(params = default_params) ~gated ~name schedule =
+  let problem = Lifetime.analyze ~n:1 schedule in
+  let reg_classes =
+    Reg_alloc.allocate ~kind:Mclock_tech.Library.Register problem
+  in
+  let partitions = Partition.map ~n:1 schedule in
+  (* Conventional allocators bias toward fewer, multifunction ALUs
+     (minimal resources); 1.6 reproduces the paper's baseline shapes. *)
+  let alu_config =
+    {
+      Alu_alloc.tech = params.tech;
+      width = params.width;
+      merge = true;
+      merge_threshold = 1.6;
+    }
+  in
+  let alus = Alu_alloc.allocate ~config:alu_config ~partitions schedule in
+  let style =
+    if gated then Mclock_rtl.Design.gated_style
+    else Mclock_rtl.Design.conventional_style
+  in
+  let idle_controls = if gated then `Hold else `Zero in
+  Structure.build
+    {
+      Structure.tech = params.tech;
+      width = params.width;
+      style;
+      idle_controls;
+      park_idle_muxes = false;
+      name;
+    }
+    problem reg_classes alus

@@ -1,0 +1,12 @@
+(** Conventional single-clock allocation (the SYNTEST-like baseline):
+    flip-flops, left-edge register merging, greedy ALU merging; with
+    [gated] the clock-gated + operand-isolated power-managed variant. *)
+
+open Mclock_sched
+
+type params = { tech : Mclock_tech.Library.t; width : int }
+
+val default_params : params
+
+val allocate :
+  ?params:params -> gated:bool -> name:string -> Schedule.t -> Mclock_rtl.Design.t

@@ -1,0 +1,60 @@
+(* End-to-end synthesis flow API: one entry point per design style plus
+   the five-design suite each of the paper's tables reports. *)
+
+
+type method_ =
+  | Conventional_non_gated
+  | Conventional_gated
+  | Integrated of int (* clock count *)
+  | Split of int
+
+let method_label = function
+  | Conventional_non_gated -> "Conven. Alloc. (Non-Gated Clock)"
+  | Conventional_gated -> "Conven. Alloc. (Gated Clock)"
+  | Integrated 1 -> "1 Clock"
+  | Integrated n -> Printf.sprintf "%d Clocks" n
+  | Split n -> Printf.sprintf "Split %d Clocks" n
+
+type params = { tech : Mclock_tech.Library.t; width : int }
+
+let default_params = { tech = Mclock_tech.Cmos08.t; width = 4 }
+
+let synthesize ?(params = default_params) ~method_ ~name schedule =
+  match method_ with
+  | Conventional_non_gated ->
+      Conventional.allocate
+        ~params:{ Conventional.tech = params.tech; width = params.width }
+        ~gated:false ~name schedule
+  | Conventional_gated ->
+      Conventional.allocate
+        ~params:{ Conventional.tech = params.tech; width = params.width }
+        ~gated:true ~name schedule
+  | Integrated n ->
+      Integrated.allocate
+        ~params:{ Integrated.tech = params.tech; width = params.width }
+        ~n ~name schedule
+  | Split n ->
+      Split_alloc.allocate
+        ~params:{ Split_alloc.tech = params.tech; width = params.width }
+        ~n ~name schedule
+
+(* The five designs of each of the paper's tables, in row order. *)
+let standard_suite ?(params = default_params) ~name schedule =
+  List.map
+    (fun method_ ->
+      let design_name =
+        Printf.sprintf "%s_%s" name
+          (match method_ with
+          | Conventional_non_gated -> "conv"
+          | Conventional_gated -> "gated"
+          | Integrated n -> Printf.sprintf "mc%d" n
+          | Split n -> Printf.sprintf "split%d" n)
+      in
+      (method_, synthesize ~params ~method_ ~name:design_name schedule))
+    [
+      Conventional_non_gated;
+      Conventional_gated;
+      Integrated 1;
+      Integrated 2;
+      Integrated 3;
+    ]

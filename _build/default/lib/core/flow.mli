@@ -1,0 +1,25 @@
+(** End-to-end synthesis flow: one entry per design style, plus the
+    five-design suite each of the paper's tables reports. *)
+
+open Mclock_sched
+
+type method_ =
+  | Conventional_non_gated
+  | Conventional_gated
+  | Integrated of int  (** clock count *)
+  | Split of int
+
+val method_label : method_ -> string
+(** The paper's row labels, e.g. "Conven. Alloc. (Gated Clock)". *)
+
+type params = { tech : Mclock_tech.Library.t; width : int }
+
+val default_params : params
+
+val synthesize :
+  ?params:params -> method_:method_ -> name:string -> Schedule.t -> Mclock_rtl.Design.t
+
+val standard_suite :
+  ?params:params -> name:string -> Schedule.t -> (method_ * Mclock_rtl.Design.t) list
+(** Non-gated, gated, and integrated 1/2/3-clock designs, in the
+    tables' row order. *)

@@ -1,0 +1,73 @@
+(* The integrated multi-clock allocation method (paper §4.2) — the
+   system's primary contribution.
+
+   Step 1  insert cross-partition transfers (Transfer.insert), so every
+           operation's stored operands update in one phase window;
+   Step 2  left-edge register allocation within partitions, with latch
+           semantics (fully disjoint READ/WRITE spans);
+   Step 3  greedy partition-respecting ALU merging;
+   Step 4  mux/datapath construction and latched-control microcode,
+           with power-aware idle mux parking.
+
+   With n = 1 this degenerates to the paper's "1 Clock" row: the same
+   latch-based allocation discipline without clock partitions.
+
+   The optional knobs exist for the ablation benches: [storage_kind]
+   swaps the latches for flip-flops, [latched_control:false] re-emits
+   don't-care controls each step like a conventional controller,
+   [transfers:false] skips Step 1, and [park:false] disables idle mux
+   parking.  Defaults give the paper's scheme. *)
+
+type params = { tech : Mclock_tech.Library.t; width : int }
+
+let default_params = { tech = Mclock_tech.Cmos08.t; width = 4 }
+
+type result = {
+  design : Mclock_rtl.Design.t;
+  problem : Lifetime.problem; (* after transfer insertion *)
+  reg_classes : Reg_alloc.reg_class list;
+  alus : Alu_alloc.alu list;
+}
+
+let run ?(params = default_params) ?(park = true)
+    ?(storage_kind = Mclock_tech.Library.Latch) ?(latched_control = true)
+    ?(transfers = true) ?(binding = `Left_edge) ~n ~name schedule =
+  if n < 1 then invalid_arg "Integrated.run: n must be >= 1";
+  let problem = Lifetime.analyze ~n schedule in
+  let problem = if transfers then Transfer.insert problem else problem in
+  let partitions = Partition.map ~n schedule in
+  let alu_config =
+    {
+      Alu_alloc.tech = params.tech;
+      width = params.width;
+      merge = true;
+      merge_threshold = 1.0;
+    }
+  in
+  let alus = Alu_alloc.allocate ~config:alu_config ~partitions schedule in
+  let reg_classes =
+    Reg_bind.allocate ~strategy:binding ~kind:storage_kind problem alus
+  in
+  let style =
+    {
+      Mclock_rtl.Design.multiclock_style with
+      Mclock_rtl.Design.storage_kind;
+      latched_control;
+    }
+  in
+  let design =
+    Structure.build
+      {
+        Structure.tech = params.tech;
+        width = params.width;
+        style;
+        idle_controls = (if latched_control then `Hold else `Zero);
+        park_idle_muxes = park && latched_control;
+        name;
+      }
+      problem reg_classes alus
+  in
+  { design; problem; reg_classes; alus }
+
+let allocate ?params ?park ~n ~name schedule =
+  (run ?params ?park ~n ~name schedule).design

@@ -1,0 +1,38 @@
+(** The integrated multi-clock allocation method (paper §4.2): transfer
+    insertion, partition-wise latch allocation, partition-respecting
+    ALU merging, latched-control datapath construction. *)
+
+open Mclock_sched
+
+type params = { tech : Mclock_tech.Library.t; width : int }
+
+val default_params : params
+
+type result = {
+  design : Mclock_rtl.Design.t;
+  problem : Lifetime.problem;  (** after transfer insertion *)
+  reg_classes : Reg_alloc.reg_class list;
+  alus : Alu_alloc.alu list;
+}
+
+val run :
+  ?params:params ->
+  ?park:bool ->
+  ?storage_kind:Mclock_tech.Library.storage_kind ->
+  ?latched_control:bool ->
+  ?transfers:bool ->
+  ?binding:Reg_bind.strategy ->
+  n:int ->
+  name:string ->
+  Schedule.t ->
+  result
+(** [n] is the clock count (>= 1; [n = 1] is the paper's "1 Clock"
+    latch-discipline row).  The optional knobs are ablation levers and
+    default to the paper's scheme: [park] power-aware idle mux selects
+    (§4.2 step 3), [storage_kind] latches, [latched_control] held
+    control lines (§3.2), [transfers] cross-partition transfer
+    insertion (§4.2 step 1), [binding] plain left-edge vs.
+    interconnect-aware register binding. *)
+
+val allocate :
+  ?params:params -> ?park:bool -> n:int -> name:string -> Schedule.t -> Mclock_rtl.Design.t

@@ -1,0 +1,230 @@
+(* READ/WRITE lifetime analysis over a schedule (paper §4.2, Fig. 6).
+
+   The allocation problem tracks, per variable: the step writing it,
+   the steps reading it, and its clock partition.  Cross-partition
+   transfers (Transfer) rewrite this structure before register
+   allocation, so it is kept explicit rather than recomputed from the
+   graph.
+
+   Timing model: a variable written at step w is available from the end
+   of w; reads happen during their step.  Storage-occupancy intervals
+   differ by storage kind:
+   - register (edge-triggered): the element can be read and re-written
+     in the same step, so the occupancy is [w+1, last_read];
+   - latch (level-sensitive): a write in step t corrupts the old value
+     during t, so the occupancy is [w, last_read] — merging then
+     requires fully disjoint READ/WRITE spans, as the paper demands.
+
+   Primary inputs: by default each is sampled into a dedicated input
+   register, reloaded from its port at the end of the (padded) final
+   step of every computation, so the next computation reads stable
+   values from cycle one — the sample-and-hold front end the paper's
+   memory-cell counts imply.  An input that is still read at that final
+   step cannot be re-sampled there and stays port-direct; with
+   [register_inputs:false] all inputs stay port-direct.
+
+   Primary outputs persist to the end of the computation (the tap must
+   observe them), so their last read is forced to the final step. *)
+
+open Mclock_dfg
+open Mclock_sched
+
+type source = S_var of Var.t | S_const of int
+
+let source_equal a b =
+  match (a, b) with
+  | S_var u, S_var v -> Var.equal u v
+  | S_const x, S_const y -> x = y
+  | S_var _, S_const _ | S_const _, S_var _ -> false
+
+let pp_source ppf = function
+  | S_var v -> Var.pp ppf v
+  | S_const c -> Fmt.pf ppf "#%d" c
+
+type usage = {
+  var : Var.t;
+  write_step : int; (* 0 for primary inputs *)
+  read_steps : int list; (* sorted ascending *)
+  partition : int; (* 0 for port-direct inputs *)
+  is_input : bool;
+  is_output : bool;
+  registered_input : bool; (* input sampled into a dedicated register *)
+}
+
+type transfer = {
+  t_src : Var.t;
+  t_dest : Var.t;
+  t_step : int; (* dest latched at the end of this step *)
+  t_partition : int; (* partition of the destination *)
+}
+
+type problem = {
+  schedule : Schedule.t;
+  n : int; (* number of clock partitions *)
+  padded_steps : int; (* num_steps rounded up to a multiple of n *)
+  usages : usage Var.Map.t;
+  node_operands : source list Node.Map.t; (* effective operands per node *)
+  transfers : transfer list;
+}
+
+let padded_steps ~n ~num_steps = (num_steps + n - 1) / n * n
+
+let analyze ?(register_inputs = true) ~n schedule =
+  let graph = Schedule.graph schedule in
+  let num_steps = Schedule.num_steps schedule in
+  let padded = padded_steps ~n ~num_steps in
+  let read_map =
+    List.fold_left
+      (fun acc node ->
+        let s = Schedule.step schedule node in
+        List.fold_left
+          (fun acc v ->
+            let existing = Option.value ~default:[] (Var.Map.find_opt v acc) in
+            Var.Map.add v (s :: existing) acc)
+          acc (Node.operand_vars node))
+      Var.Map.empty (Graph.nodes graph)
+  in
+  let usage_of var =
+    let is_input = Graph.is_input graph var in
+    let is_output = Graph.is_output graph var in
+    let write_step =
+      match Graph.producer graph var with
+      | None -> 0
+      | Some node -> Schedule.step schedule node
+    in
+    let read_steps =
+      Option.value ~default:[] (Var.Map.find_opt var read_map)
+      |> List.sort_uniq Int.compare
+    in
+    let read_steps =
+      if is_output then List.sort_uniq Int.compare (num_steps :: read_steps)
+      else read_steps
+    in
+    let last = match List.rev read_steps with [] -> 0 | r :: _ -> r in
+    (* An input still read at the re-sampling step cannot be registered
+       there: its old value would be corrupted while in use. *)
+    let registered_input = is_input && register_inputs && last < padded in
+    let partition =
+      if registered_input then ((padded - 1) mod n) + 1
+      else Partition.of_var ~n schedule var
+    in
+    { var; write_step; read_steps; partition; is_input; is_output; registered_input }
+  in
+  let usages =
+    List.fold_left
+      (fun acc var -> Var.Map.add var (usage_of var) acc)
+      Var.Map.empty (Graph.variables graph)
+  in
+  let node_operands =
+    List.fold_left
+      (fun acc node ->
+        let sources =
+          List.map
+            (function
+              | Node.Operand_var v -> S_var v
+              | Node.Operand_const c -> S_const c)
+            (Node.operands node)
+        in
+        Node.Map.add (Node.id node) sources acc)
+      Node.Map.empty (Graph.nodes graph)
+  in
+  { schedule; n; padded_steps = padded; usages; node_operands; transfers = [] }
+
+let usage problem var =
+  match Var.Map.find_opt var problem.usages with
+  | Some u -> u
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Lifetime.usage: unknown variable %s" (Var.name var))
+
+let last_read usage =
+  match List.rev usage.read_steps with
+  | [] -> usage.write_step (* written, never read: dies immediately *)
+  | last :: _ -> last
+
+(* Storage-occupancy interval; see the header comment for semantics.
+   Registered inputs occupy their element for the whole (padded)
+   computation including the re-sampling step, so they never share. *)
+let interval ?padded ~kind usage =
+  if usage.is_input && not usage.registered_input then
+    invalid_arg "Lifetime.interval: port-direct inputs live in ports";
+  if usage.registered_input then
+    (* Occupies through the re-sampling step *and* the first step of
+       the next computation (cyclic execution), so nothing shares. *)
+    let hi =
+      match padded with Some p -> p + 1 | None -> max 1 (last_read usage) + 1
+    in
+    Mclock_util.Interval.make 0 hi
+  else
+    let death = max (last_read usage) usage.write_step in
+    match (kind : Mclock_tech.Library.storage_kind) with
+    | Mclock_tech.Library.Register ->
+        Mclock_util.Interval.make (usage.write_step + 1)
+          (max (usage.write_step + 1) death)
+    | Mclock_tech.Library.Latch ->
+        Mclock_util.Interval.make usage.write_step (max usage.write_step death)
+
+let problem_interval problem ~kind u =
+  interval ~padded:problem.padded_steps ~kind u
+
+(* Variables that need a storage element: everything produced, plus the
+   registered inputs. *)
+let stored_usages problem =
+  Var.Map.fold
+    (fun _ u acc ->
+      if u.is_input && not u.registered_input then acc else u :: acc)
+    problem.usages []
+  |> List.sort (fun a b -> Var.compare a.var b.var)
+
+let registered_inputs problem =
+  Var.Map.fold
+    (fun v u acc -> if u.registered_input then Var.Set.add v acc else acc)
+    problem.usages Var.Set.empty
+
+let pp_usage ppf u =
+  Fmt.pf ppf "%a: w=%d reads=[%a] part=%d%s%s%s" Var.pp u.var u.write_step
+    (Fmt.list ~sep:Fmt.comma Fmt.int)
+    u.read_steps u.partition
+    (if u.is_input then " in" else "")
+    (if u.registered_input then "(reg)" else "")
+    (if u.is_output then " out" else "")
+
+let pp_transfer ppf t =
+  Fmt.pf ppf "%a -> %a @ T%d (partition %d)" Var.pp t.t_src Var.pp t.t_dest
+    t.t_step t.t_partition
+
+(* Lifetime table in the style of Fig. 6: one row per variable, one
+   column per step, W/R/| marks. *)
+let render_table problem =
+  let num_steps = Schedule.num_steps problem.schedule in
+  let header =
+    "var"
+    :: List.map (fun s -> Printf.sprintf "T%d" s)
+         (Mclock_util.List_ext.range 1 num_steps)
+  in
+  let aligns = List.map (fun _ -> Mclock_util.Table.Left) header in
+  let table = Mclock_util.Table.create ~header ~aligns () in
+  let sorted =
+    Var.Map.bindings problem.usages
+    |> List.map snd
+    |> List.sort (fun a b ->
+           let c = Int.compare a.write_step b.write_step in
+           if c <> 0 then c else Var.compare a.var b.var)
+  in
+  List.iter
+    (fun u ->
+      let death = last_read u in
+      let cell s =
+        let w = (not u.is_input) && s = u.write_step in
+        let r = List.mem s u.read_steps in
+        if w && r then "WR"
+        else if w then "W"
+        else if r then "R"
+        else if s > u.write_step && s < death then "|"
+        else ""
+      in
+      Mclock_util.Table.add_row table
+        (Var.name u.var
+        :: List.map cell (Mclock_util.List_ext.range 1 num_steps)))
+    sorted;
+  Mclock_util.Table.render table

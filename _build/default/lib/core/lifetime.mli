@@ -1,0 +1,75 @@
+(** READ/WRITE lifetime analysis over a schedule (paper §4.2, Fig. 6),
+    and the allocation-problem record the allocators transform. *)
+
+open Mclock_dfg
+open Mclock_sched
+
+type source = S_var of Var.t | S_const of int
+
+val source_equal : source -> source -> bool
+val pp_source : Format.formatter -> source -> unit
+
+type usage = {
+  var : Var.t;
+  write_step : int;  (** 0 for primary inputs *)
+  read_steps : int list;  (** sorted ascending *)
+  partition : int;  (** 0 for port-direct inputs *)
+  is_input : bool;
+  is_output : bool;
+  registered_input : bool;
+      (** input sampled into a dedicated register, reloaded at the end
+          of the padded final step of each computation *)
+}
+
+type transfer = {
+  t_src : Var.t;
+  t_dest : Var.t;
+  t_step : int;  (** destination latched at the end of this step *)
+  t_partition : int;
+}
+
+type problem = {
+  schedule : Schedule.t;
+  n : int;
+  padded_steps : int;  (** [num_steps] rounded up to a multiple of [n] *)
+  usages : usage Var.Map.t;
+  node_operands : source list Node.Map.t;
+  transfers : transfer list;
+}
+
+val padded_steps : n:int -> num_steps:int -> int
+
+val analyze : ?register_inputs:bool -> n:int -> Schedule.t -> problem
+(** The initial problem: original operands, no transfers; primary
+    outputs persist to the final step.  [register_inputs] (default
+    true) samples each input into a dedicated register unless it is
+    still read at the padded final step. *)
+
+val usage : problem -> Var.t -> usage
+(** Raises [Invalid_argument] on an unknown variable. *)
+
+val last_read : usage -> int
+
+val interval :
+  ?padded:int ->
+  kind:Mclock_tech.Library.storage_kind ->
+  usage ->
+  Mclock_util.Interval.t
+(** Storage-occupancy interval: registers allow same-step read+write
+    ([w+1, last]); latches need fully disjoint spans ([w, last]);
+    registered inputs occupy [0, padded] and never share.  Raises
+    [Invalid_argument] for port-direct inputs. *)
+
+val problem_interval :
+  problem -> kind:Mclock_tech.Library.storage_kind -> usage -> Mclock_util.Interval.t
+
+val stored_usages : problem -> usage list
+(** All variables needing storage (produced vars + registered inputs). *)
+
+val registered_inputs : problem -> Var.Set.t
+
+val pp_usage : Format.formatter -> usage -> unit
+val pp_transfer : Format.formatter -> transfer -> unit
+
+val render_table : problem -> string
+(** Fig. 6-style lifetime table (W/R marks per step). *)

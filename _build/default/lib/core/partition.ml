@@ -1,0 +1,56 @@
+(* Clock partitioning of a schedule (paper §4.1).
+
+   With n non-overlapping clocks, the nodes scheduled in step t belong
+   to partition ((t-1) mod n) + 1 — equivalently the paper's
+   "t mod n = k for partitions 1..n-1, t mod n = 0 for partition n".
+   Local steps renumber a partition's steps 1', 2', ... so that any
+   conventional allocator can treat each partition as a standalone
+   schedule (split allocation). *)
+
+open Mclock_dfg
+open Mclock_sched
+
+let of_step ~n step =
+  if n < 1 then invalid_arg "Partition.of_step: n must be >= 1";
+  if step < 1 then invalid_arg "Partition.of_step: step must be >= 1";
+  ((step - 1) mod n) + 1
+
+let local_of_global ~n step = ((step - 1) / n) + 1
+
+let global_of_local ~n ~partition local =
+  if partition < 1 || partition > n then
+    invalid_arg "Partition.global_of_local: partition out of range";
+  ((local - 1) * n) + partition
+
+let of_node ~n schedule node = of_step ~n (Schedule.step schedule node)
+
+(* node id -> partition for a whole schedule. *)
+let map ~n schedule =
+  List.fold_left
+    (fun acc node ->
+      Node.Map.add (Node.id node) (of_node ~n schedule node) acc)
+    Node.Map.empty
+    (Graph.nodes (Schedule.graph schedule))
+
+let nodes_of ~n schedule partition =
+  List.filter
+    (fun node -> of_node ~n schedule node = partition)
+    (Graph.nodes (Schedule.graph schedule))
+
+(* Steps of a partition within 1..T. *)
+let steps_of ~n ~num_steps partition =
+  List.filter
+    (fun s -> of_step ~n s = partition)
+    (Mclock_util.List_ext.range 1 num_steps)
+
+(* The partition a variable lives in: the partition of the step that
+   writes it.  Primary inputs are written by the environment; they get
+   partition 0 (no phase clock drives them). *)
+let of_var ~n schedule var =
+  match Graph.producer (Schedule.graph schedule) var with
+  | None -> 0
+  | Some node -> of_node ~n schedule node
+
+(* Number of local steps partition [p] has in a T-step schedule. *)
+let local_steps ~n ~num_steps partition =
+  List.length (steps_of ~n ~num_steps partition)

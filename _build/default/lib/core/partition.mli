@@ -1,0 +1,19 @@
+(** Clock partitioning of a schedule (paper §4.1): step [t] belongs to
+    partition [((t-1) mod n) + 1]; local steps renumber each
+    partition's steps 1, 2, ... *)
+
+open Mclock_dfg
+open Mclock_sched
+
+val of_step : n:int -> int -> int
+val local_of_global : n:int -> int -> int
+val global_of_local : n:int -> partition:int -> int -> int
+val of_node : n:int -> Schedule.t -> Node.t -> int
+val map : n:int -> Schedule.t -> int Node.Map.t
+val nodes_of : n:int -> Schedule.t -> int -> Node.t list
+val steps_of : n:int -> num_steps:int -> int -> int list
+
+val of_var : n:int -> Schedule.t -> Var.t -> int
+(** Partition of the producing step; 0 for primary inputs. *)
+
+val local_steps : n:int -> num_steps:int -> int -> int

@@ -1,0 +1,61 @@
+(* Register allocation — Step 2 of the integrated allocation.
+
+   Variables of the *same partition* whose storage-occupancy intervals
+   are disjoint are merged into one storage element with the left-edge
+   algorithm (paper §4.2: "Merge variables of the same partition into
+   registers using the left edge algorithm"; with latches, "only
+   variables with completely disjoint life spans ... may be merged",
+   which the latch interval semantics of Lifetime.interval encodes). *)
+
+open Mclock_dfg
+
+type reg_class = {
+  rc_id : int;
+  rc_partition : int; (* 1-based; the phase clock driving the element *)
+  rc_vars : Var.t list; (* in increasing interval order *)
+}
+
+let allocate ~kind (problem : Lifetime.problem) =
+  let usages = Lifetime.stored_usages problem in
+  let groups =
+    Mclock_util.List_ext.group_by
+      ~key:(fun u -> u.Lifetime.partition)
+      ~compare_key:Int.compare usages
+  in
+  let next = ref 0 in
+  List.concat_map
+    (fun (partition, members) ->
+      (* Partition 0 never appears here (inputs are not stored); treat
+         a conventional single-clock problem's partition 1 as phase 1. *)
+      let tracks =
+        Mclock_util.Interval.left_edge_pack
+          ~key:(fun u -> Lifetime.problem_interval problem ~kind u)
+          members
+      in
+      List.map
+        (fun track ->
+          let id = !next in
+          incr next;
+          {
+            rc_id = id;
+            rc_partition = max 1 partition;
+            rc_vars = List.map (fun u -> u.Lifetime.var) track;
+          })
+        tracks)
+    groups
+
+let class_of classes var =
+  List.find_opt (fun rc -> List.exists (Var.equal var) rc.rc_vars) classes
+
+let class_of_exn classes var =
+  match class_of classes var with
+  | Some rc -> rc
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Reg_alloc.class_of_exn: variable %s has no storage"
+           (Var.name var))
+
+let pp_class ppf rc =
+  Fmt.pf ppf "R%d[p%d]{%a}" rc.rc_id rc.rc_partition
+    (Fmt.list ~sep:Fmt.comma Var.pp)
+    rc.rc_vars

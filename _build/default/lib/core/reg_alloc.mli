@@ -1,0 +1,20 @@
+(** Register allocation: left-edge merging of same-partition variables
+    with disjoint storage-occupancy intervals (paper §4.2, step 2). *)
+
+open Mclock_dfg
+
+type reg_class = {
+  rc_id : int;
+  rc_partition : int;
+  rc_vars : Var.t list;
+}
+
+val allocate :
+  kind:Mclock_tech.Library.storage_kind -> Lifetime.problem -> reg_class list
+(** One class per storage element; variables merge only within their
+    partition, with latch semantics requiring fully disjoint spans. *)
+
+val class_of : reg_class list -> Var.t -> reg_class option
+val class_of_exn : reg_class list -> Var.t -> reg_class
+
+val pp_class : Format.formatter -> reg_class -> unit

@@ -1,0 +1,127 @@
+(* Interconnect-aware register binding.
+
+   Plain left-edge packing (Reg_alloc) minimizes the number of storage
+   elements but is blind to wiring: merging two variables written by
+   different ALUs forces a mux in front of the shared element, and
+   scattering one ALU's results over many elements widens its
+   consumers' port muxes.  This binder keeps the left-edge scan (so the
+   element count stays minimal — the packing is still greedy over
+   interval-disjoint tracks) but, when several tracks can accept a
+   variable, scores them by interconnect affinity:
+
+   + same writer: the variable's producing ALU already writes the
+     track (no new storage-mux input);
+   + same readers: an ALU port already fed by the track also reads
+     this variable (no new port-mux input).
+
+   The allocators expose this as [~binding:`Mux_aware] next to the
+   default [`Left_edge]; the Ablations bench quantifies the mux-input
+   difference. *)
+
+open Mclock_dfg
+open Mclock_sched
+
+type strategy = [ `Left_edge | `Mux_aware ]
+
+(* The producing ALU id of a variable (None for transfers: their writer
+   is a storage element, handled as a distinct pseudo-writer). *)
+let writer_of (problem : Lifetime.problem) alus var =
+  match Graph.producer (Schedule.graph problem.Lifetime.schedule) var with
+  | Some node -> (
+      match Alu_alloc.alu_of alus (Node.id node) with
+      | Some alu -> `Alu alu.Alu_alloc.alu_id
+      | None -> `None)
+  | None -> (
+      match
+        List.find_opt
+          (fun tr -> Var.equal tr.Lifetime.t_dest var)
+          problem.Lifetime.transfers
+      with
+      | Some tr -> `Transfer_of tr.Lifetime.t_src
+      | None -> `None)
+
+(* The ALU ports reading a variable: (alu id, port index) pairs. *)
+let readers_of (problem : Lifetime.problem) alus var =
+  let graph = Schedule.graph problem.Lifetime.schedule in
+  List.concat_map
+    (fun node ->
+      match Alu_alloc.alu_of alus (Node.id node) with
+      | None -> []
+      | Some alu ->
+          let operands =
+            Node.Map.find (Node.id node) problem.Lifetime.node_operands
+          in
+          List.filteri
+            (fun _ src -> Lifetime.source_equal src (Lifetime.S_var var))
+            operands
+          |> List.mapi (fun i _ -> (alu.Alu_alloc.alu_id, i)))
+    (Graph.nodes graph)
+
+let allocate ?(strategy = `Left_edge) ~kind (problem : Lifetime.problem) alus =
+  match strategy with
+  | `Left_edge -> Reg_alloc.allocate ~kind problem
+  | `Mux_aware ->
+      let groups =
+        Mclock_util.List_ext.group_by
+          ~key:(fun u -> u.Lifetime.partition)
+          ~compare_key:Int.compare
+          (Lifetime.stored_usages problem)
+      in
+      let next = ref 0 in
+      List.concat_map
+        (fun (partition, members) ->
+          let sorted =
+            List.sort
+              (fun a b ->
+                Mclock_util.Interval.compare_left_edge
+                  (Lifetime.problem_interval problem ~kind a)
+                  (Lifetime.problem_interval problem ~kind b))
+              members
+          in
+          (* Track: (last interval end, members rev, writers, readers). *)
+          let tracks = ref [] in
+          let place u =
+            let itv = Lifetime.problem_interval problem ~kind u in
+            let writer = writer_of problem alus u.Lifetime.var in
+            let readers = readers_of problem alus u.Lifetime.var in
+            let feasible =
+              List.filter
+                (fun (last, _, _, _) -> Mclock_util.Interval.lo itv > last)
+                !tracks
+            in
+            match feasible with
+            | [] ->
+                tracks :=
+                  !tracks
+                  @ [ (Mclock_util.Interval.hi itv, [ u ], [ writer ], readers) ]
+            | _ :: _ ->
+                let score (_, _, writers, track_readers) =
+                  (if List.mem writer writers then 2 else 0)
+                  + List.length
+                      (List.filter (fun r -> List.mem r track_readers) readers)
+                in
+                let best = Mclock_util.List_ext.max_by score feasible in
+                tracks :=
+                  List.map
+                    (fun t ->
+                      if t == best then
+                        let _, us, ws, rs = t in
+                        ( Mclock_util.Interval.hi itv,
+                          u :: us,
+                          writer :: ws,
+                          readers @ rs )
+                      else t)
+                    !tracks
+          in
+          List.iter place sorted;
+          List.map
+            (fun (_, us, _, _) ->
+              let id = !next in
+              incr next;
+              {
+                Reg_alloc.rc_id = id;
+                rc_partition = max 1 partition;
+                rc_vars = List.rev_map (fun u -> u.Lifetime.var) us;
+              })
+            !tracks)
+        groups

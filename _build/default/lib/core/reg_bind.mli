@@ -1,0 +1,15 @@
+(** Interconnect-aware register binding: left-edge packing (so the
+    element count stays minimal) with track selection scored by writer
+    and reader affinity, reducing mux inputs. *)
+
+type strategy = [ `Left_edge | `Mux_aware ]
+
+val allocate :
+  ?strategy:strategy ->
+  kind:Mclock_tech.Library.storage_kind ->
+  Lifetime.problem ->
+  Alu_alloc.alu list ->
+  Reg_alloc.reg_class list
+(** [`Left_edge] (default) delegates to {!Reg_alloc.allocate};
+    [`Mux_aware] uses the affinity-scored packing (needs the ALU
+    binding).  Both produce the same number of storage elements. *)

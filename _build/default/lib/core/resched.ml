@@ -1,0 +1,110 @@
+(* Partition-aware rescheduling.
+
+   The multi-clock ALU count is governed by per-partition concurrency:
+   partition p needs as many ALUs of a kind as its busiest *local* step
+   uses.  A schedule that is fine for a single clock (the minimal
+   resource bound is the per-step peak) can be poor for n clocks when
+   operations of one kind cluster on steps of the same phase — the
+   paper notes this effect on FACET ("the 3 clock scheme suits the
+   particular schedule better ... because of ALU utilization").
+
+   [balance] improves a given schedule for a target clock count by
+   local search: repeatedly move one node to another dependency-feasible
+   step (within the same overall deadline) if that lowers the cost
+
+       cost = sum over (partition, op kind) of the peak concurrent use
+              + epsilon * total concurrency spread penalty
+
+   until a local minimum.  The result is still a valid schedule, never
+   longer than the input (it may get shorter when tail operations move
+   earlier), so every allocator accepts it unchanged. *)
+
+open Mclock_dfg
+open Mclock_sched
+
+(* Per (partition, op) peak concurrency of an assignment. *)
+let alu_cost ~n ~num_steps graph assign =
+  let count = Hashtbl.create 32 in
+  List.iter
+    (fun node ->
+      let step = Node.Map.find (Node.id node) assign in
+      let key = (Partition.of_step ~n step, Node.op node, step) in
+      Hashtbl.replace count key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt count key)))
+    (Graph.nodes graph);
+  (* Peak per (partition, op) over that partition's steps. *)
+  let peaks = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (p, op, _) c ->
+      let key = (p, op) in
+      let cur = Option.value ~default:0 (Hashtbl.find_opt peaks key) in
+      if c > cur then Hashtbl.replace peaks key c)
+    count;
+  ignore num_steps;
+  Hashtbl.fold (fun _ peak acc -> acc + peak) peaks 0
+
+(* Dependency-feasible step window for [node] given the placements of
+   every other node. *)
+let window ~num_steps graph assign node =
+  let earliest =
+    List.fold_left
+      (fun acc producer ->
+        max acc (1 + Node.Map.find (Node.id producer) assign))
+      1
+      (Graph.predecessors graph node)
+  in
+  let latest =
+    List.fold_left
+      (fun acc consumer ->
+        min acc (Node.Map.find (Node.id consumer) assign - 1))
+      num_steps
+      (Graph.successors graph node)
+  in
+  (earliest, latest)
+
+let balance ?(max_rounds = 50) ~n schedule =
+  let graph = Schedule.graph schedule in
+  let num_steps = Schedule.num_steps schedule in
+  let assign =
+    ref
+      (List.fold_left
+         (fun acc (id, s) -> Node.Map.add id s acc)
+         Node.Map.empty (Schedule.assignments schedule))
+  in
+  let cost a = alu_cost ~n ~num_steps graph a in
+  let current = ref (cost !assign) in
+  let improved = ref true in
+  let rounds = ref 0 in
+  while !improved && !rounds < max_rounds do
+    improved := false;
+    incr rounds;
+    List.iter
+      (fun node ->
+        let here = Node.Map.find (Node.id node) !assign in
+        let lo, hi = window ~num_steps graph !assign node in
+        List.iter
+          (fun step ->
+            if step <> here then begin
+              let candidate = Node.Map.add (Node.id node) step !assign in
+              let c = cost candidate in
+              if c < !current then begin
+                assign := candidate;
+                current := c;
+                improved := true
+              end
+            end)
+          (Mclock_util.List_ext.range lo hi))
+      (Graph.nodes graph)
+  done;
+  Schedule.create graph (Node.Map.bindings !assign)
+
+(* Resource summary used by the tests and benches: the multi-clock ALU
+   lower bound of a schedule. *)
+let partition_alu_bound ~n schedule =
+  let graph = Schedule.graph schedule in
+  let assign =
+    List.fold_left
+      (fun acc (id, s) -> Node.Map.add id s acc)
+      Node.Map.empty (Schedule.assignments schedule)
+  in
+  alu_cost ~n ~num_steps:(Schedule.num_steps schedule) graph assign

@@ -1,0 +1,15 @@
+(** Partition-aware rescheduling: move operations within their
+    dependency windows to reduce per-partition resource peaks (the
+    multi-clock ALU bound), keeping the schedule length unchanged. *)
+
+open Mclock_sched
+
+val balance : ?max_rounds:int -> n:int -> Schedule.t -> Schedule.t
+(** Greedy local-search descent; always returns a valid schedule, never
+    longer than the input and never with a higher
+    {!partition_alu_bound} (it may shrink when tail operations move
+    earlier). *)
+
+val partition_alu_bound : n:int -> Schedule.t -> int
+(** Sum over (partition, op kind) of peak concurrent use — the minimum
+    number of ALUs any n-clock allocation needs. *)

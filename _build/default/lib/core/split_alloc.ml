@@ -1,0 +1,239 @@
+(* The split allocation method (paper §4.1).
+
+   Step 1  partition the schedule by clock: partition p holds the nodes
+           of steps with ((t-1) mod n)+1 = p, renumbered to local steps
+           1', 2', ...; edges cut by the partition boundary become
+           pseudo primary inputs/outputs that keep their original life
+           spans;
+   Step 2  run a conventional allocator on each partition
+           independently (left-edge with ordinary register semantics on
+           the local time axis, greedy ALU merging within the
+           partition);
+   Step 3  clean up the merged result: drop the registers the naive
+           flow duplicated for primary inputs (read from the shared
+           port), replace pseudo-I/O registers by direct connections to
+           the producing partition's storage, and split any variables
+           that register-semantics merging put into one element but
+           that conflict under the latch READ/WRITE rule on the global
+           time axis.
+
+   The output is a latch-based multi-clock design structurally
+   comparable to the integrated method's, but without cross-partition
+   transfers, and the clean-up statistics quantify what Step 3 removed
+   (the Fig. 5 walk-through). *)
+
+open Mclock_dfg
+open Mclock_sched
+
+type params = { tech : Mclock_tech.Library.t; width : int }
+
+let default_params = { tech = Mclock_tech.Cmos08.t; width = 4 }
+
+type cleanup_stats = {
+  pseudo_input_registers_removed : int;
+      (* registers the per-partition flow created for primary inputs *)
+  cross_connections : int;
+      (* pseudo-I/O registers replaced by direct connections *)
+  classes_split : int; (* register classes split for latch R/W conflicts *)
+}
+
+type result = {
+  design : Mclock_rtl.Design.t;
+  stats : cleanup_stats;
+  reg_classes : Reg_alloc.reg_class list;
+  alus : Alu_alloc.alu list;
+}
+
+(* Local step on partition [p]'s time axis by which a value written at
+   global step [w] (inside p) must persist to cover global step
+   [death]: the smallest local l with (l-1)*n + p >= death. *)
+let local_death ~n ~partition death =
+  let l = ((death - partition) + (n - 1)) / n + 1 in
+  max 1 l
+
+(* Per-partition left-edge with ordinary register semantics on the
+   local time axis (what a conventional allocator would do, Step 2). *)
+let partition_classes ~n (problem : Lifetime.problem) =
+  let registered, working =
+    List.partition
+      (fun u -> u.Lifetime.registered_input)
+      (Lifetime.stored_usages problem)
+  in
+  let groups =
+    Mclock_util.List_ext.group_by
+      ~key:(fun u -> u.Lifetime.partition)
+      ~compare_key:Int.compare working
+  in
+  let next = ref 0 in
+  (* Registered inputs get dedicated elements in every method. *)
+  let input_classes =
+    List.map
+      (fun u ->
+        let id = !next in
+        incr next;
+        {
+          Reg_alloc.rc_id = id;
+          rc_partition = max 1 u.Lifetime.partition;
+          rc_vars = [ u.Lifetime.var ];
+        })
+      registered
+  in
+  input_classes
+  @ List.concat_map
+    (fun (partition, members) ->
+      let local_interval u =
+        let w_loc = Partition.local_of_global ~n u.Lifetime.write_step in
+        let death = max (Lifetime.last_read u) u.Lifetime.write_step in
+        let d_loc = local_death ~n ~partition death in
+        (* Register semantics: occupied from the local step after the
+           write; a same-local-step read+write is allowed. *)
+        Mclock_util.Interval.make (w_loc + 1) (max (w_loc + 1) d_loc)
+      in
+      let tracks =
+        Mclock_util.Interval.left_edge_pack ~key:local_interval members
+      in
+      List.map
+        (fun track ->
+          let id = !next in
+          incr next;
+          {
+            Reg_alloc.rc_id = id;
+            rc_partition = max 1 partition;
+            rc_vars = List.map (fun u -> u.Lifetime.var) track;
+          })
+        tracks)
+    groups
+
+(* Step 3c: re-check each class under the latch rule on the global time
+   axis and split conflicting members into fresh classes. *)
+let split_latch_conflicts (problem : Lifetime.problem) classes =
+  let next = ref (List.length classes) in
+  let splits = ref 0 in
+  let resolved =
+    List.concat_map
+      (fun rc ->
+        let usages =
+          List.map (fun v -> Lifetime.usage problem v) rc.Reg_alloc.rc_vars
+        in
+        let tracks =
+          Mclock_util.Interval.left_edge_pack
+            ~key:
+              (Lifetime.problem_interval problem
+                 ~kind:Mclock_tech.Library.Latch)
+            usages
+        in
+        match tracks with
+        | [ _ ] -> [ rc ]
+        | _ :: _ :: _ ->
+            splits := !splits + List.length tracks - 1;
+            List.map
+              (fun track ->
+                let id = !next in
+                incr next;
+                {
+                  Reg_alloc.rc_id = id;
+                  rc_partition = rc.Reg_alloc.rc_partition;
+                  rc_vars = List.map (fun u -> u.Lifetime.var) track;
+                })
+              tracks
+        | [] -> [])
+      classes
+  in
+  (resolved, !splits)
+
+(* Pseudo-I/O census for the clean-up statistics: per partition, the
+   variables its nodes read but that the partition does not write. *)
+let pseudo_input_counts ~n (problem : Lifetime.problem) =
+  let schedule = problem.Lifetime.schedule in
+  let graph = Schedule.graph schedule in
+  let per_partition = Hashtbl.create 8 in
+  List.iter
+    (fun node ->
+      let p = Partition.of_node ~n schedule node in
+      List.iter
+        (fun v ->
+          let vp = (Lifetime.usage problem v).Lifetime.partition in
+          if vp <> p then begin
+            let key = (p, Var.name v) in
+            if not (Hashtbl.mem per_partition key) then
+              Hashtbl.replace per_partition key (Graph.is_input graph v)
+          end)
+        (Node.operand_vars node))
+    (Graph.nodes graph);
+  Hashtbl.fold
+    (fun _ is_input (prim, cross) ->
+      if is_input then (prim + 1, cross) else (prim, cross + 1))
+    per_partition (0, 0)
+
+let run ?(params = default_params) ~n ~name schedule =
+  if n < 1 then invalid_arg "Split_alloc.run: n must be >= 1";
+  let problem = Lifetime.analyze ~n schedule in
+  let classes = partition_classes ~n problem in
+  let reg_classes, classes_split = split_latch_conflicts problem classes in
+  let prim, cross = pseudo_input_counts ~n problem in
+  let partitions = Partition.map ~n schedule in
+  let alu_config =
+    {
+      Alu_alloc.tech = params.tech;
+      width = params.width;
+      merge = true;
+      merge_threshold = 1.0;
+    }
+  in
+  let alus = Alu_alloc.allocate ~config:alu_config ~partitions schedule in
+  let design =
+    Structure.build
+      {
+        Structure.tech = params.tech;
+        width = params.width;
+        style = Mclock_rtl.Design.multiclock_style;
+        idle_controls = `Hold;
+        park_idle_muxes = true;
+        name;
+      }
+      problem reg_classes alus
+  in
+  {
+    design;
+    stats =
+      {
+        pseudo_input_registers_removed = prim;
+        cross_connections = cross;
+        classes_split;
+      };
+    reg_classes;
+    alus;
+  }
+
+let allocate ?params ~n ~name schedule = (run ?params ~n ~name schedule).design
+
+(* Fig. 5(a)/(b)-style rendering: the original schedule and the local
+   schedules of each partition. *)
+let render_partitions ~n schedule =
+  let graph = Schedule.graph schedule in
+  let buf = Buffer.create 256 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "original schedule (%d steps):\n" (Schedule.num_steps schedule);
+  List.iter
+    (fun s ->
+      let ids =
+        List.map (fun node -> Printf.sprintf "n%d" (Node.id node)) (Schedule.nodes_at schedule s)
+      in
+      addf "  T%d: %s\n" s (String.concat " " ids))
+    (Mclock_util.List_ext.range 1 (Schedule.num_steps schedule));
+  List.iter
+    (fun p ->
+      addf "partition %d (CLK%d), local steps:\n" p p;
+      List.iter
+        (fun s ->
+          let l = Partition.local_of_global ~n s in
+          let ids =
+            List.map
+              (fun node -> Printf.sprintf "n%d" (Node.id node))
+              (Schedule.nodes_at schedule s)
+          in
+          if ids <> [] then addf "  T%d': %s (global T%d)\n" l (String.concat " " ids) s)
+        (Partition.steps_of ~n ~num_steps:(Schedule.num_steps schedule) p))
+    (Mclock_util.List_ext.range 1 n);
+  ignore graph;
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** The split allocation method (paper §4.1): partition the schedule by
+    clock, allocate each partition with a conventional allocator on its
+    local time axis, then clean up (drop duplicated input registers,
+    connect pseudo-I/O directly, split latch READ/WRITE conflicts). *)
+
+open Mclock_sched
+
+type params = { tech : Mclock_tech.Library.t; width : int }
+
+val default_params : params
+
+type cleanup_stats = {
+  pseudo_input_registers_removed : int;
+  cross_connections : int;
+  classes_split : int;
+}
+
+type result = {
+  design : Mclock_rtl.Design.t;
+  stats : cleanup_stats;
+  reg_classes : Reg_alloc.reg_class list;
+  alus : Alu_alloc.alu list;
+}
+
+val run : ?params:params -> n:int -> name:string -> Schedule.t -> result
+
+val allocate :
+  ?params:params -> n:int -> name:string -> Schedule.t -> Mclock_rtl.Design.t
+
+val render_partitions : n:int -> Schedule.t -> string
+(** Fig. 5-style rendering of the original and per-partition local
+    schedules. *)

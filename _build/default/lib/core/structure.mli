@@ -1,0 +1,46 @@
+(** Datapath construction and microcode generation (paper §4.2 step 4),
+    shared by all allocators: turns a lifetime problem + register
+    classes + ALU allocation into a complete {!Mclock_rtl.Design.t}. *)
+
+open Mclock_rtl
+
+type config = {
+  tech : Mclock_tech.Library.t;
+  width : int;
+  style : Design.style;
+  idle_controls : [ `Hold | `Zero ];
+      (** [`Hold]: unneeded controls stay unspecified (latched-control
+          discipline); [`Zero]: a default is re-emitted every step
+          (conventional don't-care fill, costs switching). *)
+  park_idle_muxes : bool;
+      (** power-aware idle selects: steer off-duty ALUs' port muxes to
+          their quietest input, minimizing idle combinational
+          transitions (paper §4.2 step 3). *)
+  name : string;
+}
+
+exception Conflict of string
+
+val optimize_parking :
+  num_steps:int ->
+  num_choices:int ->
+  forced:(int -> int option) ->
+  loads_at_end:(choice:int -> step:int -> bool) ->
+  int array option
+(** Exact DP minimizing a mux's output transitions over the cyclic
+    schedule: busy steps force their routing ([forced]), idle steps are
+    free; the output changes during step [s] when the select differs
+    from step [s-1] or the selected source was reloaded at the end of
+    [s-1] ([loads_at_end]).  Returns one select per step (index 1..
+    [num_steps]; index 0 unused), or [None] when the forced routing is
+    unsatisfiable.  Exposed for direct testing. *)
+
+val build :
+  config ->
+  Lifetime.problem ->
+  Reg_alloc.reg_class list ->
+  Alu_alloc.alu list ->
+  Design.t
+(** Raises {!Conflict} when two operations demand different routings of
+    one mux in the same step (an allocator bug), [Invalid_argument] on
+    structurally impossible inputs. *)

@@ -1,0 +1,160 @@
+(* Cross-partition transfer insertion — Step 1 of the integrated
+   allocation (paper §4.2, Fig. 6).
+
+   An operation whose variable operands were written in different clock
+   partitions would see its ALU inputs change at two different phase
+   times, spreading combinational activity across the macro-cycle.  The
+   fix: pick the partition of the latest-written operand as the target,
+   and for every other-partition operand v introduce a temporary T that
+   copies v into the target partition at the very step the latest
+   operand is written (a storage-to-storage move, no ALU involved).
+   The consuming node then reads T instead of v; v's READ at the
+   consumer step disappears (shortening v's lifetime exactly as the
+   paper's Fig. 6 deletes the step-3 READ of X).
+
+   Primary inputs live in ports, are stable for a whole computation and
+   belong to no partition, so they never need transfers. *)
+
+open Mclock_dfg
+open Mclock_sched
+
+let temp_name src step = Printf.sprintf "%s_xfer%d" (Var.name src) step
+
+(* Rebuild usages from effective operands + transfers: read steps come
+   from consuming nodes and transfer source reads; temps get fresh
+   usage records. *)
+let rebuild_usages (problem : Lifetime.problem) node_operands transfers =
+  let schedule = problem.Lifetime.schedule in
+  let num_steps = Schedule.num_steps schedule in
+  let add_read var step acc =
+    let existing = Option.value ~default:[] (Var.Map.find_opt var acc) in
+    Var.Map.add var (step :: existing) acc
+  in
+  let reads =
+    Node.Map.fold
+      (fun node_id sources acc ->
+        let step = Schedule.step_of_id schedule node_id in
+        List.fold_left
+          (fun acc src ->
+            match src with
+            | Lifetime.S_var v -> add_read v step acc
+            | Lifetime.S_const _ -> acc)
+          acc sources)
+      node_operands Var.Map.empty
+  in
+  let reads =
+    List.fold_left
+      (fun acc tr -> add_read tr.Lifetime.t_src tr.Lifetime.t_step acc)
+      reads transfers
+  in
+  let read_steps var ~is_output =
+    let base = Option.value ~default:[] (Var.Map.find_opt var reads) in
+    let base = if is_output then num_steps :: base else base in
+    List.sort_uniq Int.compare base
+  in
+  let original =
+    Var.Map.mapi
+      (fun var (u : Lifetime.usage) ->
+        { u with Lifetime.read_steps = read_steps var ~is_output:u.Lifetime.is_output })
+      problem.Lifetime.usages
+  in
+  List.fold_left
+    (fun acc tr ->
+      let var = tr.Lifetime.t_dest in
+      let u =
+        {
+          Lifetime.var;
+          write_step = tr.Lifetime.t_step;
+          read_steps = read_steps var ~is_output:false;
+          partition = tr.Lifetime.t_partition;
+          is_input = false;
+          is_output = false;
+          registered_input = false;
+        }
+      in
+      Var.Map.add var u acc)
+    original transfers
+
+let insert (problem : Lifetime.problem) =
+  let n = problem.Lifetime.n in
+  if n <= 1 then problem
+  else begin
+    let schedule = problem.Lifetime.schedule in
+    let graph = Schedule.graph schedule in
+    let transfers = ref [] in
+    (* Find or create the transfer of [src] into [partition] at [step]. *)
+    let transfer_into ~src ~partition ~step =
+      match
+        List.find_opt
+          (fun tr ->
+            Var.equal tr.Lifetime.t_src src
+            && tr.Lifetime.t_partition = partition
+            && tr.Lifetime.t_step = step)
+          !transfers
+      with
+      | Some tr -> tr.Lifetime.t_dest
+      | None ->
+          let dest = Var.v (temp_name src step) in
+          transfers :=
+            {
+              Lifetime.t_src = src;
+              t_dest = dest;
+              t_step = step;
+              t_partition = partition;
+            }
+            :: !transfers;
+          dest
+    in
+    let rewrite node =
+      let sources =
+        Node.Map.find (Node.id node) problem.Lifetime.node_operands
+      in
+      let operand_info =
+        List.map
+          (fun src ->
+            match src with
+            | Lifetime.S_const _ -> (src, None)
+            | Lifetime.S_var v ->
+                let u = Lifetime.usage problem v in
+                if u.Lifetime.is_input then (src, None)
+                else (src, Some u))
+          sources
+      in
+      let stored =
+        List.filter_map (fun (_, u) -> u) operand_info
+      in
+      let partitions =
+        Mclock_util.List_ext.dedup ~compare:Int.compare
+          (List.map (fun u -> u.Lifetime.partition) stored)
+      in
+      if List.length partitions <= 1 then sources
+      else begin
+        (* Target: partition of the latest-written stored operand. *)
+        let target =
+          Mclock_util.List_ext.max_by (fun u -> u.Lifetime.write_step) stored
+        in
+        let q = target.Lifetime.partition in
+        let x = target.Lifetime.write_step in
+        List.map
+          (fun (src, info) ->
+            match info with
+            | None -> src
+            | Some u ->
+                if u.Lifetime.partition = q then src
+                else begin
+                  assert (u.Lifetime.write_step < x);
+                  Lifetime.S_var
+                    (transfer_into ~src:u.Lifetime.var ~partition:q ~step:x)
+                end)
+          operand_info
+      end
+    in
+    let node_operands =
+      List.fold_left
+        (fun acc node -> Node.Map.add (Node.id node) (rewrite node) acc)
+        Node.Map.empty (Graph.nodes graph)
+    in
+    let transfers = List.rev !transfers in
+    let usages = rebuild_usages problem node_operands transfers in
+    { problem with Lifetime.node_operands; transfers; usages }
+  end

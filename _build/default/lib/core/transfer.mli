@@ -1,0 +1,12 @@
+(** Cross-partition transfer insertion — Step 1 of the integrated
+    allocation (paper §4.2, Fig. 6): unify each operation's stored
+    operands into one partition by copying stragglers through temporary
+    variables at the latest operand's write step. *)
+
+val temp_name : Mclock_dfg.Var.t -> int -> string
+(** Name of the temporary created for a (source, step) transfer. *)
+
+val insert : Lifetime.problem -> Lifetime.problem
+(** Identity when [n <= 1]; otherwise returns the problem with rewritten
+    node operands, the transfer list, and rebuilt usages (source reads
+    shortened to the transfer step, temps added). *)

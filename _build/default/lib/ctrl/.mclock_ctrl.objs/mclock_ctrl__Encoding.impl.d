@@ -1,0 +1,1 @@
+lib/ctrl/encoding.ml: Array List Mclock_util

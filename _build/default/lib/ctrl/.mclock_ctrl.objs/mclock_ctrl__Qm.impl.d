@@ -1,0 +1,1 @@
+lib/ctrl/qm.ml: Hashtbl Int List Mclock_util

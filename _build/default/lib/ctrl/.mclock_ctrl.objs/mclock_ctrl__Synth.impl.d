@@ -1,0 +1,1 @@
+lib/ctrl/synth.ml: Array Comp Control Datapath Design Encoding Hashtbl List Mclock_dfg Mclock_rtl Mclock_tech Mclock_util Printf Qm

@@ -1,0 +1,1 @@
+lib/ctrl/synth.mli: Encoding Mclock_rtl Mclock_tech

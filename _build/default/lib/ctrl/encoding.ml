@@ -1,0 +1,58 @@
+(* Controller state encodings.
+
+   The controller is a cyclic FSM stepping T states (one per control
+   step).  Its power has two components the encoding controls: the
+   state-register switching (Hamming distance between consecutive
+   codes) and the decode-plane activity.  Three classic encodings:
+   - Binary: ceil(log2 T) bits, arbitrary adjacent distances;
+   - Gray: same width, exactly one toggle per transition (the cyclic
+     Gray sequence needs an even period; odd periods get binary-reflected
+     codes whose wrap distance may exceed 1);
+   - One_hot: T bits, exactly two toggles per transition, trivial
+     decode. *)
+
+type t = Binary | Gray | One_hot
+
+let all = [ Binary; Gray; One_hot ]
+
+let name = function
+  | Binary -> "binary"
+  | Gray -> "gray"
+  | One_hot -> "one-hot"
+
+let bits_needed n =
+  if n < 1 then invalid_arg "Encoding.bits_needed";
+  let rec go b = if 1 lsl b >= n then b else go (b + 1) in
+  max 1 (go 0)
+
+let width t ~states =
+  if states < 1 then invalid_arg "Encoding.width: states must be >= 1";
+  match t with
+  | Binary | Gray -> bits_needed states
+  | One_hot -> states
+
+(* The code of state [i] (0-based) as an integer over [width] bits. *)
+let code t ~states i =
+  if i < 0 || i >= states then invalid_arg "Encoding.code: state out of range";
+  match t with
+  | Binary -> i
+  | Gray -> i lxor (i lsr 1)
+  | One_hot -> 1 lsl i
+
+let codes t ~states =
+  List.map (fun i -> code t ~states i) (Mclock_util.List_ext.range 0 (states - 1))
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+  go 0 x
+
+(* Total state-register bit toggles over one full period (including the
+   wrap from the last state back to the first). *)
+let toggles_per_period t ~states =
+  let cs = Array.of_list (codes t ~states) in
+  let n = Array.length cs in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    total := !total + popcount (cs.(i) lxor cs.((i + 1) mod n))
+  done;
+  !total

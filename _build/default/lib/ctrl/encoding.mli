@@ -1,0 +1,16 @@
+(** Controller state encodings: binary, Gray, one-hot. *)
+
+type t = Binary | Gray | One_hot
+
+val all : t list
+val name : t -> string
+
+val bits_needed : int -> int
+(** ceil(log2 n), at least 1. *)
+
+val width : t -> states:int -> int
+val code : t -> states:int -> int -> int
+val codes : t -> states:int -> int list
+
+val toggles_per_period : t -> states:int -> int
+(** Total state-register bit toggles over one cyclic period. *)

@@ -1,0 +1,159 @@
+(* Two-level logic minimization (Quine–McCluskey with a greedy cover).
+
+   Used to size the controller's decode plane: each control line is a
+   single-output boolean function of the state code; its product-term
+   count after minimization drives the PLA area/power model.  Input
+   spaces here are tiny (state codes of at most ~16 bits, on-sets of at
+   most the step count), so the textbook algorithm is plenty.
+
+   A cube is (mask, value): bit i is a literal iff mask bit i is 1, and
+   then its required value is the value bit.  Minterms are cubes with
+   full mask. *)
+
+type cube = { mask : int; value : int }
+
+let cube_covers cube minterm = minterm land cube.mask = cube.value
+
+(* Try to merge two cubes differing in exactly one literal. *)
+let merge a b =
+  if a.mask <> b.mask then None
+  else
+    let diff = a.value lxor b.value in
+    if diff <> 0 && diff land (diff - 1) = 0 then
+      Some { mask = a.mask land lnot diff; value = a.value land lnot diff }
+    else None
+
+let rec dedup_cubes = function
+  | [] -> []
+  | c :: rest ->
+      c :: dedup_cubes (List.filter (fun d -> d.mask <> c.mask || d.value <> c.value) rest)
+
+(* All prime implicants of the on-set (no don't-cares: the controller's
+   unused state codes are treated as off-set, a conservative choice). *)
+let primes ~width minterms =
+  let full_mask = (1 lsl width) - 1 in
+  let start =
+    dedup_cubes (List.map (fun m -> { mask = full_mask; value = m land full_mask }) minterms)
+  in
+  let rec round cubes acc =
+    let merged = ref [] and used = Hashtbl.create 16 in
+    List.iteri
+      (fun i a ->
+        List.iteri
+          (fun j b ->
+            if i < j then
+              match merge a b with
+              | Some c ->
+                  merged := c :: !merged;
+                  Hashtbl.replace used (a.mask, a.value) ();
+                  Hashtbl.replace used (b.mask, b.value) ()
+              | None -> ())
+          cubes)
+      cubes;
+    let primes_here =
+      List.filter (fun c -> not (Hashtbl.mem used (c.mask, c.value))) cubes
+    in
+    let acc = primes_here @ acc in
+    match dedup_cubes !merged with
+    | [] -> dedup_cubes acc
+    | next -> round next acc
+  in
+  if minterms = [] then [] else round start []
+
+(* Greedy set cover of the minterms by prime implicants. *)
+let cover ~width minterms =
+  let ps = primes ~width minterms in
+  let remaining = ref (Mclock_util.List_ext.dedup ~compare:Int.compare minterms) in
+  let chosen = ref [] in
+  while !remaining <> [] do
+    let best =
+      Mclock_util.List_ext.max_by
+        (fun p -> List.length (List.filter (cube_covers p) !remaining))
+        ps
+    in
+    chosen := best :: !chosen;
+    remaining := List.filter (fun m -> not (cube_covers best m)) !remaining
+  done;
+  List.rev !chosen
+
+let literals cube =
+  let rec go acc m = if m = 0 then acc else go (acc + (m land 1)) (m lsr 1) in
+  go 0 cube.mask
+
+type cost = { product_terms : int; total_literals : int }
+
+let minimize ~width minterms =
+  let cubes = cover ~width minterms in
+  {
+    product_terms = List.length cubes;
+    total_literals = Mclock_util.List_ext.sum_by literals cubes;
+  }
+
+(* Evaluate a cover (for testing): true iff any chosen cube covers. *)
+let eval_cover cubes input = List.exists (fun c -> cube_covers c input) cubes
+
+(* --- Minimization with don't-cares ------------------------------------ *)
+
+(* Does [cube] cover any input where [off] holds?  Enumerates the
+   cube's free-bit space, so only called when that space is small. *)
+let cube_hits_off ~width ~off cube =
+  let free_bits =
+    List.filter
+      (fun b -> cube.mask land (1 lsl b) = 0)
+      (Mclock_util.List_ext.range 0 (width - 1))
+  in
+  let rec enumerate value = function
+    | [] -> off value
+    | b :: rest -> enumerate value rest || enumerate (value lor (1 lsl b)) rest
+  in
+  enumerate cube.value free_bits
+
+(* Espresso-style greedy expansion: starting from each on-set minterm,
+   drop literals while the cube stays clear of the off-set (everything
+   else is a don't-care).  Free-bit enumeration is capped, which only
+   limits how far a cube can expand, never correctness. *)
+let expand_cube ~width ~off ~max_free cube =
+  let rec try_bits cube = function
+    | [] -> cube
+    | b :: rest ->
+        let candidate =
+          { mask = cube.mask land lnot (1 lsl b); value = cube.value land lnot (1 lsl b) }
+        in
+        let free = width - literals candidate in
+        if free <= max_free && not (cube_hits_off ~width ~off candidate) then
+          try_bits candidate rest
+        else try_bits cube rest
+  in
+  try_bits cube (Mclock_util.List_ext.range 0 (width - 1))
+
+let cover_with_dc ?(max_free = 16) ~width ~off minterms =
+  let full_mask = (1 lsl width) - 1 in
+  let minterms = Mclock_util.List_ext.dedup ~compare:Int.compare minterms in
+  let expanded =
+    List.map
+      (fun m ->
+        expand_cube ~width ~off ~max_free { mask = full_mask; value = m land full_mask })
+      minterms
+  in
+  (* Greedy cover of the on-set by the expanded cubes. *)
+  let remaining = ref minterms and chosen = ref [] in
+  let candidates = ref (dedup_cubes expanded) in
+  while !remaining <> [] do
+    let best =
+      Mclock_util.List_ext.max_by
+        (fun c -> List.length (List.filter (cube_covers c) !remaining))
+        !candidates
+    in
+    chosen := best :: !chosen;
+    remaining := List.filter (fun m -> not (cube_covers best m)) !remaining
+  done;
+  List.rev !chosen
+
+let minimize_with_dc ?max_free ~width ~off minterms =
+  if minterms = [] then { product_terms = 0; total_literals = 0 }
+  else
+    let cubes = cover_with_dc ?max_free ~width ~off minterms in
+    {
+      product_terms = List.length cubes;
+      total_literals = Mclock_util.List_ext.sum_by literals cubes;
+    }

@@ -1,0 +1,28 @@
+(** Two-level logic minimization (Quine–McCluskey + greedy cover) for
+    sizing the controller decode plane. *)
+
+type cube = { mask : int; value : int }
+
+val cube_covers : cube -> int -> bool
+val primes : width:int -> int list -> cube list
+val cover : width:int -> int list -> cube list
+(** A (possibly non-minimum, greedily chosen) prime cover of the
+    on-set. *)
+
+val literals : cube -> int
+
+type cost = { product_terms : int; total_literals : int }
+
+val minimize : width:int -> int list -> cost
+(** Exact on-set / off-set split (no don't-cares). *)
+
+val eval_cover : cube list -> int -> bool
+
+val cover_with_dc :
+  ?max_free:int -> width:int -> off:(int -> bool) -> int list -> cube list
+(** Espresso-style greedy expansion against an off-set predicate;
+    everything neither on nor off is a don't-care.  The cover contains
+    every on-set minterm and never hits the off-set. *)
+
+val minimize_with_dc :
+  ?max_free:int -> width:int -> off:(int -> bool) -> int list -> cost

@@ -1,0 +1,263 @@
+(* Controller synthesis estimation.
+
+   The datapath's controller is a cyclic FSM with one state per control
+   step.  This module extracts its output functions from a design's
+   controller (resolving the hold semantics of latched controls into
+   concrete per-state values), minimizes each control line as a
+   two-level function of the state code (Qm), and reports PLA-style
+   area plus switching energy per period for a chosen state encoding:
+
+   - state register: one storage bit per code bit, toggling per the
+     encoding's Hamming schedule;
+   - AND plane: product terms x 2*code_width crosspoints;
+   - OR plane: product terms x output lines crosspoints;
+   - output network: per-line toggles between consecutive states, at
+     the technology's control-line capacitance.
+
+   The estimates deliberately exclude the datapath (Report covers it);
+   the Ablations bench uses them to compare encodings and to show the
+   controller's share of each design style. *)
+
+open Mclock_rtl
+module L = Mclock_tech.Library
+
+type line = {
+  line_name : string;
+  on_states : int list; (* 0-based states where the line is 1 *)
+}
+
+type report = {
+  encoding : Encoding.t;
+  states : int;
+  code_width : int;
+  output_lines : int;
+  product_terms : int;
+  total_literals : int;
+  register_toggles_per_period : int;
+  output_toggles_per_period : int;
+  area : float; (* lambda^2 *)
+  energy_per_period_pj : float;
+  power_mw : float; (* at the design's system clock *)
+}
+
+let bits_needed = Encoding.bits_needed
+
+(* Hold-resolved control values per state (0-based).  Two passes over
+   the cyclic schedule stabilize the held values. *)
+let resolved_controls design =
+  let control = Design.control design in
+  let datapath = Design.datapath design in
+  let t_steps = Control.num_steps control in
+  let muxes = Datapath.muxes datapath in
+  let alus =
+    List.filter
+      (fun (_, a) -> Mclock_dfg.Op.Set.cardinal a.Comp.a_fset > 1)
+      (Datapath.alus datapath)
+  in
+  let mux_sel = Hashtbl.create 8 and alu_fn = Hashtbl.create 8 in
+  List.iter (fun (c, _) -> Hashtbl.replace mux_sel (Comp.id c) 0) muxes;
+  List.iter (fun (c, _) -> Hashtbl.replace alu_fn (Comp.id c) 0) alus;
+  let per_state = Array.make t_steps ([], [], []) in
+  for pass = 1 to 2 do
+    for step = 1 to t_steps do
+      let word = Control.word control ~step in
+      List.iter
+        (fun (mux, idx) ->
+          if Hashtbl.mem mux_sel mux then Hashtbl.replace mux_sel mux idx)
+        word.Control.selects;
+      List.iter
+        (fun (alu, op) ->
+          match List.find_opt (fun (c, _) -> Comp.id c = alu) alus with
+          | Some (_, a) ->
+              let idx =
+                match
+                  List.find_index (Mclock_dfg.Op.equal op)
+                    (Mclock_dfg.Op.Set.to_list a.Comp.a_fset)
+                with
+                | Some i -> i
+                | None -> 0
+              in
+              Hashtbl.replace alu_fn alu idx
+          | None -> ())
+        word.Control.alu_ops;
+      if pass = 2 then
+        per_state.(step - 1) <-
+          ( word.Control.loads,
+            List.map (fun (c, _) -> (Comp.id c, Hashtbl.find mux_sel (Comp.id c))) muxes,
+            List.map (fun (c, _) -> (Comp.id c, Hashtbl.find alu_fn (Comp.id c))) alus )
+    done
+  done;
+  per_state
+
+(* Flatten the resolved controls into named single-bit output lines. *)
+let output_lines design =
+  let datapath = Design.datapath design in
+  let per_state = resolved_controls design in
+  let t_steps = Array.length per_state in
+  let states = Mclock_util.List_ext.range 0 (t_steps - 1) in
+  let storage_lines =
+    List.map
+      (fun (c, _) ->
+        let id = Comp.id c in
+        {
+          line_name = Printf.sprintf "load_%s" (Comp.name c);
+          on_states =
+            List.filter
+              (fun s ->
+                let loads, _, _ = per_state.(s) in
+                List.mem id loads)
+              states;
+        })
+      (Datapath.storages datapath)
+  in
+  let select_lines =
+    List.concat_map
+      (fun (c, m) ->
+        let id = Comp.id c in
+        let bits = bits_needed (Array.length m.Comp.m_choices) in
+        List.map
+          (fun bit ->
+            {
+              line_name = Printf.sprintf "sel_%s_%d" (Comp.name c) bit;
+              on_states =
+                List.filter
+                  (fun s ->
+                    let _, sels, _ = per_state.(s) in
+                    (List.assoc id sels lsr bit) land 1 = 1)
+                  states;
+            })
+          (Mclock_util.List_ext.range 0 (bits - 1)))
+      (Datapath.muxes datapath)
+  in
+  let fn_lines =
+    List.concat_map
+      (fun (c, a) ->
+        let card = Mclock_dfg.Op.Set.cardinal a.Comp.a_fset in
+        if card <= 1 then []
+        else
+          let id = Comp.id c in
+          let bits = bits_needed card in
+          List.map
+            (fun bit ->
+              {
+                line_name = Printf.sprintf "fn_%s_%d" (Comp.name c) bit;
+                on_states =
+                  List.filter
+                    (fun s ->
+                      let _, _, fns = per_state.(s) in
+                      (List.assoc id fns lsr bit) land 1 = 1)
+                    states;
+              })
+            (Mclock_util.List_ext.range 0 (bits - 1)))
+      (Datapath.alus datapath)
+  in
+  storage_lines @ select_lines @ fn_lines
+
+(* PLA geometry constants (lambda^2 per crosspoint / per register bit
+   at the 0.8 micron scale). *)
+let crosspoint_area = 95.
+let plane_cap_per_term = 0.012 (* pF switched per toggled input, per term *)
+
+let estimate tech design encoding =
+  let control = Design.control design in
+  let states = Control.num_steps control in
+  let code_width = Encoding.width encoding ~states in
+  let codes = Array.of_list (Encoding.codes encoding ~states) in
+  let lines = output_lines design in
+  (* Minimize each output line plus each next-state bit over the code;
+     unused code points are don't-cares (this is what makes one-hot
+     decode cheap). *)
+  let all_codes = Array.to_list codes in
+  let minimize_on_set on_states =
+    let on = List.map (fun s -> codes.(s)) on_states in
+    let off x = List.mem x all_codes && not (List.mem x on) in
+    Qm.minimize_with_dc ~width:code_width ~off on
+  in
+  let output_costs = List.map (fun l -> minimize_on_set l.on_states) lines in
+  let next_state_costs =
+    List.map
+      (fun bit ->
+        let on =
+          List.filter
+            (fun s -> (codes.((s + 1) mod states) lsr bit) land 1 = 1)
+            (Mclock_util.List_ext.range 0 (states - 1))
+        in
+        minimize_on_set on)
+      (Mclock_util.List_ext.range 0 (code_width - 1))
+  in
+  let all_costs = output_costs @ next_state_costs in
+  let product_terms =
+    Mclock_util.List_ext.sum_by (fun c -> c.Qm.product_terms) all_costs
+  in
+  let total_literals =
+    Mclock_util.List_ext.sum_by (fun c -> c.Qm.total_literals) all_costs
+  in
+  let output_lines_n = List.length lines in
+  let area =
+    (* AND plane + OR plane + state register. *)
+    (float product_terms *. float (2 * code_width) *. crosspoint_area)
+    +. (float product_terms *. float (output_lines_n + code_width) *. crosspoint_area)
+    +. L.storage_area tech L.Register ~width:code_width
+  in
+  (* Switching per period. *)
+  let register_toggles = Encoding.toggles_per_period encoding ~states in
+  let output_toggles = ref 0 in
+  List.iter
+    (fun l ->
+      let on = Array.make states false in
+      List.iter (fun s -> on.(s) <- true) l.on_states;
+      for s = 0 to states - 1 do
+        if on.(s) <> on.((s + 1) mod states) then incr output_toggles
+      done)
+    lines;
+  let ept cap = L.energy_per_transition tech cap in
+  let energy =
+    (* State register: clock every cycle + data toggles. *)
+    (float states *. 2. *. ept (L.storage_clock_cap tech L.Register ~width:code_width))
+    +. (float register_toggles
+       *. ept (L.storage_params tech L.Register).L.internal_cap_per_bit)
+    (* Plane: each toggled code bit sweeps the AND plane. *)
+    +. (float register_toggles *. float product_terms *. ept plane_cap_per_term)
+    (* Output lines into the datapath. *)
+    +. (float !output_toggles *. ept tech.L.control_line_cap)
+  in
+  let period_s = float states /. tech.L.clock_frequency in
+  {
+    encoding;
+    states;
+    code_width;
+    output_lines = output_lines_n;
+    product_terms;
+    total_literals;
+    register_toggles_per_period = register_toggles;
+    output_toggles_per_period = !output_toggles;
+    area;
+    energy_per_period_pj = energy;
+    power_mw = energy *. 1e-12 /. period_s *. 1e3;
+  }
+
+let render reports =
+  let table =
+    Mclock_util.Table.create
+      ~header:
+        [ "encoding"; "bits"; "terms"; "literals"; "reg toggles"; "line toggles";
+          "area [l^2]"; "power [mW]" ]
+      ~aligns:
+        Mclock_util.Table.[ Left; Right; Right; Right; Right; Right; Right; Right ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Mclock_util.Table.add_row table
+        [
+          Encoding.name r.encoding;
+          string_of_int r.code_width;
+          string_of_int r.product_terms;
+          string_of_int r.total_literals;
+          string_of_int r.register_toggles_per_period;
+          string_of_int r.output_toggles_per_period;
+          Printf.sprintf "%.0f" r.area;
+          Printf.sprintf "%.3f" r.power_mw;
+        ])
+    reports;
+  Mclock_util.Table.render table

@@ -1,0 +1,28 @@
+(** Controller synthesis estimation: extract a design's control lines,
+    minimize them over a state encoding (PLA model) and report area and
+    switching power. *)
+
+type line = { line_name : string; on_states : int list }
+
+type report = {
+  encoding : Encoding.t;
+  states : int;
+  code_width : int;
+  output_lines : int;
+  product_terms : int;
+  total_literals : int;
+  register_toggles_per_period : int;
+  output_toggles_per_period : int;
+  area : float;
+  energy_per_period_pj : float;
+  power_mw : float;
+}
+
+val output_lines : Mclock_rtl.Design.t -> line list
+(** One line per storage load-enable, mux select bit and ALU function
+    bit, with hold semantics resolved to concrete per-state values. *)
+
+val estimate :
+  Mclock_tech.Library.t -> Mclock_rtl.Design.t -> Encoding.t -> report
+
+val render : report list -> string

@@ -1,0 +1,1 @@
+lib/dfg/builder.ml: Graph List Node Printf Var

@@ -1,0 +1,1 @@
+lib/dfg/dot.ml: Buffer Graph Int List Mclock_util Node Op Printf String Var

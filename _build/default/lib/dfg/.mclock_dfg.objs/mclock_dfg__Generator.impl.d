@@ -1,0 +1,1 @@
+lib/dfg/generator.ml: Builder Graph List Mclock_util Op Printf

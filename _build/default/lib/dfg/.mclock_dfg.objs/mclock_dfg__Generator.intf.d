@@ -1,0 +1,1 @@
+lib/dfg/generator.mli: Graph Mclock_util Op

@@ -1,0 +1,1 @@
+lib/dfg/graph.ml: Fmt Format Int List Mclock_util Node Option Var

@@ -1,0 +1,1 @@
+lib/dfg/node.mli: Format Map Op Set Var

@@ -1,0 +1,1 @@
+lib/dfg/op.ml: Fmt List Mclock_util Printf Stdlib String

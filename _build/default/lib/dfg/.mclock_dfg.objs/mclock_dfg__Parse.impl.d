@@ -1,0 +1,1 @@
+lib/dfg/parse.ml: Buffer Format Graph List Node Op Option Printf String Var

@@ -1,0 +1,1 @@
+lib/dfg/parse.mli: Graph

@@ -1,0 +1,1 @@
+lib/dfg/var.ml: Fmt Stdlib String

@@ -1,0 +1,1 @@
+lib/dfg/var.mli: Format Map Set

@@ -1,0 +1,53 @@
+(* Imperative construction DSL for DFGs.
+
+   Usage:
+     let b = Builder.create "hal" in
+     let x = Builder.input b "x" in
+     let u = Builder.binop b Op.Mul x x in            (* fresh temp *)
+     let y = Builder.binop b ~result:"y" Op.Add u x in
+     Builder.output b y;
+     Builder.finish b
+*)
+
+type t = {
+  name : string;
+  mutable next_id : int;
+  mutable next_tmp : int;
+  mutable nodes : Node.t list; (* reversed *)
+  mutable inputs : Var.t list; (* reversed *)
+  mutable outputs : Var.t list; (* reversed *)
+}
+
+let create name =
+  { name; next_id = 1; next_tmp = 1; nodes = []; inputs = []; outputs = [] }
+
+let fresh_var t =
+  let v = Var.v (Printf.sprintf "t%d" t.next_tmp) in
+  t.next_tmp <- t.next_tmp + 1;
+  v
+
+let input t name =
+  let v = Var.v name in
+  t.inputs <- v :: t.inputs;
+  v
+
+let output t v = t.outputs <- v :: t.outputs
+
+let add_node t ?result op operands =
+  let result = match result with Some name -> Var.v name | None -> fresh_var t in
+  let node = Node.make ~id:t.next_id ~op ~operands ~result in
+  t.next_id <- t.next_id + 1;
+  t.nodes <- node :: t.nodes;
+  result
+
+let binop t ?result op a b =
+  add_node t ?result op [ Node.Operand_var a; Node.Operand_var b ]
+
+let binop_const t ?result op a c =
+  add_node t ?result op [ Node.Operand_var a; Node.Operand_const c ]
+
+let unop t ?result op a = add_node t ?result op [ Node.Operand_var a ]
+
+let finish t =
+  Graph.create ~name:t.name ~inputs:(List.rev t.inputs)
+    ~outputs:(List.rev t.outputs) (List.rev t.nodes)

@@ -1,0 +1,27 @@
+(** Imperative construction DSL for DFGs. *)
+
+type t
+
+val create : string -> t
+(** [create name] starts building a graph called [name]. *)
+
+val input : t -> string -> Var.t
+(** Declare a primary input. *)
+
+val output : t -> Var.t -> unit
+(** Declare a primary output (must be produced before [finish]). *)
+
+val fresh_var : t -> Var.t
+(** A fresh temporary name ("t1", "t2", ...). *)
+
+val add_node : t -> ?result:string -> Op.t -> Node.operand list -> Var.t
+(** Append a node; returns its result variable (fresh unless [result]
+    names it). *)
+
+val binop : t -> ?result:string -> Op.t -> Var.t -> Var.t -> Var.t
+val binop_const : t -> ?result:string -> Op.t -> Var.t -> int -> Var.t
+val unop : t -> ?result:string -> Op.t -> Var.t -> Var.t
+
+val finish : t -> Graph.t
+(** Validate and return the graph; raises {!Graph.Invalid} on a broken
+    construction. *)

@@ -1,0 +1,76 @@
+(* Graphviz DOT emitter for DFGs.
+
+   Nodes are drawn as "id: op" circles; primary inputs/outputs as boxes.
+   An optional [cluster] function groups nodes into subgraphs, which the
+   multi-clock flow uses to visualize clock partitions. *)
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let emit ?cluster graph =
+  let buf = Buffer.create 512 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "digraph \"%s\" {\n" (escape (Graph.name graph));
+  addf "  rankdir=TB;\n";
+  List.iter
+    (fun v ->
+      addf "  \"in_%s\" [shape=box, label=\"%s\", style=filled, fillcolor=lightgrey];\n"
+        (escape (Var.name v)) (escape (Var.name v)))
+    (Graph.inputs graph);
+  let node_decl node =
+    Printf.sprintf
+      "    \"n%d\" [shape=circle, label=\"%s\\nn%d\"];\n" (Node.id node)
+      (escape (Op.symbol (Node.op node)))
+      (Node.id node)
+  in
+  (match cluster with
+  | None -> List.iter (fun n -> addf "  %s" (node_decl n)) (Graph.nodes graph)
+  | Some f ->
+      let groups =
+        Mclock_util.List_ext.group_by ~key:f ~compare_key:Int.compare
+          (Graph.nodes graph)
+      in
+      List.iter
+        (fun (k, members) ->
+          addf "  subgraph \"cluster_%d\" {\n" k;
+          addf "    label=\"partition %d\";\n" k;
+          List.iter (fun n -> addf "  %s" (node_decl n)) members;
+          addf "  }\n")
+        groups);
+  List.iter
+    (fun node ->
+      List.iter
+        (fun operand ->
+          match operand with
+          | Node.Operand_const c ->
+              addf "  \"const_%d_%d\" [shape=plaintext, label=\"%d\"];\n"
+                (Node.id node) c c;
+              addf "  \"const_%d_%d\" -> \"n%d\";\n" (Node.id node) c
+                (Node.id node)
+          | Node.Operand_var v -> (
+              match Graph.producer graph v with
+              | Some src ->
+                  addf "  \"n%d\" -> \"n%d\" [label=\"%s\"];\n" (Node.id src)
+                    (Node.id node) (escape (Var.name v))
+              | None ->
+                  addf "  \"in_%s\" -> \"n%d\";\n" (escape (Var.name v))
+                    (Node.id node)))
+        (Node.operands node))
+    (Graph.nodes graph);
+  List.iter
+    (fun v ->
+      addf "  \"out_%s\" [shape=box, label=\"%s\", style=filled, fillcolor=lightblue];\n"
+        (escape (Var.name v)) (escape (Var.name v));
+      match Graph.producer graph v with
+      | Some src -> addf "  \"n%d\" -> \"out_%s\";\n" (Node.id src) (escape (Var.name v))
+      | None -> ())
+    (Graph.outputs graph);
+  addf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,5 @@
+(** Graphviz DOT emitter for DFGs. *)
+
+val emit : ?cluster:(Node.t -> int) -> Graph.t -> string
+(** [emit ?cluster g] is a DOT digraph; [cluster] groups nodes into
+    labelled subgraphs (used to show clock partitions). *)

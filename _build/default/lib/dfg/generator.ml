@@ -1,0 +1,68 @@
+(* Random scheduled-DFG generator.
+
+   Produces layered graphs: [layers] layers of [width] operations each;
+   each operation draws operands from earlier layers or primary inputs.
+   The natural schedule (layer index = time step) is returned alongside,
+   which keeps generated workloads realistic for the allocators and
+   gives property tests a source of valid (graph, schedule) pairs. *)
+
+type spec = {
+  name : string;
+  layers : int;
+  width : int;
+  num_inputs : int;
+  ops : Op.t list; (* operation alphabet to draw from *)
+}
+
+let default_spec =
+  {
+    name = "random";
+    layers = 4;
+    width = 3;
+    num_inputs = 4;
+    ops = [ Op.Add; Op.Sub; Op.Mul ];
+  }
+
+type result = { graph : Graph.t; steps : (int * int) list }
+
+let generate rng spec =
+  if spec.layers < 1 || spec.width < 1 || spec.num_inputs < 1 then
+    invalid_arg "Generator.generate: spec dimensions must be >= 1";
+  if spec.ops = [] then invalid_arg "Generator.generate: empty op alphabet";
+  let b = Builder.create spec.name in
+  let inputs =
+    List.map
+      (fun i -> Builder.input b (Printf.sprintf "in%d" i))
+      (Mclock_util.List_ext.range 1 spec.num_inputs)
+  in
+  let steps = ref [] in
+  let next_id = ref 1 in
+  let prev_results = ref inputs in
+  let all_results = ref inputs in
+  for layer = 1 to spec.layers do
+    let produced = ref [] in
+    for _slot = 1 to spec.width do
+      let op = Mclock_util.Rng.choose rng spec.ops in
+      (* Bias operand choice toward the previous layer so the graph has
+         depth, with occasional long edges. *)
+      let pick () =
+        if Mclock_util.Rng.int rng 100 < 70 then
+          Mclock_util.Rng.choose rng !prev_results
+        else Mclock_util.Rng.choose rng !all_results
+      in
+      let result =
+        match Op.arity op with
+        | 1 -> Builder.unop b op (pick ())
+        | _ -> Builder.binop b op (pick ()) (pick ())
+      in
+      steps := (!next_id, layer) :: !steps;
+      incr next_id;
+      produced := result :: !produced
+    done;
+    prev_results := !produced;
+    all_results := !produced @ !all_results
+  done;
+  (* Everything unread in the last layer becomes a primary output so the
+     graph has no dead results. *)
+  List.iter (fun v -> Builder.output b v) !prev_results;
+  { graph = Builder.finish b; steps = List.rev !steps }

@@ -1,0 +1,21 @@
+(** Random scheduled-DFG generator (layered graphs with a natural
+    layer-index schedule), for stress and property tests. *)
+
+type spec = {
+  name : string;
+  layers : int;
+  width : int;
+  num_inputs : int;
+  ops : Op.t list;
+}
+
+val default_spec : spec
+
+type result = {
+  graph : Graph.t;
+  steps : (int * int) list;  (** node id -> layer (a valid schedule) *)
+}
+
+val generate : Mclock_util.Rng.t -> spec -> result
+(** Raises [Invalid_argument] on non-positive dimensions or an empty op
+    alphabet. *)

@@ -1,0 +1,178 @@
+(* The data-flow graph: single-assignment behaviour to be synthesized.
+
+   Invariants established by [create] (and assumed everywhere else):
+   - node ids are unique;
+   - each variable is produced by at most one node;
+   - no primary input is produced by a node;
+   - every variable read is either a primary input or produced;
+   - every primary output is produced by some node;
+   - the def-use relation is acyclic (a topological order exists). *)
+
+type t = {
+  name : string;
+  nodes : Node.t list; (* in a valid topological order *)
+  inputs : Var.t list;
+  outputs : Var.t list;
+  producer : Node.t Var.Map.t;
+  consumers : Node.t list Var.Map.t;
+  by_id : Node.t Node.Map.t;
+}
+
+exception Invalid of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+let build_producer nodes =
+  List.fold_left
+    (fun acc node ->
+      let result = Node.result node in
+      if Var.Map.mem result acc then
+        invalid "variable %a produced by more than one node" Var.pp result
+      else Var.Map.add result node acc)
+    Var.Map.empty nodes
+
+let build_consumers nodes =
+  List.fold_left
+    (fun acc node ->
+      List.fold_left
+        (fun acc v ->
+          let existing = Option.value ~default:[] (Var.Map.find_opt v acc) in
+          Var.Map.add v (node :: existing) acc)
+        acc (Node.operand_vars node))
+    Var.Map.empty nodes
+  |> Var.Map.map List.rev
+
+(* Kahn topological sort over the def-use relation.  Returns nodes in
+   dependency order or raises [Invalid] when a cycle exists. *)
+let topological_order ~producer nodes =
+  let deps node =
+    List.filter_map
+      (fun v -> Var.Map.find_opt v producer)
+      (Node.operand_vars node)
+  in
+  let indegree =
+    List.fold_left
+      (fun acc node -> Node.Map.add (Node.id node) (List.length (deps node)) acc)
+      Node.Map.empty nodes
+  in
+  let dependents =
+    List.fold_left
+      (fun acc node ->
+        List.fold_left
+          (fun acc dep ->
+            let key = Node.id dep in
+            let existing = Option.value ~default:[] (Node.Map.find_opt key acc) in
+            Node.Map.add key (node :: existing) acc)
+          acc (deps node))
+      Node.Map.empty nodes
+  in
+  let ready =
+    List.filter (fun n -> Node.Map.find (Node.id n) indegree = 0) nodes
+  in
+  let rec go acc indegree = function
+    | [] ->
+        let sorted = List.rev acc in
+        if List.length sorted <> List.length nodes then
+          invalid "data-flow graph has a dependency cycle"
+        else sorted
+    | node :: ready ->
+        let followers =
+          Option.value ~default:[] (Node.Map.find_opt (Node.id node) dependents)
+        in
+        let indegree, newly_ready =
+          List.fold_left
+            (fun (indegree, newly) follower ->
+              let key = Node.id follower in
+              let d = Node.Map.find key indegree - 1 in
+              let indegree = Node.Map.add key d indegree in
+              if d = 0 then (indegree, follower :: newly)
+              else (indegree, newly))
+            (indegree, []) followers
+        in
+        go (node :: acc) indegree (newly_ready @ ready)
+  in
+  go [] indegree ready
+
+let create ~name ~inputs ~outputs nodes =
+  let ids = List.map Node.id nodes in
+  let unique_ids = Mclock_util.List_ext.dedup ~compare:Int.compare ids in
+  if List.length unique_ids <> List.length ids then
+    invalid "duplicate node ids";
+  let producer = build_producer nodes in
+  List.iter
+    (fun input ->
+      if Var.Map.mem input producer then
+        invalid "primary input %a is produced by a node" Var.pp input)
+    inputs;
+  let input_set = Var.Set.of_list inputs in
+  List.iter
+    (fun node ->
+      List.iter
+        (fun v ->
+          if (not (Var.Set.mem v input_set)) && not (Var.Map.mem v producer)
+          then
+            invalid "variable %a read by node %d is never defined" Var.pp v
+              (Node.id node))
+        (Node.operand_vars node))
+    nodes;
+  List.iter
+    (fun output ->
+      if not (Var.Map.mem output producer) then
+        invalid "primary output %a is never produced" Var.pp output)
+    outputs;
+  let nodes = topological_order ~producer nodes in
+  let by_id =
+    List.fold_left
+      (fun acc node -> Node.Map.add (Node.id node) node acc)
+      Node.Map.empty nodes
+  in
+  {
+    name;
+    nodes;
+    inputs;
+    outputs;
+    producer;
+    consumers = build_consumers nodes;
+    by_id;
+  }
+
+let name t = t.name
+let nodes t = t.nodes
+let inputs t = t.inputs
+let outputs t = t.outputs
+
+let node_count t = List.length t.nodes
+
+let node t id =
+  match Node.Map.find_opt id t.by_id with
+  | Some n -> n
+  | None -> invalid "no node with id %d" id
+
+let producer t v = Var.Map.find_opt v t.producer
+
+let consumers t v = Option.value ~default:[] (Var.Map.find_opt v t.consumers)
+
+let is_input t v = List.exists (Var.equal v) t.inputs
+let is_output t v = List.exists (Var.equal v) t.outputs
+
+let variables t =
+  let produced = List.map Node.result t.nodes in
+  Var.Set.elements (Var.Set.of_list (t.inputs @ produced))
+
+let predecessors t node =
+  List.filter_map (fun v -> producer t v) (Node.operand_vars node)
+
+let successors t node = consumers t (Node.result node)
+
+(* Operation-kind census, e.g. for sizing resource constraints. *)
+let op_census t =
+  let incr op acc =
+    Mclock_util.List_ext.assoc_update ~key:op ~default:0 (fun n -> n + 1) acc
+  in
+  List.fold_left (fun acc node -> incr (Node.op node) acc) [] t.nodes
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>dfg %s@,inputs: %a@,outputs: %a@,%a@]" t.name
+    (Fmt.list ~sep:(Fmt.any " ") Var.pp) t.inputs
+    (Fmt.list ~sep:(Fmt.any " ") Var.pp) t.outputs
+    (Fmt.list ~sep:Fmt.cut Node.pp) t.nodes

@@ -1,0 +1,44 @@
+(** The data-flow graph: single-assignment behaviour to be synthesized.
+
+    A valid graph has unique node ids, one producer per variable,
+    defined reads, produced outputs, and an acyclic def-use relation. *)
+
+type t
+
+exception Invalid of string
+
+val create : name:string -> inputs:Var.t list -> outputs:Var.t list -> Node.t list -> t
+(** Validates all invariants; raises {!Invalid} with a diagnostic
+    otherwise.  Nodes are stored in a topological order. *)
+
+val name : t -> string
+
+val nodes : t -> Node.t list
+(** In topological (dependency) order. *)
+
+val inputs : t -> Var.t list
+val outputs : t -> Var.t list
+val node_count : t -> int
+
+val node : t -> int -> Node.t
+(** Raises {!Invalid} if the id is unknown. *)
+
+val producer : t -> Var.t -> Node.t option
+(** The unique node producing a variable, if any. *)
+
+val consumers : t -> Var.t -> Node.t list
+(** Nodes reading a variable. *)
+
+val is_input : t -> Var.t -> bool
+val is_output : t -> Var.t -> bool
+
+val variables : t -> Var.t list
+(** All variables (inputs and produced), sorted. *)
+
+val predecessors : t -> Node.t -> Node.t list
+val successors : t -> Node.t -> Node.t list
+
+val op_census : t -> (Op.t * int) list
+(** Count of nodes per operation kind. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+(* A DFG node: one operation producing one variable.
+
+   Operands are variables or integer constants.  Node ids are unique
+   within a graph and stable across transformations, so allocation
+   results can refer back to behaviour. *)
+
+type operand = Operand_var of Var.t | Operand_const of int
+
+type t = { id : int; op : Op.t; operands : operand list; result : Var.t }
+
+let make ~id ~op ~operands ~result =
+  if List.length operands <> Op.arity op then
+    invalid_arg
+      (Printf.sprintf "Node.make: %s expects %d operands, got %d" (Op.name op)
+         (Op.arity op) (List.length operands));
+  { id; op; operands; result }
+
+let id t = t.id
+let op t = t.op
+let operands t = t.operands
+let result t = t.result
+
+let operand_vars t =
+  List.filter_map
+    (function Operand_var v -> Some v | Operand_const _ -> None)
+    t.operands
+
+let compare a b = Int.compare a.id b.id
+let equal a b = a.id = b.id
+
+let pp_operand ppf = function
+  | Operand_var v -> Var.pp ppf v
+  | Operand_const c -> Fmt.int ppf c
+
+let pp ppf t =
+  match t.operands with
+  | [ a ] -> Fmt.pf ppf "n%d: %a = %a%a" t.id Var.pp t.result Op.pp t.op pp_operand a
+  | [ a; b ] ->
+      Fmt.pf ppf "n%d: %a = %a %a %a" t.id Var.pp t.result pp_operand a Op.pp
+        t.op pp_operand b
+  | _ ->
+      Fmt.pf ppf "n%d: %a = %a(%a)" t.id Var.pp t.result Op.pp t.op
+        (Fmt.list ~sep:Fmt.comma pp_operand)
+        t.operands
+
+module Map = Stdlib.Map.Make (Int)
+module Set = Stdlib.Set.Make (Int)

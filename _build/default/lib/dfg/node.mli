@@ -1,0 +1,27 @@
+(** A DFG node: one operation producing one variable. *)
+
+type operand = Operand_var of Var.t | Operand_const of int
+
+type t
+
+val make : id:int -> op:Op.t -> operands:operand list -> result:Var.t -> t
+(** Raises [Invalid_argument] if the operand count does not match the
+    operation's arity. *)
+
+val id : t -> int
+val op : t -> Op.t
+val operands : t -> operand list
+val result : t -> Var.t
+
+val operand_vars : t -> Var.t list
+(** Variable operands only, in operand order. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp_operand : Format.formatter -> operand -> unit
+val pp : Format.formatter -> t -> unit
+
+(** Keyed by node id. *)
+module Map : Map.S with type key = int
+
+module Set : Set.S with type elt = int

@@ -1,0 +1,135 @@
+(* Behavioural operation kinds and ALU function sets.
+
+   The operation alphabet matches the paper's benchmarks: arithmetic
+   (+ - * /), logic (& | ^ ~), shifts, and comparisons (> < =).  A
+   [Set.t] describes the repertoire of a (possibly multifunction) ALU;
+   its rendering, e.g. "(*+)", follows the notation of Tables 1-4. *)
+
+type t =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | And
+  | Or
+  | Xor
+  | Not
+  | Shl
+  | Shr
+  | Gt
+  | Lt
+  | Eq
+
+let all = [ Add; Sub; Mul; Div; And; Or; Xor; Not; Shl; Shr; Gt; Lt; Eq ]
+
+let arity = function
+  | Not -> 1
+  | Add | Sub | Mul | Div | And | Or | Xor | Shl | Shr | Gt | Lt | Eq -> 2
+
+let symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Not -> "~"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Gt -> ">"
+  | Lt -> "<"
+  | Eq -> "="
+
+let of_symbol = function
+  | "+" -> Some Add
+  | "-" -> Some Sub
+  | "*" -> Some Mul
+  | "/" -> Some Div
+  | "&" -> Some And
+  | "|" -> Some Or
+  | "^" -> Some Xor
+  | "~" -> Some Not
+  | "<<" -> Some Shl
+  | ">>" -> Some Shr
+  | ">" -> Some Gt
+  | "<" -> Some Lt
+  | "=" -> Some Eq
+  | _ -> None
+
+let name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Not -> "not"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Gt -> "gt"
+  | Lt -> "lt"
+  | Eq -> "eq"
+
+let compare = Stdlib.compare
+let equal = Stdlib.( = )
+
+let pp ppf op = Fmt.string ppf (symbol op)
+
+let eval op args =
+  let module B = Mclock_util.Bitvec in
+  match (op, args) with
+  | Add, [ a; b ] -> B.add a b
+  | Sub, [ a; b ] -> B.sub a b
+  | Mul, [ a; b ] -> B.mul a b
+  | Div, [ a; b ] -> B.div a b
+  | And, [ a; b ] -> B.logand a b
+  | Or, [ a; b ] -> B.logor a b
+  | Xor, [ a; b ] -> B.logxor a b
+  | Not, [ a ] -> B.lognot a
+  | Shl, [ a; b ] -> B.shift_left a (B.to_int b land 7)
+  | Shr, [ a; b ] -> B.shift_right a (B.to_int b land 7)
+  | Gt, [ a; b ] -> B.gt a b
+  | Lt, [ a; b ] -> B.lt a b
+  | Eq, [ a; b ] -> B.eq a b
+  | (Add | Sub | Mul | Div | And | Or | Xor | Not | Shl | Shr | Gt | Lt | Eq), _
+    ->
+      invalid_arg
+        (Printf.sprintf "Op.eval: %s expects %d argument(s), got %d" (name op)
+           (arity op) (List.length args))
+
+module Set = struct
+  module S = Stdlib.Set.Make (struct
+    type nonrec t = t
+
+    let compare = compare
+  end)
+
+  type t = S.t
+
+  let empty = S.empty
+  let singleton = S.singleton
+  let of_list = S.of_list
+  let to_list = S.elements
+  let add = S.add
+  let mem = S.mem
+  let union = S.union
+  let cardinal = S.cardinal
+  let subset = S.subset
+  let equal = S.equal
+  let compare = S.compare
+  let is_empty = S.is_empty
+
+  (* Render like the paper: ops concatenated inside parentheses, in the
+     canonical order of [all], e.g. "(+-)" or "(*+)" . *)
+  let to_string set =
+    let syms =
+      List.filter_map
+        (fun op -> if S.mem op set then Some (symbol op) else None)
+        all
+    in
+    "(" ^ String.concat "" syms ^ ")"
+
+  let pp ppf set = Fmt.string ppf (to_string set)
+end

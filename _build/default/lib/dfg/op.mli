@@ -1,0 +1,64 @@
+(** Behavioural operation kinds and ALU function sets.
+
+    The alphabet covers the paper's benchmarks: arithmetic, logic,
+    shifts, comparisons. *)
+
+type t =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | And
+  | Or
+  | Xor
+  | Not
+  | Shl
+  | Shr
+  | Gt
+  | Lt
+  | Eq
+
+val all : t list
+
+val arity : t -> int
+(** 1 for [Not], 2 otherwise. *)
+
+val symbol : t -> string
+(** Paper notation: "+", "-", "*", "/", "&", "|", ">", ... *)
+
+val of_symbol : string -> t option
+
+val name : t -> string
+(** Lower-case identifier, e.g. ["add"]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val eval : t -> Mclock_util.Bitvec.t list -> Mclock_util.Bitvec.t
+(** Evaluate on bit vectors; raises [Invalid_argument] on arity
+    mismatch. *)
+
+(** Sets of operations — the repertoire of a (multifunction) ALU. *)
+module Set : sig
+  type op := t
+  type t
+
+  val empty : t
+  val singleton : op -> t
+  val of_list : op list -> t
+  val to_list : t -> op list
+  val add : op -> t -> t
+  val mem : op -> t -> bool
+  val union : t -> t -> t
+  val cardinal : t -> int
+  val subset : t -> t -> bool
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val is_empty : t -> bool
+
+  val to_string : t -> string
+  (** Paper notation, e.g. ["(*+)"]. *)
+
+  val pp : Format.formatter -> t -> unit
+end

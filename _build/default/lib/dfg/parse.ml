@@ -1,0 +1,174 @@
+(* Text format for scheduled DFGs.
+
+   Grammar (line oriented; '#' starts a comment):
+
+     dfg <name>
+     inputs  <var> ...
+     outputs <var> ...
+     [n<ID>:] <var> = <operand> <op> <operand>  [@ <step>]
+     [n<ID>:] <var> = <op> <operand>            [@ <step>]
+
+   Operands are variable names or integer literals.  The optional
+   "@ step" annotation attaches a schedule time step (1-based); the
+   parser returns these separately so the scheduling library can build a
+   Schedule.t from them. *)
+
+type result = {
+  graph : Graph.t;
+  steps : (int * int) list; (* node id -> annotated time step *)
+}
+
+exception Error of { line : int; message : string }
+
+let error line fmt =
+  Format.kasprintf (fun message -> raise (Error { line; message })) fmt
+
+let tokenize line =
+  line
+  |> String.map (function ':' -> ' ' | c -> c)
+  |> String.split_on_char ' '
+  |> List.filter (fun s -> s <> "")
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | None -> line
+  | Some i -> String.sub line 0 i
+
+let is_int s = match int_of_string_opt s with Some _ -> true | None -> false
+
+let parse_operand lineno s =
+  match int_of_string_opt s with
+  | Some c -> Node.Operand_const c
+  | None ->
+      if s = "" then error lineno "empty operand"
+      else Node.Operand_var (Var.v s)
+
+let parse_node_id lineno token =
+  if String.length token > 1 && token.[0] = 'n' then
+    match int_of_string_opt (String.sub token 1 (String.length token - 1)) with
+    | Some id -> id
+    | None -> error lineno "bad node id %S" token
+  else error lineno "bad node id %S (expected nNUMBER)" token
+
+(* A statement line, already split into tokens, with the "@ step" suffix
+   removed.  Forms:
+     n1 y = a + b      (explicit id, binary)
+     y = a + b         (implicit id, binary)
+     n1 y = ~ a        (unary)
+     y = ~ a           *)
+let parse_statement lineno ~next_id tokens =
+  let id, tokens =
+    match tokens with
+    | first :: rest when String.length first > 1 && first.[0] = 'n' && is_int (String.sub first 1 (String.length first - 1)) ->
+        (parse_node_id lineno first, rest)
+    | _ -> (next_id, tokens)
+  in
+  match tokens with
+  | [ result; "="; a; opsym; b ] -> (
+      match Op.of_symbol opsym with
+      | Some op when Op.arity op = 2 ->
+          let operands = [ parse_operand lineno a; parse_operand lineno b ] in
+          (id, Node.make ~id ~op ~operands ~result:(Var.v result))
+      | Some op -> error lineno "operator %s is not binary" (Op.name op)
+      | None -> error lineno "unknown operator %S" opsym)
+  | [ result; "="; opsym; a ] -> (
+      match Op.of_symbol opsym with
+      | Some op when Op.arity op = 1 ->
+          let operands = [ parse_operand lineno a ] in
+          (id, Node.make ~id ~op ~operands ~result:(Var.v result))
+      | Some op -> error lineno "operator %s is not unary" (Op.name op)
+      | None -> error lineno "unknown operator %S" opsym)
+  | _ -> error lineno "cannot parse statement"
+
+let split_step lineno tokens =
+  let rec go acc = function
+    | [] -> (List.rev acc, None)
+    | [ "@"; step ] -> (
+        match int_of_string_opt step with
+        | Some s when s >= 1 -> (List.rev acc, Some s)
+        | Some _ -> error lineno "time step must be >= 1"
+        | None -> error lineno "bad time step %S" step)
+    | "@" :: _ -> error lineno "misplaced '@'"
+    | tok :: rest -> go (tok :: acc) rest
+  in
+  go [] tokens
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  let state = ref (None, [], [], [], []) in
+  (* name, inputs, outputs, nodes (rev), steps (rev) *)
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line = strip_comment raw |> String.trim in
+      if line <> "" then
+        let tokens = tokenize line in
+        let name, inputs, outputs, nodes, steps = !state in
+        match tokens with
+        | "dfg" :: rest -> (
+            match rest with
+            | [ n ] ->
+                if name <> None then error lineno "duplicate dfg line";
+                state := (Some n, inputs, outputs, nodes, steps)
+            | _ -> error lineno "expected: dfg <name>")
+        | "inputs" :: vars ->
+            let vs = List.map Var.v vars in
+            state := (name, inputs @ vs, outputs, nodes, steps)
+        | "outputs" :: vars ->
+            let vs = List.map Var.v vars in
+            state := (name, inputs, outputs @ vs, nodes, steps)
+        | _ ->
+            let body, step = split_step lineno tokens in
+            let next_id =
+              1 + List.fold_left (fun m n -> max m (Node.id n)) 0 nodes
+            in
+            let id, node = parse_statement lineno ~next_id body in
+            let steps =
+              match step with None -> steps | Some s -> (id, s) :: steps
+            in
+            state := (name, inputs, outputs, node :: nodes, steps))
+    lines;
+  let name, inputs, outputs, nodes, steps = !state in
+  let name = Option.value ~default:"anonymous" name in
+  let graph =
+    try Graph.create ~name ~inputs ~outputs (List.rev nodes)
+    with Graph.Invalid msg -> raise (Error { line = 0; message = msg })
+  in
+  { graph; steps = List.rev steps }
+
+let to_string ?steps graph =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "dfg %s\n" (Graph.name graph));
+  let vars vs = String.concat " " (List.map Var.name vs) in
+  if Graph.inputs graph <> [] then
+    Buffer.add_string buf (Printf.sprintf "inputs %s\n" (vars (Graph.inputs graph)));
+  if Graph.outputs graph <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "outputs %s\n" (vars (Graph.outputs graph)));
+  let operand = function
+    | Node.Operand_var v -> Var.name v
+    | Node.Operand_const c -> string_of_int c
+  in
+  List.iter
+    (fun node ->
+      let prefix = Printf.sprintf "n%d: %s = " (Node.id node) (Var.name (Node.result node)) in
+      let body =
+        match Node.operands node with
+        | [ a ] -> Printf.sprintf "%s %s" (Op.symbol (Node.op node)) (operand a)
+        | [ a; b ] ->
+            Printf.sprintf "%s %s %s" (operand a) (Op.symbol (Node.op node)) (operand b)
+        | operands ->
+            Printf.sprintf "%s(%s)" (Op.symbol (Node.op node))
+              (String.concat ", " (List.map operand operands))
+      in
+      let suffix =
+        match steps with
+        | None -> ""
+        | Some f -> (
+            match f (Node.id node) with
+            | None -> ""
+            | Some s -> Printf.sprintf " @ %d" s)
+      in
+      Buffer.add_string buf (prefix ^ body ^ suffix ^ "\n"))
+    (Graph.nodes graph);
+  Buffer.contents buf

@@ -1,0 +1,24 @@
+(** Line-oriented text format for (optionally scheduled) DFGs.
+
+    {v
+    dfg hal
+    inputs x u dx
+    outputs y1
+    n1: t1 = u * dx @ 1
+    n2: y1 = x + t1 @ 2
+    v} *)
+
+type result = {
+  graph : Graph.t;
+  steps : (int * int) list;  (** node id -> annotated time step (1-based) *)
+}
+
+exception Error of { line : int; message : string }
+
+val parse_string : string -> result
+(** Raises {!Error} with line number and diagnostic on malformed input
+    (line 0 for whole-graph validation failures). *)
+
+val to_string : ?steps:(int -> int option) -> Graph.t -> string
+(** Render back to the text format; [steps] supplies optional "@ step"
+    annotations.  [parse_string (to_string g)] reproduces [g]. *)

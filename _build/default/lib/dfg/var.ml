@@ -1,0 +1,29 @@
+(* Behavioural variables.
+
+   A variable names a value in the data-flow graph: a primary input, a
+   primary output, or an intermediate.  The DFG is single-assignment:
+   each non-input variable has exactly one producing node. *)
+
+type t = { name : string }
+
+let v name =
+  if name = "" then invalid_arg "Var.v: empty name";
+  { name }
+
+let name t = t.name
+
+let compare a b = String.compare a.name b.name
+let equal a b = String.equal a.name b.name
+let pp ppf t = Fmt.string ppf t.name
+
+module Set = Stdlib.Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Map = Stdlib.Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

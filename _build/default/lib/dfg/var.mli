@@ -1,0 +1,14 @@
+(** Behavioural variables (single-assignment names in the DFG). *)
+
+type t
+
+val v : string -> t
+(** Raises [Invalid_argument] on the empty string. *)
+
+val name : t -> string
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,1 @@
+lib/gatelevel/calibrate.ml: Circuit Expand List Mclock_dfg Mclock_tech Mclock_util Op Printf

@@ -1,0 +1,1 @@
+lib/gatelevel/calibrate.mli: Mclock_dfg Mclock_tech Op

@@ -1,0 +1,1 @@
+lib/gatelevel/circuit.ml: Array Gate List Mclock_util Printf

@@ -1,0 +1,1 @@
+lib/gatelevel/circuit.mli: Gate

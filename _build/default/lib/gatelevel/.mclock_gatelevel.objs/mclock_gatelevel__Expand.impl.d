@@ -1,0 +1,1 @@
+lib/gatelevel/expand.ml: Array Circuit Gate List Mclock_dfg Mclock_util Op

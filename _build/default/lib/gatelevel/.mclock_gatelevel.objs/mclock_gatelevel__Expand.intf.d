@@ -1,0 +1,1 @@
+lib/gatelevel/expand.mli: Circuit Mclock_dfg Mclock_util Op

@@ -1,0 +1,1 @@
+lib/gatelevel/gate.ml: List Printf

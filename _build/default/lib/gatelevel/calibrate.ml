@@ -1,0 +1,115 @@
+(* Calibration of the RTL-level ALU power model against gate-level
+   switching.
+
+   The RTL simulator charges an ALU
+       E = 1/2 * V^2 * C_int * h / (2*width)
+   per evaluation, where h is the number of toggled operand bits and
+   C_int = alu_area * fu_cap_per_area.  This module measures the ground
+   truth: expand the operation to gates, drive it with a random operand
+   stream, count actual switched capacitance per toggled input bit, and
+   report both the measured pF-per-input-toggle and the cap-per-area
+   constant that would make the RTL lump model match the gate-level
+   average exactly.
+
+   Interpreting the comparison: zero-delay transition counting is a
+   *lower bound* on real switching — it excludes glitching (severe in
+   array multipliers and ripple structures, typically 2-4x), wire
+   capacitance beyond the gate output, and short-circuit current.  The
+   RTL lump constant (Cmos08.fu_cap_per_area) deliberately folds those
+   in, so model/truth ratios of roughly 4-15x are the expected shape;
+   what matters for design-style comparisons is that the ratios stay
+   within a small band across operations, which the test suite pins. *)
+
+open Mclock_dfg
+module B = Mclock_util.Bitvec
+
+type measurement = {
+  op : Op.t;
+  width : int;
+  gates : int;
+  gate_area : float; (* lambda^2, raw gate area *)
+  samples : int;
+  mean_input_toggles : float; (* toggled operand bits per vector pair *)
+  mean_gate_toggles : float; (* toggled gate outputs per vector pair *)
+  mean_switched_cap : float; (* pF per vector pair *)
+  cap_per_input_toggle : float; (* pF per toggled operand bit *)
+  rtl_model_cap : float; (* what the RTL lump model charges per pair *)
+  implied_cap_per_area : float; (* fu_cap_per_area matching the truth *)
+}
+
+let measure ?(samples = 2000) ?(seed = 7) tech ~width op =
+  if samples < 2 then invalid_arg "Calibrate.measure: need >= 2 samples";
+  let rng = Mclock_util.Rng.create seed in
+  let circuit = Expand.circuit ~width op in
+  let random_pair () = (B.random rng ~width, B.random rng ~width) in
+  let prev = ref (random_pair ()) in
+  let total_in = ref 0 and total_toggles = ref 0 and total_cap = ref 0. in
+  for _ = 2 to samples do
+    let next = random_pair () in
+    let a0, b0 = !prev and a1, b1 = next in
+    let before = Expand.input_vector ~width a0 b0 in
+    let after = Expand.input_vector ~width a1 b1 in
+    let toggles, cap = Circuit.transitions circuit ~before ~after in
+    total_in := !total_in + B.hamming a0 a1 + B.hamming b0 b1;
+    total_toggles := !total_toggles + toggles;
+    total_cap := !total_cap +. cap;
+    prev := next
+  done;
+  let pairs = float (samples - 1) in
+  let mean_input_toggles = float !total_in /. pairs in
+  let mean_switched_cap = !total_cap /. pairs in
+  let gate_area = Circuit.area circuit in
+  let fset = Op.Set.singleton op in
+  let rtl_area = Mclock_tech.Library.alu_area tech ~width fset in
+  let rtl_cap_full = Mclock_tech.Library.alu_internal_cap tech ~width fset in
+  let frac = mean_input_toggles /. float (2 * width) in
+  {
+    op;
+    width;
+    gates = Circuit.num_gates circuit;
+    gate_area;
+    samples;
+    mean_input_toggles;
+    mean_gate_toggles = float !total_toggles /. pairs;
+    mean_switched_cap;
+    cap_per_input_toggle =
+      (if !total_in = 0 then 0. else !total_cap /. float !total_in);
+    rtl_model_cap = rtl_cap_full *. frac;
+    (* cap/area constant that equates the lump model with the measured
+       mean: C_meas = (area * k) * frac. *)
+    implied_cap_per_area =
+      (if frac = 0. then 0. else mean_switched_cap /. (rtl_area *. frac));
+  }
+
+let measure_all ?samples ?seed tech ~width =
+  List.map (fun op -> measure ?samples ?seed tech ~width op) Op.all
+
+let render measurements =
+  let table =
+    Mclock_util.Table.create
+      ~title:"gate-level calibration of the RTL ALU power model"
+      ~header:
+        [
+          "op"; "gates"; "gate area"; "pF/pair (gates)"; "pF/pair (RTL model)";
+          "model/truth"; "implied cap/area";
+        ]
+      ~aligns:
+        Mclock_util.Table.[ Left; Right; Right; Right; Right; Right; Right ]
+      ()
+  in
+  List.iter
+    (fun m ->
+      Mclock_util.Table.add_row table
+        [
+          Op.name m.op;
+          string_of_int m.gates;
+          Printf.sprintf "%.0f" m.gate_area;
+          Printf.sprintf "%.4f" m.mean_switched_cap;
+          Printf.sprintf "%.4f" m.rtl_model_cap;
+          Printf.sprintf "%.2f"
+            (if m.mean_switched_cap = 0. then 0.
+             else m.rtl_model_cap /. m.mean_switched_cap);
+          Printf.sprintf "%.2e" m.implied_cap_per_area;
+        ])
+    measurements;
+  Mclock_util.Table.render table

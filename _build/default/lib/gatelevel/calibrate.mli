@@ -1,0 +1,32 @@
+(** Calibration of the RTL-level ALU power model against gate-level
+    switching on random operand streams. *)
+
+open Mclock_dfg
+
+type measurement = {
+  op : Op.t;
+  width : int;
+  gates : int;
+  gate_area : float;
+  samples : int;
+  mean_input_toggles : float;
+  mean_gate_toggles : float;
+  mean_switched_cap : float;  (** pF per consecutive operand pair *)
+  cap_per_input_toggle : float;
+  rtl_model_cap : float;  (** the lump model's charge for the same pair *)
+  implied_cap_per_area : float;
+      (** [fu_cap_per_area] that would make the lump model exact *)
+}
+
+val measure :
+  ?samples:int ->
+  ?seed:int ->
+  Mclock_tech.Library.t ->
+  width:int ->
+  Op.t ->
+  measurement
+
+val measure_all :
+  ?samples:int -> ?seed:int -> Mclock_tech.Library.t -> width:int -> measurement list
+
+val render : measurement list -> string

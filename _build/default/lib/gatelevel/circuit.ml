@@ -1,0 +1,144 @@
+(* Combinational gate networks.
+
+   Signals are identified by integers: primary inputs first (indices
+   0 .. num_inputs-1), then one signal per gate output, appended in
+   creation order — which is automatically a topological order because
+   a gate can only reference already-created signals.  Constants are
+   provided as two dedicated pseudo-inputs managed by the builder. *)
+
+type signal = int
+
+type gate = { kind : Gate.kind; inputs : signal list }
+
+type t = {
+  num_inputs : int;
+  gates : gate array; (* gate i drives signal num_inputs + i *)
+  outputs : signal list;
+  zero : signal option; (* pseudo-input forced to 0, if requested *)
+  one : signal option;
+}
+
+type builder = {
+  b_num_inputs : int;
+  mutable b_gates : gate list; (* reversed *)
+  mutable b_count : int;
+  mutable b_outputs : signal list; (* reversed *)
+  mutable b_zero : signal option;
+  mutable b_one : signal option;
+}
+
+let builder ~num_inputs =
+  if num_inputs < 0 then invalid_arg "Circuit.builder: negative inputs";
+  {
+    b_num_inputs = num_inputs;
+    b_gates = [];
+    b_count = 0;
+    b_outputs = [];
+    b_zero = None;
+    b_one = None;
+  }
+
+let input (b : builder) i =
+  if i < 0 || i >= b.b_num_inputs then invalid_arg "Circuit.input: out of range";
+  i
+
+let gate b kind inputs =
+  if List.length inputs <> Gate.arity kind then
+    invalid_arg
+      (Printf.sprintf "Circuit.gate: %s expects %d inputs" (Gate.name kind)
+         (Gate.arity kind));
+  let limit = b.b_num_inputs + b.b_count in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= limit then
+        invalid_arg "Circuit.gate: input signal not yet defined")
+    inputs;
+  let id = limit in
+  b.b_gates <- { kind; inputs } :: b.b_gates;
+  b.b_count <- b.b_count + 1;
+  id
+
+(* Constants: [zero] = a AND ~a over input 0 (or over itself if there
+   are no inputs — then we synthesize from an Inv chain; circuits with
+   no inputs and constants are not needed in practice, so require an
+   input). *)
+let zero b =
+  match b.b_zero with
+  | Some s -> s
+  | None ->
+      if b.b_num_inputs = 0 then invalid_arg "Circuit.zero: needs an input";
+      let n = gate b Gate.Inv [ 0 ] in
+      let z = gate b Gate.And2 [ 0; n ] in
+      b.b_zero <- Some z;
+      z
+
+let one b =
+  match b.b_one with
+  | Some s -> s
+  | None ->
+      let z = zero b in
+      let o = gate b Gate.Inv [ z ] in
+      b.b_one <- Some o;
+      o
+
+let output b s = b.b_outputs <- s :: b.b_outputs
+
+let finish b =
+  {
+    num_inputs = b.b_num_inputs;
+    gates = Array.of_list (List.rev b.b_gates);
+    outputs = List.rev b.b_outputs;
+    zero = b.b_zero;
+    one = b.b_one;
+  }
+
+let num_inputs t = t.num_inputs
+let num_gates t = Array.length t.gates
+let num_signals t = t.num_inputs + Array.length t.gates
+let outputs t = t.outputs
+
+let area t =
+  Array.fold_left (fun acc g -> acc +. Gate.area g.kind) 0. t.gates
+
+let gate_census t =
+  Array.fold_left
+    (fun acc g ->
+      Mclock_util.List_ext.assoc_update ~key:(Gate.name g.kind) ~default:0
+        (fun n -> n + 1)
+        acc)
+    [] t.gates
+
+(* Evaluate all signals for an input assignment; returns the full
+   signal array (inputs then gate outputs). *)
+let eval t inputs =
+  if Array.length inputs <> t.num_inputs then
+    invalid_arg "Circuit.eval: wrong input count";
+  let values = Array.make (num_signals t) false in
+  Array.blit inputs 0 values 0 t.num_inputs;
+  Array.iteri
+    (fun i g ->
+      let ins = List.map (fun s -> values.(s)) g.inputs in
+      values.(t.num_inputs + i) <- Gate.eval g.kind ins)
+    t.gates;
+  values
+
+let eval_outputs t inputs =
+  let values = eval t inputs in
+  List.map (fun s -> values.(s)) t.outputs
+
+(* Transition counting between two consecutive input vectors: evaluates
+   both (zero-delay model) and accumulates, per toggled gate output,
+   its switched capacitance.  Returns (toggled gate outputs, switched
+   capacitance in pF). *)
+let transitions t ~before ~after =
+  let v0 = eval t before and v1 = eval t after in
+  let toggles = ref 0 and cap = ref 0. in
+  Array.iteri
+    (fun i g ->
+      let s = t.num_inputs + i in
+      if v0.(s) <> v1.(s) then begin
+        incr toggles;
+        cap := !cap +. Gate.cap g.kind
+      end)
+    t.gates;
+  (!toggles, !cap)

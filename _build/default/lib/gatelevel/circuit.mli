@@ -1,0 +1,41 @@
+(** Combinational gate networks with a creation-order topology. *)
+
+type signal = int
+type gate = { kind : Gate.kind; inputs : signal list }
+type t
+type builder
+
+val builder : num_inputs:int -> builder
+
+val input : builder -> int -> signal
+(** The i-th primary input; raises on out-of-range. *)
+
+val gate : builder -> Gate.kind -> signal list -> signal
+(** Create a gate over already-defined signals; returns its output. *)
+
+val zero : builder -> signal
+(** A constant-0 signal (synthesized once; needs >= 1 input). *)
+
+val one : builder -> signal
+
+val output : builder -> signal -> unit
+val finish : builder -> t
+
+val num_inputs : t -> int
+val num_gates : t -> int
+val num_signals : t -> int
+val outputs : t -> signal list
+
+val area : t -> float
+(** Sum of gate areas, λ². *)
+
+val gate_census : t -> (string * int) list
+
+val eval : t -> bool array -> bool array
+(** All signal values (inputs then gate outputs, creation order). *)
+
+val eval_outputs : t -> bool array -> bool list
+
+val transitions : t -> before:bool array -> after:bool array -> int * float
+(** Zero-delay toggles between two input vectors: (number of toggled
+    gate outputs, switched capacitance in pF). *)

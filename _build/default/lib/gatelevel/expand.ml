@@ -1,0 +1,184 @@
+(* Macro expansion: one gate network per behavioural operation.
+
+   Each expansion takes the operand width and produces a circuit with
+   2*width primary inputs (operand a in bits 0..w-1, LSB first, operand
+   b in bits w..2w-1; unary operations ignore b) and exactly width
+   outputs, functionally identical to Op.eval on Bitvec values:
+   - Add/Sub: ripple-carry (subtraction as a + ~b + 1);
+   - Mul: array multiplier (AND partial products + adder rows),
+     truncated to width;
+   - Div: restoring long division, x/0 = all ones;
+   - Shl/Shr: 3-stage barrel shifters on the low three bits of b;
+   - Gt/Lt: borrow of the appropriate subtraction; Eq: XNOR reduce;
+   - And/Or/Xor/Not: bitwise. *)
+
+open Mclock_dfg
+
+let bits_of ~width value =
+  Array.init width (fun i -> (value lsr i) land 1 = 1)
+
+let int_of_bits bits =
+  List.fold_left (fun acc b -> (acc lsl 1) lor (if b then 1 else 0)) 0
+    (List.rev bits)
+
+(* --- building blocks ------------------------------------------------- *)
+
+let full_adder b a c cin =
+  let axb = Circuit.gate b Gate.Xor2 [ a; c ] in
+  let sum = Circuit.gate b Gate.Xor2 [ axb; cin ] in
+  let t1 = Circuit.gate b Gate.And2 [ a; c ] in
+  let t2 = Circuit.gate b Gate.And2 [ axb; cin ] in
+  let cout = Circuit.gate b Gate.Or2 [ t1; t2 ] in
+  (sum, cout)
+
+(* Ripple add of equal-length bit lists (LSB first); returns (sums,
+   carry out). *)
+let ripple_add b xs ys cin =
+  let rec go acc cin = function
+    | [], [] -> (List.rev acc, cin)
+    | x :: xs, y :: ys ->
+        let sum, cout = full_adder b x y cin in
+        go (sum :: acc) cout (xs, ys)
+    | _ -> invalid_arg "ripple_add: length mismatch"
+  in
+  go [] cin (xs, ys)
+
+(* a - b as a + ~b + 1; returns (difference, carry out); carry out = 1
+   iff a >= b (no borrow). *)
+let ripple_sub b xs ys =
+  let nys = List.map (fun y -> Circuit.gate b Gate.Inv [ y ]) ys in
+  ripple_add b xs nys (Circuit.one b)
+
+let bitwise b kind xs ys = List.map2 (fun x y -> Circuit.gate b kind [ x; y ]) xs ys
+
+let zeros b n = List.init n (fun _ -> Circuit.zero b)
+
+(* --- the operations ---------------------------------------------------- *)
+
+let build_add b xs ys = fst (ripple_add b xs ys (Circuit.zero b))
+let build_sub b xs ys = fst (ripple_sub b xs ys)
+
+let build_mul b ~width xs ys =
+  (* Row i: partial product (a AND b_i) shifted left by i, truncated to
+     [width]; accumulate with ripple adders. *)
+  let row i =
+    let pp =
+      List.map (fun x -> Circuit.gate b Gate.And2 [ x; List.nth ys i ]) xs
+    in
+    let shifted = zeros b i @ pp in
+    Mclock_util.List_ext.take width shifted
+  in
+  let acc = ref (row 0) in
+  for i = 1 to width - 1 do
+    let sums, _ = ripple_add b !acc (row i) (Circuit.zero b) in
+    acc := sums
+  done;
+  !acc
+
+let build_div b ~width xs ys =
+  (* Restoring long division over w+1-bit remainders.  Quotient bit i
+     (from MSB) is the carry of (r' - b); the remainder restores on
+     borrow.  b = 0 forces an all-ones quotient. *)
+  let ext = width + 1 in
+  let ys_ext = ys @ [ Circuit.zero b ] in
+  let b_nonzero =
+    List.fold_left
+      (fun acc y -> Circuit.gate b Gate.Or2 [ acc; y ])
+      (List.hd ys) (List.tl ys)
+  in
+  let b_zero = Circuit.gate b Gate.Inv [ b_nonzero ] in
+  let r = ref (zeros b ext) in
+  let quotient = Array.make width (Circuit.zero b) in
+  for i = width - 1 downto 0 do
+    (* r' = (r << 1) | a_i, still within ext bits. *)
+    let r' = List.nth xs i :: Mclock_util.List_ext.take (ext - 1) !r in
+    let diff, carry = ripple_sub b r' ys_ext in
+    quotient.(i) <- carry;
+    (* restore: keep r' when r' < b (carry = 0). *)
+    r :=
+      List.map2
+        (fun d keep -> Circuit.gate b Gate.Mux2 [ carry; keep; d ])
+        diff r'
+  done;
+  List.map
+    (fun q -> Circuit.gate b Gate.Or2 [ q; b_zero ])
+    (Array.to_list quotient)
+
+let build_shift b ~width ~left xs ys =
+  (* Barrel shifter over the low three bits of the amount (matching
+     Op.eval's [land 7]); amounts >= width zero out naturally. *)
+  let stage bits k =
+    let amount_bit = List.nth ys k in
+    let dist = 1 lsl k in
+    List.mapi
+      (fun i bit ->
+        let shifted_index = if left then i - dist else i + dist in
+        let shifted =
+          if shifted_index < 0 || shifted_index >= width then Circuit.zero b
+          else List.nth bits shifted_index
+        in
+        Circuit.gate b Gate.Mux2 [ amount_bit; bit; shifted ])
+      bits
+  in
+  let stages = min 3 (List.length ys) in
+  let rec go bits k = if k >= stages then bits else go (stage bits k) (k + 1) in
+  go xs 0
+
+let flag_result b ~width flag = flag :: zeros b (width - 1)
+
+let build_gt b ~width xs ys =
+  (* a > b  <=>  borrow of (b - a)  <=>  not carry of (b + ~a + 1). *)
+  let _, carry = ripple_sub b ys xs in
+  flag_result b ~width (Circuit.gate b Gate.Inv [ carry ])
+
+let build_lt b ~width xs ys =
+  let _, carry = ripple_sub b xs ys in
+  flag_result b ~width (Circuit.gate b Gate.Inv [ carry ])
+
+let build_eq b ~width xs ys =
+  let eqs = bitwise b Gate.Xnor2 xs ys in
+  let all =
+    List.fold_left
+      (fun acc e -> Circuit.gate b Gate.And2 [ acc; e ])
+      (List.hd eqs) (List.tl eqs)
+  in
+  flag_result b ~width all
+
+let circuit ~width op =
+  if width < 1 then invalid_arg "Expand.circuit: width must be >= 1";
+  let b = Circuit.builder ~num_inputs:(2 * width) in
+  let xs = List.init width (fun i -> Circuit.input b i) in
+  let ys = List.init width (fun i -> Circuit.input b (width + i)) in
+  let outs =
+    match (op : Op.t) with
+    | Op.Add -> build_add b xs ys
+    | Op.Sub -> build_sub b xs ys
+    | Op.Mul -> build_mul b ~width xs ys
+    | Op.Div -> build_div b ~width xs ys
+    | Op.And -> bitwise b Gate.And2 xs ys
+    | Op.Or -> bitwise b Gate.Or2 xs ys
+    | Op.Xor -> bitwise b Gate.Xor2 xs ys
+    | Op.Not -> List.map (fun x -> Circuit.gate b Gate.Inv [ x ]) xs
+    | Op.Shl -> build_shift b ~width ~left:true xs ys
+    | Op.Shr -> build_shift b ~width ~left:false xs ys
+    | Op.Gt -> build_gt b ~width xs ys
+    | Op.Lt -> build_lt b ~width xs ys
+    | Op.Eq -> build_eq b ~width xs ys
+  in
+  List.iter (Circuit.output b) outs;
+  Circuit.finish b
+
+(* Evaluate an expanded circuit on two Bitvec operands. *)
+let eval circuit_t ~width a bv =
+  let inputs =
+    Array.append
+      (bits_of ~width (Mclock_util.Bitvec.to_int a))
+      (bits_of ~width (Mclock_util.Bitvec.to_int bv))
+  in
+  Mclock_util.Bitvec.create ~width
+    (int_of_bits (Circuit.eval_outputs circuit_t inputs))
+
+let input_vector ~width a bv =
+  Array.append
+    (bits_of ~width (Mclock_util.Bitvec.to_int a))
+    (bits_of ~width (Mclock_util.Bitvec.to_int bv))

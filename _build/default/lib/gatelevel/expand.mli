@@ -1,0 +1,24 @@
+(** Macro expansion of behavioural operations into gate networks.
+
+    Circuits have 2·width inputs (operand a LSB-first, then operand b)
+    and width outputs, functionally identical to {!Mclock_dfg.Op.eval}
+    on wrapped unsigned bit vectors. *)
+
+open Mclock_dfg
+
+val circuit : width:int -> Op.t -> Circuit.t
+
+val eval :
+  Circuit.t ->
+  width:int ->
+  Mclock_util.Bitvec.t ->
+  Mclock_util.Bitvec.t ->
+  Mclock_util.Bitvec.t
+(** Evaluate on two operands (unary ops ignore the second). *)
+
+val input_vector :
+  width:int -> Mclock_util.Bitvec.t -> Mclock_util.Bitvec.t -> bool array
+(** The circuit's input assignment for an operand pair. *)
+
+val bits_of : width:int -> int -> bool array
+val int_of_bits : bool list -> int

@@ -1,0 +1,62 @@
+(* Primitive gates of the gate-level substrate.
+
+   The RTL power model treats an ALU as one lump of switched
+   capacitance; this library grounds that abstraction by expanding each
+   operation into a real gate network (ripple-carry adders, array
+   multipliers, restoring dividers, barrel shifters, comparators) and
+   counting actual gate-output transitions.  The per-gate constants are
+   typical two-input standard cells at the 0.8 micron scale used by
+   Cmos08. *)
+
+type kind = Inv | Buf | And2 | Or2 | Nand2 | Nor2 | Xor2 | Xnor2 | Mux2
+
+let arity = function
+  | Inv | Buf -> 1
+  | And2 | Or2 | Nand2 | Nor2 | Xor2 | Xnor2 -> 2
+  | Mux2 -> 3 (* select, a, b *)
+
+let name = function
+  | Inv -> "inv"
+  | Buf -> "buf"
+  | And2 -> "and2"
+  | Or2 -> "or2"
+  | Nand2 -> "nand2"
+  | Nor2 -> "nor2"
+  | Xor2 -> "xor2"
+  | Xnor2 -> "xnor2"
+  | Mux2 -> "mux2"
+
+(* Area in lambda^2 per gate. *)
+let area = function
+  | Inv -> 160.
+  | Buf -> 220.
+  | And2 | Or2 -> 320.
+  | Nand2 | Nor2 -> 260.
+  | Xor2 | Xnor2 -> 480.
+  | Mux2 -> 520.
+
+(* Switched capacitance per output transition, pF (output net plus the
+   internal nodes that toggle with it, averaged). *)
+let cap = function
+  | Inv -> 0.010
+  | Buf -> 0.012
+  | And2 | Or2 -> 0.016
+  | Nand2 | Nor2 -> 0.014
+  | Xor2 | Xnor2 -> 0.024
+  | Mux2 -> 0.026
+
+let eval kind inputs =
+  match (kind, inputs) with
+  | Inv, [ a ] -> not a
+  | Buf, [ a ] -> a
+  | And2, [ a; b ] -> a && b
+  | Or2, [ a; b ] -> a || b
+  | Nand2, [ a; b ] -> not (a && b)
+  | Nor2, [ a; b ] -> not (a || b)
+  | Xor2, [ a; b ] -> a <> b
+  | Xnor2, [ a; b ] -> a = b
+  | Mux2, [ s; a; b ] -> if s then b else a
+  | (Inv | Buf | And2 | Or2 | Nand2 | Nor2 | Xor2 | Xnor2 | Mux2), _ ->
+      invalid_arg
+        (Printf.sprintf "Gate.eval: %s expects %d inputs, got %d" (name kind)
+           (arity kind) (List.length inputs))

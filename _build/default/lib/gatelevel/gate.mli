@@ -1,0 +1,16 @@
+(** Primitive gates: kinds, per-cell area/capacitance constants
+    (0.8 µm-scale standard cells), and boolean evaluation. *)
+
+type kind = Inv | Buf | And2 | Or2 | Nand2 | Nor2 | Xor2 | Xnor2 | Mux2
+
+val arity : kind -> int
+val name : kind -> string
+
+val area : kind -> float
+(** λ² per gate. *)
+
+val cap : kind -> float
+(** Switched capacitance per output transition, pF. *)
+
+val eval : kind -> bool list -> bool
+(** Raises [Invalid_argument] on an arity mismatch. *)

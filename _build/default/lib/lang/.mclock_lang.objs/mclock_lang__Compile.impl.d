@@ -1,0 +1,1 @@
+lib/lang/compile.ml: Ast Builder Format List Mclock_dfg Node Op Parser Var

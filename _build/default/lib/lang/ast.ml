@@ -1,0 +1,33 @@
+(* Abstract syntax of the behaviour description language. *)
+
+type expr =
+  | Var of string
+  | Const of int
+  | Unop of Mclock_dfg.Op.t * expr
+  | Binop of Mclock_dfg.Op.t * expr * expr
+
+type statement = { target : string; expr : expr; line : int }
+
+type t = {
+  name : string;
+  inputs : string list;
+  outputs : string list;
+  statements : statement list;
+}
+
+let rec pp_expr ppf = function
+  | Var v -> Fmt.string ppf v
+  | Const c -> Fmt.int ppf c
+  | Unop (op, e) -> Fmt.pf ppf "%s%a" (Mclock_dfg.Op.symbol op) pp_expr e
+  | Binop (op, a, b) ->
+      Fmt.pf ppf "(%a %s %a)" pp_expr a (Mclock_dfg.Op.symbol op) pp_expr b
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>behavior %s@,inputs: %a@,outputs: %a@,%a@]" t.name
+    (Fmt.list ~sep:(Fmt.any " ") Fmt.string)
+    t.inputs
+    (Fmt.list ~sep:(Fmt.any " ") Fmt.string)
+    t.outputs
+    (Fmt.list ~sep:Fmt.cut (fun ppf s ->
+         Fmt.pf ppf "%s := %a" s.target pp_expr s.expr))
+    t.statements

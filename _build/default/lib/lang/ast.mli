@@ -1,0 +1,19 @@
+(** Abstract syntax of the behaviour description language. *)
+
+type expr =
+  | Var of string
+  | Const of int
+  | Unop of Mclock_dfg.Op.t * expr
+  | Binop of Mclock_dfg.Op.t * expr * expr
+
+type statement = { target : string; expr : expr; line : int }
+
+type t = {
+  name : string;
+  inputs : string list;
+  outputs : string list;
+  statements : statement list;
+}
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,6 @@
+(** Lexer for the behaviour description language. *)
+
+exception Error of { line : int; message : string }
+
+val tokenize : string -> Token.located list
+(** Collapses newline runs; a final [Eof] token is always appended. *)

@@ -1,0 +1,156 @@
+(* Recursive-descent parser with precedence climbing.
+
+   Grammar:
+     program   := 'behavior' IDENT NL { section } EOF
+     section   := 'input' idlist NL | 'output' idlist NL | statement
+     statement := IDENT ':=' expr NL
+     idlist    := IDENT { [','] IDENT }
+     expr      := precedence-climbed binary expression over
+                  or, xor, and, comparisons, shifts, add/sub, mul/div
+                  (loosest to tightest), unary '~' and '-', with
+                  parentheses, identifiers and integers as atoms.
+
+   Unary minus is sugar: -e parses as (0 - e). *)
+
+exception Error of { line : int; message : string }
+
+let error line fmt =
+  Format.kasprintf (fun message -> raise (Error { line; message })) fmt
+
+type state = { mutable tokens : Token.located list }
+
+let peek st =
+  match st.tokens with
+  | t :: _ -> t
+  | [] -> { Token.token = Token.Eof; line = 0 }
+
+let advance st =
+  match st.tokens with
+  | _ :: rest -> st.tokens <- rest
+  | [] -> ()
+
+let expect st token =
+  let t = peek st in
+  if t.Token.token = token then advance st
+  else
+    error t.Token.line "expected %s, found %s" (Token.to_string token)
+      (Token.to_string t.Token.token)
+
+let skip_newlines st =
+  while (peek st).Token.token = Token.Newline do
+    advance st
+  done
+
+(* Binary operator precedence; higher binds tighter. *)
+let binop_of_token = function
+  | Token.Pipe -> Some (Mclock_dfg.Op.Or, 1)
+  | Token.Caret -> Some (Mclock_dfg.Op.Xor, 2)
+  | Token.Amp -> Some (Mclock_dfg.Op.And, 3)
+  | Token.Gt -> Some (Mclock_dfg.Op.Gt, 4)
+  | Token.Lt -> Some (Mclock_dfg.Op.Lt, 4)
+  | Token.Eq -> Some (Mclock_dfg.Op.Eq, 4)
+  | Token.Shl -> Some (Mclock_dfg.Op.Shl, 5)
+  | Token.Shr -> Some (Mclock_dfg.Op.Shr, 5)
+  | Token.Plus -> Some (Mclock_dfg.Op.Add, 6)
+  | Token.Minus -> Some (Mclock_dfg.Op.Sub, 6)
+  | Token.Star -> Some (Mclock_dfg.Op.Mul, 7)
+  | Token.Slash -> Some (Mclock_dfg.Op.Div, 7)
+  | _ -> None
+
+let rec parse_atom st =
+  let t = peek st in
+  match t.Token.token with
+  | Token.Ident name ->
+      advance st;
+      Ast.Var name
+  | Token.Int n ->
+      advance st;
+      Ast.Const n
+  | Token.Lparen ->
+      advance st;
+      let e = parse_expr st 0 in
+      expect st Token.Rparen;
+      e
+  | Token.Tilde ->
+      advance st;
+      Ast.Unop (Mclock_dfg.Op.Not, parse_atom st)
+  | Token.Minus ->
+      advance st;
+      Ast.Binop (Mclock_dfg.Op.Sub, Ast.Const 0, parse_atom st)
+  | other -> error t.Token.line "expected an expression, found %s" (Token.to_string other)
+
+and parse_expr st min_prec =
+  let lhs = parse_atom st in
+  let rec loop lhs =
+    match binop_of_token (peek st).Token.token with
+    | Some (op, prec) when prec >= min_prec ->
+        advance st;
+        (* Left associative: the right side climbs at prec + 1. *)
+        let rhs = parse_expr st (prec + 1) in
+        loop (Ast.Binop (op, lhs, rhs))
+    | Some _ | None -> lhs
+  in
+  loop lhs
+
+let parse_idlist st =
+  let rec go acc =
+    match (peek st).Token.token with
+    | Token.Ident name ->
+        advance st;
+        (match (peek st).Token.token with
+        | Token.Comma -> advance st
+        | _ -> ());
+        go (name :: acc)
+    | Token.Newline | Token.Eof -> List.rev acc
+    | other ->
+        error (peek st).Token.line "expected identifier, found %s"
+          (Token.to_string other)
+  in
+  go []
+
+let parse_string text =
+  let st = { tokens = Lexer.tokenize text } in
+  skip_newlines st;
+  expect st Token.Kw_behavior;
+  let name =
+    match (peek st).Token.token with
+    | Token.Ident n ->
+        advance st;
+        n
+    | other -> error (peek st).Token.line "expected behaviour name, found %s" (Token.to_string other)
+  in
+  let inputs = ref [] and outputs = ref [] and statements = ref [] in
+  skip_newlines st;
+  let rec sections () =
+    match (peek st).Token.token with
+    | Token.Eof -> ()
+    | Token.Kw_input ->
+        advance st;
+        inputs := !inputs @ parse_idlist st;
+        skip_newlines st;
+        sections ()
+    | Token.Kw_output ->
+        advance st;
+        outputs := !outputs @ parse_idlist st;
+        skip_newlines st;
+        sections ()
+    | Token.Ident target ->
+        let line = (peek st).Token.line in
+        advance st;
+        expect st Token.Assign;
+        let expr = parse_expr st 0 in
+        statements := { Ast.target; expr; line } :: !statements;
+        skip_newlines st;
+        sections ()
+    | other ->
+        error (peek st).Token.line
+          "expected 'input', 'output' or an assignment, found %s"
+          (Token.to_string other)
+  in
+  sections ();
+  {
+    Ast.name;
+    inputs = !inputs;
+    outputs = !outputs;
+    statements = List.rev !statements;
+  }

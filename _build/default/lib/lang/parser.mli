@@ -1,0 +1,15 @@
+(** Recursive-descent parser for the behaviour description language.
+
+    {v
+    behavior diffeq
+    input x, y, u, dx, a
+    output x1, y1, u1, c
+    x1 := x + dx
+    y1 := y + u * dx
+    u1 := u - (3 * x) * (u * dx) - (3 * y) * dx
+    c  := x1 < a
+    v} *)
+
+exception Error of { line : int; message : string }
+
+val parse_string : string -> Ast.t

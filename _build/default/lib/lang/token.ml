@@ -1,0 +1,55 @@
+(* Tokens of the behaviour description language. *)
+
+type t =
+  | Ident of string
+  | Int of int
+  | Kw_behavior
+  | Kw_input
+  | Kw_output
+  | Assign (* := *)
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Amp
+  | Pipe
+  | Caret
+  | Tilde
+  | Shl
+  | Shr
+  | Gt
+  | Lt
+  | Eq
+  | Lparen
+  | Rparen
+  | Comma
+  | Newline
+  | Eof
+
+let to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int n -> Printf.sprintf "integer %d" n
+  | Kw_behavior -> "'behavior'"
+  | Kw_input -> "'input'"
+  | Kw_output -> "'output'"
+  | Assign -> "':='"
+  | Plus -> "'+'"
+  | Minus -> "'-'"
+  | Star -> "'*'"
+  | Slash -> "'/'"
+  | Amp -> "'&'"
+  | Pipe -> "'|'"
+  | Caret -> "'^'"
+  | Tilde -> "'~'"
+  | Shl -> "'<<'"
+  | Shr -> "'>>'"
+  | Gt -> "'>'"
+  | Lt -> "'<'"
+  | Eq -> "'='"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Comma -> "','"
+  | Newline -> "newline"
+  | Eof -> "end of input"
+
+type located = { token : t; line : int }

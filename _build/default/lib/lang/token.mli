@@ -1,0 +1,32 @@
+(** Tokens of the behaviour description language. *)
+
+type t =
+  | Ident of string
+  | Int of int
+  | Kw_behavior
+  | Kw_input
+  | Kw_output
+  | Assign
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Amp
+  | Pipe
+  | Caret
+  | Tilde
+  | Shl
+  | Shr
+  | Gt
+  | Lt
+  | Eq
+  | Lparen
+  | Rparen
+  | Comma
+  | Newline
+  | Eof
+
+val to_string : t -> string
+(** Human-readable form for diagnostics. *)
+
+type located = { token : t; line : int }

@@ -1,0 +1,1 @@
+lib/power/area.ml: Array Comp Datapath Design Mclock_rtl Mclock_tech Mclock_util

@@ -1,0 +1,1 @@
+lib/power/area.mli: Mclock_rtl Mclock_tech

@@ -1,0 +1,1 @@
+lib/power/report.ml: Area Datapath Design List Mclock_rtl Mclock_sim Mclock_util Printf

@@ -1,0 +1,1 @@
+lib/power/report.mli: Area Mclock_dfg Mclock_rtl Mclock_sim Mclock_tech Mclock_util

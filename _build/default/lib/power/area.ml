@@ -1,0 +1,64 @@
+(* Area estimation (the paper's "Area [lambda^2]" column).
+
+   Component areas come from the technology library; the design-level
+   figure adds the base block overhead and routing factor
+   (Library.design_area), plus gating cells for gated designs and
+   operand-isolation logic for isolated ALUs. *)
+
+open Mclock_rtl
+module L = Mclock_tech.Library
+
+type breakdown = {
+  storage : float;
+  alus : float;
+  muxes : float;
+  gating : float;
+  isolation : float;
+  component_total : float;
+  design_total : float; (* with base area and routing factor *)
+}
+
+let of_design tech design =
+  let datapath = Design.datapath design in
+  let width = Datapath.width datapath in
+  let storage =
+    Mclock_util.List_ext.sum_by_float
+      (fun (_, s) -> L.storage_area tech s.Comp.s_kind ~width)
+      (Datapath.storages datapath)
+  in
+  let alus =
+    Mclock_util.List_ext.sum_by_float
+      (fun (_, a) -> L.alu_area tech ~width a.Comp.a_fset)
+      (Datapath.alus datapath)
+  in
+  let muxes =
+    Mclock_util.List_ext.sum_by_float
+      (fun (_, m) ->
+        L.mux_area tech ~width ~inputs:(Array.length m.Comp.m_choices))
+      (Datapath.muxes datapath)
+  in
+  let gating =
+    if (Design.style design).Design.clock_gated then
+      float (Datapath.memory_cells datapath) *. tech.L.gating_cell_area
+    else 0.
+  in
+  let isolation =
+    Mclock_util.List_ext.sum_by_float
+      (fun (_, a) ->
+        if a.Comp.a_isolated then
+          tech.L.isolation_area_per_bit *. float (2 * width)
+        else 0.)
+      (Datapath.alus datapath)
+  in
+  let component_total = storage +. alus +. muxes +. gating +. isolation in
+  {
+    storage;
+    alus;
+    muxes;
+    gating;
+    isolation;
+    component_total;
+    design_total = L.design_area tech ~component_area:component_total;
+  }
+
+let total tech design = (of_design tech design).design_total

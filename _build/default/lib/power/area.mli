@@ -1,0 +1,14 @@
+(** Area estimation (λ²) from the technology library's cell models. *)
+
+type breakdown = {
+  storage : float;
+  alus : float;
+  muxes : float;
+  gating : float;
+  isolation : float;
+  component_total : float;
+  design_total : float;
+}
+
+val of_design : Mclock_tech.Library.t -> Mclock_rtl.Design.t -> breakdown
+val total : Mclock_tech.Library.t -> Mclock_rtl.Design.t -> float

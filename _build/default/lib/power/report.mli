@@ -1,0 +1,37 @@
+(** Per-design evaluation reports and paper-style result tables. *)
+
+type t = {
+  label : string;
+  design_name : string;
+  power_mw : float;
+  energy_per_computation_pj : float;
+      (** total switched energy divided by the number of computations *)
+  area : Area.breakdown;
+  alus : string;
+  memory_cells : int;
+  mux_inputs : int;
+  energy_by_category : (Mclock_sim.Activity.category * float) list;
+  iterations : int;
+  functional_ok : bool;
+}
+
+val evaluate :
+  ?seed:int ->
+  ?iterations:int ->
+  label:string ->
+  Mclock_tech.Library.t ->
+  Mclock_rtl.Design.t ->
+  Mclock_dfg.Graph.t ->
+  t
+(** Simulate (default 400 computations), verify against golden
+    evaluation, and collect the paper's table columns. *)
+
+val paper_table : ?title:string -> t list -> Mclock_util.Table.t
+(** Power / Area / ALUs / Mem Cells / Mux In's rows, one per report. *)
+
+val render_category_breakdown : t -> string
+
+val reduction_vs : baseline:t -> t -> float
+(** Power reduction (%) of a report vs. a baseline; positive = saves. *)
+
+val area_increase_vs : baseline:t -> t -> float

@@ -1,0 +1,68 @@
+(* Voltage scaling and the duplication alternative.
+
+   The paper contrasts its synthesis-based scheme with the
+   "duplicating hardware" technique (Piguet et al. [12]): run the
+   datapath at f/n on n parallel copies, which permits a supply
+   reduction to the voltage where gates are exactly n times slower.
+   Dynamic power then scales as
+
+       P = n_copies * C * V_n^2 * (f / n) = C * V_n^2 * f
+
+   i.e. the win is purely the quadratic voltage factor, paid for with
+   n-fold area duplication.  Gate delay follows the alpha-power model
+
+       delay(V) ∝ V / (V - Vt)^alpha
+
+   with Vt and alpha typical of the 0.8 µm generation.  [scaled_voltage]
+   inverts the model numerically to find V_n. *)
+
+type params = { vt : float; alpha : float }
+
+let default_params = { vt = 0.8; alpha = 1.5 }
+
+let delay_factor ?(params = default_params) ~vdd v =
+  if v <= params.vt then invalid_arg "Voltage.delay_factor: V <= Vt";
+  let d x = x /. ((x -. params.vt) ** params.alpha) in
+  d v /. d vdd
+
+(* The supply voltage at which gates are [slowdown] times slower than
+   at [vdd]; bisection over (vt, vdd]. *)
+let scaled_voltage ?(params = default_params) ~vdd slowdown =
+  if slowdown < 1. then invalid_arg "Voltage.scaled_voltage: slowdown >= 1";
+  let rec bisect lo hi n =
+    if n = 0 then (lo +. hi) /. 2.
+    else
+      let mid = (lo +. hi) /. 2. in
+      if delay_factor ~params ~vdd mid > slowdown then bisect mid hi (n - 1)
+      else bisect lo mid (n - 1)
+  in
+  bisect (params.vt +. 1e-6) vdd 60
+
+(* Power and area of the duplication approach, derived from a measured
+   single-copy baseline: n copies at f/n and V_n.  The baseline should
+   be the conventional non-gated design (as in [12], no power
+   management beyond the scaling). *)
+type duplication = {
+  copies : int;
+  voltage : float;
+  power_mw : float;
+  area : float;
+}
+
+let duplicate ?(params = default_params) ~tech ~baseline_power_mw
+    ~baseline_area n =
+  if n < 1 then invalid_arg "Voltage.duplicate: n >= 1";
+  let vdd = tech.Mclock_tech.Library.supply_voltage in
+  let v_n = scaled_voltage ~params ~vdd (float n) in
+  (* P = n * C V_n^2 f/n = baseline * (V_n / Vdd)^2.  Area: n copies of
+     the datapath components plus per-copy routing; the shared base
+     overhead is counted once. *)
+  let ratio = v_n /. vdd in
+  let base = tech.Mclock_tech.Library.base_area in
+  let component_part = baseline_area -. base in
+  {
+    copies = n;
+    voltage = v_n;
+    power_mw = baseline_power_mw *. ratio *. ratio;
+    area = base +. (float n *. component_part);
+  }

@@ -1,0 +1,30 @@
+(** Voltage scaling (alpha-power delay model) and the hardware
+    duplication alternative the paper contrasts itself with ([12]). *)
+
+type params = { vt : float; alpha : float }
+
+val default_params : params
+
+val delay_factor : ?params:params -> vdd:float -> float -> float
+(** Gate-delay ratio of a reduced supply vs. [vdd]; raises for
+    [v <= vt]. *)
+
+val scaled_voltage : ?params:params -> vdd:float -> float -> float
+(** The supply at which gates are exactly [slowdown] times slower. *)
+
+type duplication = {
+  copies : int;
+  voltage : float;
+  power_mw : float;
+  area : float;
+}
+
+val duplicate :
+  ?params:params ->
+  tech:Mclock_tech.Library.t ->
+  baseline_power_mw:float ->
+  baseline_area:float ->
+  int ->
+  duplication
+(** [n] copies at [f/n] and the correspondingly reduced voltage,
+    derived from a measured single-copy baseline. *)

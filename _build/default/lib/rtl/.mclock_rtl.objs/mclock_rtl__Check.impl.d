@@ -1,0 +1,1 @@
+lib/rtl/check.ml: Array Clock Comp Control Datapath Design Fmt Format Hashtbl List Mclock_dfg Mclock_tech Mclock_util Op Option

@@ -1,0 +1,1 @@
+lib/rtl/check.mli: Comp Datapath Design Format

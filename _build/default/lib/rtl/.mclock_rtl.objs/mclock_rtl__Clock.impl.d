@@ -1,0 +1,1 @@
+lib/rtl/clock.ml: Array Buffer Fmt List Mclock_util Printf

@@ -1,0 +1,1 @@
+lib/rtl/clock.mli: Format

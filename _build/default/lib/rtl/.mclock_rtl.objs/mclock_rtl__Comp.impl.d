@@ -1,0 +1,1 @@
+lib/rtl/comp.ml: Array Fmt List Mclock_dfg Mclock_tech Op Option Var

@@ -1,0 +1,1 @@
+lib/rtl/comp.mli: Format Mclock_dfg Mclock_tech Op Var

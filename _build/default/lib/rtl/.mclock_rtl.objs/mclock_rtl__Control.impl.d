@@ -1,0 +1,1 @@
+lib/rtl/control.ml: Array Fmt List Mclock_dfg Op

@@ -1,0 +1,1 @@
+lib/rtl/control.mli: Format Mclock_dfg Op

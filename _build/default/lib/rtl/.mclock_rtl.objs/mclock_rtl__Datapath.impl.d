@@ -1,0 +1,1 @@
+lib/rtl/datapath.ml: Array Comp Fmt Format Fun Hashtbl Int List Map Mclock_dfg Mclock_util Op Option Printf String Var

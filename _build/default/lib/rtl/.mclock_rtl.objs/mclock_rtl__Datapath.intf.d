@@ -1,0 +1,1 @@
+lib/rtl/datapath.mli: Comp Format Mclock_dfg Mclock_tech Op Var

@@ -1,0 +1,1 @@
+lib/rtl/design.ml: Clock Comp Control Datapath Fmt List Mclock_dfg Mclock_tech Printf Var

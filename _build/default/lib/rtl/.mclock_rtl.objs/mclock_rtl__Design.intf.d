@@ -1,0 +1,1 @@
+lib/rtl/design.mli: Clock Comp Control Datapath Format Mclock_dfg Mclock_tech Var

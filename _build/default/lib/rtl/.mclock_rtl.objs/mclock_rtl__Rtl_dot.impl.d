@@ -1,0 +1,1 @@
+lib/rtl/rtl_dot.ml: Array Buffer Comp Datapath Int List Mclock_dfg Mclock_tech Mclock_util Op Option Printf String Var

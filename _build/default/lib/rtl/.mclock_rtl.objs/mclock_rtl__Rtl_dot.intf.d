@@ -1,0 +1,1 @@
+lib/rtl/rtl_dot.mli: Datapath

@@ -1,0 +1,1 @@
+lib/rtl/vhdl.ml: Array Buffer Clock Comp Control Datapath Design List Mclock_dfg Mclock_tech Mclock_util Op Printf String Var

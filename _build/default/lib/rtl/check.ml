@@ -1,0 +1,171 @@
+(* Structural checkers for complete designs.
+
+   Beyond Datapath.validate (wiring sanity), these verify the timing
+   disciplines the paper's scheme depends on:
+
+   - partition discipline: a storage element of phase p is only loaded
+     at schedule steps belonging to phase p;
+   - latch READ/WRITE separation: a level-sensitive latch must never be
+     read (transitively feed a storage element being written) in the
+     very step it is itself written — the paper merges only variables
+     with fully disjoint lifetimes to guarantee this;
+   - mux select indices in range, and every select a controller emits
+     targets an existing mux;
+   - ALU repertoire: the function selected on an ALU at any step is in
+     its function set. *)
+
+open Mclock_dfg
+
+type violation = { check : string; message : string }
+
+let violation check fmt =
+  Format.kasprintf (fun message -> { check; message }) fmt
+
+(* Transitive combinational fan-in of a source: the set of sequential
+   component ids (inputs and storages) that can influence it within one
+   step.  When [select] is given, muxes whose routing it resolves
+   contribute only their selected input (the read that physically
+   matters); unresolved muxes contribute every input, conservatively. *)
+let sequential_cone ?select datapath source =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec visit = function
+    | Comp.From_const _ -> ()
+    | Comp.From_comp id ->
+        if not (Hashtbl.mem seen id) then begin
+          Hashtbl.replace seen id ();
+          let c = Datapath.comp datapath id in
+          match Comp.kind c with
+          | Comp.Input _ | Comp.Storage _ -> acc := id :: !acc
+          | Comp.Alu a ->
+              visit a.Comp.a_src_a;
+              Option.iter visit a.Comp.a_src_b
+          | Comp.Mux m -> (
+              let resolved =
+                match select with None -> None | Some f -> f id
+              in
+              match resolved with
+              | Some idx when idx >= 0 && idx < Array.length m.Comp.m_choices
+                ->
+                  visit m.Comp.m_choices.(idx)
+              | Some _ | None -> Array.iter visit m.Comp.m_choices)
+        end
+  in
+  visit source;
+  !acc
+
+let check_partition_discipline design =
+  let datapath = Design.datapath design in
+  let control = Design.control design in
+  let clock = Design.clock design in
+  let steps = Mclock_util.List_ext.range 1 (Control.num_steps control) in
+  List.concat_map
+    (fun step ->
+      let phase = Clock.phase_of_step clock step in
+      List.filter_map
+        (fun id ->
+          let c = Datapath.comp datapath id in
+          match Comp.kind c with
+          | Comp.Storage s when s.Comp.s_phase <> phase ->
+              Some
+                (violation "partition-discipline"
+                   "storage c%d(%s) of phase %d loaded at step %d (phase %d)"
+                   id (Comp.name c) s.Comp.s_phase step phase)
+          | Comp.Storage _ -> None
+          | Comp.Input _ | Comp.Alu _ | Comp.Mux _ ->
+              Some
+                (violation "partition-discipline"
+                   "load target c%d(%s) is not a storage element" id
+                   (Comp.name c))
+        )
+        (Control.loads control ~step))
+    steps
+
+let check_latch_read_write design =
+  let datapath = Design.datapath design in
+  let control = Design.control design in
+  let is_latch id =
+    match Comp.kind (Datapath.comp datapath id) with
+    | Comp.Storage s -> s.Comp.s_kind = Mclock_tech.Library.Latch
+    | Comp.Input _ | Comp.Alu _ | Comp.Mux _ -> false
+  in
+  let steps = Mclock_util.List_ext.range 1 (Control.num_steps control) in
+  List.concat_map
+    (fun step ->
+      let loads = Control.loads control ~step in
+      let select mux = Control.select control ~step ~mux in
+      List.concat_map
+        (fun target ->
+          match Comp.kind (Datapath.comp datapath target) with
+          | Comp.Storage s ->
+              let readers = sequential_cone ~select datapath s.Comp.s_input in
+              List.filter_map
+                (fun reader ->
+                  if reader <> target && is_latch reader && List.mem reader loads
+                  then
+                    Some
+                      (violation "latch-read-write"
+                         "latch c%d is read (feeding c%d) and written in the \
+                          same step %d"
+                         reader target step)
+                  else None)
+                readers
+          | Comp.Input _ | Comp.Alu _ | Comp.Mux _ -> [])
+        loads)
+    steps
+
+let check_controls design =
+  let datapath = Design.datapath design in
+  let control = Design.control design in
+  let steps = Mclock_util.List_ext.range 1 (Control.num_steps control) in
+  List.concat_map
+    (fun step ->
+      let word = Control.word control ~step in
+      let select_violations =
+        List.filter_map
+          (fun (mux_id, idx) ->
+            match Comp.kind (Datapath.comp datapath mux_id) with
+            | Comp.Mux m ->
+                if idx < 0 || idx >= Array.length m.Comp.m_choices then
+                  Some
+                    (violation "mux-select"
+                       "step %d selects input %d of mux c%d (has %d)" step idx
+                       mux_id
+                       (Array.length m.Comp.m_choices))
+                else None
+            | Comp.Input _ | Comp.Storage _ | Comp.Alu _ ->
+                Some
+                  (violation "mux-select" "step %d selects on non-mux c%d" step
+                     mux_id))
+          word.Control.selects
+      in
+      let alu_violations =
+        List.filter_map
+          (fun (alu_id, op) ->
+            match Comp.kind (Datapath.comp datapath alu_id) with
+            | Comp.Alu a ->
+                if not (Op.Set.mem op a.Comp.a_fset) then
+                  Some
+                    (violation "alu-function"
+                       "step %d runs %s on ALU c%d with repertoire %s" step
+                       (Op.name op) alu_id
+                       (Op.Set.to_string a.Comp.a_fset))
+                else None
+            | Comp.Input _ | Comp.Storage _ | Comp.Mux _ ->
+                Some
+                  (violation "alu-function" "step %d selects op on non-ALU c%d"
+                     step alu_id))
+          word.Control.alu_ops
+      in
+      select_violations @ alu_violations)
+    steps
+
+let check_clock design =
+  if Clock.non_overlapping (Design.clock design) then []
+  else [ violation "clock" "phase clocks overlap" ]
+
+let all design =
+  check_clock design @ check_partition_discipline design
+  @ check_latch_read_write design @ check_controls design
+
+let pp_violation ppf v = Fmt.pf ppf "[%s] %s" v.check v.message

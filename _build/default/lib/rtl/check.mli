@@ -1,0 +1,26 @@
+(** Structural checkers for complete designs: partition discipline,
+    latch READ/WRITE separation, control sanity, clock non-overlap. *)
+
+type violation = { check : string; message : string }
+
+val sequential_cone :
+  ?select:(int -> int option) -> Datapath.t -> Comp.source -> int list
+(** Sequential components (inputs/storages) in a source's combinational
+    fan-in; [select] resolves mux routing (unresolved muxes contribute
+    all inputs, conservatively). *)
+
+val check_partition_discipline : Design.t -> violation list
+(** Storage elements must only load during their own phase. *)
+
+val check_latch_read_write : Design.t -> violation list
+(** A latch must never be read and written in the same step. *)
+
+val check_controls : Design.t -> violation list
+(** Mux selects in range and on muxes; ALU ops within repertoires. *)
+
+val check_clock : Design.t -> violation list
+
+val all : Design.t -> violation list
+(** Every check; empty means the design is clean. *)
+
+val pp_violation : Format.formatter -> violation -> unit

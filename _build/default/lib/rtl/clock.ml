@@ -1,0 +1,80 @@
+(* Multi-phase clocking scheme.
+
+   A scheme divides the system clock of frequency [f] into [n]
+   non-overlapping phase clocks CLK_1 .. CLK_n, each of frequency f/n
+   (paper Fig. 2).  Global cycle c (1-based) belongs to phase
+   ((c-1) mod n) + 1: CLK_k pulses during the cycles of its phase and is
+   low elsewhere, so at most one phase clock is high at any time while
+   the *effective* frequency of the whole datapath remains f. *)
+
+type t = { phases : int; frequency : float }
+
+let create ~phases ~frequency =
+  if phases < 1 then invalid_arg "Clock.create: phases must be >= 1";
+  if frequency <= 0. then invalid_arg "Clock.create: frequency must be > 0";
+  { phases; frequency }
+
+let single ~frequency = create ~phases:1 ~frequency
+
+let phases t = t.phases
+let frequency t = t.frequency
+
+let phase_frequency t = t.frequency /. float t.phases
+
+let period t = 1. /. t.frequency
+
+let phase_of_cycle t cycle =
+  if cycle < 1 then invalid_arg "Clock.phase_of_cycle: cycle must be >= 1";
+  ((cycle - 1) mod t.phases) + 1
+
+let phase_of_step t step = phase_of_cycle t step
+
+(* Waveform of one phase clock over [cycles] system cycles, sampled at
+   half-cycle resolution: element [2*(c-1)] is the level in the first
+   half of cycle c (pulse high when the cycle belongs to the phase),
+   element [2*(c-1)+1] the second half (always low: return-to-zero
+   pulses guarantee non-overlap with margin). *)
+let waveform t ~phase ~cycles =
+  if phase < 1 || phase > t.phases then invalid_arg "Clock.waveform: bad phase";
+  List.concat_map
+    (fun c ->
+      if phase_of_cycle t c = phase then [ true; false ] else [ false; false ])
+    (Mclock_util.List_ext.range 1 cycles)
+
+(* True iff no two phase clocks are simultaneously high over a full
+   macro-cycle — the defining property of the scheme. *)
+let non_overlapping t =
+  let cycles = t.phases in
+  let waves =
+    List.map
+      (fun k -> Array.of_list (waveform t ~phase:k ~cycles))
+      (Mclock_util.List_ext.range 1 t.phases)
+  in
+  match waves with
+  | [] -> true
+  | first :: _ ->
+      let len = Array.length first in
+      List.for_all
+        (fun i ->
+          let high = List.length (List.filter (fun w -> w.(i)) waves) in
+          high <= 1)
+        (Mclock_util.List_ext.range 0 (len - 1))
+
+let render_waveforms t ~cycles =
+  let buf = Buffer.create 256 in
+  let line label wave =
+    Buffer.add_string buf (Printf.sprintf "%-6s " label);
+    List.iter (fun high -> Buffer.add_char buf (if high then '#' else '_')) wave;
+    Buffer.add_char buf '\n'
+  in
+  let base = List.concat_map (fun _ -> [ true; false ]) (Mclock_util.List_ext.range 1 cycles) in
+  line "CLK" base;
+  List.iter
+    (fun k -> line (Printf.sprintf "CLK%d" k) (waveform t ~phase:k ~cycles))
+    (Mclock_util.List_ext.range 1 t.phases);
+  Buffer.contents buf
+
+let pp ppf t =
+  Fmt.pf ppf "%d-phase clock @ %.2f MHz (phase rate %.2f MHz)" t.phases
+    (t.frequency /. 1e6)
+    (phase_frequency t /. 1e6)

@@ -1,0 +1,38 @@
+(** Multi-phase clocking scheme (paper Fig. 2): [n] non-overlapping
+    clocks of frequency [f/n] derived from a system clock of frequency
+    [f]; global cycle [c] belongs to phase [((c-1) mod n) + 1]. *)
+
+type t
+
+val create : phases:int -> frequency:float -> t
+(** Raises [Invalid_argument] for [phases < 1] or a non-positive
+    frequency. *)
+
+val single : frequency:float -> t
+
+val phases : t -> int
+val frequency : t -> float
+
+val phase_frequency : t -> float
+(** [frequency / phases] — the rate seen by each partition. *)
+
+val period : t -> float
+
+val phase_of_cycle : t -> int -> int
+(** 1-based phase of a 1-based global cycle. *)
+
+val phase_of_step : t -> int -> int
+(** Alias of {!phase_of_cycle} for schedule steps: the partition a step
+    belongs to. *)
+
+val waveform : t -> phase:int -> cycles:int -> bool list
+(** Half-cycle-sampled level sequence of one phase clock. *)
+
+val non_overlapping : t -> bool
+(** Always true by construction; exposed so tests and the Fig. 2 bench
+    can verify the defining property. *)
+
+val render_waveforms : t -> cycles:int -> string
+(** ASCII waveforms of the base clock and each phase (Fig. 2). *)
+
+val pp : Format.formatter -> t -> unit

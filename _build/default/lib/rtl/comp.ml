@@ -1,0 +1,101 @@
+(* Datapath components.
+
+   Components follow the paper's Functional Block model (Fig. 3): muxes
+   feed ALU ports, ALUs feed memory elements (registers or latches),
+   memory elements feed buses back to mux inputs.  Every component has
+   one output; wiring refers to components by id through [source].
+
+   [phase] is the clock partition a component belongs to (1-based;
+   always 1 in single-clock designs).  For storage it selects the phase
+   clock driving the element; for ALUs and muxes it records the
+   partition for reporting and for latched-control semantics. *)
+
+open Mclock_dfg
+
+type source = From_comp of int | From_const of int
+
+type storage = {
+  s_kind : Mclock_tech.Library.storage_kind;
+  s_phase : int;
+  s_input : source;
+  s_gated : bool; (* clock gated: clock pin toggles only on loads *)
+  s_holds : Var.t list; (* behavioural variables merged into this element *)
+}
+
+type alu = {
+  a_fset : Op.Set.t;
+  a_phase : int;
+  a_src_a : source;
+  a_src_b : source option; (* None for an ALU used only by unary ops *)
+  a_isolated : bool; (* operand isolation when idle *)
+  a_ops : int list; (* behavioural node ids bound to this ALU *)
+}
+
+type mux = {
+  m_phase : int;
+  m_choices : source array; (* at least 2 *)
+}
+
+type kind =
+  | Input of Var.t
+  | Storage of storage
+  | Alu of alu
+  | Mux of mux
+
+type t = { id : int; name : string; kind : kind }
+
+let id t = t.id
+let name t = t.name
+let kind t = t.kind
+
+let phase t =
+  match t.kind with
+  | Input _ -> 1
+  | Storage s -> s.s_phase
+  | Alu a -> a.a_phase
+  | Mux m -> m.m_phase
+
+(* Upstream component ids of a component (constants excluded). *)
+let source_comp = function From_comp id -> Some id | From_const _ -> None
+
+let fanin t =
+  match t.kind with
+  | Input _ -> []
+  | Storage s -> Option.to_list (source_comp s.s_input)
+  | Alu a ->
+      Option.to_list (source_comp a.a_src_a)
+      @ (match a.a_src_b with
+        | None -> []
+        | Some src -> Option.to_list (source_comp src))
+  | Mux m -> List.filter_map source_comp (Array.to_list m.m_choices)
+
+let is_combinational t =
+  match t.kind with Alu _ | Mux _ -> true | Input _ | Storage _ -> false
+
+let pp_source ppf = function
+  | From_comp id -> Fmt.pf ppf "c%d" id
+  | From_const c -> Fmt.pf ppf "#%d" c
+
+let pp ppf t =
+  match t.kind with
+  | Input v -> Fmt.pf ppf "c%d %s: input %a" t.id t.name Var.pp v
+  | Storage s ->
+      Fmt.pf ppf "c%d %s: %s[phase %d%s] <- %a holds {%a}" t.id t.name
+        (match s.s_kind with
+        | Mclock_tech.Library.Register -> "reg"
+        | Mclock_tech.Library.Latch -> "latch")
+        s.s_phase
+        (if s.s_gated then ", gated" else "")
+        pp_source s.s_input
+        (Fmt.list ~sep:Fmt.comma Var.pp)
+        s.s_holds
+  | Alu a ->
+      Fmt.pf ppf "c%d %s: alu %s [phase %d] a=%a b=%a" t.id t.name
+        (Op.Set.to_string a.a_fset) a.a_phase pp_source a.a_src_a
+        (Fmt.option ~none:(Fmt.any "-") pp_source)
+        a.a_src_b
+  | Mux m ->
+      Fmt.pf ppf "c%d %s: mux%d [phase %d] (%a)" t.id t.name
+        (Array.length m.m_choices) m.m_phase
+        Fmt.(array ~sep:comma pp_source)
+        m.m_choices

@@ -1,0 +1,46 @@
+(** Datapath components (the paper's Functional Block parts, Fig. 3):
+    input ports, storage elements, ALUs, and muxes, wired by id. *)
+
+open Mclock_dfg
+
+type source = From_comp of int | From_const of int
+
+type storage = {
+  s_kind : Mclock_tech.Library.storage_kind;
+  s_phase : int;
+  s_input : source;
+  s_gated : bool;
+  s_holds : Var.t list;
+}
+
+type alu = {
+  a_fset : Op.Set.t;
+  a_phase : int;
+  a_src_a : source;
+  a_src_b : source option;
+  a_isolated : bool;
+  a_ops : int list;  (** behavioural node ids bound to this ALU *)
+}
+
+type mux = { m_phase : int; m_choices : source array }
+
+type kind =
+  | Input of Var.t
+  | Storage of storage
+  | Alu of alu
+  | Mux of mux
+
+type t = { id : int; name : string; kind : kind }
+
+val id : t -> int
+val name : t -> string
+val kind : t -> kind
+
+val phase : t -> int
+(** Clock partition (1 for inputs). *)
+
+val source_comp : source -> int option
+val fanin : t -> int list
+val is_combinational : t -> bool
+val pp_source : Format.formatter -> source -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+(** The controller: one control word per schedule step, cycled forever.
+    Unspecified controls hold their previous value, which is how the
+    paper's latched-control discipline is expressed. *)
+
+open Mclock_dfg
+
+type word = {
+  selects : (int * int) list;
+  loads : int list;
+  alu_ops : (int * Op.t) list;
+}
+
+val empty_word : word
+
+type t
+
+val create : word list -> t
+(** One word per step, step 1 first; raises [Invalid_argument] on []. *)
+
+val num_steps : t -> int
+
+val word : t -> step:int -> word
+(** Steps beyond the schedule wrap around (cyclic execution). *)
+
+val select : t -> step:int -> mux:int -> int option
+val loads : t -> step:int -> int list
+val alu_op : t -> step:int -> alu:int -> Op.t option
+
+val changes_between : word -> word -> int
+(** Number of control values that differ — the per-transition unit of
+    control-network power. *)
+
+val pp_word : Format.formatter -> word -> unit
+val pp : Format.formatter -> t -> unit

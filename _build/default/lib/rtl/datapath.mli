@@ -1,0 +1,79 @@
+(** The datapath: a wired collection of components plus output taps. *)
+
+open Mclock_dfg
+
+type t
+
+exception Invalid of string
+
+val create : width:int -> t
+
+val width : t -> int
+
+val add_input : t -> Var.t -> int
+(** Returns the new component's id (as do all [add_*]). *)
+
+val add_storage :
+  t ->
+  name:string ->
+  kind:Mclock_tech.Library.storage_kind ->
+  phase:int ->
+  input:Comp.source ->
+  gated:bool ->
+  holds:Var.t list ->
+  int
+
+val add_alu :
+  t ->
+  name:string ->
+  fset:Op.Set.t ->
+  phase:int ->
+  src_a:Comp.source ->
+  src_b:Comp.source option ->
+  isolated:bool ->
+  ops:int list ->
+  int
+
+val add_mux : t -> name:string -> phase:int -> choices:Comp.source array -> int
+(** Raises {!Invalid} on fewer than 2 choices. *)
+
+val set_output : t -> Var.t -> Comp.source -> unit
+
+val comp : t -> int -> Comp.t
+(** Raises {!Invalid} on an unknown id. *)
+
+val comps : t -> Comp.t list
+(** All components, by ascending id. *)
+
+val outputs : t -> (Var.t * Comp.source) list
+
+val replace_kind : t -> int -> Comp.kind -> unit
+(** Rewire an existing component (used by clean-up passes). *)
+
+val inputs : t -> (Comp.t * Var.t) list
+val storages : t -> (Comp.t * Comp.storage) list
+val alus : t -> (Comp.t * Comp.alu) list
+val muxes : t -> (Comp.t * Comp.mux) list
+
+val memory_cells : t -> int
+(** The paper's "Mem. Cells" column: number of storage elements. *)
+
+val mux_input_count : t -> int
+(** The paper's "Mux In's" column: total mux inputs. *)
+
+val alu_inventory : t -> (Op.Set.t * int) list
+val alu_inventory_string : t -> string
+(** Paper notation, e.g. ["2(+),1(*-)"]. *)
+
+val validate : t -> unit
+(** Checks dangling references, degenerate muxes, and combinational
+    acyclicity; raises {!Invalid} with a diagnostic. *)
+
+val combinational_order : t -> Comp.t list
+(** Muxes and ALUs in evaluation (topological) order; validates first. *)
+
+val fanout_counts : t -> int -> int
+(** [fanout_counts t id] is the number of sinks reading component
+    [id]'s output. *)
+
+val pp : Format.formatter -> t -> unit

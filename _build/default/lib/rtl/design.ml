@@ -1,0 +1,94 @@
+(* A complete RTL design: datapath + controller + clocking scheme,
+   plus the style metadata the power model needs (storage kind, clock
+   gating, latched controls).
+
+   [io] records how behaviour maps onto structure: which input port
+   carries each primary input and which net to observe (and at which
+   step) for each primary output.  The functional-verification harness
+   uses it to compare the design against the golden DFG interpreter. *)
+
+open Mclock_dfg
+
+type style = {
+  storage_kind : Mclock_tech.Library.storage_kind;
+  clock_gated : bool;
+  operand_isolation : bool;
+  latched_control : bool;
+}
+
+let conventional_style =
+  {
+    storage_kind = Mclock_tech.Library.Register;
+    clock_gated = false;
+    operand_isolation = false;
+    latched_control = false;
+  }
+
+let gated_style =
+  {
+    storage_kind = Mclock_tech.Library.Register;
+    clock_gated = true;
+    operand_isolation = true;
+    latched_control = false;
+  }
+
+let multiclock_style =
+  {
+    storage_kind = Mclock_tech.Library.Latch;
+    clock_gated = false;
+    operand_isolation = false;
+    latched_control = true;
+  }
+
+type output_tap = { var : Var.t; source : Comp.source; ready_step : int }
+
+type t = {
+  name : string;
+  behaviour : string; (* name of the source DFG *)
+  datapath : Datapath.t;
+  control : Control.t;
+  clock : Clock.t;
+  style : style;
+  input_ports : (Var.t * int) list; (* primary input -> input component id *)
+  output_taps : output_tap list;
+}
+
+let create ~name ~behaviour ~datapath ~control ~clock ~style ~input_ports
+    ~output_taps =
+  Datapath.validate datapath;
+  if Control.num_steps control < 1 then
+    invalid_arg "Design.create: empty controller";
+  { name; behaviour; datapath; control; clock; style; input_ports; output_taps }
+
+let name t = t.name
+let behaviour t = t.behaviour
+let datapath t = t.datapath
+let control t = t.control
+let clock t = t.clock
+let style t = t.style
+let input_ports t = t.input_ports
+let output_taps t = t.output_taps
+
+let num_steps t = Control.num_steps t.control
+
+let input_port t var =
+  match
+    List.find_opt (fun (v, _) -> Var.equal v var) t.input_ports
+  with
+  | Some (_, id) -> Some id
+  | None -> None
+
+let style_label t =
+  let storage =
+    match t.style.storage_kind with
+    | Mclock_tech.Library.Register -> "FF"
+    | Mclock_tech.Library.Latch -> "latch"
+  in
+  let phases = Clock.phases t.clock in
+  if phases > 1 then Printf.sprintf "%d-clock/%s" phases storage
+  else if t.style.clock_gated then Printf.sprintf "gated/%s" storage
+  else Printf.sprintf "1-clock/%s" storage
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>design %s (behaviour %s, %s)@,%a@,clock: %a@]" t.name
+    t.behaviour (style_label t) Datapath.pp t.datapath Clock.pp t.clock

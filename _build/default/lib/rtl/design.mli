@@ -1,0 +1,58 @@
+(** A complete RTL design: datapath + controller + clocking + style. *)
+
+open Mclock_dfg
+
+type style = {
+  storage_kind : Mclock_tech.Library.storage_kind;
+  clock_gated : bool;
+  operand_isolation : bool;
+  latched_control : bool;
+}
+
+val conventional_style : style
+(** Flip-flops, free-running clock — the paper's "Conven. Alloc.
+    (Non-Gated Clock)". *)
+
+val gated_style : style
+(** Flip-flops with clock gating and operand isolation — "Conven.
+    Alloc. (Gated Clock)". *)
+
+val multiclock_style : style
+(** Latches, latched control lines — the paper's scheme ("1 Clock",
+    "2 Clocks", "3 Clocks" rows). *)
+
+type output_tap = {
+  var : Var.t;
+  source : Comp.source;
+  ready_step : int;  (** schedule step at whose end the value is valid *)
+}
+
+type t
+
+val create :
+  name:string ->
+  behaviour:string ->
+  datapath:Datapath.t ->
+  control:Control.t ->
+  clock:Clock.t ->
+  style:style ->
+  input_ports:(Var.t * int) list ->
+  output_taps:output_tap list ->
+  t
+(** Validates the datapath; raises on an empty controller. *)
+
+val name : t -> string
+val behaviour : t -> string
+val datapath : t -> Datapath.t
+val control : t -> Control.t
+val clock : t -> Clock.t
+val style : t -> style
+val input_ports : t -> (Var.t * int) list
+val output_taps : t -> output_tap list
+val num_steps : t -> int
+val input_port : t -> Var.t -> int option
+
+val style_label : t -> string
+(** e.g. "gated/FF", "3-clock/latch". *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+(* Graphviz DOT emitter for datapaths: components as shaped nodes
+   (storage = box, ALU = trapezium-ish, mux = triangle-ish, input =
+   plaintext), grouped into clusters by clock partition so multi-clock
+   DPM structure is visible at a glance. *)
+
+open Mclock_dfg
+
+let emit datapath =
+  let buf = Buffer.create 1024 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "digraph datapath {\n  rankdir=TB;\n";
+  let decl c =
+    let shape, label =
+      match Comp.kind c with
+      | Comp.Input v -> ("plaintext", Var.name v)
+      | Comp.Storage s ->
+          let k =
+            match s.Comp.s_kind with
+            | Mclock_tech.Library.Register -> "REG"
+            | Mclock_tech.Library.Latch -> "LAT"
+          in
+          ( "box",
+            Printf.sprintf "%s %s\\n{%s}" k (Comp.name c)
+              (String.concat "," (List.map Var.name s.Comp.s_holds)) )
+      | Comp.Alu a ->
+          ("invtrapezium", Printf.sprintf "ALU %s" (Op.Set.to_string a.Comp.a_fset))
+      | Comp.Mux m ->
+          ("invtriangle", Printf.sprintf "MUX%d" (Array.length m.Comp.m_choices))
+    in
+    Printf.sprintf "    c%d [shape=%s, label=\"%s\"];\n" (Comp.id c) shape label
+  in
+  let groups =
+    Mclock_util.List_ext.group_by ~key:Comp.phase ~compare_key:Int.compare
+      (Datapath.comps datapath)
+  in
+  List.iter
+    (fun (phase, members) ->
+      addf "  subgraph cluster_phase%d {\n    label=\"DPM %d (CLK%d)\";\n"
+        phase phase phase;
+      List.iter (fun c -> addf "%s" (decl c)) members;
+      addf "  }\n")
+    groups;
+  let edge dst = function
+    | Comp.From_const k -> addf "  const%d_%d [shape=plaintext, label=\"%d\"];\n  const%d_%d -> c%d;\n" dst k k dst k dst
+    | Comp.From_comp src -> addf "  c%d -> c%d;\n" src dst
+  in
+  List.iter
+    (fun c ->
+      match Comp.kind c with
+      | Comp.Input _ -> ()
+      | Comp.Storage s -> edge (Comp.id c) s.Comp.s_input
+      | Comp.Alu a ->
+          edge (Comp.id c) a.Comp.a_src_a;
+          Option.iter (edge (Comp.id c)) a.Comp.a_src_b
+      | Comp.Mux m -> Array.iter (edge (Comp.id c)) m.Comp.m_choices)
+    (Datapath.comps datapath);
+  List.iter
+    (fun (v, src) ->
+      addf "  out_%s [shape=plaintext, label=\"%s\"];\n" (Var.name v) (Var.name v);
+      match src with
+      | Comp.From_comp id -> addf "  c%d -> out_%s;\n" id (Var.name v)
+      | Comp.From_const k -> addf "  const_out_%d -> out_%s;\n" k (Var.name v))
+    (Datapath.outputs datapath);
+  addf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,3 @@
+(** Graphviz DOT emitter for datapaths, clustered by clock partition. *)
+
+val emit : Datapath.t -> string

@@ -1,0 +1,7 @@
+(** Structural Verilog-2001 emitter (sibling of {!Vhdl}). *)
+
+val keyword_safe : string -> string
+(** Mangle an arbitrary name into a legal Verilog identifier. *)
+
+val emit : Design.t -> string
+(** The whole design as one module. *)

@@ -1,0 +1,8 @@
+(** Structural VHDL-87 emitter for complete designs (the hand-off
+    artifact the paper fed to the COMPASS synthesizer). *)
+
+val keyword_safe : string -> string
+(** Mangle an arbitrary name into a legal VHDL identifier. *)
+
+val emit : Design.t -> string
+(** The whole design as one entity/architecture pair. *)

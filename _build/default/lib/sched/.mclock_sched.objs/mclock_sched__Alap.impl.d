@@ -1,0 +1,1 @@
+lib/sched/alap.ml: Asap Graph Hashtbl List Mclock_dfg Node Printf Schedule

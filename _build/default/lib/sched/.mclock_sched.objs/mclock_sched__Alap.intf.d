@@ -1,0 +1,1 @@
+lib/sched/alap.mli: Graph Mclock_dfg Schedule

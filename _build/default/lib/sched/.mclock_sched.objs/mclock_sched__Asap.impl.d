@@ -1,0 +1,1 @@
+lib/sched/asap.ml: Graph Hashtbl List Mclock_dfg Node Schedule

@@ -1,0 +1,1 @@
+lib/sched/asap.mli: Graph Mclock_dfg Schedule

@@ -1,0 +1,1 @@
+lib/sched/force_directed.ml: Alap Array Graph List Mclock_dfg Mclock_util Mobility Node Op Schedule

@@ -1,0 +1,1 @@
+lib/sched/force_directed.mli: Graph Mclock_dfg Schedule

@@ -1,0 +1,1 @@
+lib/sched/list_sched.ml: Graph Hashtbl Int List Mclock_dfg Mobility Node Op Option Printf Schedule

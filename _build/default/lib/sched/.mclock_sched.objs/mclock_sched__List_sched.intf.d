@@ -1,0 +1,1 @@
+lib/sched/list_sched.mli: Graph Mclock_dfg Op Schedule

@@ -1,0 +1,1 @@
+lib/sched/mobility.ml: Alap Asap Graph List Mclock_dfg Mclock_util Node

@@ -1,0 +1,1 @@
+lib/sched/mobility.mli: Graph Mclock_dfg Node

@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Fmt Format Graph List Mclock_dfg Mclock_util Node

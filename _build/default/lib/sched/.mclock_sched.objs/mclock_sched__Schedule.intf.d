@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Format Graph Mclock_dfg Node Op

@@ -1,0 +1,39 @@
+(* As-late-as-possible scheduling within a deadline.
+
+   Nodes with no consumers sit at the deadline; every other node at
+   min(step of its consumers) - 1.  The deadline defaults to the ASAP
+   critical-path length (so ALAP is always feasible). *)
+
+open Mclock_dfg
+
+let critical_path_length graph =
+  List.fold_left (fun acc (_, s) -> max acc s) 0 (Asap.steps graph)
+
+let steps ?deadline graph =
+  let deadline =
+    match deadline with
+    | Some d -> d
+    | None -> critical_path_length graph
+  in
+  if deadline < critical_path_length graph then
+    invalid_arg
+      (Printf.sprintf "Alap.steps: deadline %d below critical path %d" deadline
+         (critical_path_length graph));
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun node ->
+      let successors = Graph.successors graph node in
+      let latest =
+        match successors with
+        | [] -> deadline
+        | _ :: _ ->
+            List.fold_left
+              (fun acc consumer ->
+                min acc (Hashtbl.find table (Node.id consumer) - 1))
+              deadline successors
+      in
+      Hashtbl.replace table (Node.id node) latest)
+    (List.rev (Graph.nodes graph));
+  List.map (fun node -> (Node.id node, Hashtbl.find table (Node.id node))) (Graph.nodes graph)
+
+let run ?deadline graph = Schedule.create graph (steps ?deadline graph)

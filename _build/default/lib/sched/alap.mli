@@ -1,0 +1,12 @@
+(** As-late-as-possible scheduling within a deadline. *)
+
+open Mclock_dfg
+
+val critical_path_length : Graph.t -> int
+
+val steps : ?deadline:int -> Graph.t -> (int * int) list
+(** Latest feasible step per node id; [deadline] defaults to the
+    critical-path length.  Raises [Invalid_argument] if the deadline is
+    below the critical path. *)
+
+val run : ?deadline:int -> Graph.t -> Schedule.t

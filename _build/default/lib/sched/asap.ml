@@ -1,0 +1,22 @@
+(* As-soon-as-possible scheduling.
+
+   Each node is placed at 1 + max(step of its producers), i.e. the
+   earliest step compatible with the end-of-step latching model. *)
+
+open Mclock_dfg
+
+let steps graph =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun node ->
+      let ready =
+        List.fold_left
+          (fun acc producer -> max acc (Hashtbl.find table (Node.id producer)))
+          0
+          (Graph.predecessors graph node)
+      in
+      Hashtbl.replace table (Node.id node) (ready + 1))
+    (Graph.nodes graph);
+  List.map (fun node -> (Node.id node, Hashtbl.find table (Node.id node))) (Graph.nodes graph)
+
+let run graph = Schedule.create graph (steps graph)

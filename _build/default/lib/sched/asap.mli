@@ -1,0 +1,8 @@
+(** As-soon-as-possible scheduling. *)
+
+open Mclock_dfg
+
+val steps : Graph.t -> (int * int) list
+(** Earliest feasible step per node id. *)
+
+val run : Graph.t -> Schedule.t

@@ -1,0 +1,157 @@
+(* Force-directed scheduling (Paulin & Knight, 1989) — the scheduling
+   methodology the paper cites as its input ([13], [15]).
+
+   Within a deadline, every unfixed node has a feasible window; the
+   probability of it occupying step t is uniform over the window.  The
+   distribution graph DG_op(t) sums these probabilities per operation
+   kind.  Fixing a node to a step exerts a "force" measuring how much it
+   pushes the distribution above its average; the algorithm repeatedly
+   fixes the (node, step) pair with the lowest total force (self force
+   plus the forces induced on direct predecessors/successors whose
+   windows shrink).  Low total force balances concurrency, minimizing
+   the resources needed at any one step. *)
+
+open Mclock_dfg
+
+type windows = (int * int) Node.Map.t (* node id -> (earliest, latest) *)
+
+let initial_windows ?deadline graph : windows =
+  let mobility = Mobility.compute ?deadline graph in
+  List.fold_left
+    (fun acc node ->
+      let w = Mobility.window mobility node in
+      Node.Map.add (Node.id node) (w.Mobility.earliest, w.Mobility.latest) acc)
+    Node.Map.empty (Graph.nodes graph)
+
+(* Tighten windows after fixing [node] at [step]: predecessors must end
+   by step-1, successors start at step+1, transitively. *)
+let propagate graph windows node step =
+  let windows = ref (Node.Map.add (Node.id node) (step, step) windows) in
+  let rec tighten_pred node latest =
+    List.iter
+      (fun producer ->
+        let e, l = Node.Map.find (Node.id producer) !windows in
+        if l > latest then begin
+          windows := Node.Map.add (Node.id producer) (e, latest) !windows;
+          tighten_pred producer (latest - 1)
+        end)
+      (Graph.predecessors graph node)
+  in
+  let rec tighten_succ node earliest =
+    List.iter
+      (fun consumer ->
+        let e, l = Node.Map.find (Node.id consumer) !windows in
+        if e < earliest then begin
+          windows := Node.Map.add (Node.id consumer) (earliest, l) !windows;
+          tighten_succ consumer (earliest + 1)
+        end)
+      (Graph.successors graph node)
+  in
+  tighten_pred node (step - 1);
+  tighten_succ node (step + 1);
+  !windows
+
+let probability (e, l) t = if t >= e && t <= l then 1. /. float (l - e + 1) else 0.
+
+(* Distribution graph for one op kind over steps 1..deadline. *)
+let distribution graph windows ~deadline op =
+  Array.init (deadline + 1) (fun t ->
+      if t = 0 then 0.
+      else
+        List.fold_left
+          (fun acc node ->
+            if Op.equal (Node.op node) op then
+              acc +. probability (Node.Map.find (Node.id node) windows) t
+            else acc)
+          0. (Graph.nodes graph))
+
+(* Self force of assigning [node] to [step]: sum over its old window of
+   DG(t) * (delta probability). *)
+let self_force dg windows node step =
+  let e, l = Node.Map.find (Node.id node) windows in
+  let old_p = probability (e, l) in
+  let f = ref 0. in
+  for t = e to l do
+    let new_p = if t = step then 1. else 0. in
+    f := !f +. (dg.(t) *. (new_p -. old_p t))
+  done;
+  !f
+
+let total_force graph dgs windows node step =
+  let dg_of n = List.assoc (Node.op n) dgs in
+  let after = propagate graph windows node step in
+  let force_of n =
+    let e_old, l_old = Node.Map.find (Node.id n) windows in
+    let e_new, l_new = Node.Map.find (Node.id n) after in
+    if e_old = e_new && l_old = l_new then 0.
+    else begin
+      (* Window shrank: force of the implied probability shift. *)
+      let dg = dg_of n in
+      let old_p = probability (e_old, l_old) in
+      let new_p = probability (e_new, l_new) in
+      let f = ref 0. in
+      for t = e_old to l_old do
+        f := !f +. (dg.(t) *. (new_p t -. old_p t))
+      done;
+      !f
+    end
+  in
+  let neighbor_force =
+    List.fold_left
+      (fun acc n -> acc +. force_of n)
+      0.
+      (Graph.predecessors graph node @ Graph.successors graph node)
+  in
+  self_force (dg_of node) windows node step +. neighbor_force
+
+let steps ?deadline graph =
+  let deadline_v =
+    match deadline with
+    | Some d -> d
+    | None -> Alap.critical_path_length graph
+  in
+  let ops =
+    Mclock_util.List_ext.dedup ~compare:Op.compare
+      (List.map Node.op (Graph.nodes graph))
+  in
+  let rec loop windows fixed remaining =
+    match remaining with
+    | [] -> fixed
+    | _ :: _ ->
+        let dgs =
+          List.map
+            (fun op -> (op, distribution graph windows ~deadline:deadline_v op))
+            ops
+        in
+        let candidates =
+          List.concat_map
+            (fun node ->
+              let e, l = Node.Map.find (Node.id node) windows in
+              List.map
+                (fun s -> (node, s, total_force graph dgs windows node s))
+                (Mclock_util.List_ext.range e l))
+            remaining
+        in
+        let node, step, _ =
+          Mclock_util.List_ext.min_by
+            (fun (n, s, f) -> (f, Node.id n, s))
+            candidates
+        in
+        let windows = propagate graph windows node step in
+        let remaining =
+          List.filter (fun n -> not (Node.equal n node)) remaining
+        in
+        loop windows ((Node.id node, step) :: fixed) remaining
+  in
+  let windows = initial_windows ?deadline graph in
+  (* Zero-slack nodes are already fixed by their window. *)
+  let fixed, remaining =
+    List.partition_map
+      (fun node ->
+        let e, l = Node.Map.find (Node.id node) windows in
+        if e = l then Left (Node.id node, e) else Right node)
+      (Graph.nodes graph)
+  in
+  loop windows fixed remaining |> List.sort compare
+
+let run ?deadline graph = Schedule.create graph (steps ?deadline graph)

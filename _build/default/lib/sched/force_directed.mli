@@ -1,0 +1,9 @@
+(** Force-directed scheduling (Paulin–Knight), the time-constrained
+    scheduler the paper assumes as its front end. *)
+
+open Mclock_dfg
+
+val steps : ?deadline:int -> Graph.t -> (int * int) list
+(** [deadline] defaults to the critical-path length. *)
+
+val run : ?deadline:int -> Graph.t -> Schedule.t

@@ -1,0 +1,73 @@
+(* Resource-constrained list scheduling.
+
+   Classic algorithm: walk steps forward; at each step, among the ready
+   operations pick the most urgent (least slack) first, placing as many
+   as the per-operation resource bounds allow; the rest wait.  Resource
+   bounds are per operation kind; unmentioned kinds are unconstrained. *)
+
+open Mclock_dfg
+
+type constraints = (Op.t * int) list
+
+let limit constraints op =
+  match List.assoc_opt op constraints with
+  | Some n ->
+      if n < 1 then
+        invalid_arg
+          (Printf.sprintf "List_sched: resource bound for %s must be >= 1"
+             (Op.name op))
+      else n
+  | None -> max_int
+
+let steps ~constraints graph =
+  let mobility = Mobility.compute graph in
+  let unscheduled = Hashtbl.create 64 in
+  List.iter
+    (fun node -> Hashtbl.replace unscheduled (Node.id node) node)
+    (Graph.nodes graph);
+  let placed = Hashtbl.create 64 in
+  let is_ready node =
+    List.for_all
+      (fun producer -> Hashtbl.mem placed (Node.id producer))
+      (Graph.predecessors graph node)
+  in
+  let rec go step acc =
+    if Hashtbl.length unscheduled = 0 then List.rev acc
+    else begin
+      let ready =
+        Hashtbl.fold
+          (fun _ node acc -> if is_ready node then node :: acc else acc)
+          unscheduled []
+        |> List.sort (fun a b ->
+               let c = Int.compare (Mobility.slack mobility a) (Mobility.slack mobility b) in
+               if c <> 0 then c else Int.compare (Node.id a) (Node.id b))
+      in
+      let used = Hashtbl.create 8 in
+      let scheduled_now =
+        List.filter
+          (fun node ->
+            let op = Node.op node in
+            let n = Option.value ~default:0 (Hashtbl.find_opt used op) in
+            if n < limit constraints op then begin
+              Hashtbl.replace used op (n + 1);
+              true
+            end
+            else false)
+          ready
+      in
+      List.iter
+        (fun node ->
+          Hashtbl.remove unscheduled (Node.id node);
+          Hashtbl.replace placed (Node.id node) step)
+        scheduled_now;
+      let acc =
+        List.fold_left
+          (fun acc node -> (Node.id node, step) :: acc)
+          acc scheduled_now
+      in
+      go (step + 1) acc
+    end
+  in
+  go 1 []
+
+let run ~constraints graph = Schedule.create graph (steps ~constraints graph)

@@ -1,0 +1,12 @@
+(** Resource-constrained list scheduling (least-slack-first). *)
+
+open Mclock_dfg
+
+type constraints = (Op.t * int) list
+(** Maximum concurrent operations per kind; unmentioned kinds are
+    unconstrained. *)
+
+val steps : constraints:constraints -> Graph.t -> (int * int) list
+(** Raises [Invalid_argument] on a non-positive bound. *)
+
+val run : constraints:constraints -> Graph.t -> Schedule.t

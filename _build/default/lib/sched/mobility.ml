@@ -1,0 +1,42 @@
+(* Mobility (slack) analysis: per node, the window [asap, alap] of
+   feasible steps within a deadline.  The width of the window drives
+   both list scheduling priorities and force-directed probabilities. *)
+
+open Mclock_dfg
+
+type window = { earliest : int; latest : int }
+
+type t = {
+  graph : Graph.t;
+  deadline : int;
+  windows : window Node.Map.t;
+}
+
+let compute ?deadline graph =
+  let asap = Asap.steps graph in
+  let alap = Alap.steps ?deadline graph in
+  let deadline =
+    match deadline with
+    | Some d -> d
+    | None -> Alap.critical_path_length graph
+  in
+  let windows =
+    List.fold_left2
+      (fun acc (id_a, earliest) (id_l, latest) ->
+        assert (id_a = id_l);
+        Node.Map.add id_a { earliest; latest } acc)
+      Node.Map.empty asap alap
+  in
+  { graph; deadline; windows }
+
+let deadline t = t.deadline
+
+let window t node = Node.Map.find (Node.id node) t.windows
+
+let slack t node =
+  let w = window t node in
+  w.latest - w.earliest
+
+let feasible_steps t node =
+  let w = window t node in
+  Mclock_util.List_ext.range w.earliest w.latest

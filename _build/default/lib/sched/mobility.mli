@@ -1,0 +1,18 @@
+(** Mobility (slack) analysis: per-node feasible step windows. *)
+
+open Mclock_dfg
+
+type window = { earliest : int; latest : int }
+
+type t
+
+val compute : ?deadline:int -> Graph.t -> t
+(** [deadline] defaults to the critical-path length. *)
+
+val deadline : t -> int
+val window : t -> Node.t -> window
+
+val slack : t -> Node.t -> int
+(** [latest - earliest]; 0 for critical nodes. *)
+
+val feasible_steps : t -> Node.t -> int list

@@ -1,0 +1,99 @@
+(* A schedule: the assignment of each DFG node to a control step.
+
+   Steps are 1-based.  Timing model (matching the paper's datapaths):
+   an operation executes during its step and its result is latched at
+   the end of the step, so a consumer must be scheduled at a strictly
+   later step than each of its producers.  Primary inputs are available
+   from step 1 onwards. *)
+
+open Mclock_dfg
+
+type t = {
+  graph : Graph.t;
+  steps : int Node.Map.t;
+  num_steps : int;
+}
+
+exception Invalid of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+let create graph assignments =
+  let steps =
+    List.fold_left
+      (fun acc (id, step) ->
+        if step < 1 then invalid "node %d scheduled at step %d (< 1)" id step;
+        (* Validates the id exists. *)
+        let (_ : Node.t) = Graph.node graph id in
+        if Node.Map.mem id acc then invalid "node %d scheduled twice" id;
+        Node.Map.add id step acc)
+      Node.Map.empty assignments
+  in
+  List.iter
+    (fun node ->
+      if not (Node.Map.mem (Node.id node) steps) then
+        invalid "node %d has no scheduled step" (Node.id node))
+    (Graph.nodes graph);
+  let num_steps = Node.Map.fold (fun _ step acc -> max acc step) steps 0 in
+  List.iter
+    (fun node ->
+      let consumer_step = Node.Map.find (Node.id node) steps in
+      List.iter
+        (fun producer ->
+          let producer_step = Node.Map.find (Node.id producer) steps in
+          if producer_step >= consumer_step then
+            invalid
+              "dependency violation: node %d (step %d) reads the result of \
+               node %d (step %d)"
+              (Node.id node) consumer_step (Node.id producer) producer_step)
+        (Graph.predecessors graph node))
+    (Graph.nodes graph);
+  { graph; steps; num_steps }
+
+let graph t = t.graph
+let num_steps t = t.num_steps
+
+let step t node =
+  match Node.Map.find_opt (Node.id node) t.steps with
+  | Some s -> s
+  | None -> invalid "node %d not in schedule" (Node.id node)
+
+let step_of_id t id = step t (Graph.node t.graph id)
+
+let nodes_at t s =
+  List.filter (fun node -> step t node = s) (Graph.nodes t.graph)
+
+let assignments t =
+  Node.Map.bindings t.steps
+
+(* Maximum number of concurrently scheduled operations of each kind —
+   the minimal single-clock resource requirement. *)
+let peak_usage t =
+  let per_step =
+    List.map (fun s -> nodes_at t s) (Mclock_util.List_ext.range 1 t.num_steps)
+  in
+  let census nodes =
+    List.fold_left
+      (fun acc node ->
+        Mclock_util.List_ext.assoc_update ~key:(Node.op node) ~default:0
+          (fun n -> n + 1)
+          acc)
+      [] nodes
+  in
+  List.fold_left
+    (fun acc nodes ->
+      List.fold_left
+        (fun acc (op, n) ->
+          Mclock_util.List_ext.assoc_update ~key:op ~default:0 (max n) acc)
+        acc (census nodes))
+    [] per_step
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>schedule of %s (%d steps)@," (Graph.name t.graph)
+    t.num_steps;
+  List.iter
+    (fun s ->
+      let ids = List.map Node.id (nodes_at t s) in
+      Fmt.pf ppf "T%d: %a@," s (Fmt.list ~sep:(Fmt.any " ") Fmt.int) ids)
+    (Mclock_util.List_ext.range 1 t.num_steps);
+  Fmt.pf ppf "@]"

@@ -1,0 +1,34 @@
+(** A schedule: assignment of each DFG node to a 1-based control step.
+
+    Timing model: results are latched at the end of their step, so every
+    consumer is scheduled strictly after each of its producers. *)
+
+open Mclock_dfg
+
+type t
+
+exception Invalid of string
+
+val create : Graph.t -> (int * int) list -> t
+(** [create g [(node_id, step); ...]] validates completeness (every node
+    scheduled exactly once, steps >= 1) and dependency order; raises
+    {!Invalid} otherwise. *)
+
+val graph : t -> Graph.t
+
+val num_steps : t -> int
+(** Highest used step. *)
+
+val step : t -> Node.t -> int
+val step_of_id : t -> int -> int
+
+val nodes_at : t -> int -> Node.t list
+(** Nodes scheduled at a given step, in topological order. *)
+
+val assignments : t -> (int * int) list
+(** [(node_id, step)] pairs, sorted by node id. *)
+
+val peak_usage : t -> (Op.t * int) list
+(** Per operation kind, the maximum number scheduled in any one step. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/golden.ml: Graph List Mclock_dfg Mclock_util Node Op Printf Var

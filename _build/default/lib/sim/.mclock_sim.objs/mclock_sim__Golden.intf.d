@@ -1,0 +1,1 @@
+lib/sim/golden.mli: Graph Mclock_dfg Mclock_util Var

@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Activity Array Clock Comp Control Datapath Design Golden List Mclock_dfg Mclock_rtl Mclock_tech Mclock_util Op Option Printf Var Vcd

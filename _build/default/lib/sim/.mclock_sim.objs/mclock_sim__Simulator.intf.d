@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Activity Golden Mclock_rtl Mclock_tech Mclock_util Vcd

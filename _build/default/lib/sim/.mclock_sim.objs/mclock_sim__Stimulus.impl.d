@@ -1,0 +1,1 @@
+lib/sim/stimulus.ml: Graph List Mclock_dfg Mclock_util Printf Var

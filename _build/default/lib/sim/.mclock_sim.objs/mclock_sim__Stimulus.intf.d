@@ -1,0 +1,1 @@
+lib/sim/stimulus.mli: Golden Graph Mclock_dfg Mclock_util

@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Buffer Char List Mclock_util Printf String

@@ -1,0 +1,1 @@
+lib/sim/verify.ml: Fmt Golden Graph List Mclock_dfg Mclock_rtl Mclock_util Simulator Var

@@ -1,0 +1,1 @@
+lib/sim/verify.mli: Format Graph Mclock_dfg Mclock_rtl Mclock_tech Mclock_util Simulator Var

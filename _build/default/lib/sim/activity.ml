@@ -1,0 +1,85 @@
+(* Switched-energy bookkeeping for the simulator.
+
+   Energy is accrued per (component, category) in picojoules; the
+   categories separate the physical mechanisms so reports can show
+   where a design style wins:
+   - Clock: clock pins and clock tree;
+   - Storage_write: internal write energy of storage elements;
+   - Data: output-net transitions of any component;
+   - Alu_internal: combinational switching inside ALUs;
+   - Mux_data / Mux_select: mux datapath and select lines;
+   - Control: controller output network (loads, function selects);
+   - Isolation: operand-isolation cells;
+   - Gating: clock-gating cells. *)
+
+type category =
+  | Clock
+  | Storage_write
+  | Data
+  | Alu_internal
+  | Mux_data
+  | Mux_select
+  | Control
+  | Isolation
+  | Gating
+
+let all_categories =
+  [ Clock; Storage_write; Data; Alu_internal; Mux_data; Mux_select; Control; Isolation; Gating ]
+
+let category_name = function
+  | Clock -> "clock"
+  | Storage_write -> "storage-write"
+  | Data -> "data"
+  | Alu_internal -> "alu-internal"
+  | Mux_data -> "mux-data"
+  | Mux_select -> "mux-select"
+  | Control -> "control"
+  | Isolation -> "isolation"
+  | Gating -> "gating"
+
+type t = {
+  table : (int * category, float) Hashtbl.t; (* (comp id, category) -> pJ *)
+  mutable total : float;
+}
+
+(* Component id 0 is reserved for design-global costs (the control
+   network); real components start at 1. *)
+let global_component = 0
+
+let create () = { table = Hashtbl.create 64; total = 0. }
+
+let add t ~comp ~category pj =
+  if pj <> 0. then begin
+    let key = (comp, category) in
+    Hashtbl.replace t.table key
+      (pj +. Option.value ~default:0. (Hashtbl.find_opt t.table key));
+    t.total <- t.total +. pj
+  end
+
+let total t = t.total
+
+let by_category t =
+  List.filter_map
+    (fun cat ->
+      let sum =
+        Hashtbl.fold
+          (fun (_, c) pj acc -> if c = cat then acc +. pj else acc)
+          t.table 0.
+      in
+      if sum = 0. then None else Some (cat, sum))
+    all_categories
+
+let by_component t =
+  let sums = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (comp, _) pj ->
+      Hashtbl.replace sums comp
+        (pj +. Option.value ~default:0. (Hashtbl.find_opt sums comp)))
+    t.table;
+  Hashtbl.fold (fun comp pj acc -> (comp, pj) :: acc) sums []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let of_component t comp =
+  Hashtbl.fold
+    (fun (c, _) pj acc -> if c = comp then acc +. pj else acc)
+    t.table 0.

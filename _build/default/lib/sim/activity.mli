@@ -1,0 +1,27 @@
+(** Switched-energy bookkeeping (pJ) per component and mechanism. *)
+
+type category =
+  | Clock
+  | Storage_write
+  | Data
+  | Alu_internal
+  | Mux_data
+  | Mux_select
+  | Control
+  | Isolation
+  | Gating
+
+val all_categories : category list
+val category_name : category -> string
+
+type t
+
+val global_component : int
+(** Pseudo component id for design-global costs (control network). *)
+
+val create : unit -> t
+val add : t -> comp:int -> category:category -> float -> unit
+val total : t -> float
+val by_category : t -> (category * float) list
+val by_component : t -> (int * float) list
+val of_component : t -> int -> float

@@ -1,0 +1,42 @@
+(* Golden reference interpreter: evaluate a DFG directly on bit-vector
+   inputs.  The RTL simulator's observed outputs must match this for
+   every design style — the functional-correctness oracle. *)
+
+open Mclock_dfg
+module B = Mclock_util.Bitvec
+
+type env = B.t Var.Map.t
+
+let eval_node ~width env node =
+  let operand = function
+    | Node.Operand_var v -> (
+        match Var.Map.find_opt v env with
+        | Some value -> value
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Golden.eval: variable %s unbound" (Var.name v)))
+    | Node.Operand_const c -> B.create ~width c
+  in
+  Op.eval (Node.op node) (List.map operand (Node.operands node))
+
+let eval ~width graph inputs =
+  List.iter
+    (fun v ->
+      if not (Var.Map.mem v inputs) then
+        invalid_arg
+          (Printf.sprintf "Golden.eval: missing input %s" (Var.name v)))
+    (Graph.inputs graph);
+  let env =
+    List.fold_left
+      (fun env node ->
+        Var.Map.add (Node.result node) (eval_node ~width env node) env)
+      inputs (Graph.nodes graph)
+  in
+  List.fold_left
+    (fun acc v -> Var.Map.add v (Var.Map.find v env) acc)
+    Var.Map.empty (Graph.outputs graph)
+
+let random_inputs rng ~width graph =
+  List.fold_left
+    (fun acc v -> Var.Map.add v (B.random rng ~width) acc)
+    Var.Map.empty (Graph.inputs graph)

@@ -1,0 +1,12 @@
+(** Golden reference interpreter: evaluate a DFG directly on bit-vector
+    inputs — the functional-correctness oracle for RTL simulation. *)
+
+open Mclock_dfg
+
+type env = Mclock_util.Bitvec.t Var.Map.t
+
+val eval : width:int -> Graph.t -> env -> env
+(** Primary-output values; raises [Invalid_argument] on missing
+    inputs. *)
+
+val random_inputs : Mclock_util.Rng.t -> width:int -> Graph.t -> env

@@ -1,0 +1,43 @@
+(** Cycle-accurate multi-phase RTL simulator with per-node transition
+    counting (the stand-in for the paper's COMPASS power simulation).
+
+    Runs [iterations] back-to-back computations of the behaviour with
+    fresh random primary inputs each, charging switched energy per
+    component and mechanism; reports average power. *)
+
+type result = {
+  cycles : int;
+  iterations : int;
+  sim_time_s : float;
+  energy_pj : float;
+  power_mw : float;
+  activity : Activity.t;
+  inputs : Golden.env list;  (** per computation *)
+  outputs : Golden.env list;  (** per computation, same order *)
+}
+
+type trace_request = { vcd : Vcd.t; max_cycles : int }
+
+type observation = {
+  obs_cycle : int;
+  obs_step : int;
+  obs_phase : int;
+  obs_value : int -> Mclock_util.Bitvec.t;
+      (** component output at the end of the cycle *)
+}
+
+val run :
+  ?seed:int ->
+  ?trace:trace_request ->
+  ?observer:(observation -> unit) ->
+  ?stimulus:Golden.env list ->
+  Mclock_tech.Library.t ->
+  Mclock_rtl.Design.t ->
+  iterations:int ->
+  result
+(** Deterministic for a given [seed].  [observer] fires after each
+    cycle's sequential update (used by the Fig. 4 timing checks);
+    [stimulus] supplies one input environment per computation instead
+    of the default uniform random stream (see {!Stimulus}).  Raises
+    [Invalid_argument] for [iterations < 1] or an unsuitable
+    stimulus. *)

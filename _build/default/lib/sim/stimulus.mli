@@ -1,0 +1,23 @@
+(** Stimulus models for power simulation: uniform random (the paper's
+    methodology), bit-correlated, slowly-varying ramps, and constant
+    inputs (the data-activity floor). *)
+
+open Mclock_dfg
+
+type model =
+  | Uniform
+  | Correlated of float  (** per-bit flip probability between samples *)
+  | Ramp of int
+  | Constant
+
+val name : model -> string
+
+val generate :
+  model ->
+  Mclock_util.Rng.t ->
+  width:int ->
+  iterations:int ->
+  Graph.t ->
+  Golden.env list
+(** One environment per computation; raises [Invalid_argument] on a
+    flip probability outside [0, 1] or non-positive iterations. *)

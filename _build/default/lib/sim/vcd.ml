@@ -1,0 +1,89 @@
+(* Minimal VCD (Value Change Dump) writer.
+
+   Produces IEEE-1364-style dumps viewable in GTKWave: register one
+   signal per interesting net, then sample once per time step; only
+   changed values are emitted. *)
+
+module B = Mclock_util.Bitvec
+
+type signal = { code : string; name : string; width : int; mutable last : B.t option }
+
+type t = {
+  timescale : string;
+  mutable signals : signal list; (* reversed *)
+  buf : Buffer.t;
+  mutable header_done : bool;
+  mutable next_code : int;
+}
+
+let create ?(timescale = "1 ns") () =
+  {
+    timescale;
+    signals = [];
+    buf = Buffer.create 1024;
+    header_done = false;
+    next_code = 0;
+  }
+
+(* VCD identifier codes: printable ASCII 33..126, shortest first. *)
+let code_of_int n =
+  let base = 94 in
+  let rec go acc n =
+    let digit = Char.chr (33 + (n mod base)) in
+    let acc = String.make 1 digit ^ acc in
+    if n < base then acc else go acc ((n / base) - 1)
+  in
+  go "" n
+
+let register t ~name ~width =
+  if t.header_done then invalid_arg "Vcd.register: header already emitted";
+  let code = code_of_int t.next_code in
+  t.next_code <- t.next_code + 1;
+  let s = { code; name; width; last = None } in
+  t.signals <- s :: t.signals;
+  s
+
+let emit_header t =
+  Buffer.add_string t.buf (Printf.sprintf "$timescale %s $end\n" t.timescale);
+  Buffer.add_string t.buf "$scope module mclock $end\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string t.buf
+        (Printf.sprintf "$var wire %d %s %s $end\n" s.width s.code s.name))
+    (List.rev t.signals);
+  Buffer.add_string t.buf "$upscope $end\n$enddefinitions $end\n";
+  t.header_done <- true
+
+let sample t ~time values =
+  if not t.header_done then emit_header t;
+  let changes =
+    List.filter_map
+      (fun (s, value) ->
+        match s.last with
+        | Some prev when B.equal prev value -> None
+        | Some _ | None ->
+            s.last <- Some value;
+            Some (s, value))
+      values
+  in
+  if changes <> [] then begin
+    Buffer.add_string t.buf (Printf.sprintf "#%d\n" time);
+    List.iter
+      (fun (s, value) ->
+        if s.width = 1 then
+          Buffer.add_string t.buf
+            (Printf.sprintf "%d%s\n" (B.to_int value) s.code)
+        else
+          Buffer.add_string t.buf
+            (Printf.sprintf "b%s %s\n" (B.to_binary_string value) s.code))
+      changes
+  end
+
+let contents t =
+  if not t.header_done then emit_header t;
+  Buffer.contents t.buf
+
+let save t path =
+  let oc = open_out path in
+  output_string oc (contents t);
+  close_out oc

@@ -1,0 +1,15 @@
+(** Minimal VCD (Value Change Dump) writer for waveform inspection. *)
+
+type signal
+type t
+
+val create : ?timescale:string -> unit -> t
+
+val register : t -> name:string -> width:int -> signal
+(** Must precede the first {!sample}. *)
+
+val sample : t -> time:int -> (signal * Mclock_util.Bitvec.t) list -> unit
+(** Emit changes at a time stamp (monotonically increasing). *)
+
+val contents : t -> string
+val save : t -> string -> unit

@@ -1,0 +1,54 @@
+(* Functional verification: the design's simulated outputs must equal
+   the golden interpreter's on the same random inputs, computation by
+   computation.  Every allocator output is checked this way in the test
+   suite and before every benchmark run. *)
+
+open Mclock_dfg
+module B = Mclock_util.Bitvec
+
+type mismatch = {
+  iteration : int; (* 1-based *)
+  var : Var.t;
+  expected : B.t;
+  actual : B.t option; (* None: output never observed *)
+}
+
+type report = {
+  iterations : int;
+  mismatches : mismatch list;
+}
+
+let ok report = report.mismatches = []
+
+let check ~width graph (result : Simulator.result) =
+  let mismatches = ref [] in
+  List.iteri
+    (fun idx (inputs, outputs) ->
+      let golden = Golden.eval ~width graph inputs in
+      List.iter
+        (fun var ->
+          let expected = Var.Map.find var golden in
+          match Var.Map.find_opt var outputs with
+          | Some actual when B.equal actual expected -> ()
+          | Some actual ->
+              mismatches :=
+                { iteration = idx + 1; var; expected; actual = Some actual }
+                :: !mismatches
+          | None ->
+              mismatches :=
+                { iteration = idx + 1; var; expected; actual = None }
+                :: !mismatches)
+        (Graph.outputs graph))
+    (List.combine result.Simulator.inputs result.Simulator.outputs);
+  { iterations = result.Simulator.iterations; mismatches = List.rev !mismatches }
+
+let run ?(seed = 42) ?(iterations = 25) tech design graph =
+  let width = Mclock_rtl.Datapath.width (Mclock_rtl.Design.datapath design) in
+  let result = Simulator.run ~seed tech design ~iterations in
+  check ~width graph result
+
+let pp_mismatch ppf m =
+  Fmt.pf ppf "iteration %d, %a: expected %a, got %a" m.iteration Var.pp m.var
+    B.pp m.expected
+    (Fmt.option ~none:(Fmt.any "nothing") B.pp)
+    m.actual

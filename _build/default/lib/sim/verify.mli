@@ -1,0 +1,29 @@
+(** Functional verification of designs against the golden DFG
+    interpreter, computation by computation. *)
+
+open Mclock_dfg
+
+type mismatch = {
+  iteration : int;
+  var : Var.t;
+  expected : Mclock_util.Bitvec.t;
+  actual : Mclock_util.Bitvec.t option;
+}
+
+type report = { iterations : int; mismatches : mismatch list }
+
+val ok : report -> bool
+
+val check : width:int -> Graph.t -> Simulator.result -> report
+(** Compare an existing simulation result against golden evaluation. *)
+
+val run :
+  ?seed:int ->
+  ?iterations:int ->
+  Mclock_tech.Library.t ->
+  Mclock_rtl.Design.t ->
+  Graph.t ->
+  report
+(** Simulate then compare (default 25 computations). *)
+
+val pp_mismatch : Format.formatter -> mismatch -> unit

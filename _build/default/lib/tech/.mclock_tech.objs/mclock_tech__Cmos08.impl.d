@@ -1,0 +1,1 @@
+lib/tech/cmos08.ml: Library Mclock_dfg Op

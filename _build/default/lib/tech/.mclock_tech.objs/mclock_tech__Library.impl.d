@@ -1,0 +1,1 @@
+lib/tech/library.ml: Fmt List Mclock_dfg Mclock_util Op

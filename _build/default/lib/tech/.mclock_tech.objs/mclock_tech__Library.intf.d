@@ -1,0 +1,1 @@
+lib/tech/library.mli: Format Mclock_dfg Op

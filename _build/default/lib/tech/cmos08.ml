@@ -1,0 +1,69 @@
+(* Default 0.8 micron-scale CMOS technology numbers.
+
+   Calibrated so that 4-bit datapaths of the paper's benchmarks land in
+   the same few-mW power band and few-million-lambda^2 area band as
+   Tables 1-4 (V = 4.65 V as in the paper; 10 MHz system clock).  The
+   absolute values are a plausible early-90s standard-cell scale; only
+   the relative ordering between design styles is claimed. *)
+
+open Mclock_dfg
+
+let fu_area_per_bit = function
+  | Op.Add -> 2800.
+  | Op.Sub -> 2800.
+  | Op.Mul -> 14000.
+  | Op.Div -> 16000.
+  | Op.And -> 650.
+  | Op.Or -> 650.
+  | Op.Xor -> 950.
+  | Op.Not -> 320.
+  | Op.Shl -> 1300.
+  | Op.Shr -> 1300.
+  | Op.Gt -> 1900.
+  | Op.Lt -> 1900.
+  | Op.Eq -> 1300.
+
+let t : Library.t =
+  {
+    name = "cmos08";
+    supply_voltage = 4.65;
+    clock_frequency = 33e6;
+    register =
+      {
+        area_per_bit = 3600.;
+        clock_pin_cap = 0.045;
+        internal_cap_per_bit = 0.14;
+        output_cap_per_bit = 0.09;
+      };
+    latch =
+      (* Level-sensitive latches: roughly 60% of the flip-flop cost. *)
+      {
+        area_per_bit = 2200.;
+        clock_pin_cap = 0.028;
+        internal_cap_per_bit = 0.085;
+        output_cap_per_bit = 0.09;
+      };
+    mux =
+      {
+        area_per_input_bit = 700.;
+        data_cap_per_bit = 0.035;
+        select_cap = 0.05;
+      };
+    fu_area_per_bit;
+    fu_cap_per_area = 2.2e-4;
+    fu_output_cap_per_bit = 0.10;
+    multifunction_penalty = 0.28;
+    addsub_sharing = 0.35;
+    control_line_cap = 0.09;
+    gating_cell_area = 900.;
+    gating_cell_cap = 0.04;
+    isolation_area_per_bit = 260.;
+    isolation_cap_per_bit = 0.02;
+    clock_tree_cap_per_sink = 0.06;
+    base_area = 1_200_000.;
+    routing_factor = 6.0;
+  }
+
+let with_clock_frequency hz = { t with Library.clock_frequency = hz }
+
+let with_supply_voltage v = { t with Library.supply_voltage = v }

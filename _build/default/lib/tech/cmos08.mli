@@ -1,0 +1,7 @@
+(** Default 0.8 µm-scale CMOS technology (V = 4.65 V, 10 MHz system
+    clock), calibrated to the paper's power/area bands. *)
+
+val t : Library.t
+
+val with_clock_frequency : float -> Library.t
+val with_supply_voltage : float -> Library.t

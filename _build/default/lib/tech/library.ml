@@ -1,0 +1,145 @@
+(* Technology library: per-cell area and switched-capacitance models.
+
+   This replaces the paper's COMPASS 0.8 micron VSC450 library.  The
+   power methodology is identical to the paper's tool: count transitions
+   per node, apply P = f_node * C_node * V^2.  All capacitances are in
+   picofarads, areas in lambda^2, voltages in volts, frequencies in Hz.
+
+   Area model: a design's area is
+       base_area + routing_factor * sum(component areas)
+   where the base term stands for the controller, clock tree, pads and
+   fixed overhead of a laid-out block, and the routing factor folds in
+   wiring and placement overhead that COMPASS layout would add on top of
+   raw cell area.
+
+   Capacitance model per component class:
+   - storage (register or latch): clock-pin cap (toggled by the clock),
+     internal cap (switched on a write, scaled by data activity), and
+     output cap (switched when the stored value changes);
+   - mux: per-input data cap plus a select-line cap;
+   - ALU: internal cap proportional to its area (switched in proportion
+     to the fraction of input bits that toggle) plus an output cap.
+
+   Multifunction ALUs: the paper notes COMPASS synthesizes most
+   multifunction ALUs poorly, with (+-) the favourable exception.  The
+   model mirrors this: function areas add up, a per-extra-function
+   penalty applies, and the Add/Sub pair shares its adder core. *)
+
+open Mclock_dfg
+
+type storage_params = {
+  area_per_bit : float;
+  clock_pin_cap : float; (* pF per bit of storage, per clock transition *)
+  internal_cap_per_bit : float; (* pF switched on a write at full activity *)
+  output_cap_per_bit : float; (* pF per output bit transition *)
+}
+
+type mux_params = {
+  area_per_input_bit : float;
+  data_cap_per_bit : float; (* pF per toggling input bit *)
+  select_cap : float; (* pF per select-line transition *)
+}
+
+type fu_params = {
+  area_per_bit : float;
+  cap_per_area : float; (* pF of internal switched cap per lambda^2, at full input activity *)
+  output_cap_per_bit : float;
+}
+
+type t = {
+  name : string;
+  supply_voltage : float;
+  clock_frequency : float; (* the system clock f, Hz *)
+  register : storage_params;
+  latch : storage_params;
+  mux : mux_params;
+  fu_area_per_bit : Op.t -> float;
+  fu_cap_per_area : float;
+  fu_output_cap_per_bit : float;
+  multifunction_penalty : float; (* extra area fraction per additional function *)
+  addsub_sharing : float; (* fraction of the Sub area added when paired with Add *)
+  control_line_cap : float; (* pF per control-net transition *)
+  gating_cell_area : float; (* lambda^2 per gated clock sink *)
+  gating_cell_cap : float; (* pF per enable-line transition *)
+  isolation_area_per_bit : float; (* operand-isolation logic, lambda^2 per bit *)
+  isolation_cap_per_bit : float; (* pF per isolated bit transition *)
+  clock_tree_cap_per_sink : float; (* pF per storage element, per clock transition *)
+  base_area : float;
+  routing_factor : float;
+}
+
+let energy_per_transition t cap_pf =
+  (* 1/2 C V^2, in picojoules when [cap_pf] is in pF. *)
+  0.5 *. cap_pf *. t.supply_voltage *. t.supply_voltage
+
+(* --- ALU sizing ------------------------------------------------------- *)
+
+let alu_area t ~width fset =
+  let ops = Op.Set.to_list fset in
+  if ops = [] then invalid_arg "Library.alu_area: empty function set";
+  let has_add = Op.Set.mem Op.Add fset and has_sub = Op.Set.mem Op.Sub fset in
+  let raw =
+    Mclock_util.List_ext.sum_by_float
+      (fun op ->
+        if Op.equal op Op.Sub && has_add && has_sub then
+          (* Sub shares the adder core when paired with Add. *)
+          t.addsub_sharing *. t.fu_area_per_bit op
+        else t.fu_area_per_bit op)
+      ops
+  in
+  let n = List.length ops in
+  let penalized_extras =
+    (* The favourable (+-) pairing does not pay the multifunction
+       penalty; any function beyond that pairing does. *)
+    if has_add && has_sub then max 0 (n - 2) else max 0 (n - 1)
+  in
+  let penalty = 1. +. (t.multifunction_penalty *. float penalized_extras) in
+  raw *. penalty *. float width
+
+let alu_internal_cap t ~width fset = alu_area t ~width fset *. t.fu_cap_per_area
+
+let alu_output_cap t ~width = t.fu_output_cap_per_bit *. float width
+
+(* --- Storage ----------------------------------------------------------- *)
+
+type storage_kind = Register | Latch
+
+let storage_params t = function
+  | Register -> t.register
+  | Latch -> t.latch
+
+let storage_area t kind ~width = (storage_params t kind).area_per_bit *. float width
+
+let storage_clock_cap t kind ~width =
+  let p = storage_params t kind in
+  (p.clock_pin_cap *. float width) +. t.clock_tree_cap_per_sink
+
+(* Pin capacitance alone: what a clock-gating cell saves.  The tree up
+   to the gating cell ([clock_tree_cap_per_sink]) still toggles every
+   cycle. *)
+let storage_clock_pin_cap t kind ~width =
+  (storage_params t kind).clock_pin_cap *. float width
+
+let storage_internal_cap t kind ~width =
+  (storage_params t kind).internal_cap_per_bit *. float width
+
+let storage_output_cap t kind ~width =
+  (storage_params t kind).output_cap_per_bit *. float width
+
+(* --- Mux --------------------------------------------------------------- *)
+
+let mux_area t ~width ~inputs =
+  if inputs < 2 then 0.
+  else t.mux.area_per_input_bit *. float inputs *. float width
+
+let mux_data_cap t = t.mux.data_cap_per_bit
+
+let mux_select_cap t = t.mux.select_cap
+
+(* --- Design-level area ------------------------------------------------- *)
+
+let design_area t ~component_area = t.base_area +. (t.routing_factor *. component_area)
+
+let pp ppf t =
+  Fmt.pf ppf "technology %s (Vdd=%.2fV, f=%.1fMHz)" t.name t.supply_voltage
+    (t.clock_frequency /. 1e6)

@@ -1,0 +1,89 @@
+(** Technology library: per-cell area and switched-capacitance models
+    (the stand-in for the paper's COMPASS 0.8 µm VSC450 library).
+
+    Units: capacitance pF, area λ², voltage V, frequency Hz.  The power
+    methodology matches the paper's tool: count transitions per node and
+    apply [P = f_node · C_node · V²]. *)
+
+open Mclock_dfg
+
+type storage_params = {
+  area_per_bit : float;
+  clock_pin_cap : float;
+  internal_cap_per_bit : float;
+  output_cap_per_bit : float;
+}
+
+type mux_params = {
+  area_per_input_bit : float;
+  data_cap_per_bit : float;
+  select_cap : float;
+}
+
+type fu_params = {
+  area_per_bit : float;
+  cap_per_area : float;
+  output_cap_per_bit : float;
+}
+
+type t = {
+  name : string;
+  supply_voltage : float;
+  clock_frequency : float;
+  register : storage_params;
+  latch : storage_params;
+  mux : mux_params;
+  fu_area_per_bit : Op.t -> float;
+  fu_cap_per_area : float;
+  fu_output_cap_per_bit : float;
+  multifunction_penalty : float;
+  addsub_sharing : float;
+  control_line_cap : float;
+  gating_cell_area : float;
+  gating_cell_cap : float;
+  isolation_area_per_bit : float;
+  isolation_cap_per_bit : float;
+  clock_tree_cap_per_sink : float;
+  base_area : float;
+  routing_factor : float;
+}
+
+val energy_per_transition : t -> float -> float
+(** [energy_per_transition t cap] is ½·C·V² in pJ for [cap] in pF. *)
+
+val alu_area : t -> width:int -> Op.Set.t -> float
+(** Area of a (multifunction) ALU: function areas with Add/Sub core
+    sharing and a per-extra-function penalty (the favourable (+-) pair
+    is exempt, matching the paper's synthesis observations).  Raises
+    [Invalid_argument] on an empty function set. *)
+
+val alu_internal_cap : t -> width:int -> Op.Set.t -> float
+(** Internal switched capacitance at full input activity. *)
+
+val alu_output_cap : t -> width:int -> float
+
+type storage_kind = Register | Latch
+
+val storage_params : t -> storage_kind -> storage_params
+val storage_area : t -> storage_kind -> width:int -> float
+
+val storage_clock_cap : t -> storage_kind -> width:int -> float
+(** Clock-pin plus clock-tree capacitance per clock transition. *)
+
+val storage_clock_pin_cap : t -> storage_kind -> width:int -> float
+(** Pin capacitance alone — what a gating cell saves; the tree up to
+    the gate still toggles every cycle. *)
+
+val storage_internal_cap : t -> storage_kind -> width:int -> float
+val storage_output_cap : t -> storage_kind -> width:int -> float
+
+val mux_area : t -> width:int -> inputs:int -> float
+(** 0 for fewer than 2 inputs (a wire, not a mux). *)
+
+val mux_data_cap : t -> float
+val mux_select_cap : t -> float
+
+val design_area : t -> component_area:float -> float
+(** [base_area + routing_factor · component_area]. *)
+
+val pp : Format.formatter -> t -> unit

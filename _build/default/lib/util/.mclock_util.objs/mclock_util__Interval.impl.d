@@ -1,0 +1,1 @@
+lib/util/interval.ml: Fmt Int List Printf

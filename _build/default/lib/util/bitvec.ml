@@ -1,0 +1,103 @@
+(* Fixed-width bit vectors.
+
+   The simulator carries datapath values as [t]; widths up to 62 bits are
+   supported (values live in the int payload).  Arithmetic wraps modulo
+   2^width, matching the behaviour of an unsigned hardware datapath.  The
+   Hamming-distance function is the basis of transition counting for
+   power estimation. *)
+
+type t = { width : int; value : int }
+
+let max_width = 62
+
+let check_width width =
+  if width < 1 || width > max_width then
+    invalid_arg (Printf.sprintf "Bitvec: width %d out of [1, %d]" width max_width)
+
+let mask width = (1 lsl width) - 1
+
+let create ~width value =
+  check_width width;
+  { width; value = value land mask width }
+
+let zero ~width = create ~width 0
+
+let ones ~width = create ~width (mask width)
+
+let width t = t.width
+
+let to_int t = t.value
+
+let check_same a b =
+  if a.width <> b.width then
+    invalid_arg
+      (Printf.sprintf "Bitvec: width mismatch (%d vs %d)" a.width b.width)
+
+let equal a b = a.width = b.width && a.value = b.value
+
+let compare a b =
+  let c = Int.compare a.width b.width in
+  if c <> 0 then c else Int.compare a.value b.value
+
+let popcount x =
+  let rec loop acc x = if x = 0 then acc else loop (acc + (x land 1)) (x lsr 1) in
+  loop 0 x
+
+let hamming a b =
+  check_same a b;
+  popcount (a.value lxor b.value)
+
+let bit t i =
+  if i < 0 || i >= t.width then invalid_arg "Bitvec.bit: index out of range";
+  (t.value lsr i) land 1 = 1
+
+let lift2 f a b =
+  check_same a b;
+  { width = a.width; value = f a.value b.value land mask a.width }
+
+let add = lift2 ( + )
+let sub = lift2 ( - )
+let mul = lift2 ( * )
+
+let div a b =
+  check_same a b;
+  (* Hardware dividers commonly saturate or wrap on divide-by-zero; we
+     define x/0 = all-ones, matching a typical combinational divider. *)
+  if b.value = 0 then ones ~width:a.width
+  else { width = a.width; value = a.value / b.value }
+
+let logand = lift2 ( land )
+let logor = lift2 ( lor )
+let logxor = lift2 ( lxor )
+
+let lognot t = { t with value = lnot t.value land mask t.width }
+
+let shift_left t n =
+  if n < 0 then invalid_arg "Bitvec.shift_left";
+  { t with value = (t.value lsl n) land mask t.width }
+
+let shift_right t n =
+  if n < 0 then invalid_arg "Bitvec.shift_right";
+  { t with value = t.value lsr n }
+
+let gt a b =
+  check_same a b;
+  { width = a.width; value = (if a.value > b.value then 1 else 0) }
+
+let lt a b =
+  check_same a b;
+  { width = a.width; value = (if a.value < b.value then 1 else 0) }
+
+let eq a b =
+  check_same a b;
+  { width = a.width; value = (if a.value = b.value then 1 else 0) }
+
+let random rng ~width =
+  check_width width;
+  create ~width (Rng.bits rng)
+
+let pp ppf t = Fmt.pf ppf "%d'd%d" t.width t.value
+
+let to_binary_string t =
+  String.init t.width (fun i ->
+      if bit t (t.width - 1 - i) then '1' else '0')

@@ -1,0 +1,52 @@
+(** Fixed-width bit vectors (1–62 bits) with wrapping unsigned
+    arithmetic, the value type carried on simulated datapath nets.
+
+    Arithmetic wraps modulo [2^width]; mixed-width operations raise
+    [Invalid_argument]. *)
+
+type t
+
+val max_width : int
+
+val create : width:int -> int -> t
+(** [create ~width v] truncates [v] to [width] bits. *)
+
+val zero : width:int -> t
+val ones : width:int -> t
+
+val width : t -> int
+val to_int : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val hamming : t -> t -> int
+(** Number of differing bit positions — the per-net transition count used
+    by the power estimator. *)
+
+val bit : t -> int -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** Division; [x / 0] is all-ones (combinational-divider convention). *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val gt : t -> t -> t
+(** 1 if [a > b] else 0, at the operands' width. *)
+
+val lt : t -> t -> t
+val eq : t -> t -> t
+
+val random : Rng.t -> width:int -> t
+
+val pp : Format.formatter -> t -> unit
+val to_binary_string : t -> string

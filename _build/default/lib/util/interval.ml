@@ -1,0 +1,64 @@
+(* Closed integer intervals [lo, hi].
+
+   Used for variable lifetimes (write step .. last read step) and for the
+   left-edge algorithm.  An interval is never empty: [lo <= hi] is an
+   invariant enforced at construction. *)
+
+type t = { lo : int; hi : int }
+
+let make lo hi =
+  if hi < lo then invalid_arg (Printf.sprintf "Interval.make %d %d" lo hi);
+  { lo; hi }
+
+let point x = { lo = x; hi = x }
+
+let lo t = t.lo
+let hi t = t.hi
+
+let length t = t.hi - t.lo + 1
+
+let contains t x = t.lo <= x && x <= t.hi
+
+let overlaps a b = a.lo <= b.hi && b.lo <= a.hi
+
+let disjoint a b = not (overlaps a b)
+
+let hull a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let inter a b =
+  if overlaps a b then Some { lo = max a.lo b.lo; hi = min a.hi b.hi }
+  else None
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+(* Order by left edge, then right edge: the sort used by the left-edge
+   register-allocation algorithm. *)
+let compare_left_edge a b =
+  let c = Int.compare a.lo b.lo in
+  if c <> 0 then c else Int.compare a.hi b.hi
+
+let pp ppf t = Fmt.pf ppf "[%d, %d]" t.lo t.hi
+
+(* Pack intervals into "tracks" (registers) with the classic left-edge
+   algorithm: sort by left edge and greedily place each interval in the
+   first track whose last interval ends before it starts.  Returns the
+   tracks; each track is in increasing order, pairwise disjoint.  The
+   [key] projection lets callers pack arbitrary items carrying an
+   interval. *)
+let left_edge_pack ~key items =
+  let sorted =
+    List.sort (fun a b -> compare_left_edge (key a) (key b)) items
+  in
+  let place tracks item =
+    let itv = key item in
+    let rec try_tracks acc = function
+      | [] -> List.rev ((itv.hi, [ item ]) :: acc)
+      | (last_hi, members) :: rest ->
+          if itv.lo > last_hi then
+            List.rev_append acc ((itv.hi, item :: members) :: rest)
+          else try_tracks ((last_hi, members) :: acc) rest
+    in
+    try_tracks [] tracks
+  in
+  List.fold_left place [] sorted
+  |> List.map (fun (_, members) -> List.rev members)

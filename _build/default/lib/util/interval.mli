@@ -1,0 +1,31 @@
+(** Non-empty closed integer intervals, and the left-edge packing
+    algorithm used for register allocation. *)
+
+type t
+
+val make : int -> int -> t
+(** [make lo hi]; raises [Invalid_argument] if [hi < lo]. *)
+
+val point : int -> t
+
+val lo : t -> int
+val hi : t -> int
+val length : t -> int
+
+val contains : t -> int -> bool
+val overlaps : t -> t -> bool
+val disjoint : t -> t -> bool
+val hull : t -> t -> t
+val inter : t -> t -> t option
+val equal : t -> t -> bool
+
+val compare_left_edge : t -> t -> int
+(** Order by left edge then right edge. *)
+
+val pp : Format.formatter -> t -> unit
+
+val left_edge_pack : key:('a -> t) -> 'a list -> 'a list list
+(** [left_edge_pack ~key items] packs items into a minimal number of
+    tracks such that intervals within a track are pairwise disjoint —
+    the classic left-edge register-allocation algorithm.  Each returned
+    track lists its members in increasing interval order. *)

@@ -1,0 +1,37 @@
+(** Deterministic, splittable pseudo-random number generator (SplitMix64).
+
+    Every stochastic part of the toolchain draws from a value of type
+    {!t}, so a whole experiment is reproducible from one integer seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. Equal seeds give equal streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator starting at [t]'s current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a statistically independent child
+    generator; use to give sub-tasks their own streams. *)
+
+val bits : t -> int
+(** 62 uniformly random non-negative bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument]
+    if [bound <= 0]. *)
+
+val int_in_range : t -> lo:int -> hi:int -> int
+(** Uniform in the inclusive range. *)
+
+val bool : t -> bool
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Uniform permutation. *)

@@ -1,0 +1,76 @@
+(* Plain-text table rendering for experiment reports.
+
+   Produces aligned ASCII tables in the style of the paper's Tables 1-4:
+   a header row, a separator, then data rows.  Columns are sized to the
+   widest cell; alignment is per column. *)
+
+type align = Left | Right
+
+type t = {
+  title : string option;
+  header : string list;
+  aligns : align list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ?title ~header ~aligns () =
+  if List.length header <> List.length aligns then
+    invalid_arg "Table.create: header/aligns length mismatch";
+  { title; header; aligns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.header then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- cells :: t.rows
+
+let rows t = List.rev t.rows
+
+let column_widths t =
+  let all = t.header :: rows t in
+  let ncols = List.length t.header in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter measure all;
+  widths
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make n ' '
+    | Right -> String.make n ' ' ^ s
+
+let render t =
+  let widths = column_widths t in
+  let aligns = Array.of_list t.aligns in
+  let render_row row =
+    let cells =
+      List.mapi (fun i cell -> pad aligns.(i) widths.(i) cell) row
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let sep =
+    let dashes = Array.to_list (Array.map (fun w -> String.make w '-') widths) in
+    "|-" ^ String.concat "-|-" dashes ^ "-|"
+  in
+  let buf = Buffer.create 256 in
+  (match t.title with
+  | None -> ()
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n');
+  Buffer.add_string buf (render_row t.header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    (rows t);
+  Buffer.contents buf
+
+let print t = print_string (render t)

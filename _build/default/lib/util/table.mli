@@ -1,0 +1,19 @@
+(** Aligned plain-text tables for experiment reports. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> header:string list -> aligns:align list -> unit -> t
+(** Raises [Invalid_argument] on header/aligns length mismatch. *)
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the cell count differs from the header. *)
+
+val rows : t -> string list list
+(** Data rows in insertion order. *)
+
+val render : t -> string
+(** The table as a string, trailing newline included. *)
+
+val print : t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/biquad.ml: Workload

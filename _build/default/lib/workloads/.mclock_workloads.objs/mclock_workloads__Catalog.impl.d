@@ -1,0 +1,1 @@
+lib/workloads/catalog.ml: Bandpass Biquad Ewf Facet Fir Hal List Motivating String Workload

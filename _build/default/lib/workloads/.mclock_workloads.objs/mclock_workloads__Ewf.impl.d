@@ -1,0 +1,1 @@
+lib/workloads/ewf.ml: Mclock_dfg Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/fir.ml: Mclock_dfg Workload

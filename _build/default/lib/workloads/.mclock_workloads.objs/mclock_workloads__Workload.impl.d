@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Fmt List_sched Mclock_dfg Mclock_sched Op Parse Schedule

@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Format Graph Mclock_dfg Mclock_sched Op Schedule

@@ -1,0 +1,38 @@
+(* Band-pass filter benchmark (Kung, Whitehouse & Kailath) — Table 4.
+
+   A fourth-order IIR band-pass in transposed direct form II: one
+   output accumulation plus four state updates
+   s_k' = b_k.x - a_k.y plus the next state, serialized over a long
+   schedule — the few-ALU / many-register shape of the paper's Table 4
+   (conventional allocation: two add/sub ALUs, one multiplier, 23
+   memory cells). *)
+
+let t : Workload.t =
+  {
+    Workload.name = "bandpass";
+    description = "4th-order IIR band-pass filter [Kung/Whitehouse/Kailath]";
+    constraints = [];
+    source =
+      {|
+dfg bandpass
+inputs x b0 b1 b2 b3 b4 a1 a2 a3 a4 s1 s2 s3 s4
+outputs y t1 t2 t3 t4
+n1: m0 = b0 * x @ 1
+n2: y = m0 + s1 @ 2
+n3: p1 = b1 * x @ 2
+n4: q1 = a1 * y @ 3
+n5: d1 = p1 - q1 @ 4
+n6: t1 = d1 + s2 @ 5
+n7: p2 = b2 * x @ 3
+n8: q2 = a2 * y @ 4
+n9: d2 = p2 - q2 @ 5
+n10: t2 = d2 + s3 @ 6
+n11: p3 = b3 * x @ 5
+n12: q3 = a3 * y @ 6
+n13: d3 = p3 - q3 @ 7
+n14: t3 = d3 + s4 @ 8
+n15: p4 = b4 * x @ 6
+n16: q4 = a4 * y @ 7
+n17: t4 = p4 - q4 @ 9
+|};
+  }

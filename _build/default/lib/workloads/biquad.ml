@@ -1,0 +1,42 @@
+(* Biquad filter benchmark (Green & Turner limit-cycle study) —
+   Table 3.
+
+   A cascade of two direct-form biquad sections: each computes
+   w = x - a1.d1 - a2.d2 and y = b0.w + b1.d1 + b2.d2 on the stored
+   states d1/d2, the second section fed by the first's output.  The
+   result is the multiply/accumulate-heavy, register-rich behaviour
+   behind the paper's Table 3 (ALUs dominated by mul+add combinations,
+   18 memory cells). *)
+
+let t : Workload.t =
+  {
+    Workload.name = "biquad";
+    description = "two-section biquad filter [Green/Turner 88]";
+    constraints = [];
+    source =
+      {|
+dfg biquad
+inputs x a1 a2 b0 b1 b2 d1 d2 c1 c2 e0 e1 e2 f1 f2
+outputs y2 w1 w2
+# section 1
+n1: p1 = a1 * d1 @ 1
+n2: p2 = a2 * d2 @ 1
+n3: s1 = x - p1 @ 2
+n4: w1 = s1 - p2 @ 3
+n5: q0 = b0 * w1 @ 4
+n6: q1 = b1 * d1 @ 2
+n7: q2 = b2 * d2 @ 2
+n8: s2 = q0 + q1 @ 5
+n9: y1 = s2 + q2 @ 6
+# section 2
+n10: r1 = c1 * f1 @ 3
+n11: r2 = c2 * f2 @ 3
+n12: u1 = y1 - r1 @ 7
+n13: w2 = u1 - r2 @ 8
+n14: g0 = e0 * w2 @ 9
+n15: g1 = e1 * f1 @ 4
+n16: g2 = e2 * f2 @ 5
+n17: s3 = g0 + g1 @ 10
+n18: y2 = s3 + g2 @ 11
+|};
+  }

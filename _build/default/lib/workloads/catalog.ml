@@ -1,0 +1,12 @@
+(* All bundled workloads. *)
+
+let all = [ Motivating.t; Facet.t; Hal.t; Biquad.t; Bandpass.t; Ewf.t; Fir.t ]
+
+(* The four benchmarks of the paper's Tables 1-4, in table order. *)
+let paper_tables = [ Facet.t; Hal.t; Biquad.t; Bandpass.t ]
+
+(* Additional standard HLS benchmarks beyond the paper's evaluation. *)
+let extended = [ Ewf.t; Fir.t ]
+
+let find name =
+  List.find_opt (fun w -> String.equal w.Workload.name name) all

@@ -1,0 +1,11 @@
+(** All bundled workloads. *)
+
+val all : Workload.t list
+
+val paper_tables : Workload.t list
+(** FACET, HAL, Biquad, Band-Pass — the paper's Tables 1–4 order. *)
+
+val extended : Workload.t list
+(** Standard HLS benchmarks beyond the paper's evaluation (EWF, FIR). *)
+
+val find : string -> Workload.t option

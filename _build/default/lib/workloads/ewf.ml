@@ -1,0 +1,51 @@
+(* Elliptic wave filter benchmark (beyond the paper's four).
+
+   A fifth-order wave-digital-filter-style ladder reconstructed as four
+   two-multiplier adaptor sections plus an output/state combination
+   chain, reproducing the classic EWF operation census used throughout
+   the HLS literature: 34 operations, 26 additions + 8 multiplications,
+   with a long critical path.  Multiplier coefficients are literal
+   constants, as in the original benchmark.  Scheduled on demand by
+   list scheduling under 3 adders / 2 multipliers. *)
+
+let adaptor ~prefix ~input ~state_a ~state_b ~coeff1 ~coeff2 =
+  Printf.sprintf
+    {|%s1 = %s + %s
+%s2 = %s1 * %d
+%s3 = %s2 + %s
+%s4 = %s3 * %d
+%s5 = %s4 + %s1
+%s6 = %s5 + %s
+%s7 = %s6 + %s3
+|}
+    prefix input state_a prefix prefix coeff1 prefix prefix state_b prefix
+    prefix coeff2 prefix prefix prefix prefix prefix state_a prefix prefix
+    prefix
+
+let source =
+  "dfg ewf\n"
+  ^ "inputs x s1 s2 s3 s4 s5 s6 s7 s8 s9\n"
+  ^ "outputs y t1 t2\n"
+  ^ adaptor ~prefix:"a" ~input:"x" ~state_a:"s1" ~state_b:"s2" ~coeff1:3
+      ~coeff2:5
+  ^ adaptor ~prefix:"b" ~input:"a7" ~state_a:"s3" ~state_b:"s4" ~coeff1:7
+      ~coeff2:3
+  ^ adaptor ~prefix:"c" ~input:"b7" ~state_a:"s5" ~state_b:"s6" ~coeff1:5
+      ~coeff2:7
+  ^ adaptor ~prefix:"d" ~input:"c7" ~state_a:"s7" ~state_b:"s8" ~coeff1:3
+      ~coeff2:5
+  ^ {|u1 = a5 + b5
+u2 = c5 + d5
+u3 = u1 + u2
+y = u3 + d7
+t1 = u1 + s9
+t2 = u2 + x
+|}
+
+let t : Workload.t =
+  {
+    Workload.name = "ewf";
+    description = "elliptic wave filter (26 add / 8 mul, EWF census)";
+    constraints = [ (Mclock_dfg.Op.Add, 3); (Mclock_dfg.Op.Mul, 2) ];
+    source;
+  }

@@ -1,0 +1,29 @@
+(* FACET benchmark (Tseng & Siewiorek, DAC 1983) — Table 1.
+
+   Reconstruction: the published FACET example mixes one occurrence
+   each of -, *, /, &, | with several additions over four control
+   steps; this version reproduces that operation census (3 add, 1 sub,
+   1 mul, 1 div, 1 and, 1 or) and schedule length, which is what the
+   paper's Table 1 depends on (its conventional allocation uses mul+add,
+   and+add, sub and div ALUs). *)
+
+let t : Workload.t =
+  {
+    Workload.name = "facet";
+    description = "FACET example [Tseng/Siewiorek 83]: 8 ops, 4 steps";
+    constraints = [];
+    source =
+      {|
+dfg facet
+inputs v1 v2 v4 v6 v10 v12
+outputs v14 v15
+n1: v3 = v1 + v2 @ 1
+n2: v7 = v6 * v10 @ 1
+n3: v5 = v3 - v4 @ 2
+n4: v8 = v3 + v7 @ 2
+n5: v9 = v5 & v12 @ 3
+n6: v11 = v7 / v8 @ 3
+n7: v14 = v9 | v11 @ 4
+n8: v15 = v8 + v9 @ 4
+|};
+  }

@@ -1,0 +1,34 @@
+(* 8-tap FIR filter benchmark (beyond the paper's four).
+
+   y = sum of c_i * x_i over a balanced adder tree: 8 multiplications,
+   7 additions, short critical path (1 mul + 3 add levels) — the
+   opposite workload shape from the serial band-pass.  Scheduled on
+   demand under 2 adders / 2 multipliers. *)
+
+let t : Workload.t =
+  {
+    Workload.name = "fir8";
+    description = "8-tap FIR filter (balanced adder tree)";
+    constraints = [ (Mclock_dfg.Op.Add, 2); (Mclock_dfg.Op.Mul, 2) ];
+    source =
+      {|
+dfg fir8
+inputs x0 x1 x2 x3 x4 x5 x6 x7 c0 c1 c2 c3 c4 c5 c6 c7
+outputs y
+m0 = x0 * c0
+m1 = x1 * c1
+m2 = x2 * c2
+m3 = x3 * c3
+m4 = x4 * c4
+m5 = x5 * c5
+m6 = x6 * c6
+m7 = x7 * c7
+a0 = m0 + m1
+a1 = m2 + m3
+a2 = m4 + m5
+a3 = m6 + m7
+b0 = a0 + a1
+b1 = a2 + a3
+y = b0 + b1
+|};
+  }

@@ -1,0 +1,30 @@
+(* HAL benchmark (Paulin & Knight, 1989) — Table 2.
+
+   The classic differential-equation solver (one Euler step of
+   y'' + 3xy' + 3y = 0): multiplier-dominated, four control steps,
+   with a comparison producing the loop-continue flag.  The paper's
+   Table 2 conventional allocation — add, mul, mul+add and mul+cmp
+   ALUs — matches this operation mix. *)
+
+let t : Workload.t =
+  {
+    Workload.name = "hal";
+    description = "HAL differential-equation solver [Paulin/Knight 89]";
+    constraints = [];
+    source =
+      {|
+dfg hal
+inputs x y u dx a
+outputs u1 y1 x1 c
+n1: t1 = 3 * x @ 1
+n2: t2 = u * dx @ 1
+n3: x1 = x + dx @ 1
+n4: t3 = t1 * t2 @ 2
+n5: t4 = 3 * y @ 2
+n6: y1 = t2 + y @ 2
+n7: c = x1 > a @ 2
+n8: t5 = u - t3 @ 3
+n9: t6 = t4 * dx @ 3
+n10: u1 = t5 - t6 @ 4
+|};
+  }

@@ -1,0 +1,26 @@
+(* The paper's motivating example (Fig. 1): a 6-operation add/subtract
+   behaviour scheduled in 5 steps.
+
+   Circuit 1 (minimal, single clock) binds N1,N2,N3 to the left ALU
+   (busy T1,T2,T3) and N4,N5,N6 to the right ALU (busy T3,T4,T5);
+   Circuit 2 (two clocks) partitions the nodes by odd/even step.  The
+   dependencies below reproduce exactly that step/occupancy pattern. *)
+
+let t : Workload.t =
+  {
+    Workload.name = "motivating";
+    description = "Fig. 1 example: 6 add/sub operations in 5 steps";
+    constraints = [];
+    source =
+      {|
+dfg motivating
+inputs a b c d e f
+outputs out
+n1: t1 = a + b @ 1
+n2: t2 = t1 - c @ 2
+n3: t3 = t2 + d @ 3
+n4: t4 = e - f @ 3
+n5: t5 = t4 + t2 @ 4
+n6: out = t5 - t3 @ 5
+|};
+  }

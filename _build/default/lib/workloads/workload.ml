@@ -1,0 +1,28 @@
+(* A workload: a named behaviour with its schedule, as the paper's
+   experiments consume them.  The graphs are written in the text DFG
+   format (with "@ step" schedule annotations) and parsed at first use,
+   which keeps the benchmark definitions readable and exercises the
+   parser on every run.  A workload without annotations is scheduled by
+   resource-constrained list scheduling under its declared bounds. *)
+
+open Mclock_dfg
+open Mclock_sched
+
+type t = {
+  name : string;
+  description : string;
+  source : string; (* text-format DFG, optionally with annotations *)
+  constraints : (Op.t * int) list;
+      (* resource bounds for the fallback scheduler (unused when the
+         source carries step annotations) *)
+}
+
+let graph t = (Parse.parse_string t.source).Parse.graph
+
+let schedule t =
+  let parsed = Parse.parse_string t.source in
+  match parsed.Parse.steps with
+  | _ :: _ -> Schedule.create parsed.Parse.graph parsed.Parse.steps
+  | [] -> List_sched.run ~constraints:t.constraints parsed.Parse.graph
+
+let pp ppf t = Fmt.pf ppf "%s: %s" t.name t.description

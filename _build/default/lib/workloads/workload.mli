@@ -1,0 +1,21 @@
+(** A workload: a named behaviour plus schedule, defined in the text
+    DFG format. *)
+
+open Mclock_dfg
+open Mclock_sched
+
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  constraints : (Op.t * int) list;
+      (** resource bounds for the fallback list scheduler (only used
+          when the source carries no step annotations) *)
+}
+
+val graph : t -> Graph.t
+
+(** From the source's annotations, or list-scheduled under
+    [constraints] when the source has none. *)
+val schedule : t -> Schedule.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_ctrl.ml: Alcotest Array Flow Int List Mclock_core Mclock_ctrl Mclock_power Mclock_rtl Mclock_tech Mclock_util Mclock_workloads Printf String

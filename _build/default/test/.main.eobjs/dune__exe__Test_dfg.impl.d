@@ -1,0 +1,1 @@
+test/test_dfg.ml: Alcotest Builder Dot Generator Graph List Mclock_dfg Mclock_sched Mclock_util Node Op Parse String Var

@@ -1,0 +1,1 @@
+test/test_gatelevel.ml: Alcotest List Mclock_dfg Mclock_gatelevel Mclock_tech Mclock_util Op Printf

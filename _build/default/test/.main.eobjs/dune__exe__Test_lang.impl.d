@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Fmt Graph List Mclock_core Mclock_dfg Mclock_lang Mclock_sched Mclock_sim Mclock_tech Mclock_util Mclock_workloads Node Op Printf Var

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Flow List Mclock_core Mclock_dfg Mclock_power Mclock_rtl Mclock_tech Mclock_util Mclock_workloads Printf

@@ -1,0 +1,1 @@
+test/test_reg_bind.ml: Alcotest Alu_alloc Integrated Lifetime List Mclock_core Mclock_dfg Mclock_rtl Mclock_sim Mclock_tech Mclock_util Mclock_workloads Partition Printf Reg_alloc Reg_bind Transfer

@@ -1,0 +1,1 @@
+test/test_resched.ml: Alcotest Flow Integrated List Mclock_core Mclock_dfg Mclock_rtl Mclock_sched Mclock_sim Mclock_tech Mclock_workloads Parse Printf Resched Schedule String

@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Check Clock Comp Control Datapath Design Fmt List Mclock_core Mclock_dfg Mclock_rtl Mclock_tech Mclock_util Mclock_workloads Op Printf Rtl_dot String Var Vhdl

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alap Alcotest Asap Builder Force_directed Generator Graph List List_sched Mclock_dfg Mclock_sched Mclock_util Mclock_workloads Mobility Op Printf Schedule

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Flow Fmt Generator Integrated List Mclock_core Mclock_dfg Mclock_rtl Mclock_sched Mclock_sim Mclock_tech Mclock_util Mclock_workloads Op Parse Printf String Var

@@ -1,0 +1,1 @@
+test/test_stimulus.ml: Alcotest Graph List Mclock_core Mclock_dfg Mclock_power Mclock_sim Mclock_tech Mclock_util Mclock_workloads Printf Var

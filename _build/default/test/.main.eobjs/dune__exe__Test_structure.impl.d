@@ -1,0 +1,1 @@
+test/test_structure.ml: Alcotest Array Flow List Mclock_core Mclock_dfg Mclock_sim Mclock_tech Mclock_workloads Option Printf Structure

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bitvec Fun Int Interval List List_ext Mclock_util Printf Rng String Table

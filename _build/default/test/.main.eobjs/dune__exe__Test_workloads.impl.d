@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Graph List Mclock_dfg Mclock_sched Mclock_util Mclock_workloads Op Option Parse Schedule

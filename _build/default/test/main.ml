@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "mclock"
+    [
+      ("util", Test_util.suite);
+      ("dfg", Test_dfg.suite);
+      ("sched", Test_sched.suite);
+      ("rtl", Test_rtl.suite);
+      ("core", Test_core.suite);
+      ("sim", Test_sim.suite);
+      ("power", Test_power.suite);
+      ("workloads", Test_workloads.suite);
+      ("gatelevel", Test_gatelevel.suite);
+      ("lang", Test_lang.suite);
+      ("resched", Test_resched.suite);
+      ("ctrl", Test_ctrl.suite);
+      ("stimulus", Test_stimulus.suite);
+      ("reg-bind", Test_reg_bind.suite);
+      ("structure", Test_structure.suite);
+      ("properties", Test_props.suite);
+    ]

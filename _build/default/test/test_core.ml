@@ -1,0 +1,537 @@
+(* Unit tests for mclock_core: partitioning, lifetimes, transfers,
+   register allocation, ALU allocation, structure generation. *)
+
+open Mclock_dfg
+open Mclock_sched
+open Mclock_core
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+let v = Var.v
+
+(* --- Partition ---------------------------------------------------------- *)
+
+let test_partition_of_step () =
+  check Alcotest.(list int) "n=2 over 1..6" [ 1; 2; 1; 2; 1; 2 ]
+    (List.map (Partition.of_step ~n:2) (Mclock_util.List_ext.range 1 6));
+  check Alcotest.(list int) "n=3 over 1..6" [ 1; 2; 3; 1; 2; 3 ]
+    (List.map (Partition.of_step ~n:3) (Mclock_util.List_ext.range 1 6))
+
+let test_partition_local_global_roundtrip () =
+  List.iter
+    (fun n ->
+      List.iter
+        (fun t ->
+          let p = Partition.of_step ~n t in
+          let l = Partition.local_of_global ~n t in
+          check Alcotest.int
+            (Printf.sprintf "n=%d t=%d" n t)
+            t
+            (Partition.global_of_local ~n ~partition:p l))
+        (Mclock_util.List_ext.range 1 12))
+    [ 1; 2; 3; 4 ]
+
+let test_partition_of_var () =
+  let w = Mclock_workloads.Motivating.t in
+  let s = Mclock_workloads.Workload.schedule w in
+  (* t1 written at step 1 -> partition 1 under n=2; t2 at step 2 -> 2. *)
+  check Alcotest.int "t1" 1 (Partition.of_var ~n:2 s (v "t1"));
+  check Alcotest.int "t2" 2 (Partition.of_var ~n:2 s (v "t2"));
+  check Alcotest.int "input" 0 (Partition.of_var ~n:2 s (v "a"))
+
+let test_partition_steps_of () =
+  check Alcotest.(list int) "p1 of n=2 T=5" [ 1; 3; 5 ]
+    (Partition.steps_of ~n:2 ~num_steps:5 1);
+  check Alcotest.(list int) "p2 of n=2 T=5" [ 2; 4 ]
+    (Partition.steps_of ~n:2 ~num_steps:5 2)
+
+let test_partition_padded_steps () =
+  check Alcotest.int "5 steps n=2 -> 6" 6 (Lifetime.padded_steps ~n:2 ~num_steps:5);
+  check Alcotest.int "4 steps n=2 -> 4" 4 (Lifetime.padded_steps ~n:2 ~num_steps:4);
+  check Alcotest.int "4 steps n=3 -> 6" 6 (Lifetime.padded_steps ~n:3 ~num_steps:4)
+
+(* --- Lifetime ------------------------------------------------------------- *)
+
+let motivating_problem ?(register_inputs = true) n =
+  let w = Mclock_workloads.Motivating.t in
+  Lifetime.analyze ~register_inputs ~n (Mclock_workloads.Workload.schedule w)
+
+let test_lifetime_write_and_reads () =
+  let p = motivating_problem 1 in
+  let u = Lifetime.usage p (v "t2") in
+  check Alcotest.int "t2 written at 2" 2 u.Lifetime.write_step;
+  check Alcotest.(list int) "t2 read at 3,4" [ 3; 4 ] u.Lifetime.read_steps
+
+let test_lifetime_output_persists () =
+  let p = motivating_problem 1 in
+  let u = Lifetime.usage p (v "out") in
+  check Alcotest.bool "is output" true u.Lifetime.is_output;
+  check Alcotest.int "last read = T" 5 (Lifetime.last_read u)
+
+let test_lifetime_register_vs_latch_interval () =
+  let p = motivating_problem 1 in
+  let u = Lifetime.usage p (v "t2") in
+  let reg = Lifetime.problem_interval p ~kind:Mclock_tech.Library.Register u in
+  let latch = Lifetime.problem_interval p ~kind:Mclock_tech.Library.Latch u in
+  check Alcotest.int "register lo = w+1" 3 (Mclock_util.Interval.lo reg);
+  check Alcotest.int "latch lo = w" 2 (Mclock_util.Interval.lo latch);
+  check Alcotest.int "both hi = last read" 4 (Mclock_util.Interval.hi latch)
+
+let test_lifetime_registered_inputs () =
+  let p = motivating_problem 2 in
+  let u = Lifetime.usage p (v "a") in
+  check Alcotest.bool "registered" true u.Lifetime.registered_input;
+  (* padded T = 6 under n=2; input register belongs to the partition of
+     the final step. *)
+  check Alcotest.int "partition of final step" 2 u.Lifetime.partition
+
+let test_lifetime_input_read_at_final_step_stays_port () =
+  (* An input read at the padded final step cannot be re-sampled there. *)
+  let r =
+    Parse.parse_string "dfg t\ninputs a\noutputs y\nn1: x = a + 1 @ 1\nn2: y = x + a @ 2\n"
+  in
+  let s = Schedule.create r.Parse.graph r.Parse.steps in
+  let p = Lifetime.analyze ~n:2 s in
+  let u = Lifetime.usage p (v "a") in
+  check Alcotest.bool "port-direct" false u.Lifetime.registered_input
+
+let test_lifetime_register_inputs_off () =
+  let p = motivating_problem ~register_inputs:false 2 in
+  check Alcotest.bool "no registered inputs" true
+    (Var.Set.is_empty (Lifetime.registered_inputs p))
+
+let test_lifetime_stored_usages () =
+  let p = motivating_problem ~register_inputs:false 1 in
+  (* 6 produced variables, no registered inputs. *)
+  check Alcotest.int "stored" 6 (List.length (Lifetime.stored_usages p))
+
+let test_lifetime_render_table () =
+  let p = motivating_problem 1 in
+  let s = Lifetime.render_table p in
+  check Alcotest.bool "non-empty" true (String.length s > 100)
+
+(* --- Transfer --------------------------------------------------------------- *)
+
+(* The Fig. 6 situation: x written at step 1 (partition 1 of n=2),
+   e written at step 2 (partition 2), both read by an op at step 3. *)
+let fig6_schedule () =
+  let r =
+    Parse.parse_string
+      {|
+dfg fig6
+inputs a b
+outputs y
+n1: x = a + b @ 1
+n2: e = a - b @ 2
+n3: y = e + x @ 3
+|}
+  in
+  Schedule.create r.Parse.graph r.Parse.steps
+
+let test_transfer_inserted () =
+  let p = Transfer.insert (Lifetime.analyze ~n:2 (fig6_schedule ())) in
+  check Alcotest.int "one transfer" 1 (List.length p.Lifetime.transfers);
+  match p.Lifetime.transfers with
+  | [ tr ] ->
+      check Alcotest.string "source is x" "x" (Var.name tr.Lifetime.t_src);
+      check Alcotest.int "at e's write step" 2 tr.Lifetime.t_step;
+      check Alcotest.int "into e's partition" 2 tr.Lifetime.t_partition
+  | _ -> fail "expected exactly one transfer"
+
+let test_transfer_rewrites_operand () =
+  let p = Transfer.insert (Lifetime.analyze ~n:2 (fig6_schedule ())) in
+  let operands = Node.Map.find 3 p.Lifetime.node_operands in
+  match operands with
+  | [ Lifetime.S_var e; Lifetime.S_var t ] ->
+      check Alcotest.string "e kept" "e" (Var.name e);
+      check Alcotest.string "x replaced by temp" (Transfer.temp_name (v "x") 2)
+        (Var.name t)
+  | _ -> fail "unexpected operand shape"
+
+let test_transfer_shortens_source_lifetime () =
+  (* Fig. 6: "since we deleted the READ for X in time step 3" — x's
+     last read becomes the transfer step 2. *)
+  let p = Transfer.insert (Lifetime.analyze ~n:2 (fig6_schedule ())) in
+  let u = Lifetime.usage p (v "x") in
+  check Alcotest.int "x dies at 2" 2 (Lifetime.last_read u)
+
+let test_transfer_temp_usage () =
+  let p = Transfer.insert (Lifetime.analyze ~n:2 (fig6_schedule ())) in
+  let temp = v (Transfer.temp_name (v "x") 2) in
+  let u = Lifetime.usage p temp in
+  check Alcotest.int "temp written at 2" 2 u.Lifetime.write_step;
+  check Alcotest.(list int) "temp read at 3" [ 3 ] u.Lifetime.read_steps;
+  check Alcotest.int "temp partition" 2 u.Lifetime.partition
+
+let test_transfer_none_for_n1 () =
+  let p = Transfer.insert (Lifetime.analyze ~n:1 (fig6_schedule ())) in
+  check Alcotest.int "no transfers" 0 (List.length p.Lifetime.transfers)
+
+let test_transfer_same_partition_untouched () =
+  (* Both operands written in the same partition: no transfer. *)
+  let r =
+    Parse.parse_string
+      "dfg t\ninputs a b\noutputs y\nn1: x = a + b @ 1\nn2: e = a - b @ 3\nn3: y = e + x @ 5\n"
+  in
+  let s = Schedule.create r.Parse.graph r.Parse.steps in
+  let p = Transfer.insert (Lifetime.analyze ~n:2 s) in
+  check Alcotest.int "no transfers" 0 (List.length p.Lifetime.transfers)
+
+let test_transfer_dedup_shared_operand () =
+  (* Two consumers in the same partition reading the same stale
+     variable share one transfer. *)
+  let r =
+    Parse.parse_string
+      {|
+dfg t
+inputs a b
+outputs y z
+n1: x = a + b @ 1
+n2: e = a - b @ 2
+n3: y = e + x @ 3
+n4: f = a + 1 @ 2
+n5: z = f + x @ 3
+|}
+  in
+  let s = Schedule.create r.Parse.graph r.Parse.steps in
+  let p = Transfer.insert (Lifetime.analyze ~n:2 s) in
+  check Alcotest.int "one shared transfer" 1 (List.length p.Lifetime.transfers)
+
+let test_transfer_inputs_exempt () =
+  (* Primary-input operands never trigger transfers even when mixed
+     with stored operands of another partition. *)
+  let r =
+    Parse.parse_string
+      "dfg t\ninputs a b\noutputs y\nn1: x = a + b @ 1\nn2: y = x + a @ 4\n"
+  in
+  let s = Schedule.create r.Parse.graph r.Parse.steps in
+  let p = Transfer.insert (Lifetime.analyze ~n:2 s) in
+  check Alcotest.int "no transfers" 0 (List.length p.Lifetime.transfers)
+
+(* --- Reg_alloc ---------------------------------------------------------------- *)
+
+let test_reg_alloc_partition_separation () =
+  let p = motivating_problem ~register_inputs:false 2 in
+  let classes = Reg_alloc.allocate ~kind:Mclock_tech.Library.Latch p in
+  List.iter
+    (fun rc ->
+      List.iter
+        (fun var ->
+          let u = Lifetime.usage p var in
+          check Alcotest.int
+            (Printf.sprintf "%s partition" (Var.name var))
+            rc.Reg_alloc.rc_partition u.Lifetime.partition)
+        rc.Reg_alloc.rc_vars)
+    classes
+
+let test_reg_alloc_latch_disjointness () =
+  let p = motivating_problem ~register_inputs:false 1 in
+  let classes = Reg_alloc.allocate ~kind:Mclock_tech.Library.Latch p in
+  List.iter
+    (fun rc ->
+      let intervals =
+        List.map
+          (fun var ->
+            Lifetime.problem_interval p ~kind:Mclock_tech.Library.Latch
+              (Lifetime.usage p var))
+          rc.Reg_alloc.rc_vars
+      in
+      let rec pairwise = function
+        | a :: rest ->
+            List.iter
+              (fun b ->
+                if Mclock_util.Interval.overlaps a b then
+                  fail "latch class with overlapping lifetimes")
+              rest;
+            pairwise rest
+        | [] -> ()
+      in
+      pairwise intervals)
+    classes
+
+let test_reg_alloc_registers_pack_tighter () =
+  (* Register semantics allow write-at-death sharing, so never need
+     more elements than latch semantics. *)
+  let p = motivating_problem ~register_inputs:false 1 in
+  let regs = Reg_alloc.allocate ~kind:Mclock_tech.Library.Register p in
+  let latches = Reg_alloc.allocate ~kind:Mclock_tech.Library.Latch p in
+  check Alcotest.bool "regs <= latches" true
+    (List.length regs <= List.length latches)
+
+let test_reg_alloc_class_of () =
+  let p = motivating_problem 1 in
+  let classes = Reg_alloc.allocate ~kind:Mclock_tech.Library.Register p in
+  check Alcotest.bool "t1 has a class" true (Reg_alloc.class_of classes (v "t1") <> None);
+  check Alcotest.bool "ghost has none" true (Reg_alloc.class_of classes (v "ghost") = None)
+
+(* --- Alu_alloc ------------------------------------------------------------------ *)
+
+let alu_config threshold =
+  {
+    Alu_alloc.tech = Mclock_tech.Cmos08.t;
+    width = 4;
+    merge = true;
+    merge_threshold = threshold;
+  }
+
+let test_alu_alloc_no_same_step_sharing () =
+  let w = Mclock_workloads.Facet.t in
+  let s = Mclock_workloads.Workload.schedule w in
+  let alus =
+    Alu_alloc.allocate ~config:(alu_config 1.6) ~partitions:(Partition.map ~n:1 s) s
+  in
+  List.iter
+    (fun alu ->
+      let steps = List.map snd alu.Alu_alloc.alu_nodes in
+      let unique = Mclock_util.List_ext.dedup ~compare:Int.compare steps in
+      check Alcotest.int "no step collision" (List.length steps) (List.length unique))
+    alus
+
+let test_alu_alloc_respects_partitions () =
+  let w = Mclock_workloads.Facet.t in
+  let s = Mclock_workloads.Workload.schedule w in
+  let partitions = Partition.map ~n:2 s in
+  let alus = Alu_alloc.allocate ~config:(alu_config 1.0) ~partitions s in
+  List.iter
+    (fun alu ->
+      List.iter
+        (fun (node_id, _) ->
+          check Alcotest.int "node partition matches ALU"
+            alu.Alu_alloc.alu_partition
+            (Node.Map.find node_id partitions))
+        alu.Alu_alloc.alu_nodes)
+    alus
+
+let test_alu_alloc_addsub_merge () =
+  (* Two ops at different steps, + then -, should share one (+-) ALU
+     thanks to the adder-core sharing. *)
+  let r =
+    Parse.parse_string
+      "dfg t\ninputs a b\noutputs y\nn1: x = a + b @ 1\nn2: y = x - a @ 2\n"
+  in
+  let s = Schedule.create r.Parse.graph r.Parse.steps in
+  let alus =
+    Alu_alloc.allocate ~config:(alu_config 1.0) ~partitions:(Partition.map ~n:1 s) s
+  in
+  check Alcotest.int "one ALU" 1 (List.length alus)
+
+let test_alu_alloc_div_stays_separate () =
+  (* Merging a divider into an adder is never worth its cost. *)
+  let r =
+    Parse.parse_string
+      "dfg t\ninputs a b\noutputs y\nn1: x = a + b @ 1\nn2: y = x / a @ 2\n"
+  in
+  let s = Schedule.create r.Parse.graph r.Parse.steps in
+  let alus =
+    Alu_alloc.allocate ~config:(alu_config 1.0) ~partitions:(Partition.map ~n:1 s) s
+  in
+  check Alcotest.int "two ALUs" 2 (List.length alus)
+
+let test_alu_alloc_merge_disabled () =
+  let w = Mclock_workloads.Facet.t in
+  let s = Mclock_workloads.Workload.schedule w in
+  let config = { (alu_config 1.0) with Alu_alloc.merge = false } in
+  let alus = Alu_alloc.allocate ~config ~partitions:(Partition.map ~n:1 s) s in
+  check Alcotest.int "one ALU per op" 8 (List.length alus)
+
+let test_alu_alloc_every_node_bound () =
+  let w = Mclock_workloads.Biquad.t in
+  let s = Mclock_workloads.Workload.schedule w in
+  let alus =
+    Alu_alloc.allocate ~config:(alu_config 1.0) ~partitions:(Partition.map ~n:3 s) s
+  in
+  List.iter
+    (fun node ->
+      check Alcotest.bool
+        (Printf.sprintf "n%d bound" (Node.id node))
+        true
+        (Alu_alloc.alu_of alus (Node.id node) <> None))
+    (Graph.nodes (Schedule.graph s))
+
+let test_alu_alloc_op_in_repertoire () =
+  let w = Mclock_workloads.Hal.t in
+  let s = Mclock_workloads.Workload.schedule w in
+  let alus =
+    Alu_alloc.allocate ~config:(alu_config 1.6) ~partitions:(Partition.map ~n:1 s) s
+  in
+  List.iter
+    (fun node ->
+      let alu = Alu_alloc.alu_of_exn alus (Node.id node) in
+      check Alcotest.bool "op in fset" true
+        (Op.Set.mem (Node.op node) alu.Alu_alloc.alu_fset))
+    (Graph.nodes (Schedule.graph s))
+
+(* --- Structure / microcode -------------------------------------------------------- *)
+
+let test_structure_padding () =
+  (* Motivating example has 5 steps; under n=2 the controller period
+     must be 6. *)
+  let w = Mclock_workloads.Motivating.t in
+  let s = Mclock_workloads.Workload.schedule w in
+  let d = Integrated.allocate ~n:2 ~name:"m2" s in
+  check Alcotest.int "padded period" 6
+    (Mclock_rtl.Control.num_steps (Mclock_rtl.Design.control d));
+  let d1 = Integrated.allocate ~n:1 ~name:"m1" s in
+  check Alcotest.int "unpadded period" 5
+    (Mclock_rtl.Control.num_steps (Mclock_rtl.Design.control d1))
+
+let test_structure_storage_phases_match_loads () =
+  let w = Mclock_workloads.Facet.t in
+  let s = Mclock_workloads.Workload.schedule w in
+  let d = Integrated.allocate ~n:3 ~name:"f3" s in
+  check Alcotest.(list string) "no violations" []
+    (List.map (fun v -> v.Mclock_rtl.Check.message)
+       (Mclock_rtl.Check.check_partition_discipline d))
+
+let test_structure_conflict_free_microcode () =
+  (* Every workload x every method builds without Structure.Conflict. *)
+  List.iter
+    (fun w ->
+      let s = Mclock_workloads.Workload.schedule w in
+      List.iter
+        (fun m -> ignore (Flow.synthesize ~method_:m ~name:"x" s))
+        [
+          Flow.Conventional_non_gated;
+          Flow.Conventional_gated;
+          Flow.Integrated 1;
+          Flow.Integrated 2;
+          Flow.Integrated 3;
+          Flow.Integrated 4;
+          Flow.Split 2;
+          Flow.Split 3;
+        ])
+    Mclock_workloads.Catalog.all
+
+let test_structure_output_taps () =
+  let w = Mclock_workloads.Hal.t in
+  let s = Mclock_workloads.Workload.schedule w in
+  let d = Integrated.allocate ~n:2 ~name:"h2" s in
+  let taps = Mclock_rtl.Design.output_taps d in
+  check Alcotest.int "four outputs" 4 (List.length taps);
+  List.iter
+    (fun tap ->
+      check Alcotest.bool "ready step positive" true (tap.Mclock_rtl.Design.ready_step >= 1))
+    taps
+
+let test_structure_transfer_is_storage_to_storage () =
+  (* In the Fig. 6 design, the transfer target's storage input must be
+     reachable without passing through any ALU. *)
+  let s = fig6_schedule () in
+  let result = Integrated.run ~n:2 ~name:"fig6" s in
+  match result.Integrated.problem.Lifetime.transfers with
+  | [ tr ] ->
+      let dp = Mclock_rtl.Design.datapath result.Integrated.design in
+      let rc =
+        Reg_alloc.class_of_exn result.Integrated.reg_classes tr.Lifetime.t_dest
+      in
+      (* Find the storage element holding the temp. *)
+      let holds_temp (_, st) =
+        List.exists (Var.equal tr.Lifetime.t_dest) st.Mclock_rtl.Comp.s_holds
+      in
+      check Alcotest.bool "temp stored" true
+        (List.exists holds_temp (Mclock_rtl.Datapath.storages dp));
+      check Alcotest.int "temp in partition 2" 2 rc.Reg_alloc.rc_partition
+  | _ -> fail "expected one transfer"
+
+(* --- Split allocation ---------------------------------------------------------------- *)
+
+let test_split_stats () =
+  let w = Mclock_workloads.Motivating.t in
+  let s = Mclock_workloads.Workload.schedule w in
+  let r = Split_alloc.run ~n:2 ~name:"m_split" s in
+  (* The motivating example cuts edges across the odd/even boundary, so
+     the naive per-partition allocation creates pseudo inputs that the
+     clean-up resolves. *)
+  check Alcotest.bool "cross connections found" true
+    (r.Split_alloc.stats.Split_alloc.cross_connections > 0);
+  check Alcotest.bool "input registers dropped" true
+    (r.Split_alloc.stats.Split_alloc.pseudo_input_registers_removed > 0)
+
+let test_split_latch_conflicts_resolved () =
+  (* After clean-up, no class may violate the latch rule. *)
+  List.iter
+    (fun w ->
+      let s = Mclock_workloads.Workload.schedule w in
+      List.iter
+        (fun n ->
+          let r = Split_alloc.run ~n ~name:"sp" s in
+          let d = r.Split_alloc.design in
+          check
+            Alcotest.(list string)
+            (Printf.sprintf "%s n=%d" w.Mclock_workloads.Workload.name n)
+            []
+            (List.map (fun v -> v.Mclock_rtl.Check.message)
+               (Mclock_rtl.Check.check_latch_read_write d)))
+        [ 1; 2; 3 ])
+    Mclock_workloads.Catalog.all
+
+let test_split_render_partitions () =
+  let w = Mclock_workloads.Motivating.t in
+  let s = Mclock_workloads.Workload.schedule w in
+  let txt = Split_alloc.render_partitions ~n:2 s in
+  check Alcotest.bool "mentions partition 2" true (String.length txt > 50)
+
+(* --- Flow labels ------------------------------------------------------------------------ *)
+
+let test_flow_labels () =
+  check Alcotest.string "non-gated" "Conven. Alloc. (Non-Gated Clock)"
+    (Flow.method_label Flow.Conventional_non_gated);
+  check Alcotest.string "1 clock" "1 Clock" (Flow.method_label (Flow.Integrated 1));
+  check Alcotest.string "3 clocks" "3 Clocks" (Flow.method_label (Flow.Integrated 3))
+
+let test_flow_standard_suite_order () =
+  let w = Mclock_workloads.Facet.t in
+  let s = Mclock_workloads.Workload.schedule w in
+  let suite = Flow.standard_suite ~name:"facet" s in
+  check Alcotest.int "five designs" 5 (List.length suite);
+  match List.map fst suite with
+  | [ Flow.Conventional_non_gated; Flow.Conventional_gated; Flow.Integrated 1;
+      Flow.Integrated 2; Flow.Integrated 3 ] ->
+      ()
+  | _ -> fail "wrong suite order"
+
+let suite =
+  [
+    ("partition of step", `Quick, test_partition_of_step);
+    ("partition local/global roundtrip", `Quick, test_partition_local_global_roundtrip);
+    ("partition of var", `Quick, test_partition_of_var);
+    ("partition steps_of", `Quick, test_partition_steps_of);
+    ("padded steps", `Quick, test_partition_padded_steps);
+    ("lifetime write/reads", `Quick, test_lifetime_write_and_reads);
+    ("lifetime output persists", `Quick, test_lifetime_output_persists);
+    ("lifetime register vs latch interval", `Quick, test_lifetime_register_vs_latch_interval);
+    ("lifetime registered inputs", `Quick, test_lifetime_registered_inputs);
+    ("lifetime final-step input stays port", `Quick, test_lifetime_input_read_at_final_step_stays_port);
+    ("lifetime register_inputs off", `Quick, test_lifetime_register_inputs_off);
+    ("lifetime stored usages", `Quick, test_lifetime_stored_usages);
+    ("lifetime render table", `Quick, test_lifetime_render_table);
+    ("transfer inserted (Fig 6)", `Quick, test_transfer_inserted);
+    ("transfer rewrites operand", `Quick, test_transfer_rewrites_operand);
+    ("transfer shortens source lifetime", `Quick, test_transfer_shortens_source_lifetime);
+    ("transfer temp usage", `Quick, test_transfer_temp_usage);
+    ("transfer none for n=1", `Quick, test_transfer_none_for_n1);
+    ("transfer same partition untouched", `Quick, test_transfer_same_partition_untouched);
+    ("transfer dedup shared operand", `Quick, test_transfer_dedup_shared_operand);
+    ("transfer inputs exempt", `Quick, test_transfer_inputs_exempt);
+    ("reg alloc partition separation", `Quick, test_reg_alloc_partition_separation);
+    ("reg alloc latch disjointness", `Quick, test_reg_alloc_latch_disjointness);
+    ("reg alloc registers pack tighter", `Quick, test_reg_alloc_registers_pack_tighter);
+    ("reg alloc class_of", `Quick, test_reg_alloc_class_of);
+    ("alu alloc no same-step sharing", `Quick, test_alu_alloc_no_same_step_sharing);
+    ("alu alloc respects partitions", `Quick, test_alu_alloc_respects_partitions);
+    ("alu alloc add/sub merge", `Quick, test_alu_alloc_addsub_merge);
+    ("alu alloc div separate", `Quick, test_alu_alloc_div_stays_separate);
+    ("alu alloc merge disabled", `Quick, test_alu_alloc_merge_disabled);
+    ("alu alloc every node bound", `Quick, test_alu_alloc_every_node_bound);
+    ("alu alloc op in repertoire", `Quick, test_alu_alloc_op_in_repertoire);
+    ("structure padding", `Quick, test_structure_padding);
+    ("structure storage phases", `Quick, test_structure_storage_phases_match_loads);
+    ("structure conflict-free microcode", `Quick, test_structure_conflict_free_microcode);
+    ("structure output taps", `Quick, test_structure_output_taps);
+    ("structure transfer storage-to-storage", `Quick, test_structure_transfer_is_storage_to_storage);
+    ("split stats", `Quick, test_split_stats);
+    ("split latch conflicts resolved", `Quick, test_split_latch_conflicts_resolved);
+    ("split render partitions", `Quick, test_split_render_partitions);
+    ("flow labels", `Quick, test_flow_labels);
+    ("flow standard suite order", `Quick, test_flow_standard_suite_order);
+  ]

@@ -1,0 +1,190 @@
+(* Tests for the controller-synthesis substrate: encodings, the
+   Quine-McCluskey minimizer, and the PLA estimates. *)
+
+open Mclock_core
+module C = Mclock_ctrl
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+let tech = Mclock_tech.Cmos08.t
+
+(* --- Encoding --------------------------------------------------------------- *)
+
+let test_encoding_widths () =
+  check Alcotest.int "binary 5 states" 3 (C.Encoding.width C.Encoding.Binary ~states:5);
+  check Alcotest.int "binary 8 states" 3 (C.Encoding.width C.Encoding.Binary ~states:8);
+  check Alcotest.int "binary 9 states" 4 (C.Encoding.width C.Encoding.Binary ~states:9);
+  check Alcotest.int "gray = binary width" 3 (C.Encoding.width C.Encoding.Gray ~states:6);
+  check Alcotest.int "one-hot = states" 6 (C.Encoding.width C.Encoding.One_hot ~states:6);
+  check Alcotest.int "1 state still 1 bit" 1 (C.Encoding.width C.Encoding.Binary ~states:1)
+
+let test_encoding_codes_distinct () =
+  List.iter
+    (fun enc ->
+      List.iter
+        (fun states ->
+          let codes = C.Encoding.codes enc ~states in
+          let unique = Mclock_util.List_ext.dedup ~compare:Int.compare codes in
+          check Alcotest.int
+            (Printf.sprintf "%s %d states distinct" (C.Encoding.name enc) states)
+            states (List.length unique))
+        [ 1; 2; 5; 8; 12 ])
+    C.Encoding.all
+
+let test_gray_adjacent_distance_one () =
+  (* Non-cyclic adjacency of Gray codes is always 1. *)
+  let codes = Array.of_list (C.Encoding.codes C.Encoding.Gray ~states:8) in
+  for i = 0 to 6 do
+    let d = codes.(i) lxor codes.(i + 1) in
+    check Alcotest.bool "one bit" true (d land (d - 1) = 0 && d <> 0)
+  done
+
+let test_one_hot_toggles () =
+  (* One-hot: exactly 2 toggles per transition, cyclically. *)
+  check Alcotest.int "2 per transition" (2 * 6)
+    (C.Encoding.toggles_per_period C.Encoding.One_hot ~states:6)
+
+let test_gray_beats_binary_toggles () =
+  (* Over a power-of-two period, cyclic Gray toggles once per
+     transition; binary averages ~2. *)
+  let g = C.Encoding.toggles_per_period C.Encoding.Gray ~states:8 in
+  let b = C.Encoding.toggles_per_period C.Encoding.Binary ~states:8 in
+  check Alcotest.int "gray 8" 8 g;
+  check Alcotest.bool "binary worse" true (b > g)
+
+(* --- Quine-McCluskey --------------------------------------------------------- *)
+
+let test_qm_single_minterm () =
+  let cost = C.Qm.minimize ~width:3 [ 5 ] in
+  check Alcotest.int "one term" 1 cost.C.Qm.product_terms;
+  check Alcotest.int "three literals" 3 cost.C.Qm.total_literals
+
+let test_qm_adjacent_pair_merges () =
+  (* 000 and 001 merge to 00-. *)
+  let cost = C.Qm.minimize ~width:3 [ 0; 1 ] in
+  check Alcotest.int "one term" 1 cost.C.Qm.product_terms;
+  check Alcotest.int "two literals" 2 cost.C.Qm.total_literals
+
+let test_qm_full_space_is_tautology () =
+  let cost = C.Qm.minimize ~width:3 [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+  check Alcotest.int "one term" 1 cost.C.Qm.product_terms;
+  check Alcotest.int "no literals" 0 cost.C.Qm.total_literals
+
+let test_qm_classic_example () =
+  (* f = Σm(0,1,2,5,6,7) over 3 vars minimizes to 3 terms. *)
+  let cost = C.Qm.minimize ~width:3 [ 0; 1; 2; 5; 6; 7 ] in
+  check Alcotest.int "three terms" 3 cost.C.Qm.product_terms
+
+let test_qm_cover_is_correct () =
+  (* The cover must evaluate to the exact on-set function. *)
+  let rng = Mclock_util.Rng.create 99 in
+  List.iter
+    (fun _ ->
+      let width = 4 in
+      let on =
+        List.filter
+          (fun _ -> Mclock_util.Rng.bool rng)
+          (Mclock_util.List_ext.range 0 15)
+      in
+      let cubes = C.Qm.cover ~width on in
+      List.iter
+        (fun x ->
+          let expected = List.mem x on in
+          let got = C.Qm.eval_cover cubes x in
+          if expected <> got then
+            fail (Printf.sprintf "cover wrong at %d (on-set %s)" x
+                    (String.concat "," (List.map string_of_int on))))
+        (Mclock_util.List_ext.range 0 15))
+    (Mclock_util.List_ext.range 1 30)
+
+let test_qm_empty () =
+  let cost = C.Qm.minimize ~width:4 [] in
+  check Alcotest.int "no terms" 0 cost.C.Qm.product_terms
+
+(* --- Controller estimates ------------------------------------------------------ *)
+
+let facet_design method_ =
+  let s = Mclock_workloads.Workload.schedule Mclock_workloads.Facet.t in
+  Flow.synthesize ~method_ ~name:"facet_c" s
+
+let test_output_lines_extracted () =
+  let d = facet_design (Flow.Integrated 2) in
+  let lines = C.Synth.output_lines d in
+  check Alcotest.bool "has load lines" true
+    (List.exists
+       (fun l -> String.length l.C.Synth.line_name > 4 && String.sub l.C.Synth.line_name 0 4 = "load")
+       lines);
+  (* Every storage element contributes a load line. *)
+  let loads =
+    List.filter
+      (fun l -> String.length l.C.Synth.line_name > 4 && String.sub l.C.Synth.line_name 0 4 = "load")
+      lines
+  in
+  check Alcotest.int "one per storage"
+    (Mclock_rtl.Datapath.memory_cells (Mclock_rtl.Design.datapath d))
+    (List.length loads)
+
+let test_estimate_sane () =
+  let d = facet_design Flow.Conventional_non_gated in
+  List.iter
+    (fun enc ->
+      let r = C.Synth.estimate tech d enc in
+      check Alcotest.bool (C.Encoding.name enc ^ " area > 0") true (r.C.Synth.area > 0.);
+      check Alcotest.bool "power > 0" true (r.C.Synth.power_mw > 0.);
+      check Alcotest.bool "terms > 0" true (r.C.Synth.product_terms > 0);
+      check Alcotest.int "states = controller period"
+        (Mclock_rtl.Control.num_steps (Mclock_rtl.Design.control d))
+        r.C.Synth.states)
+    C.Encoding.all
+
+let test_one_hot_fewer_literals_more_bits () =
+  let d = facet_design (Flow.Integrated 3) in
+  let binary = C.Synth.estimate tech d C.Encoding.Binary in
+  let one_hot = C.Synth.estimate tech d C.Encoding.One_hot in
+  check Alcotest.bool "one-hot wider" true
+    (one_hot.C.Synth.code_width > binary.C.Synth.code_width);
+  (* The classic trade-off: one-hot decode uses fewer literals, but its
+     planes are wider, costing area. *)
+  check Alcotest.bool "one-hot fewer literals" true
+    (one_hot.C.Synth.total_literals < binary.C.Synth.total_literals);
+  check Alcotest.bool "one-hot larger area" true
+    (one_hot.C.Synth.area > binary.C.Synth.area)
+
+let test_gray_saves_register_power () =
+  let d = facet_design Flow.Conventional_non_gated in
+  let binary = C.Synth.estimate tech d C.Encoding.Binary in
+  let gray = C.Synth.estimate tech d C.Encoding.Gray in
+  check Alcotest.bool "fewer register toggles" true
+    (gray.C.Synth.register_toggles_per_period
+    <= binary.C.Synth.register_toggles_per_period);
+  check Alcotest.bool "line toggles unaffected" true
+    (gray.C.Synth.output_toggles_per_period
+    = binary.C.Synth.output_toggles_per_period)
+
+let test_controller_small_vs_datapath () =
+  (* The controller should be a modest fraction of the datapath area. *)
+  let d = facet_design (Flow.Integrated 3) in
+  let r = C.Synth.estimate tech d C.Encoding.Binary in
+  let datapath_area = Mclock_power.Area.total tech d in
+  check Alcotest.bool "controller < 20% of design" true
+    (r.C.Synth.area < 0.2 *. datapath_area)
+
+let suite =
+  [
+    ("encoding widths", `Quick, test_encoding_widths);
+    ("encoding codes distinct", `Quick, test_encoding_codes_distinct);
+    ("gray adjacent distance 1", `Quick, test_gray_adjacent_distance_one);
+    ("one-hot toggles", `Quick, test_one_hot_toggles);
+    ("gray beats binary toggles", `Quick, test_gray_beats_binary_toggles);
+    ("qm single minterm", `Quick, test_qm_single_minterm);
+    ("qm adjacent pair merges", `Quick, test_qm_adjacent_pair_merges);
+    ("qm tautology", `Quick, test_qm_full_space_is_tautology);
+    ("qm classic example", `Quick, test_qm_classic_example);
+    ("qm cover correct (random)", `Quick, test_qm_cover_is_correct);
+    ("qm empty", `Quick, test_qm_empty);
+    ("controller lines extracted", `Quick, test_output_lines_extracted);
+    ("controller estimates sane", `Quick, test_estimate_sane);
+    ("one-hot vs binary tradeoff", `Quick, test_one_hot_fewer_literals_more_bits);
+    ("gray saves register power", `Quick, test_gray_saves_register_power);
+    ("controller small vs datapath", `Quick, test_controller_small_vs_datapath);
+  ]

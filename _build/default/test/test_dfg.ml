@@ -1,0 +1,273 @@
+(* Unit tests for mclock_dfg: operations, graphs, parser, generator. *)
+
+open Mclock_dfg
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+let v = Var.v
+
+let bv w x = Mclock_util.Bitvec.create ~width:w x
+
+(* --- Op ---------------------------------------------------------------- *)
+
+let test_op_symbol_roundtrip () =
+  List.iter
+    (fun op ->
+      match Op.of_symbol (Op.symbol op) with
+      | Some op' -> check Alcotest.bool (Op.name op) true (Op.equal op op')
+      | None -> fail ("no parse for " ^ Op.symbol op))
+    Op.all
+
+let test_op_arity () =
+  check Alcotest.int "not unary" 1 (Op.arity Op.Not);
+  List.iter
+    (fun op -> if not (Op.equal op Op.Not) then check Alcotest.int (Op.name op) 2 (Op.arity op))
+    Op.all
+
+let test_op_eval_add () =
+  check Alcotest.int "3+4" 7 (Mclock_util.Bitvec.to_int (Op.eval Op.Add [ bv 4 3; bv 4 4 ]))
+
+let test_op_eval_all_total () =
+  (* Every op evaluates on arbitrary 4-bit operands without raising. *)
+  let rng = Mclock_util.Rng.create 77 in
+  List.iter
+    (fun op ->
+      List.iter
+        (fun _ ->
+          let args =
+            List.init (Op.arity op) (fun _ -> Mclock_util.Bitvec.random rng ~width:4)
+          in
+          ignore (Op.eval op args))
+        (Mclock_util.List_ext.range 1 20))
+    Op.all
+
+let test_op_eval_arity_mismatch () =
+  Alcotest.check_raises "unary add"
+    (Invalid_argument "Op.eval: add expects 2 argument(s), got 1") (fun () ->
+      ignore (Op.eval Op.Add [ bv 4 1 ]))
+
+let test_op_set_rendering () =
+  check Alcotest.string "mul add" "(+*)" (Op.Set.to_string (Op.Set.of_list [ Op.Mul; Op.Add ]));
+  check Alcotest.string "single" "(/)" (Op.Set.to_string (Op.Set.singleton Op.Div))
+
+(* --- Graph construction and validation ---------------------------------- *)
+
+let simple_graph () =
+  let b = Builder.create "g" in
+  let a = Builder.input b "a" in
+  let c = Builder.input b "c" in
+  let x = Builder.binop b ~result:"x" Op.Add a c in
+  let y = Builder.binop b ~result:"y" Op.Sub x a in
+  Builder.output b y;
+  Builder.finish b
+
+let test_graph_basics () =
+  let g = simple_graph () in
+  check Alcotest.int "nodes" 2 (Graph.node_count g);
+  check Alcotest.int "inputs" 2 (List.length (Graph.inputs g));
+  check Alcotest.bool "is_input" true (Graph.is_input g (v "a"));
+  check Alcotest.bool "is_output" true (Graph.is_output g (v "y"));
+  check Alcotest.bool "producer of x" true (Graph.producer g (v "x") <> None);
+  check Alcotest.bool "no producer of a" true (Graph.producer g (v "a") = None)
+
+let test_graph_consumers () =
+  let g = simple_graph () in
+  check Alcotest.int "a read twice" 2 (List.length (Graph.consumers g (v "a")));
+  check Alcotest.int "x read once" 1 (List.length (Graph.consumers g (v "x")))
+
+let test_graph_topological_order () =
+  let g = simple_graph () in
+  match Graph.nodes g with
+  | [ n1; n2 ] ->
+      check Alcotest.string "x first" "x" (Var.name (Node.result n1));
+      check Alcotest.string "y second" "y" (Var.name (Node.result n2))
+  | _ -> fail "expected 2 nodes"
+
+let test_graph_rejects_double_write () =
+  let n1 = Node.make ~id:1 ~op:Op.Add ~operands:[ Node.Operand_var (v "a"); Node.Operand_const 1 ] ~result:(v "x") in
+  let n2 = Node.make ~id:2 ~op:Op.Sub ~operands:[ Node.Operand_var (v "a"); Node.Operand_const 1 ] ~result:(v "x") in
+  try
+    ignore (Graph.create ~name:"bad" ~inputs:[ v "a" ] ~outputs:[] [ n1; n2 ]);
+    fail "double write accepted"
+  with Graph.Invalid _ -> ()
+
+let test_graph_rejects_undefined_read () =
+  let n1 = Node.make ~id:1 ~op:Op.Add ~operands:[ Node.Operand_var (v "ghost"); Node.Operand_const 1 ] ~result:(v "x") in
+  try
+    ignore (Graph.create ~name:"bad" ~inputs:[] ~outputs:[] [ n1 ]);
+    fail "undefined read accepted"
+  with Graph.Invalid _ -> ()
+
+let test_graph_rejects_unproduced_output () =
+  try
+    ignore (Graph.create ~name:"bad" ~inputs:[ v "a" ] ~outputs:[ v "zz" ] []);
+    fail "unproduced output accepted"
+  with Graph.Invalid _ -> ()
+
+let test_graph_rejects_cycle () =
+  let n1 = Node.make ~id:1 ~op:Op.Add ~operands:[ Node.Operand_var (v "b"); Node.Operand_const 1 ] ~result:(v "a") in
+  let n2 = Node.make ~id:2 ~op:Op.Add ~operands:[ Node.Operand_var (v "a"); Node.Operand_const 1 ] ~result:(v "b") in
+  try
+    ignore (Graph.create ~name:"bad" ~inputs:[] ~outputs:[] [ n1; n2 ]);
+    fail "cycle accepted"
+  with Graph.Invalid _ -> ()
+
+let test_graph_rejects_input_production () =
+  let n1 = Node.make ~id:1 ~op:Op.Not ~operands:[ Node.Operand_const 1 ] ~result:(v "a") in
+  try
+    ignore (Graph.create ~name:"bad" ~inputs:[ v "a" ] ~outputs:[] [ n1 ]);
+    fail "producing an input accepted"
+  with Graph.Invalid _ -> ()
+
+let test_graph_rejects_duplicate_ids () =
+  let n1 = Node.make ~id:1 ~op:Op.Not ~operands:[ Node.Operand_const 1 ] ~result:(v "x") in
+  let n2 = Node.make ~id:1 ~op:Op.Not ~operands:[ Node.Operand_const 2 ] ~result:(v "y") in
+  try
+    ignore (Graph.create ~name:"bad" ~inputs:[] ~outputs:[] [ n1; n2 ]);
+    fail "duplicate ids accepted"
+  with Graph.Invalid _ -> ()
+
+let test_graph_op_census () =
+  let g = simple_graph () in
+  let census = Graph.op_census g in
+  check Alcotest.int "adds" 1 (List.assoc Op.Add census);
+  check Alcotest.int "subs" 1 (List.assoc Op.Sub census)
+
+let test_node_arity_check () =
+  Alcotest.check_raises "bad arity"
+    (Invalid_argument "Node.make: add expects 2 operands, got 1") (fun () ->
+      ignore (Node.make ~id:1 ~op:Op.Add ~operands:[ Node.Operand_const 1 ] ~result:(v "x")))
+
+(* --- Parser --------------------------------------------------------------- *)
+
+let test_parse_simple () =
+  let r =
+    Parse.parse_string
+      {|
+dfg t
+inputs a b
+outputs y
+n1: x = a + b @ 1
+n2: y = x - a @ 2
+|}
+  in
+  check Alcotest.string "name" "t" (Graph.name r.Parse.graph);
+  check Alcotest.int "nodes" 2 (Graph.node_count r.Parse.graph);
+  check Alcotest.(list (pair int int)) "steps" [ (1, 1); (2, 2) ] r.Parse.steps
+
+let test_parse_implicit_ids () =
+  let r = Parse.parse_string "dfg t\ninputs a\ny = a + 1\nz = y + 2\noutputs z\n" in
+  check Alcotest.int "nodes" 2 (Graph.node_count r.Parse.graph)
+
+let test_parse_unary_and_consts () =
+  let r = Parse.parse_string "dfg t\ninputs a\nx = ~ a\ny = x + 3\noutputs y\n" in
+  let x_node = Graph.node r.Parse.graph 1 in
+  check Alcotest.bool "not op" true (Op.equal (Node.op x_node) Op.Not)
+
+let test_parse_comments_and_blanks () =
+  let r =
+    Parse.parse_string
+      "# header\ndfg t\n\ninputs a  # trailing\n\nx = a + 1 @ 1\noutputs x\n"
+  in
+  check Alcotest.int "nodes" 1 (Graph.node_count r.Parse.graph)
+
+let test_parse_errors () =
+  let expect_error text =
+    match Parse.parse_string text with
+    | exception Parse.Error _ -> ()
+    | _ -> fail ("accepted: " ^ text)
+  in
+  expect_error "dfg t\nx = a +\n";
+  expect_error "dfg t\ninputs a\nx = a ? a\n";
+  expect_error "dfg t\ninputs a\nx = a + a @ 0\n";
+  expect_error "dfg t\ninputs a\nx = a + a @ banana\n";
+  expect_error "dfg a\ndfg b\n"
+
+let test_parse_roundtrip () =
+  let original =
+    "dfg rt\ninputs a b\noutputs y\nn1: x = a + b @ 1\nn2: y = x * 3 @ 2\n"
+  in
+  let r = Parse.parse_string original in
+  let steps id = List.assoc_opt id r.Parse.steps in
+  let rendered = Parse.to_string ~steps r.Parse.graph in
+  let r2 = Parse.parse_string rendered in
+  check Alcotest.int "same node count" (Graph.node_count r.Parse.graph)
+    (Graph.node_count r2.Parse.graph);
+  check Alcotest.(list (pair int int)) "same steps" r.Parse.steps r2.Parse.steps
+
+let test_parse_error_line_number () =
+  match Parse.parse_string "dfg t\ninputs a\nx = a ? a\n" with
+  | exception Parse.Error { line; _ } -> check Alcotest.int "line" 3 line
+  | _ -> fail "expected parse error"
+
+(* --- Dot ------------------------------------------------------------------- *)
+
+let test_dot_emits () =
+  let g = simple_graph () in
+  let dot = Dot.emit g in
+  check Alcotest.bool "digraph" true (String.length dot > 0);
+  check Alcotest.bool "mentions node" true
+    (String.split_on_char '\n' dot |> List.exists (fun l -> l = "  \"n1\" -> \"n2\" [label=\"x\"];"))
+
+let test_dot_cluster () =
+  let g = simple_graph () in
+  let dot = Dot.emit ~cluster:(fun n -> Node.id n mod 2) g in
+  check Alcotest.bool "has subgraph" true
+    (String.split_on_char '\n' dot
+    |> List.exists (fun l -> l = "  subgraph \"cluster_0\" {"))
+
+(* --- Generator ---------------------------------------------------------------- *)
+
+let test_generator_valid () =
+  let rng = Mclock_util.Rng.create 5 in
+  let r = Generator.generate rng Generator.default_spec in
+  check Alcotest.int "node count" 12 (Graph.node_count r.Generator.graph);
+  (* Steps form a valid schedule for the generated graph. *)
+  let s = Mclock_sched.Schedule.create r.Generator.graph r.Generator.steps in
+  check Alcotest.int "layers" 4 (Mclock_sched.Schedule.num_steps s)
+
+let test_generator_deterministic () =
+  let r1 = Generator.generate (Mclock_util.Rng.create 9) Generator.default_spec in
+  let r2 = Generator.generate (Mclock_util.Rng.create 9) Generator.default_spec in
+  check Alcotest.string "same graph" (Parse.to_string r1.Generator.graph)
+    (Parse.to_string r2.Generator.graph)
+
+let test_generator_bad_spec () =
+  let rng = Mclock_util.Rng.create 1 in
+  Alcotest.check_raises "no layers"
+    (Invalid_argument "Generator.generate: spec dimensions must be >= 1")
+    (fun () ->
+      ignore (Generator.generate rng { Generator.default_spec with Generator.layers = 0 }))
+
+let suite =
+  [
+    ("op symbol roundtrip", `Quick, test_op_symbol_roundtrip);
+    ("op arity", `Quick, test_op_arity);
+    ("op eval add", `Quick, test_op_eval_add);
+    ("op eval total", `Quick, test_op_eval_all_total);
+    ("op eval arity mismatch", `Quick, test_op_eval_arity_mismatch);
+    ("op set rendering", `Quick, test_op_set_rendering);
+    ("graph basics", `Quick, test_graph_basics);
+    ("graph consumers", `Quick, test_graph_consumers);
+    ("graph topological order", `Quick, test_graph_topological_order);
+    ("graph rejects double write", `Quick, test_graph_rejects_double_write);
+    ("graph rejects undefined read", `Quick, test_graph_rejects_undefined_read);
+    ("graph rejects unproduced output", `Quick, test_graph_rejects_unproduced_output);
+    ("graph rejects cycle", `Quick, test_graph_rejects_cycle);
+    ("graph rejects input production", `Quick, test_graph_rejects_input_production);
+    ("graph rejects duplicate ids", `Quick, test_graph_rejects_duplicate_ids);
+    ("graph op census", `Quick, test_graph_op_census);
+    ("node arity check", `Quick, test_node_arity_check);
+    ("parse simple", `Quick, test_parse_simple);
+    ("parse implicit ids", `Quick, test_parse_implicit_ids);
+    ("parse unary and consts", `Quick, test_parse_unary_and_consts);
+    ("parse comments/blanks", `Quick, test_parse_comments_and_blanks);
+    ("parse errors", `Quick, test_parse_errors);
+    ("parse roundtrip", `Quick, test_parse_roundtrip);
+    ("parse error line number", `Quick, test_parse_error_line_number);
+    ("dot emits", `Quick, test_dot_emits);
+    ("dot cluster", `Quick, test_dot_cluster);
+    ("generator valid", `Quick, test_generator_valid);
+    ("generator deterministic", `Quick, test_generator_deterministic);
+    ("generator bad spec", `Quick, test_generator_bad_spec);
+  ]

@@ -1,0 +1,190 @@
+(* Tests for the gate-level substrate: every operation's gate expansion
+   must be functionally identical to Op.eval, and the calibration
+   machinery must produce sane numbers. *)
+
+open Mclock_dfg
+module B = Mclock_util.Bitvec
+module G = Mclock_gatelevel
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let test_gate_eval () =
+  check Alcotest.bool "and" true (G.Gate.eval G.Gate.And2 [ true; true ]);
+  check Alcotest.bool "nand" false (G.Gate.eval G.Gate.Nand2 [ true; true ]);
+  check Alcotest.bool "xor" true (G.Gate.eval G.Gate.Xor2 [ true; false ]);
+  check Alcotest.bool "mux sel=0" true (G.Gate.eval G.Gate.Mux2 [ false; true; false ]);
+  check Alcotest.bool "mux sel=1" false (G.Gate.eval G.Gate.Mux2 [ true; true; false ])
+
+let test_gate_arity_error () =
+  Alcotest.check_raises "inv binary"
+    (Invalid_argument "Gate.eval: inv expects 1 inputs, got 2") (fun () ->
+      ignore (G.Gate.eval G.Gate.Inv [ true; false ]))
+
+let test_circuit_constants () =
+  let b = G.Circuit.builder ~num_inputs:1 in
+  let z = G.Circuit.zero b in
+  let o = G.Circuit.one b in
+  G.Circuit.output b z;
+  G.Circuit.output b o;
+  let c = G.Circuit.finish b in
+  List.iter
+    (fun input ->
+      match G.Circuit.eval_outputs c [| input |] with
+      | [ z; o ] ->
+          check Alcotest.bool "zero" false z;
+          check Alcotest.bool "one" true o
+      | _ -> fail "expected two outputs")
+    [ true; false ]
+
+let test_circuit_rejects_forward_reference () =
+  let b = G.Circuit.builder ~num_inputs:1 in
+  Alcotest.check_raises "undefined signal"
+    (Invalid_argument "Circuit.gate: input signal not yet defined") (fun () ->
+      ignore (G.Circuit.gate b G.Gate.Inv [ 5 ]))
+
+(* Exhaustive functional equivalence at width 4: every op, every
+   operand pair (256 combinations). *)
+let test_expansion_exhaustive op () =
+  let width = 4 in
+  let circuit = G.Expand.circuit ~width op in
+  for a = 0 to 15 do
+    for bv = 0 to 15 do
+      let ba = B.create ~width a and bb = B.create ~width bv in
+      let expected =
+        match Op.arity op with
+        | 1 -> Op.eval op [ ba ]
+        | _ -> Op.eval op [ ba; bb ]
+      in
+      let got = G.Expand.eval circuit ~width ba bb in
+      if not (B.equal expected got) then
+        fail
+          (Printf.sprintf "%s: %d op %d = %d at gate level, expected %d"
+             (Op.name op) a bv (B.to_int got) (B.to_int expected))
+    done
+  done
+
+let exhaustive_tests =
+  List.map
+    (fun op ->
+      ( Printf.sprintf "gate expansion of %s (exhaustive w=4)" (Op.name op),
+        `Quick,
+        test_expansion_exhaustive op ))
+    Op.all
+
+(* Random functional equivalence at larger widths. *)
+let test_expansion_width8 () =
+  let width = 8 in
+  let rng = Mclock_util.Rng.create 55 in
+  List.iter
+    (fun op ->
+      let circuit = G.Expand.circuit ~width op in
+      List.iter
+        (fun _ ->
+          let a = B.random rng ~width and bv = B.random rng ~width in
+          let expected =
+            match Op.arity op with
+            | 1 -> Op.eval op [ a ]
+            | _ -> Op.eval op [ a; bv ]
+          in
+          let got = G.Expand.eval circuit ~width a bv in
+          if not (B.equal expected got) then
+            fail (Printf.sprintf "%s at width 8 mismatch" (Op.name op)))
+        (Mclock_util.List_ext.range 1 60))
+    Op.all
+
+let test_multiplier_bigger_than_adder () =
+  let add = G.Expand.circuit ~width:4 Op.Add in
+  let mul = G.Expand.circuit ~width:4 Op.Mul in
+  check Alcotest.bool "mul more gates" true
+    (G.Circuit.num_gates mul > 2 * G.Circuit.num_gates add);
+  check Alcotest.bool "mul more area" true
+    (G.Circuit.area mul > 2. *. G.Circuit.area add)
+
+let test_transitions_zero_on_identical () =
+  let c = G.Expand.circuit ~width:4 Op.Add in
+  let v = G.Expand.input_vector ~width:4 (B.create ~width:4 5) (B.create ~width:4 9) in
+  let toggles, cap = G.Circuit.transitions c ~before:v ~after:v in
+  check Alcotest.int "no toggles" 0 toggles;
+  check (Alcotest.float 1e-12) "no cap" 0. cap
+
+let test_transitions_positive_on_change () =
+  let c = G.Expand.circuit ~width:4 Op.Mul in
+  let before = G.Expand.input_vector ~width:4 (B.create ~width:4 0) (B.create ~width:4 0) in
+  let after = G.Expand.input_vector ~width:4 (B.create ~width:4 15) (B.create ~width:4 15) in
+  let toggles, cap = G.Circuit.transitions c ~before ~after in
+  check Alcotest.bool "toggles" true (toggles > 0);
+  check Alcotest.bool "cap" true (cap > 0.)
+
+let test_gate_census () =
+  let c = G.Expand.circuit ~width:4 Op.And in
+  check Alcotest.(list (pair string int)) "4 and gates" [ ("and2", 4) ]
+    (G.Circuit.gate_census c)
+
+let test_calibration_sane () =
+  let tech = Mclock_tech.Cmos08.t in
+  let m = G.Calibrate.measure ~samples:500 tech ~width:4 Op.Add in
+  check Alcotest.bool "positive cap" true (m.G.Calibrate.mean_switched_cap > 0.);
+  check Alcotest.bool "input toggles ~ 4" true
+    (m.G.Calibrate.mean_input_toggles > 2. && m.G.Calibrate.mean_input_toggles < 6.);
+  check Alcotest.bool "implied constant positive" true
+    (m.G.Calibrate.implied_cap_per_area > 0.)
+
+let test_calibration_mul_heavier_than_add () =
+  let tech = Mclock_tech.Cmos08.t in
+  let add = G.Calibrate.measure ~samples:500 tech ~width:4 Op.Add in
+  let mul = G.Calibrate.measure ~samples:500 tech ~width:4 Op.Mul in
+  check Alcotest.bool "mul switches more cap" true
+    (mul.G.Calibrate.mean_switched_cap > 2. *. add.G.Calibrate.mean_switched_cap)
+
+let test_calibration_rtl_model_within_band () =
+  (* The lump model must over-, never under-estimate the zero-delay
+     gate truth (which excludes glitching and wire load), and stay
+     within a bounded factor of it. *)
+  let tech = Mclock_tech.Cmos08.t in
+  List.iter
+    (fun op ->
+      let m = G.Calibrate.measure ~samples:800 tech ~width:4 op in
+      let ratio = m.G.Calibrate.rtl_model_cap /. m.G.Calibrate.mean_switched_cap in
+      if ratio < 1. || ratio > 25. then
+        fail
+          (Printf.sprintf "%s: RTL/gate ratio %.2f out of band" (Op.name op)
+             ratio))
+    [ Op.Add; Op.Sub; Op.Mul; Op.Div ]
+
+let test_calibration_ratios_proportional () =
+  (* Relative proportionality across arithmetic ops: the model/truth
+     ratios must not diverge by more than ~5x, or design-style
+     comparisons would be skewed toward particular operations. *)
+  let tech = Mclock_tech.Cmos08.t in
+  let ratios =
+    List.map
+      (fun op ->
+        let m = G.Calibrate.measure ~samples:800 tech ~width:4 op in
+        m.G.Calibrate.rtl_model_cap /. m.G.Calibrate.mean_switched_cap)
+      [ Op.Add; Op.Sub; Op.Mul; Op.Div; Op.Gt ]
+  in
+  let lo = List.fold_left min infinity ratios in
+  let hi = List.fold_left max 0. ratios in
+  check Alcotest.bool
+    (Printf.sprintf "spread %.2f..%.2f within 5x" lo hi)
+    true
+    (hi /. lo < 5.)
+
+let suite =
+  [
+    ("gate eval", `Quick, test_gate_eval);
+    ("gate arity error", `Quick, test_gate_arity_error);
+    ("circuit constants", `Quick, test_circuit_constants);
+    ("circuit rejects forward reference", `Quick, test_circuit_rejects_forward_reference);
+    ("expansion width 8 random", `Quick, test_expansion_width8);
+    ("multiplier bigger than adder", `Quick, test_multiplier_bigger_than_adder);
+    ("transitions zero on identical", `Quick, test_transitions_zero_on_identical);
+    ("transitions positive on change", `Quick, test_transitions_positive_on_change);
+    ("gate census", `Quick, test_gate_census);
+    ("calibration sane", `Quick, test_calibration_sane);
+    ("calibration mul heavier", `Quick, test_calibration_mul_heavier_than_add);
+    ("calibration RTL model in band", `Quick, test_calibration_rtl_model_within_band);
+    ("calibration ratios proportional", `Quick, test_calibration_ratios_proportional);
+  ]
+  @ exhaustive_tests

@@ -1,0 +1,368 @@
+(* Property-based tests (QCheck) on the core data structures and
+   invariants: bit-vector algebra, left-edge optimality, clock
+   non-overlap, partition arithmetic, schedulers, transfers, and the
+   full allocation flow on random scheduled DFGs. *)
+
+open Mclock_dfg
+module B = Mclock_util.Bitvec
+module Q = QCheck
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+(* --- Generators ------------------------------------------------------------ *)
+
+let bitvec_gen width = Q.map (fun v -> B.create ~width v) Q.small_nat
+
+let bitvec_pair width =
+  Q.pair (bitvec_gen width) (bitvec_gen width)
+
+(* A random scheduled DFG via the layered generator. *)
+let dfg_gen =
+  let gen seed =
+    let rng = Mclock_util.Rng.create seed in
+    let spec =
+      {
+        Generator.name = "prop";
+        layers = 2 + Mclock_util.Rng.int rng 4;
+        width = 1 + Mclock_util.Rng.int rng 4;
+        num_inputs = 2 + Mclock_util.Rng.int rng 3;
+        ops = [ Op.Add; Op.Sub; Op.Mul; Op.And; Op.Xor ];
+      }
+    in
+    Generator.generate rng spec
+  in
+  Q.map gen Q.small_nat
+
+let schedule_of r = Mclock_sched.Schedule.create r.Generator.graph r.Generator.steps
+
+(* --- Bitvec algebra ---------------------------------------------------------- *)
+
+let prop_add_commutative =
+  Q.Test.make ~name:"bitvec add commutative" ~count:200 (bitvec_pair 6)
+    (fun (a, b) -> B.equal (B.add a b) (B.add b a))
+
+let prop_add_associative =
+  Q.Test.make ~name:"bitvec add associative" ~count:200
+    (Q.triple (bitvec_gen 6) (bitvec_gen 6) (bitvec_gen 6))
+    (fun (a, b, c) -> B.equal (B.add (B.add a b) c) (B.add a (B.add b c)))
+
+let prop_sub_inverse =
+  Q.Test.make ~name:"bitvec a+b-b = a" ~count:200 (bitvec_pair 6) (fun (a, b) ->
+      B.equal a (B.sub (B.add a b) b))
+
+let prop_xor_involution =
+  Q.Test.make ~name:"bitvec xor involution" ~count:200 (bitvec_pair 6)
+    (fun (a, b) -> B.equal a (B.logxor (B.logxor a b) b))
+
+let prop_not_involution =
+  Q.Test.make ~name:"bitvec not involution" ~count:200 (bitvec_gen 6) (fun a ->
+      B.equal a (B.lognot (B.lognot a)))
+
+let prop_hamming_symmetric =
+  Q.Test.make ~name:"hamming symmetric" ~count:200 (bitvec_pair 6)
+    (fun (a, b) -> B.hamming a b = B.hamming b a)
+
+let prop_hamming_triangle =
+  Q.Test.make ~name:"hamming triangle inequality" ~count:200
+    (Q.triple (bitvec_gen 6) (bitvec_gen 6) (bitvec_gen 6))
+    (fun (a, b, c) -> B.hamming a c <= B.hamming a b + B.hamming b c)
+
+let prop_hamming_zero_iff_equal =
+  Q.Test.make ~name:"hamming 0 iff equal" ~count:200 (bitvec_pair 6)
+    (fun (a, b) -> B.hamming a b = 0 = B.equal a b)
+
+let prop_mul_matches_int =
+  Q.Test.make ~name:"mul matches int arithmetic" ~count:200 (bitvec_pair 5)
+    (fun (a, b) ->
+      B.to_int (B.mul a b) = B.to_int a * B.to_int b land ((1 lsl 5) - 1))
+
+(* --- Left-edge --------------------------------------------------------------- *)
+
+let interval_list_gen =
+  let itv =
+    Q.map
+      (fun (lo, len) -> Mclock_util.Interval.make lo (lo + (len mod 8)))
+      (Q.pair Q.small_nat Q.small_nat)
+  in
+  Q.list_of_size (Q.Gen.int_range 1 30) itv
+
+let max_overlap_depth intervals =
+  let points =
+    List.concat_map
+      (fun i -> [ Mclock_util.Interval.lo i; Mclock_util.Interval.hi i ])
+      intervals
+  in
+  List.fold_left
+    (fun acc p ->
+      max acc
+        (List.length
+           (List.filter (fun i -> Mclock_util.Interval.contains i p) intervals)))
+    0 points
+
+let prop_left_edge_tracks_disjoint =
+  Q.Test.make ~name:"left-edge tracks are disjoint" ~count:100 interval_list_gen
+    (fun intervals ->
+      let tracks = Mclock_util.Interval.left_edge_pack ~key:Fun.id intervals in
+      List.for_all
+        (fun track ->
+          let rec ok = function
+            | a :: (b :: _ as rest) ->
+                Mclock_util.Interval.disjoint a b && ok rest
+            | [ _ ] | [] -> true
+          in
+          ok track)
+        tracks)
+
+let prop_left_edge_optimal =
+  (* For interval graphs the left-edge algorithm is optimal: track
+     count equals the maximum overlap depth. *)
+  Q.Test.make ~name:"left-edge is optimal" ~count:100 interval_list_gen
+    (fun intervals ->
+      let tracks = Mclock_util.Interval.left_edge_pack ~key:Fun.id intervals in
+      List.length tracks = max_overlap_depth intervals)
+
+let prop_left_edge_preserves_items =
+  Q.Test.make ~name:"left-edge loses nothing" ~count:100 interval_list_gen
+    (fun intervals ->
+      let tracks = Mclock_util.Interval.left_edge_pack ~key:Fun.id intervals in
+      Mclock_util.List_ext.sum_by List.length tracks = List.length intervals)
+
+(* --- Clock ------------------------------------------------------------------- *)
+
+let prop_clock_non_overlapping =
+  Q.Test.make ~name:"phase clocks never overlap" ~count:50
+    Q.(int_range 1 10)
+    (fun n ->
+      Mclock_rtl.Clock.non_overlapping
+        (Mclock_rtl.Clock.create ~phases:n ~frequency:1e6))
+
+let prop_clock_every_cycle_has_a_phase =
+  Q.Test.make ~name:"every cycle belongs to exactly one phase" ~count:100
+    Q.(pair (int_range 1 8) (int_range 1 100))
+    (fun (n, cycle) ->
+      let c = Mclock_rtl.Clock.create ~phases:n ~frequency:1e6 in
+      let p = Mclock_rtl.Clock.phase_of_cycle c cycle in
+      p >= 1 && p <= n)
+
+(* --- Partition arithmetic ------------------------------------------------------ *)
+
+let prop_partition_roundtrip =
+  Q.Test.make ~name:"partition local/global roundtrip" ~count:200
+    Q.(pair (int_range 1 8) (int_range 1 100))
+    (fun (n, t) ->
+      let open Mclock_core in
+      let p = Partition.of_step ~n t in
+      let l = Partition.local_of_global ~n t in
+      Partition.global_of_local ~n ~partition:p l = t)
+
+let prop_partition_counts =
+  Q.Test.make ~name:"partition step counts sum to T" ~count:100
+    Q.(pair (int_range 1 6) (int_range 1 40))
+    (fun (n, num_steps) ->
+      let open Mclock_core in
+      Mclock_util.List_ext.sum_by
+        (fun p -> Partition.local_steps ~n ~num_steps p)
+        (Mclock_util.List_ext.range 1 n)
+      = num_steps)
+
+(* --- Schedulers ------------------------------------------------------------------ *)
+
+let prop_asap_at_most_alap =
+  Q.Test.make ~name:"asap <= alap per node" ~count:40 dfg_gen (fun r ->
+      let g = r.Generator.graph in
+      let asap = Mclock_sched.Asap.steps g in
+      let alap = Mclock_sched.Alap.steps g in
+      List.for_all2 (fun (_, a) (_, l) -> a <= l) asap alap)
+
+let prop_asap_is_valid =
+  Q.Test.make ~name:"asap is a valid schedule" ~count:40 dfg_gen (fun r ->
+      ignore (Mclock_sched.Asap.run r.Generator.graph);
+      true)
+
+let prop_force_directed_within_deadline =
+  Q.Test.make ~name:"force-directed stays within deadline" ~count:20 dfg_gen
+    (fun r ->
+      let g = r.Generator.graph in
+      let deadline = Mclock_sched.Alap.critical_path_length g + 2 in
+      let s = Mclock_sched.Force_directed.run ~deadline g in
+      Mclock_sched.Schedule.num_steps s <= deadline)
+
+let prop_list_sched_constraint_held =
+  Q.Test.make ~name:"list scheduling respects bounds" ~count:30 dfg_gen (fun r ->
+      let g = r.Generator.graph in
+      let s = Mclock_sched.List_sched.run ~constraints:[ (Op.Mul, 1); (Op.Add, 2) ] g in
+      List.for_all
+        (fun step ->
+          let nodes = Mclock_sched.Schedule.nodes_at s step in
+          let count op = List.length (List.filter (fun n -> Op.equal (Node.op n) op) nodes) in
+          count Op.Mul <= 1 && count Op.Add <= 2)
+        (Mclock_util.List_ext.range 1 (Mclock_sched.Schedule.num_steps s)))
+
+(* --- Transfers -------------------------------------------------------------------- *)
+
+let prop_transfer_unifies_operand_partitions =
+  Q.Test.make ~name:"transfers unify stored-operand partitions" ~count:30
+    (Q.pair dfg_gen Q.(int_range 2 4))
+    (fun (r, n) ->
+      let open Mclock_core in
+      let s = schedule_of r in
+      let p = Transfer.insert (Lifetime.analyze ~n s) in
+      List.for_all
+        (fun node ->
+          let stored_partitions =
+            List.filter_map
+              (fun src ->
+                match src with
+                | Lifetime.S_const _ -> None
+                | Lifetime.S_var v ->
+                    let u = Lifetime.usage p v in
+                    if u.Lifetime.is_input then None
+                    else Some u.Lifetime.partition)
+              (Node.Map.find (Node.id node) p.Lifetime.node_operands)
+          in
+          match Mclock_util.List_ext.dedup ~compare:Int.compare stored_partitions with
+          | [] | [ _ ] -> true
+          | _ :: _ :: _ -> false)
+        (Graph.nodes (Mclock_sched.Schedule.graph s)))
+
+let prop_transfer_steps_legal =
+  Q.Test.make ~name:"transfer steps precede consumers, follow writers" ~count:30
+    (Q.pair dfg_gen Q.(int_range 2 4))
+    (fun (r, n) ->
+      let open Mclock_core in
+      let s = schedule_of r in
+      let p = Transfer.insert (Lifetime.analyze ~n s) in
+      List.for_all
+        (fun tr ->
+          let src = Lifetime.usage p tr.Lifetime.t_src in
+          let dest = Lifetime.usage p tr.Lifetime.t_dest in
+          src.Lifetime.write_step < tr.Lifetime.t_step
+          && List.for_all (fun r -> r > tr.Lifetime.t_step) dest.Lifetime.read_steps
+          && Partition.of_step ~n tr.Lifetime.t_step = tr.Lifetime.t_partition)
+        p.Lifetime.transfers)
+
+(* --- Register allocation -------------------------------------------------------------- *)
+
+let prop_reg_alloc_total =
+  Q.Test.make ~name:"every stored variable gets exactly one class" ~count:30
+    (Q.pair dfg_gen Q.(int_range 1 3))
+    (fun (r, n) ->
+      let open Mclock_core in
+      let s = schedule_of r in
+      let p = Transfer.insert (Lifetime.analyze ~n s) in
+      let classes = Reg_alloc.allocate ~kind:Mclock_tech.Library.Latch p in
+      List.for_all
+        (fun u ->
+          let holders =
+            List.filter
+              (fun rc -> List.exists (Var.equal u.Lifetime.var) rc.Reg_alloc.rc_vars)
+              classes
+          in
+          List.length holders = 1)
+        (Lifetime.stored_usages p))
+
+(* --- End-to-end: random DFG through the integrated flow -------------------------------- *)
+
+let prop_integrated_flow_functional =
+  Q.Test.make ~name:"integrated flow is functionally correct" ~count:10
+    (Q.pair dfg_gen Q.(int_range 1 3))
+    (fun (r, n) ->
+      let open Mclock_core in
+      let s = schedule_of r in
+      let design = Integrated.allocate ~n ~name:"prop" s in
+      let report =
+        Mclock_sim.Verify.run ~seed:99 ~iterations:8 Mclock_tech.Cmos08.t design
+          r.Generator.graph
+      in
+      Mclock_sim.Verify.ok report)
+
+let prop_integrated_flow_checks_clean =
+  Q.Test.make ~name:"integrated flow passes structural checks" ~count:10
+    (Q.pair dfg_gen Q.(int_range 1 3))
+    (fun (r, n) ->
+      let open Mclock_core in
+      let s = schedule_of r in
+      let design = Integrated.allocate ~n ~name:"prop" s in
+      Mclock_rtl.Check.all design = [])
+
+let prop_split_flow_functional =
+  Q.Test.make ~name:"split flow is functionally correct" ~count:8
+    (Q.pair dfg_gen Q.(int_range 2 3))
+    (fun (r, n) ->
+      let open Mclock_core in
+      let s = schedule_of r in
+      let design = Split_alloc.allocate ~n ~name:"prop" s in
+      let report =
+        Mclock_sim.Verify.run ~seed:13 ~iterations:8 Mclock_tech.Cmos08.t design
+          r.Generator.graph
+      in
+      Mclock_sim.Verify.ok report)
+
+let prop_resched_preserves_validity =
+  Q.Test.make ~name:"rescheduling preserves validity and bound" ~count:20
+    (Q.pair dfg_gen Q.(int_range 2 4))
+    (fun (r, n) ->
+      let open Mclock_core in
+      let s = schedule_of r in
+      let b = Resched.balance ~n s in
+      Resched.partition_alu_bound ~n b <= Resched.partition_alu_bound ~n s)
+
+let prop_mux_aware_binding_functional =
+  Q.Test.make ~name:"mux-aware binding is functionally correct" ~count:8
+    (Q.pair dfg_gen Q.(int_range 1 3))
+    (fun (r, n) ->
+      let open Mclock_core in
+      let s = schedule_of r in
+      let result = Integrated.run ~binding:`Mux_aware ~n ~name:"prop" s in
+      let report =
+        Mclock_sim.Verify.run ~seed:21 ~iterations:8 Mclock_tech.Cmos08.t
+          result.Integrated.design r.Generator.graph
+      in
+      Mclock_sim.Verify.ok report)
+
+let prop_conventional_flow_functional =
+  Q.Test.make ~name:"conventional flow is functionally correct" ~count:10
+    (Q.pair dfg_gen Q.bool)
+    (fun (r, gated) ->
+      let open Mclock_core in
+      let s = schedule_of r in
+      let design = Conventional.allocate ~gated ~name:"prop" s in
+      let report =
+        Mclock_sim.Verify.run ~seed:7 ~iterations:8 Mclock_tech.Cmos08.t design
+          r.Generator.graph
+      in
+      Mclock_sim.Verify.ok report)
+
+let suite =
+  List.map to_alcotest
+    [
+      prop_add_commutative;
+      prop_add_associative;
+      prop_sub_inverse;
+      prop_xor_involution;
+      prop_not_involution;
+      prop_hamming_symmetric;
+      prop_hamming_triangle;
+      prop_hamming_zero_iff_equal;
+      prop_mul_matches_int;
+      prop_left_edge_tracks_disjoint;
+      prop_left_edge_optimal;
+      prop_left_edge_preserves_items;
+      prop_clock_non_overlapping;
+      prop_clock_every_cycle_has_a_phase;
+      prop_partition_roundtrip;
+      prop_partition_counts;
+      prop_asap_at_most_alap;
+      prop_asap_is_valid;
+      prop_force_directed_within_deadline;
+      prop_list_sched_constraint_held;
+      prop_transfer_unifies_operand_partitions;
+      prop_transfer_steps_legal;
+      prop_reg_alloc_total;
+      prop_integrated_flow_functional;
+      prop_integrated_flow_checks_clean;
+      prop_split_flow_functional;
+      prop_resched_preserves_validity;
+      prop_mux_aware_binding_functional;
+      prop_conventional_flow_functional;
+    ]

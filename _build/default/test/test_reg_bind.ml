@@ -1,0 +1,137 @@
+(* Tests for interconnect-aware register binding. *)
+
+open Mclock_core
+
+let check = Alcotest.check
+let tech = Mclock_tech.Cmos08.t
+
+let problem_and_alus w n =
+  let schedule = Mclock_workloads.Workload.schedule w in
+  let problem = Transfer.insert (Lifetime.analyze ~n schedule) in
+  let alus =
+    Alu_alloc.allocate
+      ~config:{ Alu_alloc.tech; width = 4; merge = true; merge_threshold = 1.0 }
+      ~partitions:(Partition.map ~n schedule)
+      schedule
+  in
+  (problem, alus)
+
+let test_same_element_count () =
+  (* Mux-aware binding must not cost extra storage elements. *)
+  List.iter
+    (fun w ->
+      List.iter
+        (fun n ->
+          let problem, alus = problem_and_alus w n in
+          let le =
+            Reg_bind.allocate ~strategy:`Left_edge
+              ~kind:Mclock_tech.Library.Latch problem alus
+          in
+          let ma =
+            Reg_bind.allocate ~strategy:`Mux_aware
+              ~kind:Mclock_tech.Library.Latch problem alus
+          in
+          check Alcotest.int
+            (Printf.sprintf "%s n=%d" w.Mclock_workloads.Workload.name n)
+            (List.length le) (List.length ma))
+        [ 1; 2; 3 ])
+    Mclock_workloads.Catalog.all
+
+let test_all_vars_bound_once () =
+  let problem, alus = problem_and_alus Mclock_workloads.Biquad.t 3 in
+  let classes =
+    Reg_bind.allocate ~strategy:`Mux_aware ~kind:Mclock_tech.Library.Latch
+      problem alus
+  in
+  List.iter
+    (fun u ->
+      let holders =
+        List.filter
+          (fun rc ->
+            List.exists (Mclock_dfg.Var.equal u.Lifetime.var) rc.Reg_alloc.rc_vars)
+          classes
+      in
+      check Alcotest.int
+        (Mclock_dfg.Var.name u.Lifetime.var)
+        1 (List.length holders))
+    (Lifetime.stored_usages problem)
+
+let test_latch_disjointness_preserved () =
+  let problem, alus = problem_and_alus Mclock_workloads.Bandpass.t 2 in
+  let classes =
+    Reg_bind.allocate ~strategy:`Mux_aware ~kind:Mclock_tech.Library.Latch
+      problem alus
+  in
+  List.iter
+    (fun rc ->
+      let intervals =
+        List.map
+          (fun v ->
+            Lifetime.problem_interval problem ~kind:Mclock_tech.Library.Latch
+              (Lifetime.usage problem v))
+          rc.Reg_alloc.rc_vars
+      in
+      let rec pairwise = function
+        | a :: rest ->
+            List.iter
+              (fun b ->
+                check Alcotest.bool "disjoint" true
+                  (Mclock_util.Interval.disjoint a b))
+              rest;
+            pairwise rest
+        | [] -> ()
+      in
+      pairwise intervals)
+    classes
+
+let mux_inputs_of ~binding w n =
+  let schedule = Mclock_workloads.Workload.schedule w in
+  let r = Integrated.run ~binding ~n ~name:"rb" schedule in
+  Mclock_rtl.Datapath.mux_input_count
+    (Mclock_rtl.Design.datapath r.Integrated.design)
+
+let test_mux_aware_never_much_worse () =
+  (* Across all workloads the mux-aware binding should on aggregate
+     reduce mux inputs, and never blow up. *)
+  let total_le = ref 0 and total_ma = ref 0 in
+  List.iter
+    (fun w ->
+      List.iter
+        (fun n ->
+          total_le := !total_le + mux_inputs_of ~binding:`Left_edge w n;
+          total_ma := !total_ma + mux_inputs_of ~binding:`Mux_aware w n)
+        [ 2; 3 ])
+    Mclock_workloads.Catalog.all;
+  check Alcotest.bool
+    (Printf.sprintf "aggregate mux inputs %d (mux-aware) <= %d (left-edge)"
+       !total_ma !total_le)
+    true
+    (!total_ma <= !total_le)
+
+let test_mux_aware_design_verified () =
+  List.iter
+    (fun w ->
+      let graph = Mclock_workloads.Workload.graph w in
+      let schedule = Mclock_workloads.Workload.schedule w in
+      let r = Integrated.run ~binding:`Mux_aware ~n:3 ~name:"rb" schedule in
+      let report =
+        Mclock_sim.Verify.run ~iterations:12 tech r.Integrated.design graph
+      in
+      check Alcotest.bool
+        (w.Mclock_workloads.Workload.name ^ " verified")
+        true
+        (Mclock_sim.Verify.ok report);
+      check Alcotest.(list string) "checks clean" []
+        (List.map
+           (fun v -> v.Mclock_rtl.Check.message)
+           (Mclock_rtl.Check.all r.Integrated.design)))
+    Mclock_workloads.Catalog.paper_tables
+
+let suite =
+  [
+    ("same element count", `Quick, test_same_element_count);
+    ("all vars bound once", `Quick, test_all_vars_bound_once);
+    ("latch disjointness preserved", `Quick, test_latch_disjointness_preserved);
+    ("aggregate mux inputs reduced", `Quick, test_mux_aware_never_much_worse);
+    ("mux-aware designs verified", `Quick, test_mux_aware_design_verified);
+  ]

@@ -1,0 +1,215 @@
+(* Unit tests for mclock_sched: schedule validation, ASAP/ALAP,
+   mobility, list scheduling, force-directed scheduling. *)
+
+open Mclock_dfg
+open Mclock_sched
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* A diamond: x = a+b; y = a-b; z = x*y. *)
+let diamond () =
+  let b = Builder.create "diamond" in
+  let a = Builder.input b "a" in
+  let c = Builder.input b "c" in
+  let x = Builder.binop b ~result:"x" Op.Add a c in
+  let y = Builder.binop b ~result:"y" Op.Sub a c in
+  let z = Builder.binop b ~result:"z" Op.Mul x y in
+  Builder.output b z;
+  Builder.finish b
+
+(* A chain of n dependent additions. *)
+let chain n =
+  let b = Builder.create "chain" in
+  let a = Builder.input b "a" in
+  let last = ref a in
+  for _ = 1 to n do
+    last := Builder.binop b Op.Add !last a
+  done;
+  Builder.output b !last;
+  Builder.finish b
+
+let test_schedule_valid () =
+  let g = diamond () in
+  let s = Schedule.create g [ (1, 1); (2, 1); (3, 2) ] in
+  check Alcotest.int "steps" 2 (Schedule.num_steps s);
+  check Alcotest.int "n3 at 2" 2 (Schedule.step_of_id s 3);
+  check Alcotest.int "two at step 1" 2 (List.length (Schedule.nodes_at s 1))
+
+let test_schedule_rejects_missing_node () =
+  let g = diamond () in
+  try
+    ignore (Schedule.create g [ (1, 1); (2, 1) ]);
+    fail "incomplete schedule accepted"
+  with Schedule.Invalid _ -> ()
+
+let test_schedule_rejects_dependency_violation () =
+  let g = diamond () in
+  try
+    ignore (Schedule.create g [ (1, 1); (2, 2); (3, 2) ]);
+    fail "same-step chaining accepted"
+  with Schedule.Invalid _ -> ()
+
+let test_schedule_rejects_step_zero () =
+  let g = diamond () in
+  try
+    ignore (Schedule.create g [ (1, 0); (2, 1); (3, 2) ]);
+    fail "step 0 accepted"
+  with Schedule.Invalid _ -> ()
+
+let test_schedule_rejects_double_assignment () =
+  let g = diamond () in
+  try
+    ignore (Schedule.create g [ (1, 1); (1, 2); (2, 1); (3, 3) ]);
+    fail "double assignment accepted"
+  with Schedule.Invalid _ -> ()
+
+let test_schedule_peak_usage () =
+  let g = diamond () in
+  let s = Schedule.create g [ (1, 1); (2, 1); (3, 2) ] in
+  let peak = Schedule.peak_usage s in
+  check Alcotest.int "adds peak" 1 (List.assoc Op.Add peak);
+  check Alcotest.int "subs peak" 1 (List.assoc Op.Sub peak);
+  check Alcotest.int "muls peak" 1 (List.assoc Op.Mul peak)
+
+let test_asap_diamond () =
+  let s = Asap.run (diamond ()) in
+  check Alcotest.int "depth" 2 (Schedule.num_steps s);
+  check Alcotest.int "n1 asap" 1 (Schedule.step_of_id s 1);
+  check Alcotest.int "n3 asap" 2 (Schedule.step_of_id s 3)
+
+let test_asap_chain_depth () =
+  let s = Asap.run (chain 7) in
+  check Alcotest.int "chain depth" 7 (Schedule.num_steps s)
+
+let test_alap_diamond () =
+  let s = Alap.run ~deadline:4 (diamond ()) in
+  check Alcotest.int "n3 at deadline" 4 (Schedule.step_of_id s 3);
+  check Alcotest.int "n1 just before" 3 (Schedule.step_of_id s 1)
+
+let test_alap_default_deadline () =
+  let s = Alap.run (diamond ()) in
+  check Alcotest.int "critical path" 2 (Schedule.num_steps s)
+
+let test_alap_rejects_tight_deadline () =
+  Alcotest.check_raises "deadline 1"
+    (Invalid_argument "Alap.steps: deadline 1 below critical path 2") (fun () ->
+      ignore (Alap.run ~deadline:1 (diamond ())))
+
+let test_mobility () =
+  let g = diamond () in
+  let m = Mobility.compute ~deadline:4 g in
+  check Alcotest.int "n1 slack" 2 (Mobility.slack m (Graph.node g 1));
+  check Alcotest.int "n3 slack" 2 (Mobility.slack m (Graph.node g 3));
+  check Alcotest.(list int) "n1 window" [ 1; 2; 3 ]
+    (Mobility.feasible_steps m (Graph.node g 1))
+
+let test_mobility_critical_zero_slack () =
+  let g = chain 5 in
+  let m = Mobility.compute g in
+  List.iter
+    (fun node -> check Alcotest.int "slack 0" 0 (Mobility.slack m node))
+    (Graph.nodes g)
+
+(* Wide graph: 6 independent adds. *)
+let wide () =
+  let b = Builder.create "wide" in
+  let a = Builder.input b "a" in
+  let c = Builder.input b "c" in
+  for i = 1 to 6 do
+    let x = Builder.binop b ~result:(Printf.sprintf "x%d" i) Op.Add a c in
+    Builder.output b x
+  done;
+  Builder.finish b
+
+let test_list_sched_respects_constraint () =
+  let g = wide () in
+  let s = List_sched.run ~constraints:[ (Op.Add, 2) ] g in
+  check Alcotest.int "3 steps for 6 adds at 2/step" 3 (Schedule.num_steps s);
+  List.iter
+    (fun step ->
+      if List.length (Schedule.nodes_at s step) > 2 then
+        fail "constraint violated")
+    (Mclock_util.List_ext.range 1 (Schedule.num_steps s))
+
+let test_list_sched_unconstrained_is_asap () =
+  let g = diamond () in
+  let s = List_sched.run ~constraints:[] g in
+  check Alcotest.int "asap depth" 2 (Schedule.num_steps s)
+
+let test_list_sched_rejects_zero_bound () =
+  let g = wide () in
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "List_sched: resource bound for add must be >= 1")
+    (fun () -> ignore (List_sched.run ~constraints:[ (Op.Add, 0) ] g))
+
+let test_list_sched_dependencies_hold () =
+  (* Stress with a random graph: the result must be a valid schedule
+     (Schedule.create validates dependencies). *)
+  let rng = Mclock_util.Rng.create 31 in
+  let r =
+    Generator.generate rng
+      { Generator.default_spec with Generator.layers = 5; width = 4 }
+  in
+  let s =
+    List_sched.run ~constraints:[ (Op.Add, 1); (Op.Mul, 2) ] r.Generator.graph
+  in
+  check Alcotest.bool "valid" true (Schedule.num_steps s >= 5)
+
+let test_force_directed_valid () =
+  let g = diamond () in
+  let s = Force_directed.run ~deadline:3 g in
+  check Alcotest.bool "within deadline" true (Schedule.num_steps s <= 3)
+
+let test_force_directed_balances () =
+  (* Two independent adds and a deadline of 2: FDS should place them in
+     different steps to flatten the add distribution. *)
+  let b = Builder.create "bal" in
+  let a = Builder.input b "a" in
+  let c = Builder.input b "c" in
+  let x = Builder.binop b ~result:"x" Op.Add a c in
+  let y = Builder.binop b ~result:"y" Op.Add a c in
+  Builder.output b x;
+  Builder.output b y;
+  let g = Builder.finish b in
+  let s = Force_directed.run ~deadline:2 g in
+  let s1 = Schedule.step_of_id s 1 and s2 = Schedule.step_of_id s 2 in
+  check Alcotest.bool "spread" true (s1 <> s2)
+
+let test_force_directed_matches_peak () =
+  (* On the HAL benchmark, FDS at the paper's deadline should not need
+     more multipliers than the paper's schedule (2 per step). *)
+  let w = Mclock_workloads.Hal.t in
+  let g = Mclock_workloads.Workload.graph w in
+  let s = Force_directed.run ~deadline:4 g in
+  let peak = Schedule.peak_usage s in
+  check Alcotest.bool "mul peak <= 3" true (List.assoc Op.Mul peak <= 3)
+
+let test_force_directed_chain () =
+  let s = Force_directed.run (chain 6) in
+  check Alcotest.int "chain stays serial" 6 (Schedule.num_steps s)
+
+let suite =
+  [
+    ("schedule valid", `Quick, test_schedule_valid);
+    ("schedule rejects missing node", `Quick, test_schedule_rejects_missing_node);
+    ("schedule rejects dependency violation", `Quick, test_schedule_rejects_dependency_violation);
+    ("schedule rejects step 0", `Quick, test_schedule_rejects_step_zero);
+    ("schedule rejects double assignment", `Quick, test_schedule_rejects_double_assignment);
+    ("schedule peak usage", `Quick, test_schedule_peak_usage);
+    ("asap diamond", `Quick, test_asap_diamond);
+    ("asap chain depth", `Quick, test_asap_chain_depth);
+    ("alap diamond", `Quick, test_alap_diamond);
+    ("alap default deadline", `Quick, test_alap_default_deadline);
+    ("alap rejects tight deadline", `Quick, test_alap_rejects_tight_deadline);
+    ("mobility windows", `Quick, test_mobility);
+    ("mobility critical path", `Quick, test_mobility_critical_zero_slack);
+    ("list sched respects constraints", `Quick, test_list_sched_respects_constraint);
+    ("list sched unconstrained = asap", `Quick, test_list_sched_unconstrained_is_asap);
+    ("list sched rejects zero bound", `Quick, test_list_sched_rejects_zero_bound);
+    ("list sched random graph", `Quick, test_list_sched_dependencies_hold);
+    ("force-directed valid", `Quick, test_force_directed_valid);
+    ("force-directed balances", `Quick, test_force_directed_balances);
+    ("force-directed HAL peak", `Quick, test_force_directed_matches_peak);
+    ("force-directed chain", `Quick, test_force_directed_chain);
+  ]

@@ -1,0 +1,173 @@
+(* Tests for the stimulus models and the voltage-scaling model. *)
+
+open Mclock_dfg
+module B = Mclock_util.Bitvec
+
+let check = Alcotest.check
+let tech = Mclock_tech.Cmos08.t
+
+let graph () = Mclock_workloads.Workload.graph Mclock_workloads.Facet.t
+
+let gen model iterations =
+  Mclock_sim.Stimulus.generate model (Mclock_util.Rng.create 5) ~width:4
+    ~iterations (graph ())
+
+let test_stimulus_lengths () =
+  List.iter
+    (fun model ->
+      check Alcotest.int
+        (Mclock_sim.Stimulus.name model)
+        20
+        (List.length (gen model 20)))
+    [
+      Mclock_sim.Stimulus.Uniform;
+      Mclock_sim.Stimulus.Correlated 0.3;
+      Mclock_sim.Stimulus.Ramp 2;
+      Mclock_sim.Stimulus.Constant;
+    ]
+
+let test_stimulus_covers_inputs () =
+  let envs = gen Mclock_sim.Stimulus.Uniform 5 in
+  List.iter
+    (fun env ->
+      List.iter
+        (fun v -> check Alcotest.bool (Var.name v) true (Var.Map.mem v env))
+        (Graph.inputs (graph ())))
+    envs
+
+let test_constant_never_changes () =
+  match gen Mclock_sim.Stimulus.Constant 10 with
+  | first :: rest ->
+      List.iter
+        (fun env ->
+          Var.Map.iter
+            (fun v value ->
+              check Alcotest.int (Var.name v) (B.to_int (Var.Map.find v first))
+                (B.to_int value))
+            env)
+        rest
+  | [] -> Alcotest.fail "empty stimulus"
+
+let test_ramp_increments () =
+  match gen (Mclock_sim.Stimulus.Ramp 3) 3 with
+  | [ e1; e2; e3 ] ->
+      let v = List.hd (Graph.inputs (graph ())) in
+      let x1 = B.to_int (Var.Map.find v e1) in
+      check Alcotest.int "+3" ((x1 + 3) land 15) (B.to_int (Var.Map.find v e2));
+      check Alcotest.int "+6" ((x1 + 6) land 15) (B.to_int (Var.Map.find v e3))
+  | _ -> Alcotest.fail "expected 3 envs"
+
+let test_correlated_activity_ordering () =
+  (* Mean per-input Hamming distance between consecutive samples grows
+     with the flip probability. *)
+  let mean_activity model =
+    let envs = gen model 300 in
+    let rec pairs acc = function
+      | a :: (b :: _ as rest) ->
+          let d =
+            Var.Map.fold
+              (fun v x acc -> acc + B.hamming x (Var.Map.find v b))
+              a 0
+          in
+          pairs (acc + d) rest
+      | [ _ ] | [] -> acc
+    in
+    float (pairs 0 envs)
+  in
+  let low = mean_activity (Mclock_sim.Stimulus.Correlated 0.1) in
+  let high = mean_activity (Mclock_sim.Stimulus.Correlated 0.4) in
+  check Alcotest.bool "more flips, more activity" true (high > low)
+
+let test_correlated_invalid_probability () =
+  Alcotest.check_raises "p > 1"
+    (Invalid_argument "Stimulus.generate: flip probability out of [0, 1]")
+    (fun () -> ignore (gen (Mclock_sim.Stimulus.Correlated 1.5) 5))
+
+let test_simulator_accepts_stimulus () =
+  let w = Mclock_workloads.Facet.t in
+  let g = Mclock_workloads.Workload.graph w in
+  let schedule = Mclock_workloads.Workload.schedule w in
+  let design =
+    Mclock_core.Flow.synthesize ~method_:(Mclock_core.Flow.Integrated 2)
+      ~name:"st" schedule
+  in
+  let stimulus = gen (Mclock_sim.Stimulus.Correlated 0.2) 30 in
+  let result = Mclock_sim.Simulator.run ~stimulus tech design ~iterations:30 in
+  let verify = Mclock_sim.Verify.check ~width:4 g result in
+  check Alcotest.bool "verified under correlated stimulus" true
+    (Mclock_sim.Verify.ok verify)
+
+let test_simulator_rejects_short_stimulus () =
+  let schedule = Mclock_workloads.Workload.schedule Mclock_workloads.Facet.t in
+  let design =
+    Mclock_core.Flow.synthesize ~method_:(Mclock_core.Flow.Integrated 1)
+      ~name:"st" schedule
+  in
+  Alcotest.check_raises "short"
+    (Invalid_argument "Simulator.run: stimulus shorter than iterations")
+    (fun () ->
+      ignore
+        (Mclock_sim.Simulator.run
+           ~stimulus:(gen Mclock_sim.Stimulus.Uniform 5)
+           tech design ~iterations:10))
+
+let test_constant_stimulus_cheapest () =
+  let schedule = Mclock_workloads.Workload.schedule Mclock_workloads.Facet.t in
+  let design =
+    Mclock_core.Flow.synthesize ~method_:Mclock_core.Flow.Conventional_non_gated
+      ~name:"st" schedule
+  in
+  let power model =
+    let stimulus = gen model 200 in
+    (Mclock_sim.Simulator.run ~stimulus tech design ~iterations:200)
+      .Mclock_sim.Simulator.power_mw
+  in
+  check Alcotest.bool "constant < uniform" true
+    (power Mclock_sim.Stimulus.Constant < power Mclock_sim.Stimulus.Uniform)
+
+(* --- Voltage model -------------------------------------------------------------- *)
+
+let test_voltage_delay_monotone () =
+  let vdd = 4.65 in
+  let d v = Mclock_power.Voltage.delay_factor ~vdd v in
+  check (Alcotest.float 1e-9) "no scaling, no slowdown" 1.0 (d vdd);
+  check Alcotest.bool "lower V, slower" true (d 3.0 > d 4.0);
+  check Alcotest.bool "much lower, much slower" true (d 1.5 > d 3.0)
+
+let test_voltage_scaled_inverts_delay () =
+  let vdd = 4.65 in
+  List.iter
+    (fun slowdown ->
+      let v = Mclock_power.Voltage.scaled_voltage ~vdd slowdown in
+      let achieved = Mclock_power.Voltage.delay_factor ~vdd v in
+      check (Alcotest.float 0.01)
+        (Printf.sprintf "slowdown %.1f" slowdown)
+        slowdown achieved)
+    [ 1.5; 2.0; 3.0; 4.0 ]
+
+let test_duplication_tradeoff () =
+  let d =
+    Mclock_power.Voltage.duplicate ~tech ~baseline_power_mw:10.
+      ~baseline_area:3_000_000. 2
+  in
+  check Alcotest.bool "power drops" true (d.Mclock_power.Voltage.power_mw < 10.);
+  check Alcotest.bool "voltage drops" true
+    (d.Mclock_power.Voltage.voltage < tech.Mclock_tech.Library.supply_voltage);
+  check Alcotest.bool "area roughly doubles" true
+    (d.Mclock_power.Voltage.area > 4_000_000.)
+
+let suite =
+  [
+    ("stimulus lengths", `Quick, test_stimulus_lengths);
+    ("stimulus covers inputs", `Quick, test_stimulus_covers_inputs);
+    ("constant never changes", `Quick, test_constant_never_changes);
+    ("ramp increments", `Quick, test_ramp_increments);
+    ("correlated activity ordering", `Quick, test_correlated_activity_ordering);
+    ("correlated invalid probability", `Quick, test_correlated_invalid_probability);
+    ("simulator accepts stimulus", `Quick, test_simulator_accepts_stimulus);
+    ("simulator rejects short stimulus", `Quick, test_simulator_rejects_short_stimulus);
+    ("constant stimulus cheapest", `Quick, test_constant_stimulus_cheapest);
+    ("voltage delay monotone", `Quick, test_voltage_delay_monotone);
+    ("voltage scaled inverts delay", `Quick, test_voltage_scaled_inverts_delay);
+    ("duplication tradeoff", `Quick, test_duplication_tradeoff);
+  ]

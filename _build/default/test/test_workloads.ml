@@ -1,0 +1,142 @@
+(* Tests pinning down the bundled benchmark behaviours: operation
+   censuses, schedule shapes, and schedule validity — the properties
+   the paper's tables depend on. *)
+
+open Mclock_dfg
+open Mclock_sched
+
+let check = Alcotest.check
+
+let census_count graph op =
+  Option.value ~default:0 (List.assoc_opt op (Graph.op_census graph))
+
+let test_catalog_complete () =
+  check Alcotest.int "seven workloads" 7 (List.length Mclock_workloads.Catalog.all);
+  check Alcotest.int "four paper tables" 4
+    (List.length Mclock_workloads.Catalog.paper_tables);
+  check Alcotest.int "two extended" 2
+    (List.length Mclock_workloads.Catalog.extended);
+  check Alcotest.bool "find facet" true
+    (Mclock_workloads.Catalog.find "facet" <> None);
+  check Alcotest.bool "find nothing" true
+    (Mclock_workloads.Catalog.find "nonesuch" = None)
+
+let test_all_schedules_valid () =
+  (* Workload.schedule runs Schedule.create, which validates; also pin
+     the expected schedule lengths of the annotated benchmarks. *)
+  let lengths =
+    List.map
+      (fun w ->
+        ( w.Mclock_workloads.Workload.name,
+          Schedule.num_steps (Mclock_workloads.Workload.schedule w) ))
+      Mclock_workloads.Catalog.all
+  in
+  let annotated = Mclock_util.List_ext.take 5 lengths in
+  check
+    Alcotest.(list (pair string int))
+    "schedule lengths"
+    [ ("motivating", 5); ("facet", 4); ("hal", 4); ("biquad", 11); ("bandpass", 9) ]
+    annotated;
+  (* The list-scheduled benchmarks at least respect their bounds. *)
+  List.iter
+    (fun w ->
+      let s = Mclock_workloads.Workload.schedule w in
+      List.iter
+        (fun (op, bound) ->
+          check Alcotest.bool
+            (w.Mclock_workloads.Workload.name ^ " respects bound") true
+            (Option.value ~default:0 (List.assoc_opt op (Schedule.peak_usage s))
+            <= bound))
+        w.Mclock_workloads.Workload.constraints)
+    Mclock_workloads.Catalog.extended
+
+let test_ewf_census () =
+  let g = Mclock_workloads.Workload.graph Mclock_workloads.Ewf.t in
+  check Alcotest.int "34 ops (EWF census)" 34 (Graph.node_count g);
+  check Alcotest.int "26 adds" 26 (census_count g Op.Add);
+  check Alcotest.int "8 muls" 8 (census_count g Op.Mul)
+
+let test_fir_census () =
+  let g = Mclock_workloads.Workload.graph Mclock_workloads.Fir.t in
+  check Alcotest.int "15 ops" 15 (Graph.node_count g);
+  check Alcotest.int "8 muls" 8 (census_count g Op.Mul);
+  check Alcotest.int "7 adds" 7 (census_count g Op.Add);
+  (* Balanced tree: critical path 1 mul + 3 adds. *)
+  check Alcotest.int "depth 4" 4
+    (Mclock_sched.Alap.critical_path_length g)
+
+let test_motivating_shape () =
+  let w = Mclock_workloads.Motivating.t in
+  let g = Mclock_workloads.Workload.graph w in
+  check Alcotest.int "6 operations" 6 (Graph.node_count g);
+  check Alcotest.int "3 adds" 3 (census_count g Op.Add);
+  check Alcotest.int "3 subs" 3 (census_count g Op.Sub);
+  (* Circuit 1 occupancy pattern (paper Fig. 1): odd steps hold nodes
+     1,3,4 plus 6; even steps 2 and 5. *)
+  let s = Mclock_workloads.Workload.schedule w in
+  check Alcotest.int "T3 holds two ops" 2 (List.length (Schedule.nodes_at s 3))
+
+let test_facet_census () =
+  let g = Mclock_workloads.Workload.graph Mclock_workloads.Facet.t in
+  check Alcotest.int "8 ops" 8 (Graph.node_count g);
+  check Alcotest.int "3 adds" 3 (census_count g Op.Add);
+  check Alcotest.int "1 sub" 1 (census_count g Op.Sub);
+  check Alcotest.int "1 mul" 1 (census_count g Op.Mul);
+  check Alcotest.int "1 div" 1 (census_count g Op.Div);
+  check Alcotest.int "1 and" 1 (census_count g Op.And);
+  check Alcotest.int "1 or" 1 (census_count g Op.Or)
+
+let test_hal_census () =
+  let g = Mclock_workloads.Workload.graph Mclock_workloads.Hal.t in
+  check Alcotest.int "5 muls" 5 (census_count g Op.Mul);
+  check Alcotest.int "2 adds" 2 (census_count g Op.Add);
+  check Alcotest.int "2 subs" 2 (census_count g Op.Sub);
+  check Alcotest.int "1 compare" 1 (census_count g Op.Gt);
+  check Alcotest.int "4 steps" 4
+    (Schedule.num_steps (Mclock_workloads.Workload.schedule Mclock_workloads.Hal.t))
+
+let test_biquad_census () =
+  let g = Mclock_workloads.Workload.graph Mclock_workloads.Biquad.t in
+  check Alcotest.int "18 ops" 18 (Graph.node_count g);
+  check Alcotest.int "10 muls" 10 (census_count g Op.Mul);
+  check Alcotest.int "4 adds" 4 (census_count g Op.Add);
+  check Alcotest.int "4 subs" 4 (census_count g Op.Sub)
+
+let test_biquad_mult_pressure () =
+  (* The schedule keeps multiplier pressure at <= 2 per step so the
+     multi-clock designs stay in the paper's ALU-count band. *)
+  let s = Mclock_workloads.Workload.schedule Mclock_workloads.Biquad.t in
+  check Alcotest.int "mul peak" 2 (List.assoc Op.Mul (Schedule.peak_usage s))
+
+let test_bandpass_census () =
+  let g = Mclock_workloads.Workload.graph Mclock_workloads.Bandpass.t in
+  check Alcotest.int "17 ops" 17 (Graph.node_count g);
+  check Alcotest.int "9 muls" 9 (census_count g Op.Mul);
+  check Alcotest.int "14 inputs" 14 (List.length (Graph.inputs g));
+  check Alcotest.int "5 outputs" 5 (List.length (Graph.outputs g))
+
+let test_workload_graphs_reparse () =
+  List.iter
+    (fun w ->
+      let g = Mclock_workloads.Workload.graph w in
+      let r = Parse.parse_string (Parse.to_string g) in
+      check Alcotest.int
+        (w.Mclock_workloads.Workload.name ^ " reparses")
+        (Graph.node_count g)
+        (Graph.node_count r.Parse.graph))
+    Mclock_workloads.Catalog.all
+
+let suite =
+  [
+    ("catalog complete", `Quick, test_catalog_complete);
+    ("all schedules valid", `Quick, test_all_schedules_valid);
+    ("motivating shape", `Quick, test_motivating_shape);
+    ("facet census", `Quick, test_facet_census);
+    ("hal census", `Quick, test_hal_census);
+    ("biquad census", `Quick, test_biquad_census);
+    ("biquad mult pressure", `Quick, test_biquad_mult_pressure);
+    ("bandpass census", `Quick, test_bandpass_census);
+    ("ewf census", `Quick, test_ewf_census);
+    ("fir census", `Quick, test_fir_census);
+    ("workload graphs reparse", `Quick, test_workload_graphs_reparse);
+  ]
