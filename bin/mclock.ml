@@ -4,6 +4,7 @@
      list       bundled workloads
      show       print a behaviour, its schedule and lifetime table
      synth      synthesize one design, report power/area, emit artifacts
+     lint       static analysis (MC0xx/MC1xx rules) of a synthesized design
      table      the paper's five-design comparison table for a workload
      waves      ASCII waveforms of an n-phase clocking scheme
      sweep      clock-count sweep for a workload
@@ -202,10 +203,10 @@ let synth_cmd =
       | None, None -> "design"
     in
     let design = Mclock_core.Flow.synthesize ~method_:m ~name input.schedule in
-    let violations = Mclock_rtl.Check.all design in
+    (* [synthesize] already failed on lint errors; surface the rest. *)
     List.iter
-      (fun v -> Fmt.epr "warning: %a@." Mclock_rtl.Check.pp_violation v)
-      violations;
+      (fun d -> Fmt.epr "%a@." Mclock_lint.Diagnostic.pp d)
+      (Mclock_lint.Lint.design design);
     let trace =
       Option.map
         (fun _ ->
@@ -261,6 +262,71 @@ let synth_cmd =
       const run $ workload_arg $ file_arg $ scheduler_arg $ method_arg
       $ clocks_arg $ iterations_arg $ seed_arg $ vhdl_arg $ verilog_arg
       $ dot_arg $ vcd_arg)
+
+(* --- lint --------------------------------------------------------------------- *)
+
+let lint_cmd =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the diagnostics as a machine-readable JSON report.")
+  in
+  let werror_arg =
+    Arg.(value & flag & info [ "werror" ]
+           ~doc:"Promote warnings and info diagnostics to errors.")
+  in
+  let no_transfers_arg =
+    Arg.(value & flag & info [ "no-transfers" ]
+           ~doc:"Ablation: skip cross-partition transfer insertion in the \
+                 integrated method (--method mc) so rule MC006 has \
+                 something to find.")
+  in
+  let run workload file scheduler method_ clocks json werror no_transfers =
+    let input = or_die (load ~workload ~file ~scheduler) in
+    let m = method_of (method_, clocks) in
+    let name =
+      match (workload, file) with
+      | Some n, _ -> n
+      | _, Some p -> Filename.remove_extension (Filename.basename p)
+      | None, None -> "design"
+    in
+    let behaviour_diags =
+      let assignments =
+        List.map
+          (fun node ->
+            let id = Mclock_dfg.Node.id node in
+            (id, Mclock_sched.Schedule.step_of_id input.schedule id))
+          (Mclock_dfg.Graph.nodes input.graph)
+      in
+      Mclock_lint.Lint.behaviour input.graph assignments
+    in
+    let design =
+      if no_transfers then
+        match m with
+        | Mclock_core.Flow.Integrated n ->
+            (Mclock_core.Integrated.run ~transfers:false ~n ~name
+               input.schedule)
+              .Mclock_core.Integrated.design
+        | _ -> or_die (Error "--no-transfers only applies to --method mc")
+      else Mclock_core.Flow.synthesize ~lint:false ~method_:m ~name input.schedule
+    in
+    let diags =
+      Mclock_lint.Diagnostic.promote ~werror
+        (behaviour_diags @ Mclock_lint.Lint.design design)
+    in
+    if json then
+      print_endline
+        (Mclock_lint.Json.to_string_pretty
+           (Mclock_lint.Diagnostic.list_to_json ~subject:name diags))
+    else print_endline (Mclock_lint.Diagnostic.render diags);
+    if Mclock_lint.Lint.has_errors diags then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the MC0xx/MC1xx static-analysis rules over a behaviour \
+             and its synthesized design; non-zero exit on any error.")
+    Term.(
+      const run $ workload_arg $ file_arg $ scheduler_arg $ method_arg
+      $ clocks_arg $ json_arg $ werror_arg $ no_transfers_arg)
 
 (* --- table --------------------------------------------------------------------- *)
 
@@ -388,5 +454,5 @@ let () =
       ~doc:"Multi-clock RTL power-management synthesis (DAC'96 reproduction)."
   in
   exit (Cmd.eval (Cmd.group info
-       [ list_cmd; show_cmd; synth_cmd; table_cmd; waves_cmd; sweep_cmd;
-         controller_cmd; calibrate_cmd ]))
+       [ list_cmd; show_cmd; synth_cmd; lint_cmd; table_cmd; waves_cmd;
+         sweep_cmd; controller_cmd; calibrate_cmd ]))

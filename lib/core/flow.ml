@@ -19,7 +19,22 @@ type params = { tech : Mclock_tech.Library.t; width : int }
 
 let default_params = { tech = Mclock_tech.Cmos08.t; width = 4 }
 
-let synthesize ?(params = default_params) ~method_ ~name schedule =
+exception
+  Lint_failed of {
+    design : Mclock_rtl.Design.t;
+    diagnostics : Mclock_lint.Diagnostic.t list;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Lint_failed { design; diagnostics } ->
+        Some
+          (Printf.sprintf "Flow.Lint_failed on %s:\n%s"
+             (Mclock_rtl.Design.name design)
+             (Mclock_lint.Diagnostic.render diagnostics))
+    | _ -> None)
+
+let allocate ~params ~method_ ~name schedule =
   match method_ with
   | Conventional_non_gated ->
       Conventional.allocate
@@ -37,6 +52,21 @@ let synthesize ?(params = default_params) ~method_ ~name schedule =
       Split_alloc.allocate
         ~params:{ Split_alloc.tech = params.tech; width = params.width }
         ~n ~name schedule
+
+(* Every allocation is linted on the way out: an allocator emitting a
+   design that violates the paper's structural discipline is a bug we
+   want loud, not a wrong power number downstream.  [lint:false] is
+   for tooling (e.g. the lint CLI) that wants the diagnostics
+   themselves rather than an exception. *)
+let synthesize ?(params = default_params) ?(lint = true) ~method_ ~name
+    schedule =
+  let design = allocate ~params ~method_ ~name schedule in
+  if lint then begin
+    match Mclock_lint.Diagnostic.errors (Mclock_lint.Lint.design design) with
+    | [] -> design
+    | _ :: _ as diagnostics -> raise (Lint_failed { design; diagnostics })
+  end
+  else design
 
 (* The five designs of each of the paper's tables, in row order. *)
 let standard_suite ?(params = default_params) ~name schedule =

@@ -16,8 +16,26 @@ type params = { tech : Mclock_tech.Library.t; width : int }
 
 val default_params : params
 
+exception
+  Lint_failed of {
+    design : Mclock_rtl.Design.t;
+    diagnostics : Mclock_lint.Diagnostic.t list;
+  }
+(** Raised when a freshly allocated design fails the
+    {!Mclock_lint.Lint.design} rule set with error-severity
+    diagnostics. *)
+
 val synthesize :
-  ?params:params -> method_:method_ -> name:string -> Schedule.t -> Mclock_rtl.Design.t
+  ?params:params ->
+  ?lint:bool ->
+  method_:method_ ->
+  name:string ->
+  Schedule.t ->
+  Mclock_rtl.Design.t
+(** Allocates, then runs the full lint rule set over the result and
+    raises {!Lint_failed} on error diagnostics.  [lint:false] (default
+    [true]) skips the gate for callers that collect diagnostics
+    themselves. *)
 
 val standard_suite :
   ?params:params -> name:string -> Schedule.t -> (method_ * Mclock_rtl.Design.t) list

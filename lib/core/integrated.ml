@@ -49,6 +49,10 @@ let run ?(params = default_params) ?(park = true)
     Reg_bind.allocate ~strategy:binding ~kind:storage_kind problem alus
   in
   let style =
+    (* [cross_partition_transfers] stays true even under
+       [~transfers:false]: that flag is an ablation of this method, so
+       the design still claims the discipline and the MC006 lint rule
+       flags every operand mix the omitted transfers would have fixed. *)
     {
       Mclock_rtl.Design.multiclock_style with
       Mclock_rtl.Design.storage_kind;

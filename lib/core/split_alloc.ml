@@ -186,7 +186,14 @@ let run ?(params = default_params) ~n ~name schedule =
       {
         Structure.tech = params.tech;
         width = params.width;
-        style = Mclock_rtl.Design.multiclock_style;
+        style =
+          (* Direct cross-partition connections are this method's
+             defining shortcut, so it opts out of the transfer
+             discipline that MC006 enforces. *)
+          {
+            Mclock_rtl.Design.multiclock_style with
+            cross_partition_transfers = false;
+          };
         idle_controls = `Hold;
         park_idle_muxes = true;
         name;

@@ -164,6 +164,16 @@ let predecessors t node =
 
 let successors t node = consumers t (Node.result node)
 
+let unused_inputs t =
+  List.filter (fun v -> consumers t v = [] && not (is_output t v)) t.inputs
+
+let dead_nodes t =
+  List.filter
+    (fun n ->
+      let r = Node.result n in
+      consumers t r = [] && not (is_output t r))
+    t.nodes
+
 (* Operation-kind census, e.g. for sizing resource constraints. *)
 let op_census t =
   let incr op acc =

@@ -38,6 +38,12 @@ val variables : t -> Var.t list
 val predecessors : t -> Node.t -> Node.t list
 val successors : t -> Node.t -> Node.t list
 
+val unused_inputs : t -> Var.t list
+(** Declared inputs that no node reads and that are not outputs. *)
+
+val dead_nodes : t -> Node.t list
+(** Nodes whose result is neither consumed nor a primary output. *)
+
 val op_census : t -> (Op.t * int) list
 (** Count of nodes per operation kind. *)
 

@@ -1,0 +1,161 @@
+(* Diagnostics: the common currency of every lint rule.  A diagnostic
+   pins a stable code (grep-able, documented in README) to a severity,
+   a location inside the design or behaviour, and a human message. *)
+
+type severity = Error | Warning | Info
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_of_label = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+type location =
+  | Component of int
+  | Node of int
+  | Variable of string
+  | Whole_design
+
+type t = {
+  code : string;
+  rule : string;
+  severity : severity;
+  location : location;
+  step : int option;
+  message : string;
+}
+
+let make ~code ~rule ~severity ?step location fmt =
+  Format.kasprintf
+    (fun message -> { code; rule; severity; location; step; message })
+    fmt
+
+let location_rank = function
+  | Whole_design -> (0, 0, "")
+  | Component id -> (1, id, "")
+  | Node id -> (2, id, "")
+  | Variable v -> (3, 0, v)
+
+let compare a b =
+  let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.code b.code in
+    if c <> 0 then c
+    else
+      let c =
+        Option.compare Int.compare a.step b.step
+      in
+      if c <> 0 then c
+      else Stdlib.compare (location_rank a.location) (location_rank b.location)
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+
+let promote ~werror ds =
+  if werror then List.map (fun d -> { d with severity = Error }) ds else ds
+
+let pp_location ppf = function
+  | Component id -> Fmt.pf ppf "c%d" id
+  | Node id -> Fmt.pf ppf "n%d" id
+  | Variable v -> Fmt.pf ppf "%s" v
+  | Whole_design -> Fmt.pf ppf "design"
+
+let pp ppf d =
+  Fmt.pf ppf "%s %s %a%a: %s" d.code (severity_label d.severity) pp_location
+    d.location
+    (Fmt.option (fun ppf s -> Fmt.pf ppf "@@step%d" s))
+    d.step d.message
+
+let render ds =
+  match ds with
+  | [] -> "clean (no diagnostics)"
+  | _ :: _ ->
+      let ds = List.sort compare ds in
+      let count sev = List.length (List.filter (fun d -> d.severity = sev) ds) in
+      let summary =
+        Printf.sprintf "%d error(s), %d warning(s), %d info" (count Error)
+          (count Warning) (count Info)
+      in
+      String.concat "\n" (List.map (Fmt.str "%a" pp) ds @ [ summary ])
+
+(* --- JSON ------------------------------------------------------------- *)
+
+let location_to_json = function
+  | Component id -> Json.Obj [ ("kind", Json.String "component"); ("id", Json.Int id) ]
+  | Node id -> Json.Obj [ ("kind", Json.String "node"); ("id", Json.Int id) ]
+  | Variable v ->
+      Json.Obj [ ("kind", Json.String "variable"); ("name", Json.String v) ]
+  | Whole_design -> Json.Obj [ ("kind", Json.String "design") ]
+
+let to_json d =
+  Json.Obj
+    ([
+       ("code", Json.String d.code);
+       ("rule", Json.String d.rule);
+       ("severity", Json.String (severity_label d.severity));
+       ("location", location_to_json d.location);
+     ]
+    @ (match d.step with None -> [] | Some s -> [ ("step", Json.Int s) ])
+    @ [ ("message", Json.String d.message) ])
+
+let list_to_json ?subject ds =
+  let ds = List.sort compare ds in
+  Json.Obj
+    ((match subject with
+     | None -> []
+     | Some s -> [ ("subject", Json.String s) ])
+    @ [
+        ("count", Json.Int (List.length ds));
+        ("errors", Json.Int (List.length (errors ds)));
+        ("diagnostics", Json.List (List.map to_json ds));
+      ])
+
+let of_json json =
+  let ( let* ) = Result.bind in
+  let field name =
+    match Json.member name json with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %S" name)
+  in
+  let as_string name = function
+    | Json.String s -> Ok s
+    | _ -> Error (Printf.sprintf "field %S is not a string" name)
+  in
+  let* code = Result.bind (field "code") (as_string "code") in
+  let* rule = Result.bind (field "rule") (as_string "rule") in
+  let* sev_label = Result.bind (field "severity") (as_string "severity") in
+  let* severity =
+    match severity_of_label sev_label with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "unknown severity %S" sev_label)
+  in
+  let* message = Result.bind (field "message") (as_string "message") in
+  let step =
+    match Json.member "step" json with Some (Json.Int s) -> Some s | _ -> None
+  in
+  let* location =
+    let* loc = field "location" in
+    match Json.member "kind" loc with
+    | Some (Json.String "component") -> (
+        match Json.member "id" loc with
+        | Some (Json.Int id) -> Ok (Component id)
+        | _ -> Error "component location without integer id")
+    | Some (Json.String "node") -> (
+        match Json.member "id" loc with
+        | Some (Json.Int id) -> Ok (Node id)
+        | _ -> Error "node location without integer id")
+    | Some (Json.String "variable") -> (
+        match Json.member "name" loc with
+        | Some (Json.String v) -> Ok (Variable v)
+        | _ -> Error "variable location without name")
+    | Some (Json.String "design") -> Ok Whole_design
+    | _ -> Error "location without a known kind"
+  in
+  Ok { code; rule; severity; location; step; message }

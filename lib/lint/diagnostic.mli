@@ -1,0 +1,60 @@
+(** The lint diagnostics framework: stable rule codes, severities,
+    locations, and pretty / machine-readable renderers. *)
+
+type severity = Error | Warning | Info
+
+val severity_label : severity -> string
+(** ["error"], ["warning"], ["info"]. *)
+
+val severity_of_label : string -> severity option
+
+type location =
+  | Component of int  (** a datapath component id *)
+  | Node of int  (** a behavioural DFG node id *)
+  | Variable of string  (** a behavioural variable *)
+  | Whole_design  (** the design or graph as a whole *)
+
+type t = {
+  code : string;  (** stable rule code, e.g. ["MC006"] *)
+  rule : string;  (** rule slug, e.g. ["cdc-transfer"] *)
+  severity : severity;
+  location : location;
+  step : int option;  (** schedule step the diagnostic concerns *)
+  message : string;
+}
+
+val make :
+  code:string ->
+  rule:string ->
+  severity:severity ->
+  ?step:int ->
+  location ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+(** [make ~code ~rule ~severity ?step loc fmt ...] builds a diagnostic
+    with a formatted message. *)
+
+val compare : t -> t -> int
+(** Orders by severity (errors first), then code, step and location —
+    the presentation order of the renderers. *)
+
+val errors : t list -> t list
+val promote : werror:bool -> t list -> t list
+(** With [werror:true], every warning and info becomes an error. *)
+
+val pp_location : Format.formatter -> location -> unit
+val pp : Format.formatter -> t -> unit
+(** One line: [MC006 error c12@step3: message]. *)
+
+val render : t list -> string
+(** Sorted one-per-line listing with a severity-count summary footer;
+    ["clean (no diagnostics)"] on an empty list. *)
+
+val to_json : t -> Json.t
+
+val list_to_json : ?subject:string -> t list -> Json.t
+(** [{ "subject": ..., "count": n, "errors": e, "diagnostics": [...] }] *)
+
+val of_json : Json.t -> (t, string) result
+(** Inverse of {!to_json}; used by the round-trip tests and external
+    tooling that replays lint reports. *)

@@ -1,0 +1,246 @@
+(* Minimal JSON: just what diagnostics need.  The emitter escapes
+   control characters and the parser accepts the emitted subset plus
+   standard escapes, so [parse (to_string v)] round-trips. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let rec emit ~indent ~level buf v =
+  let pad l =
+    match indent with
+    | None -> ()
+    | Some w -> Buffer.add_string buf ("\n" ^ String.make (w * l) ' ')
+  in
+  let sequence open_ close items render =
+    match items with
+    | [] ->
+        Buffer.add_char buf open_;
+        Buffer.add_char buf close
+    | _ :: _ ->
+        Buffer.add_char buf open_;
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            pad (level + 1);
+            render item)
+          items;
+        pad level;
+        Buffer.add_char buf close
+  in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  | String s -> Buffer.add_string buf (escape_string s)
+  | List items ->
+      sequence '[' ']' items (emit ~indent ~level:(level + 1) buf)
+  | Obj fields ->
+      sequence '{' '}' fields (fun (k, v) ->
+          Buffer.add_string buf (escape_string k);
+          Buffer.add_char buf ':';
+          if indent <> None then Buffer.add_char buf ' ';
+          emit ~indent ~level:(level + 1) buf v)
+
+let render ~indent v =
+  let buf = Buffer.create 256 in
+  emit ~indent ~level:0 buf v;
+  Buffer.contents buf
+
+let to_string v = render ~indent:None v
+let to_string_pretty v = render ~indent:(Some 2) v
+
+(* --- Parsing --------------------------------------------------------- *)
+
+exception Fail of int * string
+
+let parse text =
+  let len = String.length text in
+  let pos = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Fail (!pos, m))) fmt in
+  let peek () = if !pos < len then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < len
+      && (match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail "expected %c, found %c" c c'
+    | None -> fail "expected %c, found end of input" c
+  in
+  let literal word value =
+    let n = String.length word in
+    if !pos + n <= len && String.sub text !pos n = word then begin
+      pos := !pos + n;
+      value
+    end
+    else fail "invalid literal"
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | None -> fail "unterminated escape"
+          | Some c ->
+              advance ();
+              (match c with
+              | '"' -> Buffer.add_char buf '"'
+              | '\\' -> Buffer.add_char buf '\\'
+              | '/' -> Buffer.add_char buf '/'
+              | 'n' -> Buffer.add_char buf '\n'
+              | 'r' -> Buffer.add_char buf '\r'
+              | 't' -> Buffer.add_char buf '\t'
+              | 'b' -> Buffer.add_char buf '\b'
+              | 'f' -> Buffer.add_char buf '\012'
+              | 'u' ->
+                  if !pos + 4 > len then fail "truncated \\u escape";
+                  let hex = String.sub text !pos 4 in
+                  pos := !pos + 4;
+                  let code =
+                    try int_of_string ("0x" ^ hex)
+                    with Failure _ -> fail "bad \\u escape %s" hex
+                  in
+                  (* BMP code points only; enough for our own output. *)
+                  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                  else if code < 0x800 then begin
+                    Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+                    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+                  end
+                  else begin
+                    Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+                    Buffer.add_char buf
+                      (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+                    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+                  end
+              | c -> fail "bad escape \\%c" c);
+              go ())
+      | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < len && is_num_char text.[!pos] do
+      advance ()
+    done;
+    let s = String.sub text start (!pos - start) in
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> fail "bad number %S" s)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          List (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+    | Some ('0' .. '9' | '-') -> parse_number ()
+    | Some c -> fail "unexpected character %c" c
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> len then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Fail (at, msg) ->
+      Error (Printf.sprintf "at offset %d: %s" at msg)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | Null | Bool _ | Int _ | Float _ | String _ | List _ -> None

@@ -1,0 +1,24 @@
+(** Minimal JSON values: enough for machine-readable diagnostics and
+    their round-trip tests, with no external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace). *)
+
+val to_string_pretty : t -> string
+(** Indented rendering for human consumption. *)
+
+val parse : string -> (t, string) result
+(** Strict parser for the subset {!to_string} emits (plus standard
+    escapes and whitespace); errors carry a character offset. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] otherwise. *)

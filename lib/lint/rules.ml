@@ -1,0 +1,717 @@
+(* The lint rules.
+
+   Design-level rules re-express the paper's structural discipline as
+   diagnostics: every value crossing a phase partition goes through a
+   transfer register, latched controls only change in their owner's
+   duty cycle, phase clocks never overlap.  The four historical
+   Mclock_rtl.Check checks live here as MC001-MC005 (Check remains as
+   a deprecated shim); MC006-MC011 are new.  Behavioural rules
+   (MC1xx) lint DFGs and raw schedule assignments before allocation,
+   accepting inputs the validating constructors would reject. *)
+
+open Mclock_dfg
+open Mclock_rtl
+
+type info = {
+  code : string;
+  rule : string;
+  severity : Diagnostic.severity;
+  summary : string;
+}
+
+let mc001 =
+  {
+    code = "MC001";
+    rule = "clock-overlap";
+    severity = Diagnostic.Error;
+    summary = "phase clocks must be non-overlapping (paper Fig. 2)";
+  }
+
+let mc002 =
+  {
+    code = "MC002";
+    rule = "partition-discipline";
+    severity = Diagnostic.Error;
+    summary = "a storage element loads only during its own phase";
+  }
+
+let mc003 =
+  {
+    code = "MC003";
+    rule = "latch-read-write";
+    severity = Diagnostic.Error;
+    summary = "a latch is never read and written in the same step";
+  }
+
+let mc004 =
+  {
+    code = "MC004";
+    rule = "mux-select";
+    severity = Diagnostic.Error;
+    summary = "mux selects stay in range and target actual muxes";
+  }
+
+let mc005 =
+  {
+    code = "MC005";
+    rule = "alu-function";
+    severity = Diagnostic.Error;
+    summary = "ALU function selects stay within the ALU's repertoire";
+  }
+
+let mc006 =
+  {
+    code = "MC006";
+    rule = "cdc-transfer";
+    severity = Diagnostic.Error;
+    summary =
+      "an ALU never mixes operands latched in different clock partitions; \
+       cross-partition values pass through a transfer register first \
+       (only checked when the design claims the transfer discipline, \
+       which the split method waives)";
+  }
+
+let mc007 =
+  {
+    code = "MC007";
+    rule = "comb-loop";
+    severity = Diagnostic.Error;
+    summary = "the datapath has no combinational cycles";
+  }
+
+let mc008 =
+  {
+    code = "MC008";
+    rule = "width";
+    severity = Diagnostic.Error;
+    summary = "constants are representable in the datapath width";
+  }
+
+let mc009 =
+  {
+    code = "MC009";
+    rule = "dead-component";
+    severity = Diagnostic.Warning;
+    summary = "every storage/ALU/mux is reachable from some output tap";
+  }
+
+let mc010 =
+  {
+    code = "MC010";
+    rule = "latch-transparency";
+    severity = Diagnostic.Error;
+    summary = "no latch feeds itself through transparent logic at a step \
+               where it is written";
+  }
+
+let mc011 =
+  {
+    code = "MC011";
+    rule = "dangling-ref";
+    severity = Diagnostic.Error;
+    summary = "every referenced component id exists in the datapath";
+  }
+
+let mc101 =
+  {
+    code = "MC101";
+    rule = "unscheduled-node";
+    severity = Diagnostic.Error;
+    summary = "every DFG node is assigned a schedule step";
+  }
+
+let mc102 =
+  {
+    code = "MC102";
+    rule = "schedule-binding";
+    severity = Diagnostic.Error;
+    summary = "schedule assignments bind existing nodes once, to steps >= 1";
+  }
+
+let mc103 =
+  {
+    code = "MC103";
+    rule = "dependency-order";
+    severity = Diagnostic.Error;
+    summary = "every consumer is scheduled strictly after its producers";
+  }
+
+let mc104 =
+  {
+    code = "MC104";
+    rule = "unused-input";
+    severity = Diagnostic.Info;
+    summary = "declared inputs are read by some node";
+  }
+
+let mc105 =
+  {
+    code = "MC105";
+    rule = "dead-node";
+    severity = Diagnostic.Warning;
+    summary = "every node's result is consumed or is a primary output";
+  }
+
+let catalog =
+  [
+    mc001; mc002; mc003; mc004; mc005; mc006; mc007; mc008; mc009; mc010;
+    mc011; mc101; mc102; mc103; mc104; mc105;
+  ]
+
+let find key =
+  List.find_opt (fun i -> i.code = key || i.rule = key) catalog
+
+(* [diag info] is a Diagnostic.make specialized to one rule. *)
+let diag info ?step location fmt =
+  Diagnostic.make ~code:info.code ~rule:info.rule ~severity:info.severity
+    ?step location fmt
+
+(* --- Datapath-only rules ------------------------------------------------ *)
+
+(* Component sources including constants (Comp.fanin drops them). *)
+let comp_sources c =
+  match Comp.kind c with
+  | Comp.Input _ -> []
+  | Comp.Storage s -> [ s.Comp.s_input ]
+  | Comp.Alu a -> (
+      a.Comp.a_src_a :: (match a.Comp.a_src_b with None -> [] | Some s -> [ s ]))
+  | Comp.Mux m -> Array.to_list m.Comp.m_choices
+
+(* Total lookup table: lint must survive datapaths that
+   Datapath.validate would reject. *)
+let comp_table dp =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun c -> Hashtbl.replace tbl (Comp.id c) c) (Datapath.comps dp);
+  tbl
+
+let check_dangling tbl comps =
+  List.concat_map
+    (fun c ->
+      List.filter_map
+        (function
+          | Comp.From_const _ -> None
+          | Comp.From_comp id ->
+              if Hashtbl.mem tbl id then None
+              else
+                Some
+                  (diag mc011
+                     (Diagnostic.Component (Comp.id c))
+                     "c%d(%s) reads undefined component c%d" (Comp.id c)
+                     (Comp.name c) id))
+        (comp_sources c))
+    comps
+
+let check_width dp comps =
+  let width = Datapath.width dp in
+  if width < 1 then
+    [ diag mc008 Diagnostic.Whole_design "datapath width %d is not positive" width ]
+  else
+    let max_const = if width >= Sys.int_size - 2 then max_int else (1 lsl width) - 1 in
+    List.concat_map
+      (fun c ->
+        List.filter_map
+          (function
+            | Comp.From_comp _ -> None
+            | Comp.From_const k ->
+                if k < 0 || k > max_const then
+                  Some
+                    (diag mc008
+                       (Diagnostic.Component (Comp.id c))
+                       "constant %d at c%d(%s) does not fit in %d bit(s)" k
+                       (Comp.id c) (Comp.name c) width)
+                else None)
+          (comp_sources c))
+      comps
+
+(* Tarjan SCC over the combinational subgraph (muxes and ALUs); a
+   cycle is an SCC of size > 1 or a direct self-feed. *)
+let check_comb_loops tbl comps =
+  let is_comb c =
+    match Comp.kind c with
+    | Comp.Alu _ | Comp.Mux _ -> true
+    | Comp.Input _ | Comp.Storage _ -> false
+  in
+  let succ c =
+    List.filter_map
+      (function
+        | Comp.From_const _ -> None
+        | Comp.From_comp id -> (
+            match Hashtbl.find_opt tbl id with
+            | Some c' when is_comb c' -> Some id
+            | Some _ | None -> None))
+      (comp_sources c)
+  in
+  let index = Hashtbl.create 16
+  and lowlink = Hashtbl.create 16
+  and on_stack = Hashtbl.create 16 in
+  let stack = ref [] and counter = ref 0 and sccs = ref [] in
+  let rec strongconnect id =
+    Hashtbl.replace index id !counter;
+    Hashtbl.replace lowlink id !counter;
+    incr counter;
+    stack := id :: !stack;
+    Hashtbl.replace on_stack id ();
+    let c = Hashtbl.find tbl id in
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink id
+            (min (Hashtbl.find lowlink id) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink id
+            (min (Hashtbl.find lowlink id) (Hashtbl.find index w)))
+      (succ c);
+    if Hashtbl.find lowlink id = Hashtbl.find index id then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack w;
+            if w = id then w :: acc else pop (w :: acc)
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  List.iter
+    (fun c -> if is_comb c && not (Hashtbl.mem index (Comp.id c)) then
+        strongconnect (Comp.id c))
+    comps;
+  List.filter_map
+    (fun scc ->
+      let cyclic =
+        match scc with
+        | [ id ] ->
+            (* Size-1 SCC is a loop only when it feeds itself directly. *)
+            List.mem id (succ (Hashtbl.find tbl id))
+        | [] -> false
+        | _ :: _ :: _ -> true
+      in
+      if cyclic then
+        let ids = List.sort Int.compare scc in
+        Some
+          (diag mc007
+             (Diagnostic.Component (List.hd ids))
+             "combinational loop through %s"
+             (String.concat " -> "
+                (List.map (Printf.sprintf "c%d") (ids @ [ List.hd ids ]))))
+      else None)
+    !sccs
+
+let datapath_rules dp =
+  let tbl = comp_table dp in
+  let comps = Datapath.comps dp in
+  check_dangling tbl comps @ check_width dp comps @ check_comb_loops tbl comps
+
+(* --- Design-level rules ------------------------------------------------- *)
+
+let check_clock design =
+  if Clock.non_overlapping (Design.clock design) then []
+  else
+    [
+      diag mc001 Diagnostic.Whole_design
+        "the %d phase clocks overlap" (Clock.phases (Design.clock design));
+    ]
+
+(* Iterate (step, phase, word) over one controller period. *)
+let steps_of design =
+  let control = Design.control design in
+  let clock = Design.clock design in
+  List.map
+    (fun step -> (step, Clock.phase_of_step clock step))
+    (Mclock_util.List_ext.range 1 (Control.num_steps control))
+
+let check_partition_discipline tbl design =
+  let control = Design.control design in
+  List.concat_map
+    (fun (step, phase) ->
+      List.filter_map
+        (fun id ->
+          match Hashtbl.find_opt tbl id with
+          | None ->
+              Some
+                (diag mc011 ~step (Diagnostic.Component id)
+                   "step %d loads undefined component c%d" step id)
+          | Some c -> (
+              match Comp.kind c with
+              | Comp.Storage s when s.Comp.s_phase <> phase ->
+                  Some
+                    (diag mc002 ~step (Diagnostic.Component id)
+                       "storage c%d(%s) of phase %d loaded at step %d (phase \
+                        %d)"
+                       id (Comp.name c) s.Comp.s_phase step phase)
+              | Comp.Storage _ -> None
+              | Comp.Input _ | Comp.Alu _ | Comp.Mux _ ->
+                  Some
+                    (diag mc002 ~step (Diagnostic.Component id)
+                       "load target c%d(%s) is not a storage element" id
+                       (Comp.name c))))
+        (Control.loads control ~step))
+    (steps_of design)
+
+let is_latch datapath id =
+  match Comp.kind (Datapath.comp datapath id) with
+  | Comp.Storage s -> s.Comp.s_kind = Mclock_tech.Library.Latch
+  | Comp.Input _ | Comp.Alu _ | Comp.Mux _ -> false
+
+let check_latch_read_write tbl design =
+  let datapath = Design.datapath design in
+  let control = Design.control design in
+  List.concat_map
+    (fun (step, _phase) ->
+      let loads =
+        List.filter (Hashtbl.mem tbl) (Control.loads control ~step)
+      in
+      let select mux = Control.select control ~step ~mux in
+      List.concat_map
+        (fun target ->
+          match Comp.kind (Datapath.comp datapath target) with
+          | Comp.Storage s ->
+              let readers =
+                Check.sequential_cone ~select datapath s.Comp.s_input
+              in
+              List.filter_map
+                (fun reader ->
+                  if
+                    reader <> target && is_latch datapath reader
+                    && List.mem reader loads
+                  then
+                    Some
+                      (diag mc003 ~step (Diagnostic.Component reader)
+                         "latch c%d is read (feeding c%d) and written in the \
+                          same step %d"
+                         reader target step)
+                  else None)
+                readers
+          | Comp.Input _ | Comp.Alu _ | Comp.Mux _ -> [])
+        loads)
+    (steps_of design)
+
+let check_controls tbl design =
+  let control = Design.control design in
+  List.concat_map
+    (fun (step, _phase) ->
+      let word = Control.word control ~step in
+      let select_violations =
+        List.filter_map
+          (fun (mux_id, idx) ->
+            match Hashtbl.find_opt tbl mux_id with
+            | None ->
+                Some
+                  (diag mc011 ~step (Diagnostic.Component mux_id)
+                     "step %d selects on undefined component c%d" step mux_id)
+            | Some c -> (
+                match Comp.kind c with
+                | Comp.Mux m ->
+                    if idx < 0 || idx >= Array.length m.Comp.m_choices then
+                      Some
+                        (diag mc004 ~step (Diagnostic.Component mux_id)
+                           "step %d selects input %d of mux c%d (has %d)" step
+                           idx mux_id
+                           (Array.length m.Comp.m_choices))
+                    else None
+                | Comp.Input _ | Comp.Storage _ | Comp.Alu _ ->
+                    Some
+                      (diag mc004 ~step (Diagnostic.Component mux_id)
+                         "step %d selects on non-mux c%d" step mux_id)))
+          word.Control.selects
+      in
+      let alu_violations =
+        List.filter_map
+          (fun (alu_id, op) ->
+            match Hashtbl.find_opt tbl alu_id with
+            | None ->
+                Some
+                  (diag mc011 ~step (Diagnostic.Component alu_id)
+                     "step %d selects op on undefined component c%d" step
+                     alu_id)
+            | Some c -> (
+                match Comp.kind c with
+                | Comp.Alu a ->
+                    if not (Op.Set.mem op a.Comp.a_fset) then
+                      Some
+                        (diag mc005 ~step (Diagnostic.Component alu_id)
+                           "step %d runs %s on ALU c%d with repertoire %s"
+                           step (Op.name op) alu_id
+                           (Op.Set.to_string a.Comp.a_fset))
+                    else None
+                | Comp.Input _ | Comp.Storage _ | Comp.Mux _ ->
+                    Some
+                      (diag mc005 ~step (Diagnostic.Component alu_id)
+                         "step %d selects op on non-ALU c%d" step alu_id)))
+          word.Control.alu_ops
+      in
+      select_violations @ alu_violations)
+    (steps_of design)
+
+(* Storages dedicated to sampled primary inputs: stable for a whole
+   computation, so they belong to no partition for CDC purposes (like
+   the ports they shadow). *)
+let input_register_ids design =
+  let input_vars =
+    List.fold_left
+      (fun acc (v, _) -> Var.Set.add v acc)
+      Var.Set.empty (Design.input_ports design)
+  in
+  List.filter_map
+    (fun (c, s) ->
+      match s.Comp.s_holds with
+      | [] -> None
+      | holds ->
+          if List.for_all (fun v -> Var.Set.mem v input_vars) holds then
+            Some (Comp.id c)
+          else None)
+    (Datapath.storages (Design.datapath design))
+
+(* ALUs on the resolved path into the storages loaded at [step]: the
+   ALUs whose outputs the step actually latches. *)
+let evaluated_alus datapath control ~step loads =
+  let select mux = Control.select control ~step ~mux in
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec walk = function
+    | Comp.From_const _ -> ()
+    | Comp.From_comp id ->
+        if not (Hashtbl.mem seen id) then begin
+          Hashtbl.replace seen id ();
+          match Comp.kind (Datapath.comp datapath id) with
+          | Comp.Input _ | Comp.Storage _ -> ()
+          | Comp.Alu a ->
+              acc := id :: !acc;
+              walk a.Comp.a_src_a;
+              Option.iter walk a.Comp.a_src_b
+          | Comp.Mux m -> (
+              match select id with
+              | Some idx when idx >= 0 && idx < Array.length m.Comp.m_choices
+                ->
+                  walk m.Comp.m_choices.(idx)
+              | Some _ | None -> Array.iter walk m.Comp.m_choices)
+        end
+  in
+  List.iter
+    (fun target ->
+      match Comp.kind (Datapath.comp datapath target) with
+      | Comp.Storage s -> walk s.Comp.s_input
+      | Comp.Input _ | Comp.Alu _ | Comp.Mux _ -> ())
+    loads;
+  List.rev !acc
+
+(* MC006 — the paper's transfer discipline (§4.2 Step 1): when an ALU
+   fires, every stored operand in its resolved cone must have been
+   latched in a single clock partition; mixing partitions means a
+   missing transfer register (operands would update at two different
+   phase times).  Primary-input ports and input registers are
+   partitionless and exempt. *)
+let check_cdc tbl design =
+  if
+    Clock.phases (Design.clock design) <= 1
+    || not (Design.style design).Design.cross_partition_transfers
+  then []
+  else
+    let datapath = Design.datapath design in
+    let control = Design.control design in
+    let input_regs = input_register_ids design in
+    List.concat_map
+      (fun (step, _phase) ->
+        let loads =
+          List.filter (Hashtbl.mem tbl) (Control.loads control ~step)
+        in
+        let select mux = Control.select control ~step ~mux in
+        List.filter_map
+          (fun alu_id ->
+            let cone =
+              Check.sequential_cone ~select datapath
+                (Comp.From_comp alu_id)
+            in
+            let phases =
+              Mclock_util.List_ext.dedup ~compare:Int.compare
+                (List.filter_map
+                   (fun id ->
+                     if List.mem id input_regs then None
+                     else
+                       match Comp.kind (Datapath.comp datapath id) with
+                       | Comp.Storage s -> Some s.Comp.s_phase
+                       | Comp.Input _ | Comp.Alu _ | Comp.Mux _ -> None)
+                   cone)
+            in
+            match phases with
+            | [] | [ _ ] -> None
+            | _ :: _ :: _ ->
+                Some
+                  (diag mc006 ~step (Diagnostic.Component alu_id)
+                     "ALU c%d reads operands latched in partitions {%s} at \
+                      step %d; route the stragglers through a transfer \
+                      register"
+                     alu_id
+                     (String.concat ","
+                        (List.map string_of_int phases))
+                     step))
+          (evaluated_alus datapath control ~step loads))
+      (steps_of design)
+
+let check_dead_components design =
+  let datapath = Design.datapath design in
+  let reachable = Hashtbl.create 64 in
+  let rec visit = function
+    | Comp.From_const _ -> ()
+    | Comp.From_comp id ->
+        if not (Hashtbl.mem reachable id) then begin
+          Hashtbl.replace reachable id ();
+          List.iter visit (comp_sources (Datapath.comp datapath id))
+        end
+  in
+  List.iter (fun tap -> visit tap.Design.source) (Design.output_taps design);
+  List.filter_map
+    (fun c ->
+      match Comp.kind c with
+      | Comp.Input _ -> None
+      | Comp.Storage _ | Comp.Alu _ | Comp.Mux _ ->
+          if Hashtbl.mem reachable (Comp.id c) then None
+          else
+            Some
+              (diag mc009
+                 (Diagnostic.Component (Comp.id c))
+                 "c%d(%s) is unreachable from every output tap" (Comp.id c)
+                 (Comp.name c)))
+    (Datapath.comps datapath)
+
+(* MC010 — a latch that (transitively, through transparent
+   combinational logic) feeds its own input at a step where it is
+   written races against itself while transparent.  Registers are
+   edge-triggered and exempt; MC003 covers latch-to-latch races. *)
+let check_latch_transparency tbl design =
+  let datapath = Design.datapath design in
+  let control = Design.control design in
+  List.concat_map
+    (fun (step, _phase) ->
+      let select mux = Control.select control ~step ~mux in
+      List.filter_map
+        (fun id ->
+          if not (Hashtbl.mem tbl id && is_latch datapath id) then None
+          else
+            match Comp.kind (Datapath.comp datapath id) with
+            | Comp.Storage s ->
+                let cone =
+                  Check.sequential_cone ~select datapath s.Comp.s_input
+                in
+                if List.mem id cone then
+                  Some
+                    (diag mc010 ~step (Diagnostic.Component id)
+                       "latch c%d(%s) feeds itself through transparent logic \
+                        at its own load step %d"
+                       id
+                       (Comp.name (Datapath.comp datapath id))
+                       step)
+                else None
+            | Comp.Input _ | Comp.Alu _ | Comp.Mux _ -> None)
+        (Control.loads control ~step))
+    (steps_of design)
+
+let design_rules design =
+  let datapath = Design.datapath design in
+  let tbl = comp_table datapath in
+  check_clock design
+  @ datapath_rules datapath
+  @ check_partition_discipline tbl design
+  @ check_latch_read_write tbl design
+  @ check_controls tbl design
+  @ check_cdc tbl design
+  @ check_latch_transparency tbl design
+  @ check_dead_components design
+
+(* --- Behaviour-level rules ---------------------------------------------- *)
+
+let graph_rules graph =
+  List.map
+    (fun v ->
+      diag mc104
+        (Diagnostic.Variable (Var.name v))
+        "input %s is never read" (Var.name v))
+    (Graph.unused_inputs graph)
+  @ List.map
+      (fun n ->
+        diag mc105
+          (Diagnostic.Node (Node.id n))
+          "node n%d produces %s, which is neither consumed nor an output"
+          (Node.id n)
+          (Var.name (Node.result n)))
+      (Graph.dead_nodes graph)
+
+let schedule_rules graph assignments =
+  let known id =
+    match Graph.node graph id with
+    | _ -> true
+    | exception Graph.Invalid _ -> false
+  in
+  let binding_diags =
+    List.concat_map
+      (fun (id, step) ->
+        let bad_node =
+          if known id then []
+          else
+            [
+              diag mc102 ~step (Diagnostic.Node id)
+                "assignment binds unknown node n%d" id;
+            ]
+        in
+        let bad_step =
+          if step >= 1 then []
+          else
+            [
+              diag mc102 (Diagnostic.Node id)
+                "node n%d assigned to invalid step %d" id step;
+            ]
+        in
+        bad_node @ bad_step)
+      assignments
+  in
+  let duplicates =
+    List.filter_map
+      (fun (id, bindings) ->
+        match bindings with
+        | [] | [ _ ] -> None
+        | _ :: _ :: _ ->
+            Some
+              (diag mc102 (Diagnostic.Node id)
+                 "node n%d is scheduled %d times" id (List.length bindings)))
+      (Mclock_util.List_ext.group_by ~key:fst ~compare_key:Int.compare
+         assignments)
+  in
+  let step_of id =
+    List.assoc_opt id assignments
+  in
+  let unscheduled =
+    List.filter_map
+      (fun n ->
+        let id = Node.id n in
+        match step_of id with
+        | Some _ -> None
+        | None ->
+            Some (diag mc101 (Diagnostic.Node id) "node n%d has no step" id))
+      (Graph.nodes graph)
+  in
+  let dependency =
+    List.concat_map
+      (fun n ->
+        match step_of (Node.id n) with
+        | None -> []
+        | Some step ->
+            List.filter_map
+              (fun p ->
+                match step_of (Node.id p) with
+                | Some pstep when step <= pstep ->
+                    Some
+                      (diag mc103 ~step
+                         (Diagnostic.Node (Node.id n))
+                         "node n%d (step %d) consumes %s before its producer \
+                          n%d (step %d) completes"
+                         (Node.id n) step
+                         (Var.name (Node.result p))
+                         (Node.id p) pstep)
+                | Some _ | None -> None)
+              (Graph.predecessors graph n))
+      (Graph.nodes graph)
+  in
+  binding_diags @ duplicates @ unscheduled @ dependency

@@ -1,0 +1,43 @@
+(** The lint rule set.
+
+    Design/datapath rules (MC0xx) check the structural and timing
+    disciplines the paper's multi-clock scheme depends on; behavioural
+    rules (MC1xx) check DFGs and raw schedule assignments before
+    allocation.  Every rule emits {!Diagnostic.t} values carrying its
+    stable code; {!catalog} lists them all for documentation and CLI
+    help. *)
+
+open Mclock_dfg
+
+type info = {
+  code : string;
+  rule : string;
+  severity : Diagnostic.severity;
+  summary : string;  (** one line: what the rule catches *)
+}
+
+val catalog : info list
+(** Every rule, in code order. *)
+
+val find : string -> info option
+(** Look up by code (["MC006"]) or slug (["cdc-transfer"]). *)
+
+val datapath_rules : Mclock_rtl.Datapath.t -> Diagnostic.t list
+(** Rules needing only wiring: combinational loops (MC007), width /
+    constant range (MC008), dangling references (MC011).  Safe on
+    datapaths that {!Mclock_rtl.Datapath.validate} would reject. *)
+
+val design_rules : Mclock_rtl.Design.t -> Diagnostic.t list
+(** The full design-level set: the datapath rules plus clocking,
+    partition discipline, latch races, control sanity, CDC transfer
+    discipline and dead-component detection (MC001–MC010). *)
+
+val graph_rules : Graph.t -> Diagnostic.t list
+(** Behaviour-level hygiene: unused inputs (MC104), dead nodes
+    (MC105). *)
+
+val schedule_rules : Graph.t -> (int * int) list -> Diagnostic.t list
+(** Raw [(node_id, step)] assignments against a graph: unscheduled
+    nodes (MC101), bad bindings (MC102), dependency-order violations
+    (MC103).  Accepts assignments {!Mclock_sched.Schedule.create}
+    would reject, which is the point. *)

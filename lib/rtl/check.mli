@@ -1,5 +1,13 @@
 (** Structural checkers for complete designs: partition discipline,
-    latch READ/WRITE separation, control sanity, clock non-overlap. *)
+    latch READ/WRITE separation, control sanity, clock non-overlap.
+
+    Deprecated shim: these four checks migrated into the
+    [Mclock_lint] rule set as MC002 (partition discipline), MC003
+    (latch read/write), MC004/MC005 (control sanity) and MC001 (clock
+    overlap), which adds severities, stable codes, locations and
+    renderers on top.  New code should call [Mclock_lint.Lint.design];
+    this module remains for existing callers (and because the lint
+    layer reuses {!sequential_cone}). *)
 
 type violation = { check : string; message : string }
 
@@ -19,6 +27,8 @@ val check_controls : Design.t -> violation list
 (** Mux selects in range and on muxes; ALU ops within repertoires. *)
 
 val check_clock : Design.t -> violation list
+(** Phase clocks must be non-overlapping ({!Clock.non_overlapping}) —
+    the property the paper's whole scheme assumes (Fig. 2). *)
 
 val all : Design.t -> violation list
 (** Every check; empty means the design is clean. *)

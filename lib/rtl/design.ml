@@ -14,6 +14,7 @@ type style = {
   clock_gated : bool;
   operand_isolation : bool;
   latched_control : bool;
+  cross_partition_transfers : bool;
 }
 
 let conventional_style =
@@ -22,6 +23,7 @@ let conventional_style =
     clock_gated = false;
     operand_isolation = false;
     latched_control = false;
+    cross_partition_transfers = true;
   }
 
 let gated_style =
@@ -30,6 +32,7 @@ let gated_style =
     clock_gated = true;
     operand_isolation = true;
     latched_control = false;
+    cross_partition_transfers = true;
   }
 
 let multiclock_style =
@@ -38,6 +41,7 @@ let multiclock_style =
     clock_gated = false;
     operand_isolation = false;
     latched_control = true;
+    cross_partition_transfers = true;
   }
 
 type output_tap = { var : Var.t; source : Comp.source; ready_step : int }

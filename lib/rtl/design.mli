@@ -7,6 +7,14 @@ type style = {
   clock_gated : bool;
   operand_isolation : bool;
   latched_control : bool;
+  cross_partition_transfers : bool;
+      (** the design claims the integrated method's transfer discipline
+          (paper §4.2, step 1): every ALU's resolved operands are
+          latched in at most one clock partition, stragglers having
+          been copied over through transfer registers.  The split
+          method (§4.1) waives this — it wires cross-partition operands
+          directly — so it sets the flag false and the MC006 lint rule
+          does not apply.  Vacuous for single-clock designs. *)
 }
 
 val conventional_style : style

@@ -16,5 +16,6 @@ let () =
       ("stimulus", Test_stimulus.suite);
       ("reg-bind", Test_reg_bind.suite);
       ("structure", Test_structure.suite);
+      ("lint", Test_lint.suite);
       ("properties", Test_props.suite);
     ]
