@@ -3,11 +3,38 @@
    called out in DESIGN.md, and finishes with Bechamel micro-benchmarks
    of the allocators and the simulator (one group per table).
 
-   Run with: dune exec bench/main.exe *)
+   Every independent (design x workload x clock-count) evaluation cell
+   runs on the mclock_exec worker pool; the tables are byte-identical
+   for any job count (MCLOCK_JOBS or --jobs N).
+
+   Run with: dune exec bench/main.exe
+   Flags: --smoke (first table + Figure 1 only, for CI)
+          --jobs N (worker domains; default MCLOCK_JOBS or cores-1)
+          --timings (per-task timing table on stderr)
+          --timings-json PATH (telemetry as JSON) *)
 
 let tech = Mclock_tech.Cmos08.t
 let iterations = 500
 let seed = 42
+
+let argv_flag name = Array.exists (( = ) name) Sys.argv
+
+let argv_opt name =
+  let n = Array.length Sys.argv in
+  let rec go i =
+    if i >= n - 1 then None
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
+    else go (i + 1)
+  in
+  go 1
+
+let pool =
+  let jobs =
+    match argv_opt "--jobs" with
+    | Some s -> int_of_string s
+    | None -> Mclock_exec.Pool.default_jobs ()
+  in
+  Mclock_exec.Pool.create ~jobs ()
 
 let section title =
   Fmt.pr "@.=== %s ===@.@." title
@@ -21,16 +48,21 @@ let evaluate_suite w =
     Mclock_core.Flow.standard_suite ~name:w.Mclock_workloads.Workload.name
       schedule
   in
-  List.map
+  (* Lint on the submitting side so diagnostics interleave
+     deterministically, then fan the five evaluations out. *)
+  List.iter
     (fun (m, design) ->
-      let violations = Mclock_rtl.Check.all design in
-      if violations <> [] then
-        Fmt.epr "structural violations in %s / %s!@."
+      let diags = Mclock_lint.Lint.design design in
+      if diags <> [] then
+        Fmt.epr "lint diagnostics in %s / %s:@.%s@."
           w.Mclock_workloads.Workload.name
-          (Mclock_core.Flow.method_label m);
-      Mclock_power.Report.evaluate ~seed ~iterations
-        ~label:(Mclock_core.Flow.method_label m) tech design graph)
-    suite
+          (Mclock_core.Flow.method_label m)
+          (Mclock_lint.Diagnostic.render diags))
+    suite;
+  Mclock_power.Report.evaluate_batch ~pool ~seed ~iterations tech
+    (List.map
+       (fun (m, design) -> (Mclock_core.Flow.method_label m, design, graph))
+       suite)
 
 let print_paper_comparison w reports =
   match Paper_data.for_bench w.Mclock_workloads.Workload.name with
@@ -45,8 +77,35 @@ let print_paper_comparison w reports =
             Mclock_util.Table.[ Left; Right; Right; Right; Right; Right; Right ]
           ()
       in
-      let paper_gated = List.nth paper.Paper_data.rows 1 in
-      let our_gated = List.nth reports 1 in
+      (* The reductions are relative to the gated-clock row; find it by
+         label rather than position so a reordered suite fails loudly
+         instead of silently mispairing rows. *)
+      let gated_label =
+        Mclock_core.Flow.method_label Mclock_core.Flow.Conventional_gated
+      in
+      let gated_index =
+        let rec find i = function
+          | [] ->
+              Fmt.failwith
+                "paper comparison for %s: no report labelled %S among [%s]"
+                w.Mclock_workloads.Workload.name gated_label
+                (String.concat "; "
+                   (List.map
+                      (fun r -> r.Mclock_power.Report.label)
+                      reports))
+          | r :: _ when r.Mclock_power.Report.label = gated_label -> i
+          | _ :: rest -> find (i + 1) rest
+        in
+        find 0 reports
+      in
+      if List.length paper.Paper_data.rows <> List.length reports then
+        Fmt.failwith
+          "paper comparison for %s: %d published rows vs %d measured reports"
+          w.Mclock_workloads.Workload.name
+          (List.length paper.Paper_data.rows)
+          (List.length reports);
+      let paper_gated = List.nth paper.Paper_data.rows gated_index in
+      let our_gated = List.nth reports gated_index in
       List.iter2
         (fun (p : Paper_data.row) (r : Mclock_power.Report.t) ->
           let paper_dp =
@@ -279,18 +338,22 @@ let run_ablations () =
     (fun w ->
       let graph = Mclock_workloads.Workload.graph w in
       let schedule = Mclock_workloads.Workload.schedule w in
+      (* Each variant (synthesis + simulation) is one pool task; the
+         row order is the submission order, so the table is stable for
+         any job count. *)
       let variant ?park ?storage_kind ?latched_control ?transfers ?binding
           label =
-        let r =
-          Mclock_core.Integrated.run ?park ?storage_kind ?latched_control
-            ?transfers ?binding ~n:3 ~name:label schedule
-        in
-        ablation_row label r.Mclock_core.Integrated.design graph
+        ( label,
+          fun () ->
+            let r =
+              Mclock_core.Integrated.run ?park ?storage_kind ?latched_control
+                ?transfers ?binding ~n:3 ~name:label schedule
+            in
+            ablation_row label r.Mclock_core.Integrated.design graph )
       in
-      let full = variant "full scheme" in
-      let rows =
+      let specs =
         [
-          full;
+          variant "full scheme";
           variant ~storage_kind:Mclock_tech.Library.Register "flip-flops instead of latches";
           variant ~latched_control:false "unlatched control lines";
           variant ~transfers:false "no cross-partition transfers";
@@ -299,6 +362,15 @@ let run_ablations () =
           variant ~binding:`Mux_aware "interconnect-aware register binding";
         ]
       in
+      let rows =
+        Mclock_exec.Pool.map pool
+          ~label:(fun i ->
+            Printf.sprintf "%s/%s" w.Mclock_workloads.Workload.name
+              (fst (List.nth specs i)))
+          (fun _ (_, run) -> run ())
+          specs
+      in
+      let full = List.hd rows in
       let table =
         Mclock_util.Table.create
           ~title:(Printf.sprintf "%s (3 clocks)" w.Mclock_workloads.Workload.name)
@@ -339,8 +411,11 @@ let run_clock_sweep () =
       let graph = Mclock_workloads.Workload.graph w in
       let schedule = Mclock_workloads.Workload.schedule w in
       let cells =
-        List.map
-          (fun n ->
+        Mclock_exec.Pool.map pool
+          ~label:(fun i ->
+            Printf.sprintf "%s/sweep n=%d" w.Mclock_workloads.Workload.name
+              (i + 1))
+          (fun _ n ->
             let r =
               Mclock_power.Report.evaluate ~seed ~iterations:300
                 ~label:(string_of_int n) tech
@@ -600,8 +675,44 @@ let run_bechamel () =
 
 (* --- Entry ------------------------------------------------------------------------------------- *)
 
-let () =
-  Fmt.pr "mclock benchmark harness — %a@." Mclock_tech.Library.pp tech;
+(* Timings go to stderr / a side file so stdout stays byte-identical
+   across job counts. *)
+let emit_telemetry () =
+  if argv_flag "--timings" then
+    prerr_string (Mclock_exec.Pool.render_timings pool);
+  (match argv_opt "--timings-json" with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Mclock_exec.Pool.timings_to_json pool);
+      close_out oc;
+      Fmt.epr "wrote %s@." path
+  | None -> ());
+  Mclock_exec.Pool.shutdown pool
+
+let check_failures all_reports =
+  let failures =
+    List.concat_map
+      (fun (_, reports) ->
+        List.filter (fun r -> not r.Mclock_power.Report.functional_ok) reports)
+      all_reports
+  in
+  if failures <> [] then begin
+    Fmt.epr "@.%d designs FAILED functional verification!@."
+      (List.length failures);
+    exit 1
+  end
+  else
+    Fmt.pr "@.all %d designs verified against the golden model.@."
+      (Mclock_util.List_ext.sum_by (fun (_, rs) -> List.length rs) all_reports)
+
+let run_smoke () =
+  let w = List.hd Mclock_workloads.Catalog.paper_tables in
+  let reports = run_table 1 w in
+  run_figure1 ();
+  emit_telemetry ();
+  check_failures [ (w, reports) ]
+
+let run_full () =
   let all_reports =
     List.mapi
       (fun i w -> (w, run_table (i + 1) w))
@@ -635,15 +746,9 @@ let () =
             (Mclock_power.Report.area_increase_vs ~baseline:gated mc3)
       | _ -> ())
     all_reports;
-  let failures =
-    List.concat_map
-      (fun (_, reports) ->
-        List.filter (fun r -> not r.Mclock_power.Report.functional_ok) reports)
-      all_reports
-  in
-  if failures <> [] then begin
-    Fmt.epr "@.%d designs FAILED functional verification!@." (List.length failures);
-    exit 1
-  end
-  else Fmt.pr "@.all %d designs verified against the golden model.@."
-         (Mclock_util.List_ext.sum_by (fun (_, rs) -> List.length rs) all_reports)
+  emit_telemetry ();
+  check_failures all_reports
+
+let () =
+  Fmt.pr "mclock benchmark harness — %a@." Mclock_tech.Library.pp tech;
+  if argv_flag "--smoke" then run_smoke () else run_full ()

@@ -133,6 +133,36 @@ let iterations_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Stimulus seed.")
 
+let jobs_arg =
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for parallel evaluation. Defaults to the \
+               $(b,MCLOCK_JOBS) environment variable, else one less than \
+               the core count. Results are byte-identical for any value.")
+
+let timings_arg =
+  Arg.(value & flag & info [ "timings" ]
+         ~doc:"Print the per-task timing summary to stderr.")
+
+let timings_json_arg =
+  Arg.(value & opt (some string) None & info [ "timings-json" ] ~docv:"PATH"
+         ~doc:"Write the per-task timing telemetry as JSON to $(docv).")
+
+let resolve_jobs = function
+  | Some j -> j
+  | None -> Mclock_exec.Pool.default_jobs ()
+
+(* Timings go to stderr / a side file so stdout stays byte-identical
+   across --jobs values. *)
+let emit_timings pool ~timings ~timings_json =
+  if timings then prerr_string (Mclock_exec.Pool.render_timings pool);
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      output_string oc (Mclock_exec.Pool.timings_to_json pool);
+      close_out oc;
+      Fmt.epr "wrote %s@." path)
+    timings_json
+
 let method_of = function
   | `Conv, _ -> Mclock_core.Flow.Conventional_non_gated
   | `Gated, _ -> Mclock_core.Flow.Conventional_gated
@@ -331,27 +361,29 @@ let lint_cmd =
 (* --- table --------------------------------------------------------------------- *)
 
 let table_cmd =
-  let run workload file scheduler iterations seed =
+  let run workload file scheduler iterations seed jobs timings timings_json =
     let input = or_die (load ~workload ~file ~scheduler) in
     let name = Option.value ~default:"design" workload in
     let suite = Mclock_core.Flow.standard_suite ~name input.schedule in
-    let reports =
-      List.map
-        (fun (m, design) ->
-          Mclock_power.Report.evaluate ~seed ~iterations
-            ~label:(Mclock_core.Flow.method_label m) tech design input.graph)
-        suite
-    in
-    Mclock_util.Table.print
-      (Mclock_power.Report.paper_table
-         ~title:(Printf.sprintf "Multiple Clocks with Latches for %s" name)
-         reports)
+    Mclock_exec.Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
+        let reports =
+          Mclock_power.Report.evaluate_batch ~pool ~seed ~iterations tech
+            (List.map
+               (fun (m, design) ->
+                 (Mclock_core.Flow.method_label m, design, input.graph))
+               suite)
+        in
+        Mclock_util.Table.print
+          (Mclock_power.Report.paper_table
+             ~title:(Printf.sprintf "Multiple Clocks with Latches for %s" name)
+             reports);
+        emit_timings pool ~timings ~timings_json)
   in
   Cmd.v
     (Cmd.info "table" ~doc:"The paper's five-design comparison table.")
     Term.(
       const run $ workload_arg $ file_arg $ scheduler_arg $ iterations_arg
-      $ seed_arg)
+      $ seed_arg $ jobs_arg $ timings_arg $ timings_json_arg)
 
 (* --- controller ------------------------------------------------------------------ *)
 
@@ -412,7 +444,8 @@ let sweep_cmd =
   let max_arg =
     Arg.(value & opt int 4 & info [ "max" ] ~docv:"N" ~doc:"Largest clock count.")
   in
-  let run workload file scheduler iterations seed max_n =
+  let run workload file scheduler iterations seed max_n jobs timings
+      timings_json =
     let input = or_die (load ~workload ~file ~scheduler) in
     let table =
       Mclock_util.Table.create ~title:"clock-count sweep"
@@ -420,33 +453,46 @@ let sweep_cmd =
         ~aligns:Mclock_util.Table.[ Right; Right; Right; Left; Right; Right ]
         ()
     in
+    (* Synthesis rides inside the task so the whole cell parallelizes;
+       rows are reduced in submission order, so the table is identical
+       for any job count. *)
+    let reports =
+      Mclock_exec.Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
+          let reports =
+            Mclock_exec.Pool.map pool
+              ~label:(fun i -> Printf.sprintf "mc%d" (i + 1))
+              (fun _ n ->
+                let design =
+                  Mclock_core.Flow.synthesize
+                    ~method_:(Mclock_core.Flow.Integrated n)
+                    ~name:(Printf.sprintf "mc%d" n) input.schedule
+                in
+                Mclock_power.Report.evaluate ~seed ~iterations
+                  ~label:(string_of_int n) tech design input.graph)
+              (Mclock_util.List_ext.range 1 max_n)
+          in
+          emit_timings pool ~timings ~timings_json;
+          reports)
+    in
     List.iter
-      (fun n ->
-        let design =
-          Mclock_core.Flow.synthesize ~method_:(Mclock_core.Flow.Integrated n)
-            ~name:(Printf.sprintf "mc%d" n) input.schedule
-        in
-        let r =
-          Mclock_power.Report.evaluate ~seed ~iterations
-            ~label:(string_of_int n) tech design input.graph
-        in
+      (fun r ->
         Mclock_util.Table.add_row table
           [
-            string_of_int n;
+            r.Mclock_power.Report.label;
             Printf.sprintf "%.2f" r.Mclock_power.Report.power_mw;
             Printf.sprintf "%.0f" r.Mclock_power.Report.area.Mclock_power.Area.design_total;
             r.Mclock_power.Report.alus;
             string_of_int r.Mclock_power.Report.memory_cells;
             string_of_int r.Mclock_power.Report.mux_inputs;
           ])
-      (Mclock_util.List_ext.range 1 max_n);
+      reports;
     Mclock_util.Table.print table
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Power/area across clock counts 1..N.")
     Term.(
       const run $ workload_arg $ file_arg $ scheduler_arg $ iterations_arg
-      $ seed_arg $ max_arg)
+      $ seed_arg $ max_arg $ jobs_arg $ timings_arg $ timings_json_arg)
 
 let () =
   let info =

@@ -18,9 +18,11 @@ let () =
   let reports =
     List.map
       (fun (m, design) ->
-        let violations = Mclock_rtl.Check.all design in
-        if violations <> [] then
-          Fmt.epr "structural violations in %s!@." (Mclock_core.Flow.method_label m);
+        let diags = Mclock_lint.Lint.design design in
+        if diags <> [] then
+          Fmt.epr "lint diagnostics in %s:@.%s@."
+            (Mclock_core.Flow.method_label m)
+            (Mclock_lint.Diagnostic.render diags);
         Mclock_power.Report.evaluate ~iterations:600
           ~label:(Mclock_core.Flow.method_label m) tech design graph)
       suite

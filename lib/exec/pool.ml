@@ -1,0 +1,243 @@
+(* Deterministic parallel execution engine on OCaml 5 domains.
+
+   A fixed set of worker domains drains one shared queue of closures.
+   Determinism comes from three choices, none of which cost measurable
+   throughput:
+
+   - results are reduced in submission order (each task writes into its
+     own slot of a batch-local array, the submitter reads the array
+     left to right), so completion order is unobservable;
+   - per-task RNG streams are split off the master generator on the
+     submitting side, keyed by task index, before any worker runs;
+   - task exceptions are captured (with backtrace) in the task's slot
+     and re-raised by the submitter once the whole batch has settled —
+     a failing task can neither kill a domain nor reorder siblings.
+
+   Telemetry (wall clock + allocated bytes per task) is collected into
+   the same per-task slots and appended to the pool's log in submission
+   order, so even the telemetry stream is stable across job counts. *)
+
+type timing = {
+  t_label : string;
+  t_wall_s : float;
+  t_alloc_bytes : float;
+  t_worker : int;
+}
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : (int -> unit) Queue.t; (* closures receive their worker index *)
+  work_available : Condition.t;
+  batch_done : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+  mutable timings_rev : timing list; (* most recent batch first *)
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "MCLOCK_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | Some _ | None ->
+          invalid_arg
+            (Printf.sprintf "MCLOCK_JOBS=%S: expected a positive integer" s))
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+let rec worker_loop t worker_id =
+  Mutex.lock t.mutex;
+  let rec next () =
+    if not (Queue.is_empty t.work) then Some (Queue.pop t.work)
+    else if t.closed then None
+    else begin
+      Condition.wait t.work_available t.mutex;
+      next ()
+    end
+  in
+  match next () with
+  | None -> Mutex.unlock t.mutex
+  | Some job ->
+      Mutex.unlock t.mutex;
+      job worker_id;
+      worker_loop t worker_id
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Exec.Pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Queue.create ();
+      work_available = Condition.create ();
+      batch_done = Condition.create ();
+      closed = false;
+      workers = [];
+      timings_rev = [];
+    }
+  in
+  if jobs > 1 then
+    t.workers <-
+      List.init jobs (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* One task: run [f], fill the result/error slot, and record telemetry.
+   Runs on a worker domain (or the submitting domain when jobs = 1), so
+   [Gc.allocated_bytes] is the running domain's own counter. *)
+let run_slot ~label ~results ~errors ~timings f i x worker_id =
+  let t0 = Unix.gettimeofday () in
+  let a0 = Gc.allocated_bytes () in
+  (try results.(i) <- Some (f i x)
+   with e ->
+     let bt = Printexc.get_raw_backtrace () in
+     errors.(i) <- Some (e, bt));
+  timings.(i) <-
+    Some
+      {
+        t_label = label i;
+        t_wall_s = Unix.gettimeofday () -. t0;
+        t_alloc_bytes = Gc.allocated_bytes () -. a0;
+        t_worker = worker_id;
+      }
+
+let map t ?label f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let label = match label with Some l -> l | None -> Printf.sprintf "task %d" in
+  let results = Array.make n None in
+  let errors = Array.make n None in
+  let timings = Array.make n None in
+  let run_slot i x w = run_slot ~label ~results ~errors ~timings f i x w in
+  if n > 0 then
+    if t.jobs <= 1 || n = 1 then begin
+      if t.closed then invalid_arg "Exec.Pool.map: pool is shut down";
+      Array.iteri (fun i x -> run_slot i x 0) arr
+    end
+    else begin
+      let remaining = ref n in
+      Mutex.lock t.mutex;
+      if t.closed then begin
+        Mutex.unlock t.mutex;
+        invalid_arg "Exec.Pool.map: pool is shut down"
+      end;
+      Array.iteri
+        (fun i x ->
+          Queue.push
+            (fun worker_id ->
+              run_slot i x worker_id;
+              Mutex.lock t.mutex;
+              decr remaining;
+              if !remaining = 0 then Condition.broadcast t.batch_done;
+              Mutex.unlock t.mutex)
+            t.work)
+        arr;
+      Condition.broadcast t.work_available;
+      while !remaining > 0 do
+        Condition.wait t.batch_done t.mutex
+      done;
+      Mutex.unlock t.mutex
+    end;
+  (* Append this batch's telemetry in submission order, whatever order
+     the workers finished in. *)
+  Mutex.lock t.mutex;
+  Array.iter
+    (function
+      | Some tm -> t.timings_rev <- tm :: t.timings_rev | None -> ())
+    timings;
+  Mutex.unlock t.mutex;
+  (* Lowest-index failure wins, deterministically. *)
+  Array.iter
+    (function
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
+    errors;
+  Array.to_list
+    (Array.map
+       (function
+         | Some r -> r
+         | None -> invalid_arg "Exec.Pool.map: task produced no result")
+       results)
+
+let map_rng t ~seed ?label f items =
+  let master = Mclock_util.Rng.create seed in
+  (* Split one child per task up front: stream [i] depends only on
+     [(seed, i)], never on which worker runs the task. *)
+  let streams =
+    Array.init (List.length items) (fun _ -> Mclock_util.Rng.split master)
+  in
+  map t ?label (fun i x -> f ~rng:streams.(i) i x) items
+
+let timings t =
+  Mutex.lock t.mutex;
+  let l = List.rev t.timings_rev in
+  Mutex.unlock t.mutex;
+  l
+
+let reset_timings t =
+  Mutex.lock t.mutex;
+  t.timings_rev <- [];
+  Mutex.unlock t.mutex
+
+let render_timings t =
+  let ts = timings t in
+  let table =
+    Mclock_util.Table.create ~title:"per-task timings"
+      ~header:[ "task"; "wall [ms]"; "alloc [MB]"; "worker" ]
+      ~aligns:Mclock_util.Table.[ Left; Right; Right; Right ]
+      ()
+  in
+  List.iter
+    (fun tm ->
+      Mclock_util.Table.add_row table
+        [
+          tm.t_label;
+          Printf.sprintf "%.1f" (1000. *. tm.t_wall_s);
+          Printf.sprintf "%.1f" (tm.t_alloc_bytes /. 1_048_576.);
+          string_of_int tm.t_worker;
+        ])
+    ts;
+  let busy = List.fold_left (fun acc tm -> acc +. tm.t_wall_s) 0. ts in
+  Printf.sprintf "%s\n%d tasks, %.2f s busy across %d job%s\n"
+    (Mclock_util.Table.render table)
+    (List.length ts) busy t.jobs
+    (if t.jobs = 1 then "" else "s")
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let timings_to_json t =
+  let ts = timings t in
+  let task tm =
+    Printf.sprintf
+      "    { \"label\": \"%s\", \"wall_s\": %.6f, \"alloc_bytes\": %.0f, \
+       \"worker\": %d }"
+      (json_escape tm.t_label) tm.t_wall_s tm.t_alloc_bytes tm.t_worker
+  in
+  Printf.sprintf "{\n  \"jobs\": %d,\n  \"tasks\": [\n%s\n  ]\n}\n" t.jobs
+    (String.concat ",\n" (List.map task ts))

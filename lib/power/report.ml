@@ -39,6 +39,18 @@ let evaluate ?(seed = 42) ?(iterations = 400) ~label tech design graph =
     functional_ok = Mclock_sim.Verify.ok verify;
   }
 
+(* Batch evaluation across the exec pool.  Each cell is an independent
+   simulation from the same integer seed, so the reports are identical
+   whatever the worker count; the pool only changes wall-clock time. *)
+let evaluate_batch ~pool ?seed ?iterations tech cells =
+  Mclock_exec.Pool.map pool
+    ~label:(fun i ->
+      let label, design, _ = List.nth cells i in
+      Printf.sprintf "%s/%s" (Design.name design) label)
+    (fun _ (label, design, graph) ->
+      evaluate ?seed ?iterations ~label tech design graph)
+    cells
+
 let paper_table ?title reports =
   let table =
     Mclock_util.Table.create ?title

@@ -26,6 +26,19 @@ val evaluate :
 (** Simulate (default 400 computations), verify against golden
     evaluation, and collect the paper's table columns. *)
 
+val evaluate_batch :
+  pool:Mclock_exec.Pool.t ->
+  ?seed:int ->
+  ?iterations:int ->
+  Mclock_tech.Library.t ->
+  (string * Mclock_rtl.Design.t * Mclock_dfg.Graph.t) list ->
+  t list
+(** [evaluate_batch ~pool tech cells] evaluates every
+    [(label, design, graph)] cell across the pool's worker domains and
+    returns the reports in cell order.  Each cell simulates from the
+    same [seed], so the result is byte-identical to mapping
+    {!evaluate} serially — the pool only changes wall-clock time. *)
+
 val paper_table : ?title:string -> t list -> Mclock_util.Table.t
 (** Power / Area / ALUs / Mem Cells / Mux In's rows, one per report. *)
 

@@ -28,11 +28,24 @@ let split t =
   let seed = next_int64 t in
   { state = seed }
 
+let max_bits = 0x3FFFFFFFFFFFFFFF
+
 let bits t = Int64.to_int (Int64.logand (next_int64 t) 0x3FFFFFFFFFFFFFFFL)
 
+(* Rejection sampling: [bits] spans [0, 2^62), which a non-power-of-two
+   [bound] does not divide, so a plain [mod] over-weights the low
+   residues.  Draws in the final partial block are rejected instead;
+   power-of-two bounds reduce to a mask (identical to the old [mod]). *)
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  bits t mod bound
+  if bound land (bound - 1) = 0 then bits t land (bound - 1)
+  else
+    let rec draw () =
+      let b = bits t in
+      let r = b mod bound in
+      if b - r > max_bits - (bound - 1) then draw () else r
+    in
+    draw ()
 
 let int_in_range t ~lo ~hi =
   if hi < lo then invalid_arg "Rng.int_in_range: hi < lo";

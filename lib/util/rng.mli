@@ -19,8 +19,9 @@ val bits : t -> int
 (** 62 uniformly random non-negative bits. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument]
-    if [bound <= 0]. *)
+(** [int t bound] is exactly uniform in [\[0, bound)] (rejection
+    sampling, no modulo bias). Raises [Invalid_argument] if
+    [bound <= 0]. *)
 
 val int_in_range : t -> lo:int -> hi:int -> int
 (** Uniform in the inclusive range. *)

@@ -14,6 +14,7 @@ let () =
       ("resched", Test_resched.suite);
       ("ctrl", Test_ctrl.suite);
       ("stimulus", Test_stimulus.suite);
+      ("exec", Test_exec.suite);
       ("reg-bind", Test_reg_bind.suite);
       ("structure", Test_structure.suite);
       ("lint", Test_lint.suite);

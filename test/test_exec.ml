@@ -1,0 +1,148 @@
+(* Tests for the mclock_exec deterministic worker pool: submission-order
+   reduction, jobs-count invariance, per-task RNG streams, exception
+   propagation, telemetry, and batch report evaluation. *)
+
+open Mclock_exec
+
+let check = Alcotest.check
+
+(* A compute heavy enough that tasks genuinely overlap on a pool. *)
+let churn seed =
+  let rng = Mclock_util.Rng.create seed in
+  let rec go acc k =
+    if k = 0 then acc else go ((acc * 31) + Mclock_util.Rng.int rng 1000) (k - 1)
+  in
+  go 0 2000
+
+let test_default_jobs_positive () =
+  check Alcotest.bool "at least one job" true (Pool.default_jobs () >= 1)
+
+let test_invalid_jobs () =
+  Alcotest.check_raises "jobs 0"
+    (Invalid_argument "Exec.Pool.create: jobs must be >= 1") (fun () ->
+      ignore (Pool.create ~jobs:0 ()))
+
+let test_map_submission_order () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let xs =
+        Pool.map pool (fun i x -> (i, x * x)) [ 3; 1; 4; 1; 5; 9; 2; 6 ]
+      in
+      check
+        Alcotest.(list (pair int int))
+        "results in submission order"
+        [ (0, 9); (1, 1); (2, 16); (3, 1); (4, 25); (5, 81); (6, 4); (7, 36) ]
+        xs)
+
+let test_jobs_invariance () =
+  let run jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        Pool.map pool (fun i seed -> churn (seed + i)) (Mclock_util.List_ext.range 1 12))
+  in
+  check Alcotest.(list int) "jobs=1 equals jobs=4" (run 1) (run 4)
+
+let test_map_rng_invariance () =
+  let run jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        Pool.map_rng pool ~seed:7
+          (fun ~rng _ x -> x + Mclock_util.Rng.int rng 1_000_000)
+          (Mclock_util.List_ext.range 1 10))
+  in
+  let serial = run 1 in
+  check Alcotest.(list int) "streams keyed by index, not worker" serial (run 3);
+  (* Distinct tasks get distinct streams. *)
+  check Alcotest.bool "streams differ across tasks" true
+    (List.length (Mclock_util.List_ext.dedup ~compare:Int.compare serial) > 1)
+
+exception Boom of int
+
+let test_exception_propagation () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      (match
+         Pool.map pool
+           (fun i x -> if i = 2 || i = 5 then raise (Boom i) else x)
+           [ 10; 11; 12; 13; 14; 15 ]
+       with
+      | _ -> Alcotest.fail "expected the task exception to re-raise"
+      | exception Boom i ->
+          check Alcotest.int "lowest failing index wins" 2 i);
+      (* A failed batch must not kill the worker domains. *)
+      let xs = Pool.map pool (fun _ x -> x + 1) [ 1; 2; 3 ] in
+      check Alcotest.(list int) "pool survives a failing batch" [ 2; 3; 4 ] xs)
+
+let test_shutdown_rejects_work () =
+  let pool = Pool.create ~jobs:2 () in
+  Pool.shutdown pool;
+  Alcotest.check_raises "map after shutdown"
+    (Invalid_argument "Exec.Pool.map: pool is shut down") (fun () ->
+      ignore (Pool.map pool (fun _ x -> x) [ 1 ]))
+
+let test_timings_telemetry () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      ignore (Pool.map pool ~label:(Printf.sprintf "cell %d") (fun i _ -> churn i)
+                [ (); (); (); () ]);
+      let ts = Pool.timings pool in
+      check Alcotest.int "one timing per task" 4 (List.length ts);
+      check
+        Alcotest.(list string)
+        "labels in submission order"
+        [ "cell 0"; "cell 1"; "cell 2"; "cell 3" ]
+        (List.map (fun t -> t.Pool.t_label) ts);
+      List.iter
+        (fun t ->
+          check Alcotest.bool "non-negative wall" true (t.Pool.t_wall_s >= 0.);
+          check Alcotest.bool "worker in range" true
+            (t.Pool.t_worker >= 0 && t.Pool.t_worker <= 2))
+        ts;
+      check Alcotest.bool "json mentions jobs" true
+        (String.length (Pool.timings_to_json pool) > 0);
+      Pool.reset_timings pool;
+      check Alcotest.int "reset clears" 0 (List.length (Pool.timings pool)))
+
+(* The contract the benches rely on: batch evaluation across the pool
+   is byte-identical to serial evaluation. *)
+let test_evaluate_batch_matches_serial () =
+  let tech = Mclock_tech.Cmos08.t in
+  let w = Mclock_workloads.Facet.t in
+  let graph = Mclock_workloads.Workload.graph w in
+  let schedule = Mclock_workloads.Workload.schedule w in
+  let suite = Mclock_core.Flow.standard_suite ~name:"exec" schedule in
+  let cells =
+    List.map
+      (fun (m, design) -> (Mclock_core.Flow.method_label m, design, graph))
+      suite
+  in
+  let serial =
+    List.map
+      (fun (label, design, graph) ->
+        Mclock_power.Report.evaluate ~seed:42 ~iterations:60 ~label tech design
+          graph)
+      cells
+  in
+  let parallel =
+    Pool.with_pool ~jobs:4 (fun pool ->
+        Mclock_power.Report.evaluate_batch ~pool ~seed:42 ~iterations:60 tech
+          cells)
+  in
+  check Alcotest.(list string) "labels agree"
+    (List.map (fun r -> r.Mclock_power.Report.label) serial)
+    (List.map (fun r -> r.Mclock_power.Report.label) parallel);
+  List.iter2
+    (fun (s : Mclock_power.Report.t) (p : Mclock_power.Report.t) ->
+      check (Alcotest.float 0.) ("power " ^ s.Mclock_power.Report.label)
+        s.Mclock_power.Report.power_mw p.Mclock_power.Report.power_mw;
+      check Alcotest.bool "functional" s.Mclock_power.Report.functional_ok
+        p.Mclock_power.Report.functional_ok)
+    serial parallel
+
+let suite =
+  [
+    ("default jobs positive", `Quick, test_default_jobs_positive);
+    ("invalid jobs", `Quick, test_invalid_jobs);
+    ("map keeps submission order", `Quick, test_map_submission_order);
+    ("jobs=1 equals jobs=4", `Quick, test_jobs_invariance);
+    ("map_rng streams keyed by index", `Quick, test_map_rng_invariance);
+    ("exception propagation", `Quick, test_exception_propagation);
+    ("shutdown rejects work", `Quick, test_shutdown_rejects_work);
+    ("timings telemetry", `Quick, test_timings_telemetry);
+    ("evaluate_batch matches serial", `Quick, test_evaluate_batch_matches_serial);
+  ]

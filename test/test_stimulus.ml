@@ -78,6 +78,55 @@ let test_correlated_activity_ordering () =
   let high = mean_activity (Mclock_sim.Stimulus.Correlated 0.4) in
   check Alcotest.bool "more flips, more activity" true (high > low)
 
+let consecutive_pairs envs =
+  let rec go acc = function
+    | a :: (b :: _ as rest) -> go ((a, b) :: acc) rest
+    | [ _ ] | [] -> List.rev acc
+  in
+  go [] envs
+
+let test_correlated_zero_is_frozen () =
+  (* p = 0.0 must behave exactly like Constant after the first sample. *)
+  List.iter
+    (fun (a, b) ->
+      Var.Map.iter
+        (fun v x -> check Alcotest.int (Var.name v) 0 (B.hamming x (Var.Map.find v b)))
+        a)
+    (consecutive_pairs (gen (Mclock_sim.Stimulus.Correlated 0.0) 50))
+
+let test_correlated_one_flips_every_bit () =
+  (* p = 1.0 must invert every input bit on every step. *)
+  List.iter
+    (fun (a, b) ->
+      Var.Map.iter
+        (fun v x -> check Alcotest.int (Var.name v) 4 (B.hamming x (Var.Map.find v b)))
+        a)
+    (consecutive_pairs (gen (Mclock_sim.Stimulus.Correlated 1.0) 50))
+
+let test_constant_zero_activity_floor () =
+  List.iter
+    (fun (a, b) ->
+      Var.Map.iter
+        (fun v x -> check Alcotest.int (Var.name v) 0 (B.hamming x (Var.Map.find v b)))
+        a)
+    (consecutive_pairs (gen Mclock_sim.Stimulus.Constant 50))
+
+let test_ramp_wraps_at_width_boundary () =
+  (* Every step advances by k modulo 2^width, and a long enough ramp
+     must actually cross the boundary. *)
+  let pairs = consecutive_pairs (gen (Mclock_sim.Stimulus.Ramp 7) 40) in
+  let wrapped = ref 0 in
+  List.iter
+    (fun (a, b) ->
+      Var.Map.iter
+        (fun v x ->
+          let x' = B.to_int (Var.Map.find v b) in
+          check Alcotest.int (Var.name v) ((B.to_int x + 7) land 15) x';
+          if x' < B.to_int x then incr wrapped)
+        a)
+    pairs;
+  check Alcotest.bool "some step wrapped past 2^width - 1" true (!wrapped > 0)
+
 let test_correlated_invalid_probability () =
   Alcotest.check_raises "p > 1"
     (Invalid_argument "Stimulus.generate: flip probability out of [0, 1]")
@@ -163,6 +212,10 @@ let suite =
     ("constant never changes", `Quick, test_constant_never_changes);
     ("ramp increments", `Quick, test_ramp_increments);
     ("correlated activity ordering", `Quick, test_correlated_activity_ordering);
+    ("correlated p=0 frozen", `Quick, test_correlated_zero_is_frozen);
+    ("correlated p=1 flips every bit", `Quick, test_correlated_one_flips_every_bit);
+    ("constant zero-activity floor", `Quick, test_constant_zero_activity_floor);
+    ("ramp wraps at width boundary", `Quick, test_ramp_wraps_at_width_boundary);
     ("correlated invalid probability", `Quick, test_correlated_invalid_probability);
     ("simulator accepts stimulus", `Quick, test_simulator_accepts_stimulus);
     ("simulator rejects short stimulus", `Quick, test_simulator_rejects_short_stimulus);
