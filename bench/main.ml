@@ -11,7 +11,11 @@
    Flags: --smoke (first table + Figure 1 only, for CI)
           --jobs N (worker domains; default MCLOCK_JOBS or cores-1)
           --timings (per-task timing table on stderr)
-          --timings-json PATH (telemetry as JSON) *)
+          --timings-json PATH (telemetry as JSON)
+   Modes: sim-throughput (cycles/sec of the reference interpreter vs
+          the compiled kernel per workload x method; writes
+          BENCH_sim.json, --json PATH overrides; --smoke shrinks the
+          grid for CI) *)
 
 let tech = Mclock_tech.Cmos08.t
 let iterations = 500
@@ -673,6 +677,119 @@ let run_bechamel () =
     (List.sort compare rows);
   Mclock_util.Table.print table
 
+(* --- Simulation throughput: reference interpreter vs compiled kernel --------------------------- *)
+
+(* `sim-throughput` times both kernels over workload x method cells and
+   writes the cycles/sec trajectory to BENCH_sim.json (override with
+   --json PATH).  The two runs must agree bit-for-bit on energy — the
+   benchmark doubles as one more differential check. *)
+let run_sim_throughput () =
+  let smoke = argv_flag "--smoke" in
+  let iterations = if smoke then 300 else 2000 in
+  let workloads =
+    if smoke then [ Mclock_workloads.Facet.t ] else Mclock_workloads.Catalog.all
+  in
+  let methods =
+    [
+      ("conv", Mclock_core.Flow.Conventional_non_gated);
+      ("gated", Mclock_core.Flow.Conventional_gated);
+      ("mc1", Mclock_core.Flow.Integrated 1);
+      ("mc2", Mclock_core.Flow.Integrated 2);
+      ("mc3", Mclock_core.Flow.Integrated 3);
+      ("split2", Mclock_core.Flow.Split 2);
+    ]
+  in
+  section
+    (Printf.sprintf
+       "Simulation throughput — reference vs compiled kernel (%d computations)"
+       iterations);
+  let table =
+    Mclock_util.Table.create
+      ~header:
+        [ "workload"; "method"; "cycles"; "reference [cyc/s]"; "compiled [cyc/s]"; "speedup" ]
+      ~aligns:
+        Mclock_util.Table.[ Left; Left; Right; Right; Right; Right ]
+      ()
+  in
+  let time run =
+    ignore (run 10); (* warm-up *)
+    let t0 = Unix.gettimeofday () in
+    let r = run iterations in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let results = ref [] in
+  List.iter
+    (fun w ->
+      let schedule = Mclock_workloads.Workload.schedule w in
+      List.iter
+        (fun (mlabel, m) ->
+          let design =
+            Mclock_core.Flow.synthesize ~method_:m ~name:mlabel schedule
+          in
+          let rr, ref_dt =
+            time (fun iterations ->
+                Mclock_sim.Simulator.run ~seed tech design ~iterations)
+          in
+          let kernel = Mclock_sim.Compiled.compile tech design in
+          let cr, comp_dt =
+            time (fun iterations ->
+                Mclock_sim.Compiled.run ~seed kernel ~iterations)
+          in
+          if
+            not
+              (Float.equal rr.Mclock_sim.Simulator.energy_pj
+                 cr.Mclock_sim.Simulator.energy_pj)
+          then
+            Fmt.failwith "%s/%s: kernels disagree on energy"
+              w.Mclock_workloads.Workload.name mlabel;
+          let cycles = rr.Mclock_sim.Simulator.cycles in
+          let ref_cps = float_of_int cycles /. ref_dt in
+          let comp_cps = float_of_int cycles /. comp_dt in
+          let speedup = comp_cps /. ref_cps in
+          results :=
+            (w.Mclock_workloads.Workload.name, mlabel, cycles, ref_cps, comp_cps, speedup)
+            :: !results;
+          Mclock_util.Table.add_row table
+            [
+              w.Mclock_workloads.Workload.name;
+              mlabel;
+              string_of_int cycles;
+              Printf.sprintf "%.3g" ref_cps;
+              Printf.sprintf "%.3g" comp_cps;
+              Printf.sprintf "%.2fx" speedup;
+            ])
+        methods)
+    workloads;
+  Mclock_util.Table.print table;
+  let results = List.rev !results in
+  let best =
+    List.fold_left (fun acc (_, _, _, _, _, s) -> max acc s) 0. results
+  in
+  Fmt.pr "@.best speedup: %.2fx@." best;
+  let path = Option.value (argv_opt "--json") ~default:"BENCH_sim.json" in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"benchmark\": \"sim-throughput\",\n  \"iterations\": %d,\n  \
+        \"seed\": %d,\n  \"results\": [\n"
+       iterations seed);
+  List.iteri
+    (fun i (wname, mlabel, cycles, ref_cps, comp_cps, speedup) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"workload\": %S, \"method\": %S, \"cycles\": %d, \
+            \"reference_cycles_per_sec\": %.6g, \"compiled_cycles_per_sec\": \
+            %.6g, \"speedup\": %.4g }%s\n"
+           wname mlabel cycles ref_cps comp_cps speedup
+           (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Fmt.pr "wrote %s@." path;
+  Mclock_exec.Pool.shutdown pool
+
 (* --- Entry ------------------------------------------------------------------------------------- *)
 
 (* Timings go to stderr / a side file so stdout stays byte-identical
@@ -751,4 +868,6 @@ let run_full () =
 
 let () =
   Fmt.pr "mclock benchmark harness — %a@." Mclock_tech.Library.pp tech;
-  if argv_flag "--smoke" then run_smoke () else run_full ()
+  if argv_flag "sim-throughput" then run_sim_throughput ()
+  else if argv_flag "--smoke" then run_smoke ()
+  else run_full ()

@@ -133,6 +133,13 @@ let iterations_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Stimulus seed.")
 
+let kernel_arg =
+  let kind = Arg.enum [ ("compiled", `Compiled); ("reference", `Reference) ] in
+  Arg.(value & opt kind `Compiled & info [ "kernel" ] ~docv:"KERNEL"
+         ~doc:"Simulation kernel: $(b,compiled) (precompiled engine, default) \
+               or $(b,reference) (interpreter). Results are bit-identical; \
+               only wall-clock time differs.")
+
 let jobs_arg =
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
          ~doc:"Worker domains for parallel evaluation. Defaults to the \
@@ -223,7 +230,8 @@ let synth_cmd =
     Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"PATH"
            ~doc:"Write a VCD waveform trace of the first computations to $(docv).")
   in
-  let run workload file scheduler method_ clocks iterations seed vhdl verilog dot vcd =
+  let run workload file scheduler method_ clocks iterations seed kernel vhdl
+      verilog dot vcd =
     let input = or_die (load ~workload ~file ~scheduler) in
     let m = method_of (method_, clocks) in
     let name =
@@ -246,14 +254,21 @@ let synth_cmd =
           })
         vcd
     in
-    let sim = Mclock_sim.Simulator.run ~seed ?trace tech design ~iterations in
+    let sim =
+      match kernel with
+      | `Reference -> Mclock_sim.Simulator.run ~seed ?trace tech design ~iterations
+      | `Compiled ->
+          Mclock_sim.Compiled.run ~seed ?trace
+            (Mclock_sim.Compiled.compile tech design)
+            ~iterations
+    in
     let verify =
       Mclock_sim.Verify.check
         ~width:(Mclock_rtl.Datapath.width (Mclock_rtl.Design.datapath design))
         input.graph sim
     in
     let report =
-      Mclock_power.Report.evaluate ~seed ~iterations
+      Mclock_power.Report.evaluate ~seed ~iterations ~kernel
         ~label:(Mclock_core.Flow.method_label m) tech design input.graph
     in
     Fmt.pr "design:      %s (%s)@." name (Mclock_rtl.Design.style_label design);
@@ -290,8 +305,8 @@ let synth_cmd =
        ~doc:"Synthesize one design; simulate, verify and report power/area.")
     Term.(
       const run $ workload_arg $ file_arg $ scheduler_arg $ method_arg
-      $ clocks_arg $ iterations_arg $ seed_arg $ vhdl_arg $ verilog_arg
-      $ dot_arg $ vcd_arg)
+      $ clocks_arg $ iterations_arg $ seed_arg $ kernel_arg $ vhdl_arg
+      $ verilog_arg $ dot_arg $ vcd_arg)
 
 (* --- lint --------------------------------------------------------------------- *)
 
@@ -361,13 +376,14 @@ let lint_cmd =
 (* --- table --------------------------------------------------------------------- *)
 
 let table_cmd =
-  let run workload file scheduler iterations seed jobs timings timings_json =
+  let run workload file scheduler iterations seed kernel jobs timings
+      timings_json =
     let input = or_die (load ~workload ~file ~scheduler) in
     let name = Option.value ~default:"design" workload in
     let suite = Mclock_core.Flow.standard_suite ~name input.schedule in
     Mclock_exec.Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
         let reports =
-          Mclock_power.Report.evaluate_batch ~pool ~seed ~iterations tech
+          Mclock_power.Report.evaluate_batch ~pool ~seed ~iterations ~kernel tech
             (List.map
                (fun (m, design) ->
                  (Mclock_core.Flow.method_label m, design, input.graph))
@@ -383,7 +399,7 @@ let table_cmd =
     (Cmd.info "table" ~doc:"The paper's five-design comparison table.")
     Term.(
       const run $ workload_arg $ file_arg $ scheduler_arg $ iterations_arg
-      $ seed_arg $ jobs_arg $ timings_arg $ timings_json_arg)
+      $ seed_arg $ kernel_arg $ jobs_arg $ timings_arg $ timings_json_arg)
 
 (* --- controller ------------------------------------------------------------------ *)
 
@@ -444,7 +460,7 @@ let sweep_cmd =
   let max_arg =
     Arg.(value & opt int 4 & info [ "max" ] ~docv:"N" ~doc:"Largest clock count.")
   in
-  let run workload file scheduler iterations seed max_n jobs timings
+  let run workload file scheduler iterations seed kernel max_n jobs timings
       timings_json =
     let input = or_die (load ~workload ~file ~scheduler) in
     let table =
@@ -467,7 +483,7 @@ let sweep_cmd =
                     ~method_:(Mclock_core.Flow.Integrated n)
                     ~name:(Printf.sprintf "mc%d" n) input.schedule
                 in
-                Mclock_power.Report.evaluate ~seed ~iterations
+                Mclock_power.Report.evaluate ~seed ~iterations ~kernel
                   ~label:(string_of_int n) tech design input.graph)
               (Mclock_util.List_ext.range 1 max_n)
           in
@@ -492,7 +508,8 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Power/area across clock counts 1..N.")
     Term.(
       const run $ workload_arg $ file_arg $ scheduler_arg $ iterations_arg
-      $ seed_arg $ max_arg $ jobs_arg $ timings_arg $ timings_json_arg)
+      $ seed_arg $ kernel_arg $ max_arg $ jobs_arg $ timings_arg
+      $ timings_json_arg)
 
 let () =
   let info =

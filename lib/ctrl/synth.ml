@@ -57,6 +57,18 @@ let resolved_controls design =
   let mux_sel = Hashtbl.create 8 and alu_fn = Hashtbl.create 8 in
   List.iter (fun (c, _) -> Hashtbl.replace mux_sel (Comp.id c) 0) muxes;
   List.iter (fun (c, _) -> Hashtbl.replace alu_fn (Comp.id c) 0) alus;
+  (* Op -> function-select index per multifunction ALU, hoisted out of
+     the per-step replay (the ALU scan and the function-set listing are
+     loop invariants). *)
+  let alu_fn_index = Hashtbl.create 8 in
+  List.iter
+    (fun (c, a) ->
+      let by_op = Hashtbl.create 4 in
+      List.iteri
+        (fun i op -> Hashtbl.replace by_op op i)
+        (Mclock_dfg.Op.Set.to_list a.Comp.a_fset);
+      Hashtbl.replace alu_fn_index (Comp.id c) by_op)
+    alus;
   let per_state = Array.make t_steps ([], [], []) in
   for pass = 1 to 2 do
     for step = 1 to t_steps do
@@ -67,16 +79,9 @@ let resolved_controls design =
         word.Control.selects;
       List.iter
         (fun (alu, op) ->
-          match List.find_opt (fun (c, _) -> Comp.id c = alu) alus with
-          | Some (_, a) ->
-              let idx =
-                match
-                  List.find_index (Mclock_dfg.Op.equal op)
-                    (Mclock_dfg.Op.Set.to_list a.Comp.a_fset)
-                with
-                | Some i -> i
-                | None -> 0
-              in
+          match Hashtbl.find_opt alu_fn_index alu with
+          | Some by_op ->
+              let idx = Option.value (Hashtbl.find_opt by_op op) ~default:0 in
               Hashtbl.replace alu_fn alu idx
           | None -> ())
         word.Control.alu_ops;

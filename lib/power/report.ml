@@ -18,8 +18,23 @@ type t = {
   functional_ok : bool;
 }
 
-let evaluate ?(seed = 42) ?(iterations = 400) ~label tech design graph =
-  let sim = Mclock_sim.Simulator.run ~seed tech design ~iterations in
+(* The compiled kernel is the default engine; it is differentially
+   tested bit-identical to [Simulator.run], so the choice only affects
+   wall-clock time.  [`Reference] keeps the interpreter reachable for
+   cross-checks and benchmarks. *)
+type kernel = [ `Compiled | `Reference ]
+
+let simulate ~kernel ~seed tech design ~iterations =
+  match kernel with
+  | `Reference -> Mclock_sim.Simulator.run ~seed tech design ~iterations
+  | `Compiled ->
+      Mclock_sim.Compiled.run ~seed
+        (Mclock_sim.Compiled.compile tech design)
+        ~iterations
+
+let evaluate ?(seed = 42) ?(iterations = 400) ?(kernel = `Compiled) ~label tech
+    design graph =
+  let sim = simulate ~kernel ~seed tech design ~iterations in
   let width = Datapath.width (Design.datapath design) in
   let verify = Mclock_sim.Verify.check ~width graph sim in
   let datapath = Design.datapath design in
@@ -42,13 +57,13 @@ let evaluate ?(seed = 42) ?(iterations = 400) ~label tech design graph =
 (* Batch evaluation across the exec pool.  Each cell is an independent
    simulation from the same integer seed, so the reports are identical
    whatever the worker count; the pool only changes wall-clock time. *)
-let evaluate_batch ~pool ?seed ?iterations tech cells =
+let evaluate_batch ~pool ?seed ?iterations ?kernel tech cells =
   Mclock_exec.Pool.map pool
     ~label:(fun i ->
       let label, design, _ = List.nth cells i in
       Printf.sprintf "%s/%s" (Design.name design) label)
     (fun _ (label, design, graph) ->
-      evaluate ?seed ?iterations ~label tech design graph)
+      evaluate ?seed ?iterations ?kernel ~label tech design graph)
     cells
 
 let paper_table ?title reports =

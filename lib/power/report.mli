@@ -15,9 +15,15 @@ type t = {
   functional_ok : bool;
 }
 
+type kernel = [ `Compiled | `Reference ]
+(** Simulation engine: the precompiled kernel (default — differentially
+    tested bit-identical to the interpreter, just faster) or the
+    reference interpreter {!Mclock_sim.Simulator.run}. *)
+
 val evaluate :
   ?seed:int ->
   ?iterations:int ->
+  ?kernel:kernel ->
   label:string ->
   Mclock_tech.Library.t ->
   Mclock_rtl.Design.t ->
@@ -30,6 +36,7 @@ val evaluate_batch :
   pool:Mclock_exec.Pool.t ->
   ?seed:int ->
   ?iterations:int ->
+  ?kernel:kernel ->
   Mclock_tech.Library.t ->
   (string * Mclock_rtl.Design.t * Mclock_dfg.Graph.t) list ->
   t list

@@ -10,7 +10,14 @@
    - Mux_data / Mux_select: mux datapath and select lines;
    - Control: controller output network (loads, function selects);
    - Isolation: operand-isolation cells;
-   - Gating: clock-gating cells. *)
+   - Gating: clock-gating cells.
+
+   Storage is a flat float array indexed [comp * num_categories + cat]
+   (grown on demand), so [add] — called once per charge on the
+   simulator's hottest path — is a bounds check and one array update,
+   and the aggregate queries are single passes in deterministic index
+   order.  All charges are non-negative, so a non-zero cell is exactly
+   "this (comp, category) was ever charged". *)
 
 type category =
   | Clock
@@ -26,6 +33,19 @@ type category =
 let all_categories =
   [ Clock; Storage_write; Data; Alu_internal; Mux_data; Mux_select; Control; Isolation; Gating ]
 
+let num_categories = List.length all_categories
+
+let category_index = function
+  | Clock -> 0
+  | Storage_write -> 1
+  | Data -> 2
+  | Alu_internal -> 3
+  | Mux_data -> 4
+  | Mux_select -> 5
+  | Control -> 6
+  | Isolation -> 7
+  | Gating -> 8
+
 let category_name = function
   | Clock -> "clock"
   | Storage_write -> "storage-write"
@@ -38,7 +58,7 @@ let category_name = function
   | Gating -> "gating"
 
 type t = {
-  table : (int * category, float) Hashtbl.t; (* (comp id, category) -> pJ *)
+  mutable cells : float array; (* comp * num_categories + category -> pJ *)
   mutable total : float;
 }
 
@@ -46,40 +66,73 @@ type t = {
    network); real components start at 1. *)
 let global_component = 0
 
-let create () = { table = Hashtbl.create 64; total = 0. }
+let create ?(max_comp = 15) () =
+  { cells = Array.make ((max_comp + 1) * num_categories) 0.; total = 0. }
+
+let ensure t comp =
+  let needed = (comp + 1) * num_categories in
+  if needed > Array.length t.cells then begin
+    let cells = Array.make (max needed (2 * Array.length t.cells)) 0. in
+    Array.blit t.cells 0 cells 0 (Array.length t.cells);
+    t.cells <- cells
+  end
 
 let add t ~comp ~category pj =
   if pj <> 0. then begin
-    let key = (comp, category) in
-    Hashtbl.replace t.table key
-      (pj +. Option.value ~default:0. (Hashtbl.find_opt t.table key));
+    ensure t comp;
+    let i = (comp * num_categories) + category_index category in
+    t.cells.(i) <- t.cells.(i) +. pj;
     t.total <- t.total +. pj
   end
 
 let total t = t.total
 
+let max_comp t = (Array.length t.cells / num_categories) - 1
+
+let get t ~comp ~category =
+  let i = (comp * num_categories) + category_index category in
+  if i < Array.length t.cells then t.cells.(i) else 0.
+
+(* One pass over the cells, summing per category in component order;
+   categories nobody charged are omitted. *)
 let by_category t =
+  let sums = Array.make num_categories 0. in
+  Array.iteri
+    (fun i pj -> sums.(i mod num_categories) <- sums.(i mod num_categories) +. pj)
+    t.cells;
   List.filter_map
     (fun cat ->
-      let sum =
-        Hashtbl.fold
-          (fun (_, c) pj acc -> if c = cat then acc +. pj else acc)
-          t.table 0.
-      in
+      let sum = sums.(category_index cat) in
       if sum = 0. then None else Some (cat, sum))
     all_categories
 
+(* One pass per component: sum its category cells; components never
+   charged are omitted.  Output is in ascending component order. *)
 let by_component t =
-  let sums = Hashtbl.create 16 in
-  Hashtbl.iter
-    (fun (comp, _) pj ->
-      Hashtbl.replace sums comp
-        (pj +. Option.value ~default:0. (Hashtbl.find_opt sums comp)))
-    t.table;
-  Hashtbl.fold (fun comp pj acc -> (comp, pj) :: acc) sums []
-  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  let acc = ref [] in
+  for comp = max_comp t downto 0 do
+    let base = comp * num_categories in
+    let sum = ref 0. in
+    for c = 0 to num_categories - 1 do
+      sum := !sum +. t.cells.(base + c)
+    done;
+    if !sum <> 0. then acc := (comp, !sum) :: !acc
+  done;
+  !acc
 
 let of_component t comp =
-  Hashtbl.fold
-    (fun (c, _) pj acc -> if c = comp then acc +. pj else acc)
-    t.table 0.
+  let base = comp * num_categories in
+  let sum = ref 0. in
+  if base + num_categories <= Array.length t.cells then
+    for c = 0 to num_categories - 1 do
+      sum := !sum +. t.cells.(base + c)
+    done;
+  !sum
+
+(* Cell-exact equality: same per-(component, category) energies.  Used
+   by the compiled-vs-reference differential harness. *)
+let equal_cells a b =
+  let n = max (Array.length a.cells) (Array.length b.cells) in
+  let cell t i = if i < Array.length t.cells then t.cells.(i) else 0. in
+  let rec go i = i >= n || (Float.equal (cell a i) (cell b i) && go (i + 1)) in
+  go 0

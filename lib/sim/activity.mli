@@ -19,9 +19,22 @@ type t
 val global_component : int
 (** Pseudo component id for design-global costs (control network). *)
 
-val create : unit -> t
+val create : ?max_comp:int -> unit -> t
+(** [create ()] starts with room for [max_comp] components and grows on
+    demand; pass the design's component count to avoid regrowth. *)
+
 val add : t -> comp:int -> category:category -> float -> unit
 val total : t -> float
+
+val get : t -> comp:int -> category:category -> float
+(** Energy charged to one (component, category) cell; 0 if never charged. *)
+
 val by_category : t -> (category * float) list
 val by_component : t -> (int * float) list
+(** Per-component totals in ascending component order. *)
+
 val of_component : t -> int -> float
+
+val equal_cells : t -> t -> bool
+(** Per-(component, category) exact float equality — the differential
+    harness's acceptance predicate for compiled vs. reference kernels. *)

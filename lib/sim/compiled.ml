@@ -1,0 +1,593 @@
+(* Compiled simulation kernel.
+
+   [Simulator.run] interprets the design every cycle: control words are
+   re-diffed with list scans, the combinational pass re-dispatches on
+   [Comp.kind], and every energy coefficient is recomputed from the
+   technology library.  This module compiles [(tech, design)] once into
+   dense arrays so the per-cycle path is branch-light and (apart from
+   user-visible output envs) allocation-free:
+
+   - control words become per-step *deltas*: the mux-select and ALU-op
+     writes that actually change state, plus the load-line toggle count
+     and the resulting control-network energy, precomputed for the
+     first period and for the steady state (the held-control state at
+     the end of a period is a fixed point, so period 1 may differ but
+     all later periods repeat);
+   - per-step load and busy lines become bitsets indexed by component
+     id, replacing [List.mem] / [List.mem_assoc];
+   - the combinational order becomes an instruction array with encoded
+     integer sources and hoisted energy coefficients (ALU internal
+     energy is a table indexed by Hamming distance);
+   - datapath values are raw int payloads; transitions are counted
+     with [Bitvec.popcount] on xors;
+   - activity accumulates into the flat [Activity.t] cells directly.
+
+   On top of the precompilation the kernel skips quiescent components:
+   change *stamps* record the cycle at which a value, mux select, or
+   ALU op last changed, and a combinational instruction is evaluated
+   only when one of its inputs carries this cycle's stamp (storage
+   writes stamp the *next* cycle, which is when readers see them).
+   Sequential elements are walked through a per-(step, phase) active
+   list — a phase-divided partition's storages are touched only during
+   their duty cycle (gated or loading storages are always active).
+   Skipping is sound for energy because a skipped evaluation would have
+   found a zero Hamming distance, and zero charges are dropped by
+   [Activity.add] in both kernels; the emitted charge sequence — and
+   therefore every float accumulation — is identical to the reference
+   interpreter's, which is what the differential tests pin down. *)
+
+open Mclock_dfg
+open Mclock_rtl
+module B = Mclock_util.Bitvec
+module L = Mclock_tech.Library
+
+(* Integer-coded ALU functions over raw payloads; semantics mirror
+   [Op.eval] composed with [Bitvec] exactly (wrapping arithmetic,
+   x/0 = all-ones, shift counts masked to 3 bits, 1/0 comparisons). *)
+let op_code : Op.t -> int = function
+  | Op.Add -> 0
+  | Op.Sub -> 1
+  | Op.Mul -> 2
+  | Op.Div -> 3
+  | Op.And -> 4
+  | Op.Or -> 5
+  | Op.Xor -> 6
+  | Op.Not -> 7
+  | Op.Shl -> 8
+  | Op.Shr -> 9
+  | Op.Gt -> 10
+  | Op.Lt -> 11
+  | Op.Eq -> 12
+
+let eval_code code a b mask =
+  match code with
+  | 0 -> (a + b) land mask
+  | 1 -> (a - b) land mask
+  | 2 -> (a * b) land mask
+  | 3 -> if b = 0 then mask else a / b
+  | 4 -> a land b
+  | 5 -> a lor b
+  | 6 -> a lxor b
+  | 7 -> lnot a land mask
+  | 8 -> (a lsl (b land 7)) land mask
+  | 9 -> a lsr (b land 7)
+  | 10 -> if a > b then 1 else 0
+  | 11 -> if a < b then 1 else 0
+  | 12 -> if a = b then 1 else 0
+  | _ -> assert false
+
+(* Sources are encoded in one int: a component id ([>= 0], read from
+   the value array) or a constant ([< 0], the masked value flipped
+   below zero).  Constants never carry a change stamp. *)
+let encode_src mask = function
+  | Comp.From_comp id -> id
+  | Comp.From_const c -> -1 - (c land mask)
+
+let src_val values s = if s >= 0 then values.(s) else -1 - s
+
+type step_ctrl = {
+  sc_sel : (int * int) array; (* (mux, select) writes that change state *)
+  sc_ops : (int * int) array; (* (alu, op code) writes that change state *)
+  sc_ctrl_e : float; (* control-network energy of this step's changes *)
+}
+
+type instr =
+  | I_mux of { mx_id : int; mx_choices : int array }
+  | I_alu of {
+      al_id : int;
+      al_src_a : int;
+      al_src_b : int; (* = al_src_a for unary ALUs *)
+      al_isolated : bool;
+      al_energy : float array; (* internal energy by Hamming distance *)
+    }
+
+type stor = {
+  st_id : int;
+  st_input : int;
+  st_gated : bool;
+  st_phase : int;
+  st_clk2 : float; (* free-running clock energy per cycle *)
+  st_pin2 : float; (* gated clock-pin energy per load *)
+  st_wr_e : float; (* write energy per flipped bit *)
+  st_out_e : float; (* output-net energy per flipped bit *)
+}
+
+type t = {
+  clock : Clock.t;
+  width : int;
+  mask : int;
+  t_steps : int;
+  max_id : int;
+  comps : Comp.t list; (* for VCD signal registration *)
+  graph_inputs : (Var.t * int) list;
+  plumbing : (Var.t * int * int) array; (* (var, port, register id | -1) *)
+  first_ctrl : step_ctrl array; (* by step - 1; cycles 1..t_steps *)
+  steady_ctrl : step_ctrl array; (* by step - 1; all later cycles *)
+  loads_at : bool array array; (* step -> id -> load line high *)
+  busy_at : bool array array; (* step -> id -> ALU scheduled *)
+  default_ops : (int * int) array; (* ALU reset functions *)
+  instrs : instr array; (* combinational order *)
+  stors_at : stor array array array; (* step -> phase -> active storages *)
+  taps_at : (Var.t * int) array array; (* step -> output taps ready *)
+  e_port : float;
+  e_mux_data : float;
+  e_mux_sel : float;
+  e_fu_out : float;
+  e_iso : float;
+  e_iso_idle : float; (* full-width isolation charge on busy->idle *)
+  e_tree2 : float;
+  e_gate : float;
+}
+
+let compile tech design =
+  let datapath = Design.datapath design in
+  let control = Design.control design in
+  let clock = Design.clock design in
+  let width = Datapath.width datapath in
+  let mask = (1 lsl width) - 1 in
+  let t_steps = Control.num_steps control in
+  let comps = Datapath.comps datapath in
+  let max_id = List.fold_left (fun acc c -> max acc (Comp.id c)) 0 comps in
+  let ept cap = L.energy_per_transition tech cap in
+  let e_ctrl = ept tech.L.control_line_cap in
+  let encode = encode_src mask in
+  (* Mux arities, for validating control words at compile time. *)
+  let n_choices = Array.make (max_id + 1) (-1) in
+  List.iter
+    (fun (c, m) ->
+      n_choices.(Comp.id c) <- Array.length m.Comp.m_choices)
+    (Datapath.muxes datapath);
+  (* Replay the controller against the held-control state machine for
+     two periods.  The state at the end of a period (last written value
+     per line, initial value if never written) does not depend on the
+     state at its start, so period 2's deltas are the steady state. *)
+  let mux_sel = Array.make (max_id + 1) 0 in
+  let alu_fn : Op.t option array = Array.make (max_id + 1) None in
+  List.iter
+    (fun (c, a) ->
+      alu_fn.(Comp.id c) <- Some (List.hd (Op.Set.to_list a.Comp.a_fset)))
+    (Datapath.alus datapath);
+  let prev_loads = ref [] in
+  let compile_step step =
+    let word = Control.word control ~step in
+    let sels =
+      List.filter_map
+        (fun (m, idx) ->
+          if mux_sel.(m) = idx then None
+          else begin
+            if n_choices.(m) >= 0 && (idx < 0 || idx >= n_choices.(m)) then
+              invalid_arg
+                (Printf.sprintf
+                   "Compiled.compile: step %d selects choice %d on mux %d (%d \
+                    choices)"
+                   step idx m n_choices.(m));
+            mux_sel.(m) <- idx;
+            Some (m, idx)
+          end)
+        word.Control.selects
+    in
+    let ops =
+      List.filter_map
+        (fun (a, op) ->
+          match alu_fn.(a) with
+          | Some prev when Op.equal prev op -> None
+          | Some _ | None ->
+              alu_fn.(a) <- Some op;
+              Some (a, op_code op))
+        word.Control.alu_ops
+    in
+    let loads = word.Control.loads in
+    let load_line_changes =
+      List.length (List.filter (fun x -> not (List.mem x !prev_loads)) loads)
+      + List.length (List.filter (fun x -> not (List.mem x loads)) !prev_loads)
+    in
+    prev_loads := loads;
+    let n = List.length sels + List.length ops + load_line_changes in
+    {
+      sc_sel = Array.of_list sels;
+      sc_ops = Array.of_list ops;
+      sc_ctrl_e = float_of_int n *. e_ctrl;
+    }
+  in
+  let compile_period () =
+    let dummy = { sc_sel = [||]; sc_ops = [||]; sc_ctrl_e = 0. } in
+    let arr = Array.make t_steps dummy in
+    for i = 0 to t_steps - 1 do
+      arr.(i) <- compile_step (i + 1)
+    done;
+    arr
+  in
+  let first_ctrl = compile_period () in
+  let steady_ctrl = compile_period () in
+  (* Per-step load and busy bitsets. *)
+  let loads_at = Array.make (t_steps + 1) [||] in
+  let busy_at = Array.make (t_steps + 1) [||] in
+  for step = 1 to t_steps do
+    let word = Control.word control ~step in
+    let ld = Array.make (max_id + 1) false in
+    List.iter (fun id -> ld.(id) <- true) word.Control.loads;
+    loads_at.(step) <- ld;
+    let bs = Array.make (max_id + 1) false in
+    List.iter (fun (id, _) -> bs.(id) <- true) word.Control.alu_ops;
+    busy_at.(step) <- bs
+  done;
+  (* Combinational instruction stream. *)
+  let instrs =
+    Array.of_list
+      (List.map
+         (fun c ->
+           let id = Comp.id c in
+           match Comp.kind c with
+           | Comp.Mux m ->
+               I_mux { mx_id = id; mx_choices = Array.map encode m.Comp.m_choices }
+           | Comp.Alu a ->
+               let c_int = L.alu_internal_cap tech ~width a.Comp.a_fset in
+               let energy =
+                 Array.init
+                   ((3 * width) + 1)
+                   (fun h ->
+                     ept (c_int *. (float_of_int h /. float_of_int (2 * width))))
+               in
+               I_alu
+                 {
+                   al_id = id;
+                   al_src_a = encode a.Comp.a_src_a;
+                   al_src_b =
+                     (match a.Comp.a_src_b with
+                     | Some s -> encode s
+                     | None -> encode a.Comp.a_src_a);
+                   al_isolated = a.Comp.a_isolated;
+                   al_energy = energy;
+                 }
+           | Comp.Input _ | Comp.Storage _ -> assert false)
+         (Datapath.combinational_order datapath))
+  in
+  (* Storage records and the (step, phase) active matrix: a storage is
+     touched in a cycle iff it is gated (tree toggles every cycle), its
+     partition is on duty (free-running clock), or it loads this step
+     (write path).  Order within a list is ascending id, matching the
+     reference's walk over [Datapath.storages]. *)
+  let stor_list =
+    List.map
+      (fun (c, s) ->
+        let kind = s.Comp.s_kind in
+        let params = L.storage_params tech kind in
+        {
+          st_id = Comp.id c;
+          st_input = encode s.Comp.s_input;
+          st_gated = s.Comp.s_gated;
+          st_phase = s.Comp.s_phase;
+          st_clk2 = 2. *. ept (L.storage_clock_cap tech kind ~width);
+          st_pin2 = 2. *. ept (L.storage_clock_pin_cap tech kind ~width);
+          st_wr_e = ept params.L.internal_cap_per_bit;
+          st_out_e = ept params.L.output_cap_per_bit;
+        })
+      (Datapath.storages datapath)
+  in
+  let phases = Clock.phases clock in
+  let stors_at = Array.make (t_steps + 1) [||] in
+  for step = 1 to t_steps do
+    let row = Array.make (phases + 1) [||] in
+    for phase = 1 to phases do
+      row.(phase) <-
+        Array.of_list
+          (List.filter_map
+             (fun st ->
+               if
+                 st.st_gated || st.st_phase = phase
+                 || loads_at.(step).(st.st_id)
+               then Some st
+               else None)
+             stor_list)
+    done;
+    stors_at.(step) <- row
+  done;
+  (* Input plumbing and output taps, as in the reference. *)
+  let graph_inputs = Design.input_ports design in
+  let input_register v =
+    List.find_map
+      (fun (c, s) ->
+        if List.exists (Var.equal v) s.Comp.s_holds then Some (Comp.id c)
+        else None)
+      (Datapath.storages datapath)
+  in
+  let plumbing =
+    Array.of_list
+      (List.map
+         (fun (v, port) ->
+           (v, port, Option.value (input_register v) ~default:(-1)))
+         graph_inputs)
+  in
+  let taps_at =
+    Array.init (t_steps + 1) (fun step ->
+        Array.of_list
+          (List.filter_map
+             (fun tap ->
+               if tap.Design.ready_step = step then
+                 Some (tap.Design.var, encode tap.Design.source)
+               else None)
+             (Design.output_taps design)))
+  in
+  let default_ops =
+    Array.of_list
+      (List.map
+         (fun (c, a) ->
+           (Comp.id c, op_code (List.hd (Op.Set.to_list a.Comp.a_fset))))
+         (Datapath.alus datapath))
+  in
+  {
+    clock;
+    width;
+    mask;
+    t_steps;
+    max_id;
+    comps;
+    graph_inputs;
+    plumbing;
+    first_ctrl;
+    steady_ctrl;
+    loads_at;
+    busy_at;
+    default_ops;
+    instrs;
+    stors_at;
+    taps_at;
+    e_port = ept tech.L.register.L.output_cap_per_bit;
+    e_mux_data = ept tech.L.mux.L.data_cap_per_bit;
+    e_mux_sel = ept tech.L.mux.L.select_cap;
+    e_fu_out = ept tech.L.fu_output_cap_per_bit;
+    e_iso = ept tech.L.isolation_cap_per_bit;
+    e_iso_idle = float_of_int width *. ept tech.L.isolation_cap_per_bit;
+    e_tree2 = 2. *. ept tech.L.clock_tree_cap_per_sink;
+    e_gate = ept tech.L.gating_cell_cap;
+  }
+
+let run ?(seed = 42) ?trace ?observer ?stimulus k ~iterations =
+  if iterations < 1 then invalid_arg "Simulator.run: iterations must be >= 1";
+  let width = k.width in
+  let n = k.max_id + 1 in
+  let rng = Mclock_util.Rng.create seed in
+  let values = Array.make n 0 in
+  (* Change stamps: cycle at which a value / mux select / ALU function
+     last changed.  Cycle 1 forces a full evaluation (reset values are
+     not consistent with the netlist); afterwards an instruction whose
+     inputs carry no current stamp would compute a zero Hamming
+     distance, so skipping it drops only zero charges. *)
+  let val_stamp = Array.make n 0 in
+  let ctrl_stamp = Array.make n 0 in
+  let op_stamp = Array.make n 0 in
+  let mux_sel = Array.make n 0 in
+  let alu_op = Array.make n 0 in
+  Array.iter (fun (id, code) -> alu_op.(id) <- code) k.default_ops;
+  let alu_in_a = Array.make n 0 in
+  let alu_in_b = Array.make n 0 in
+  let alu_busy_prev = Array.make n false in
+  let load_prev = Array.make n false in
+  let activity = Activity.create ~max_comp:k.max_id () in
+  let charge ~comp ~category pj = Activity.add activity ~comp ~category pj in
+  let envs =
+    Simulator.materialize_stimulus ?stimulus rng ~inputs:k.graph_inputs ~width
+      ~iterations
+  in
+  let vcd_signals =
+    match trace with
+    | None -> []
+    | Some { Simulator.vcd; _ } ->
+        List.map
+          (fun c ->
+            ( Comp.id c,
+              Vcd.register vcd
+                ~name:(Printf.sprintf "%s_c%d" (Comp.name c) (Comp.id c))
+                ~width ))
+          k.comps
+  in
+  let record_trace cycle =
+    match trace with
+    | Some { Simulator.vcd; max_cycles } when cycle <= max_cycles ->
+        Vcd.sample vcd ~time:cycle
+          (List.map
+             (fun (id, s) -> (s, B.create ~width values.(id)))
+             vcd_signals)
+    | Some _ | None -> ()
+  in
+  let apply_port ~cycle env (v, port, _) =
+    let fresh = B.to_int (Var.Map.find v env) in
+    let h = B.popcount (values.(port) lxor fresh) in
+    if h > 0 then begin
+      charge ~comp:port ~category:Activity.Data (float_of_int h *. k.e_port);
+      values.(port) <- fresh;
+      val_stamp.(port) <- cycle
+    end
+  in
+  (* Reset: ports and input registers preloaded with the first
+     computation's values (no energy charged). *)
+  Array.iter
+    (fun (v, port, reg) ->
+      let v0 = B.to_int (Var.Map.find v envs.(0)) in
+      values.(port) <- v0;
+      if reg >= 0 then values.(reg) <- v0)
+    k.plumbing;
+  let all_outputs = ref [] in
+  let current_outputs = ref Var.Map.empty in
+  let total_cycles = iterations * k.t_steps in
+  for cycle = 1 to total_cycles do
+    let step = ((cycle - 1) mod k.t_steps) + 1 in
+    let iter_idx = (cycle - 1) / k.t_steps in
+    let phase = Clock.phase_of_cycle k.clock cycle in
+    let first_eval = cycle = 1 in
+    (* 1. Fresh inputs. *)
+    if step = 1 then begin
+      current_outputs := Var.Map.empty;
+      if iter_idx > 0 then
+        Array.iter
+          (fun ((_, _, reg) as p) ->
+            if reg < 0 then apply_port ~cycle envs.(iter_idx) p)
+          k.plumbing
+    end;
+    if step = k.t_steps && iter_idx + 1 < iterations then
+      Array.iter
+        (fun ((_, _, reg) as p) ->
+          if reg >= 0 then apply_port ~cycle envs.(iter_idx + 1) p)
+        k.plumbing;
+    (* 2. Control deltas. *)
+    let sc =
+      (if cycle <= k.t_steps then k.first_ctrl else k.steady_ctrl).(step - 1)
+    in
+    Array.iter
+      (fun (mux_id, idx) ->
+        mux_sel.(mux_id) <- idx;
+        ctrl_stamp.(mux_id) <- cycle;
+        charge ~comp:mux_id ~category:Activity.Mux_select k.e_mux_sel)
+      sc.sc_sel;
+    Array.iter
+      (fun (alu_id, code) ->
+        alu_op.(alu_id) <- code;
+        op_stamp.(alu_id) <- cycle)
+      sc.sc_ops;
+    charge ~comp:Activity.global_component ~category:Activity.Control
+      sc.sc_ctrl_e;
+    let loads = k.loads_at.(step) in
+    let busy = k.busy_at.(step) in
+    (* 3. Combinational propagation (skipping quiescent instructions). *)
+    Array.iter
+      (fun instr ->
+        match instr with
+        | I_mux { mx_id = id; mx_choices } ->
+            let src = mx_choices.(mux_sel.(id)) in
+            if
+              first_eval || ctrl_stamp.(id) = cycle
+              || (src >= 0 && val_stamp.(src) = cycle)
+            then begin
+              let v = src_val values src in
+              let h = B.popcount (values.(id) lxor v) in
+              if h > 0 then begin
+                charge ~comp:id ~category:Activity.Mux_data
+                  (float_of_int h *. k.e_mux_data);
+                values.(id) <- v;
+                val_stamp.(id) <- cycle
+              end
+            end
+        | I_alu a ->
+            let id = a.al_id in
+            let is_busy = busy.(id) in
+            if a.al_isolated && not is_busy then begin
+              if alu_busy_prev.(id) then
+                charge ~comp:id ~category:Activity.Isolation k.e_iso_idle;
+              alu_busy_prev.(id) <- false
+            end
+            else begin
+              let dirty =
+                first_eval || op_stamp.(id) = cycle
+                || (a.al_src_a >= 0 && val_stamp.(a.al_src_a) = cycle)
+                || (a.al_src_b >= 0 && val_stamp.(a.al_src_b) = cycle)
+                || (a.al_isolated && not alu_busy_prev.(id))
+              in
+              if dirty then begin
+                let a_new = src_val values a.al_src_a in
+                let b_new = src_val values a.al_src_b in
+                let h =
+                  B.popcount (alu_in_a.(id) lxor a_new)
+                  + B.popcount (alu_in_b.(id) lxor b_new)
+                  + if op_stamp.(id) = cycle then width else 0
+                in
+                if h > 0 then begin
+                  charge ~comp:id ~category:Activity.Alu_internal
+                    a.al_energy.(h);
+                  let out = eval_code alu_op.(id) a_new b_new k.mask in
+                  let ho = B.popcount (values.(id) lxor out) in
+                  charge ~comp:id ~category:Activity.Data
+                    (float_of_int ho *. k.e_fu_out);
+                  if ho > 0 then begin
+                    values.(id) <- out;
+                    val_stamp.(id) <- cycle
+                  end;
+                  alu_in_a.(id) <- a_new;
+                  alu_in_b.(id) <- b_new
+                end;
+                if a.al_isolated && is_busy then
+                  charge ~comp:id ~category:Activity.Isolation
+                    (float_of_int h *. k.e_iso)
+              end;
+              alu_busy_prev.(id) <- is_busy
+            end)
+      k.instrs;
+    (* 4. Sequential update over this (step, phase)'s active list. *)
+    Array.iter
+      (fun st ->
+        let id = st.st_id in
+        let loading = loads.(id) in
+        if st.st_gated then begin
+          charge ~comp:id ~category:Activity.Clock k.e_tree2;
+          if loading then charge ~comp:id ~category:Activity.Clock st.st_pin2
+        end
+        else if phase = st.st_phase then
+          charge ~comp:id ~category:Activity.Clock st.st_clk2;
+        if st.st_gated && loading <> load_prev.(id) then
+          charge ~comp:id ~category:Activity.Gating k.e_gate;
+        load_prev.(id) <- loading;
+        if loading then begin
+          let v = src_val values st.st_input in
+          let h = B.popcount (values.(id) lxor v) in
+          if h > 0 then begin
+            charge ~comp:id ~category:Activity.Storage_write
+              (float_of_int h *. st.st_wr_e);
+            charge ~comp:id ~category:Activity.Data
+              (float_of_int h *. st.st_out_e);
+            values.(id) <- v;
+            (* Readers see the write from the next cycle on. *)
+            val_stamp.(id) <- cycle + 1
+          end
+        end)
+      k.stors_at.(step).(phase);
+    record_trace cycle;
+    (match observer with
+    | None -> ()
+    | Some f ->
+        f
+          {
+            Simulator.obs_cycle = cycle;
+            obs_step = step;
+            obs_phase = phase;
+            obs_value = (fun id -> B.create ~width values.(id));
+          });
+    (* 5. Output taps. *)
+    Array.iter
+      (fun (v, src) ->
+        current_outputs :=
+          Var.Map.add v (B.create ~width (src_val values src)) !current_outputs)
+      k.taps_at.(step);
+    if step = k.t_steps then all_outputs := !current_outputs :: !all_outputs
+  done;
+  let energy_pj = Activity.total activity in
+  let sim_time_s = float_of_int total_cycles *. Clock.period k.clock in
+  let power_mw = energy_pj *. 1e-12 /. sim_time_s *. 1e3 in
+  {
+    Simulator.cycles = total_cycles;
+    iterations;
+    sim_time_s;
+    energy_pj;
+    power_mw;
+    activity;
+    inputs = Array.to_list envs;
+    outputs = List.rev !all_outputs;
+  }

@@ -1,0 +1,30 @@
+(** Compiled simulation kernel: the design is precompiled into dense
+    arrays (per-step control deltas, load/busy bitsets, an instruction
+    stream for the combinational order, hoisted energy coefficients)
+    and the cycle loop skips components whose inputs did not change —
+    in particular, a phase-divided partition's storages are only walked
+    during their duty cycle.
+
+    The kernel is charge-for-charge equivalent to {!Simulator.run}: for
+    the same seed (or stimulus) it produces bit-identical [energy_pj],
+    per-(component, category) activity, and iteration outputs.
+    {!Simulator.run} stays as the reference oracle; the differential
+    tests pin the equivalence down across the workload catalog. *)
+
+type t
+
+val compile : Mclock_tech.Library.t -> Mclock_rtl.Design.t -> t
+(** Precompile a design for [run].  Raises [Invalid_argument] if a
+    control word selects a mux choice that does not exist (the
+    reference interpreter raises at the offending cycle instead). *)
+
+val run :
+  ?seed:int ->
+  ?trace:Simulator.trace_request ->
+  ?observer:(Simulator.observation -> unit) ->
+  ?stimulus:Golden.env list ->
+  t ->
+  iterations:int ->
+  Simulator.result
+(** Same contract as {!Simulator.run}; a compiled design can be run
+    many times (sweeps, batches) without re-paying compilation. *)

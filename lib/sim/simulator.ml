@@ -48,6 +48,33 @@ type observation = {
   obs_value : int -> B.t; (* component output at the end of the cycle *)
 }
 
+(* Turn an optional user stimulus into one env per computation,
+   drawing fresh random values when none is given.  Shared with the
+   compiled kernel: both kernels must consume the RNG in exactly the
+   same order (inputs within an env, then env by env) for a given seed
+   to see the same input stream. *)
+let materialize_stimulus ?stimulus rng ~inputs ~width ~iterations =
+  match stimulus with
+  | Some envs ->
+      if List.length envs < iterations then
+        invalid_arg "Simulator.run: stimulus shorter than iterations";
+      List.iter
+        (fun env ->
+          List.iter
+            (fun (v, _) ->
+              if not (Var.Map.mem v env) then
+                invalid_arg
+                  (Printf.sprintf "Simulator.run: stimulus misses input %s"
+                     (Var.name v)))
+            inputs)
+        envs;
+      Array.of_list (Mclock_util.List_ext.take iterations envs)
+  | None ->
+      Array.init iterations (fun _ ->
+          List.fold_left
+            (fun env (v, _) -> Var.Map.add v (B.random rng ~width) env)
+            Var.Map.empty inputs)
+
 let run ?(seed = 42) ?trace ?observer ?stimulus tech design ~iterations =
   if iterations < 1 then invalid_arg "Simulator.run: iterations must be >= 1";
   let datapath = Design.datapath design in
@@ -121,26 +148,7 @@ let run ?(seed = 42) ?trace ?observer ?stimulus tech design ~iterations =
     List.map (fun (v, port) -> (v, port, input_register v)) graph_inputs
   in
   let envs =
-    match stimulus with
-    | Some envs ->
-        if List.length envs < iterations then
-          invalid_arg "Simulator.run: stimulus shorter than iterations";
-        List.iter
-          (fun env ->
-            List.iter
-              (fun (v, _) ->
-                if not (Var.Map.mem v env) then
-                  invalid_arg
-                    (Printf.sprintf "Simulator.run: stimulus misses input %s"
-                       (Var.name v)))
-              graph_inputs)
-          envs;
-        Array.of_list (Mclock_util.List_ext.take iterations envs)
-    | None ->
-        Array.init iterations (fun _ ->
-            List.fold_left
-              (fun env (v, _) -> Var.Map.add v (B.random rng ~width) env)
-              Var.Map.empty graph_inputs)
+    materialize_stimulus ?stimulus rng ~inputs:graph_inputs ~width ~iterations
   in
   let apply_port env (v, port, _) =
     let fresh = Var.Map.find v env in
@@ -220,7 +228,13 @@ let run ?(seed = 42) ?trace ?observer ?stimulus tech design ~iterations =
         match Comp.kind c with
         | Comp.Mux m ->
             let sel = mux_sel.(id) in
-            let sel = if sel < Array.length m.Comp.m_choices then sel else 0 in
+            if sel >= Array.length m.Comp.m_choices then
+              invalid_arg
+                (Printf.sprintf
+                   "Simulator.run: control selects choice %d on mux %d (%d \
+                    choices)"
+                   sel id
+                   (Array.length m.Comp.m_choices));
             let v = value_of m.Comp.m_choices.(sel) in
             let h = B.hamming values.(id) v in
             if h > 0 then begin

@@ -26,6 +26,20 @@ type observation = {
       (** component output at the end of the cycle *)
 }
 
+val materialize_stimulus :
+  ?stimulus:Golden.env list ->
+  Mclock_util.Rng.t ->
+  inputs:(Mclock_dfg.Var.t * int) list ->
+  width:int ->
+  iterations:int ->
+  Golden.env array
+(** One input environment per computation: the validated/truncated user
+    [stimulus] if given, else fresh uniform random values drawn from
+    [rng] (inputs within an env in port-list order, env by env).  Both
+    simulation kernels use this, so a given seed yields the same input
+    stream under either.  Raises [Invalid_argument] on an unsuitable
+    stimulus. *)
+
 val run :
   ?seed:int ->
   ?trace:trace_request ->
@@ -39,5 +53,5 @@ val run :
     cycle's sequential update (used by the Fig. 4 timing checks);
     [stimulus] supplies one input environment per computation instead
     of the default uniform random stream (see {!Stimulus}).  Raises
-    [Invalid_argument] for [iterations < 1] or an unsuitable
-    stimulus. *)
+    [Invalid_argument] for [iterations < 1], an unsuitable stimulus, or
+    a control word selecting a mux choice that does not exist. *)

@@ -39,9 +39,18 @@ let compare a b =
   let c = Int.compare a.width b.width in
   if c <> 0 then c else Int.compare a.value b.value
 
+(* Constant-time SWAR popcount.  Operands are xor-differences of
+   [max_width]-bit (62-bit) values, so they are non-negative and fit in
+   OCaml's 63-bit native int.  The pairwise mask is the 64-bit
+   0x5555... constant truncated to 62 bits (the full constant exceeds
+   [max_int]); the remaining masks fit as-is.  The final byte-summing
+   multiply wraps modulo 2^63, which only discards partial sums above
+   bit 62 — the total (at bits 56..62, at most 62) is unaffected. *)
 let popcount x =
-  let rec loop acc x = if x = 0 then acc else loop (acc + (x land 1)) (x lsr 1) in
-  loop 0 x
+  let x = x - ((x lsr 1) land 0x1555555555555555) in
+  let x = (x land 0x3333333333333333) + ((x lsr 2) land 0x3333333333333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (x * 0x0101010101010101) lsr 56
 
 let hamming a b =
   check_same a b;

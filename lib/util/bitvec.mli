@@ -20,6 +20,12 @@ val to_int : t -> int
 val equal : t -> t -> bool
 val compare : t -> t -> int
 
+val popcount : int -> int
+(** Constant-time SWAR population count of a non-negative int with at
+    most [max_width] significant bits (the payload domain of {!t}).
+    Exposed so callers carrying raw bit patterns (e.g. the compiled
+    simulation kernel) can count transitions without boxing. *)
+
 val hamming : t -> t -> int
 (** Number of differing bit positions — the per-net transition count used
     by the power estimator. *)

@@ -7,6 +7,7 @@ let () =
       ("rtl", Test_rtl.suite);
       ("core", Test_core.suite);
       ("sim", Test_sim.suite);
+      ("compiled", Test_compiled.suite);
       ("power", Test_power.suite);
       ("workloads", Test_workloads.suite);
       ("gatelevel", Test_gatelevel.suite);

@@ -128,6 +128,31 @@ let test_bitvec_hamming () =
   check Alcotest.int "identical" 0 (Bitvec.hamming (bv 4 9) (bv 4 9));
   check Alcotest.int "max" 4 (Bitvec.hamming (bv 4 0) (bv 4 15))
 
+(* The SWAR popcount against the naive bit-by-bit loop, over the whole
+   supported domain: edge patterns plus random values of every width up
+   to [max_width]. *)
+let test_bitvec_popcount_vs_naive () =
+  let naive x =
+    let rec loop acc x =
+      if x = 0 then acc else loop (acc + (x land 1)) (x lsr 1)
+    in
+    loop 0 x
+  in
+  let check_value x =
+    check Alcotest.int
+      (Printf.sprintf "popcount %d" x)
+      (naive x) (Bitvec.popcount x)
+  in
+  List.iter check_value
+    [ 0; 1; 2; 3; 0b1010; max_int; max_int - 1; (1 lsl 62) - 1; 1 lsl 61 ];
+  let rng = Rng.create 7 in
+  for width = 1 to Bitvec.max_width do
+    let mask = (1 lsl width) - 1 in
+    for _ = 1 to 200 do
+      check_value (Rng.bits rng land mask)
+    done
+  done
+
 let test_bitvec_width_mismatch () =
   Alcotest.check_raises "mismatch"
     (Invalid_argument "Bitvec: width mismatch (4 vs 5)") (fun () ->
@@ -283,6 +308,7 @@ let suite =
     ("bitvec shifts", `Quick, test_bitvec_shifts);
     ("bitvec comparisons", `Quick, test_bitvec_compare_ops);
     ("bitvec hamming", `Quick, test_bitvec_hamming);
+    ("bitvec popcount vs naive", `Quick, test_bitvec_popcount_vs_naive);
     ("bitvec width mismatch", `Quick, test_bitvec_width_mismatch);
     ("bitvec bad width", `Quick, test_bitvec_bad_width);
     ("bitvec binary string", `Quick, test_bitvec_binary_string);
