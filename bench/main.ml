@@ -15,7 +15,11 @@
    Modes: sim-throughput (cycles/sec of the reference interpreter vs
           the compiled kernel per workload x method; writes
           BENCH_sim.json, --json PATH overrides; --smoke shrinks the
-          grid for CI) *)
+          grid for CI)
+          explore (design-space exploration cold vs warm against a
+          fresh persistent cache; asserts the warm frontier is
+          byte-identical with zero simulations and writes
+          BENCH_explore.json) *)
 
 let tech = Mclock_tech.Cmos08.t
 let iterations = 500
@@ -790,6 +794,130 @@ let run_sim_throughput () =
   Fmt.pr "wrote %s@." path;
   Mclock_exec.Pool.shutdown pool
 
+(* --- Design-space exploration: cold vs warm cache ---------------------------------------------- *)
+
+(* `explore` runs the full exploration twice per workload against a
+   fresh cache directory — a cold pass that populates it and a warm
+   pass that must serve every cell from the store — and reports wall
+   times, hit/miss/prune counters and the resulting speedup.  The warm
+   frontier must render byte-identically to the cold one; a mismatch
+   fails the benchmark (cache soundness is part of the contract, not
+   just a perf property). *)
+let run_explore () =
+  let smoke = argv_flag "--smoke" in
+  let iterations = if smoke then 120 else 400 in
+  let max_clocks = if smoke then 2 else 4 in
+  let workloads =
+    if smoke then [ Mclock_workloads.Facet.t ]
+    else Mclock_workloads.Catalog.paper_tables
+  in
+  section
+    (Printf.sprintf
+       "Design-space exploration — cold vs warm cache (max %d clocks, %d \
+        computations)"
+       max_clocks iterations);
+  let cache_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mclock-bench-cache.%d" (Unix.getpid ()))
+  in
+  let table =
+    Mclock_util.Table.create
+      ~header:
+        [ "workload"; "cells"; "pruned"; "frontier"; "cold [s]"; "warm [s]";
+          "warm hits"; "speedup" ]
+      ~aligns:
+        Mclock_util.Table.[ Left; Right; Right; Right; Right; Right; Right; Right ]
+      ()
+  in
+  let results = ref [] in
+  List.iter
+    (fun w ->
+      let graph = Mclock_workloads.Workload.graph w in
+      let name = w.Mclock_workloads.Workload.name in
+      let sched_constraints = w.Mclock_workloads.Workload.constraints in
+      let cache = Mclock_explore.Store.open_ ~dir:cache_dir in
+      let pass () =
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Mclock_explore.Engine.explore ~pool ~cache ~seed ~iterations
+            ~max_clocks ~name ~sched_constraints graph
+        in
+        (r, Unix.gettimeofday () -. t0)
+      in
+      let cold, cold_dt = pass () in
+      let warm, warm_dt = pass () in
+      let frontier r =
+        Mclock_lint.Json.to_string (Mclock_explore.Engine.frontier_json r)
+      in
+      if frontier cold <> frontier warm then
+        Fmt.failwith "%s: warm-cache frontier differs from cold" name;
+      if warm.Mclock_explore.Engine.stats.Mclock_explore.Engine.simulated <> 0
+      then
+        Fmt.failwith "%s: warm pass simulated %d cells (expected 0)" name
+          warm.Mclock_explore.Engine.stats.Mclock_explore.Engine.simulated;
+      let cs = cold.Mclock_explore.Engine.stats in
+      let ws = warm.Mclock_explore.Engine.stats in
+      results := (name, cs, ws, cold_dt, warm_dt) :: !results;
+      Mclock_util.Table.add_row table
+        [
+          name;
+          string_of_int cs.Mclock_explore.Engine.enumerated;
+          string_of_int cs.Mclock_explore.Engine.pruned;
+          string_of_int
+            (List.length
+               cold.Mclock_explore.Engine.pareto.Mclock_explore.Pareto.frontier);
+          Printf.sprintf "%.3f" cold_dt;
+          Printf.sprintf "%.3f" warm_dt;
+          string_of_int ws.Mclock_explore.Engine.cache_hits;
+          Printf.sprintf "%.1fx" (cold_dt /. warm_dt);
+        ])
+    workloads;
+  Mclock_util.Table.print table;
+  (* The bench cache is throwaway; leave nothing behind. *)
+  (try
+     Array.iter
+       (fun f -> Sys.remove (Filename.concat cache_dir f))
+       (Sys.readdir cache_dir);
+     Unix.rmdir cache_dir
+   with Sys_error _ | Unix.Unix_error (_, _, _) -> ());
+  let path = Option.value (argv_opt "--json") ~default:"BENCH_explore.json" in
+  let json =
+    Mclock_lint.Json.Obj
+      [
+        ("benchmark", Mclock_lint.Json.String "explore");
+        ("iterations", Mclock_lint.Json.Int iterations);
+        ("max_clocks", Mclock_lint.Json.Int max_clocks);
+        ("seed", Mclock_lint.Json.Int seed);
+        ( "results",
+          Mclock_lint.Json.List
+            (List.rev_map
+               (fun (name, cs, ws, cold_dt, warm_dt) ->
+                 Mclock_lint.Json.Obj
+                   [
+                     ("workload", Mclock_lint.Json.String name);
+                     ( "enumerated",
+                       Mclock_lint.Json.Int cs.Mclock_explore.Engine.enumerated
+                     );
+                     ("pruned", Mclock_lint.Json.Int cs.Mclock_explore.Engine.pruned);
+                     ( "cold_simulated",
+                       Mclock_lint.Json.Int cs.Mclock_explore.Engine.simulated );
+                     ( "warm_hits",
+                       Mclock_lint.Json.Int ws.Mclock_explore.Engine.cache_hits );
+                     ("cold_seconds", Mclock_lint.Json.Float cold_dt);
+                     ("warm_seconds", Mclock_lint.Json.Float warm_dt);
+                     ( "speedup",
+                       Mclock_lint.Json.Float (cold_dt /. warm_dt) );
+                   ])
+               !results) );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Mclock_lint.Json.to_string_pretty json ^ "\n");
+  close_out oc;
+  Fmt.pr "wrote %s@." path;
+  Mclock_exec.Pool.shutdown pool
+
 (* --- Entry ------------------------------------------------------------------------------------- *)
 
 (* Timings go to stderr / a side file so stdout stays byte-identical
@@ -869,5 +997,6 @@ let run_full () =
 let () =
   Fmt.pr "mclock benchmark harness — %a@." Mclock_tech.Library.pp tech;
   if argv_flag "sim-throughput" then run_sim_throughput ()
+  else if argv_flag "explore" then run_explore ()
   else if argv_flag "--smoke" then run_smoke ()
   else run_full ()

@@ -511,6 +511,143 @@ let sweep_cmd =
       $ seed_arg $ kernel_arg $ max_arg $ jobs_arg $ timings_arg
       $ timings_json_arg)
 
+(* --- explore ----------------------------------------------------------------- *)
+
+let explore_cmd =
+  let max_clocks_arg =
+    Arg.(value & opt (some int) None & info [ "max-clocks" ] ~docv:"N"
+           ~doc:"Largest clock count in the exploration grid \
+                 (default 4; 2 under $(b,--smoke)).")
+  in
+  let constraint_arg =
+    Arg.(value & opt_all string [] & info [ "c"; "constraint" ] ~docv:"EXPR"
+           ~doc:"Prune cells violating a bound, e.g. $(b,area<=12000), \
+                 $(b,latency<=6) or $(b,mem<=40). Repeatable; bounds are \
+                 checked on pre-simulation binding results, so pruned \
+                 cells are never simulated.")
+  in
+  let cache_dir_arg =
+    Arg.(value & opt string ".mclock-cache" & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Persistent content-addressed evaluation cache directory \
+                 (created on demand).")
+  in
+  let no_cache_arg =
+    Arg.(value & flag & info [ "no-cache" ]
+           ~doc:"Disable the persistent cache: every surviving cell is \
+                 simulated.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH"
+           ~doc:"Write the frontier document (frontier + dominated-point \
+                 attribution) as JSON to $(docv). Byte-identical across \
+                 reruns and job counts; cache counters are excluded (see \
+                 $(b,--stats-json)).")
+  in
+  let stats_json_arg =
+    Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"PATH"
+           ~doc:"Write this run's hit/miss/prune counters as JSON to \
+                 $(docv).")
+  in
+  let smoke_arg =
+    Arg.(value & flag & info [ "smoke" ]
+           ~doc:"CI-sized exploration: the facet workload (unless one is \
+                 given), 2 clocks, 120 computations per cell.")
+  in
+  let explore_iterations_arg =
+    Arg.(value & opt (some int) None & info [ "iterations" ] ~docv:"N"
+           ~doc:"Simulated computations per cell (default 400; 120 under \
+                 $(b,--smoke)).")
+  in
+  let run workload file max_clocks constraints iterations seed jobs cache_dir
+      no_cache json stats_json smoke timings timings_json =
+    let workload =
+      match (workload, file, smoke) with
+      | None, None, true -> Some "facet"
+      | w, _, _ -> w
+    in
+    let max_clocks =
+      match max_clocks with Some n -> n | None -> if smoke then 2 else 4
+    in
+    let iterations =
+      match iterations with Some n -> n | None -> if smoke then 120 else 400
+    in
+    let constraints =
+      List.map
+        (fun s -> or_die (Mclock_explore.Metrics.parse_constraint s))
+        constraints
+    in
+    let input = or_die (load ~workload ~file ~scheduler:`Annotated) in
+    let name =
+      match (workload, file) with
+      | Some n, _ -> n
+      | _, Some p -> Filename.remove_extension (Filename.basename p)
+      | None, None -> "design"
+    in
+    let sched_constraints =
+      match workload with
+      | Some n -> (
+          match Mclock_workloads.Catalog.find n with
+          | Some w -> w.Mclock_workloads.Workload.constraints
+          | None -> [])
+      | None -> []
+    in
+    let cache =
+      if no_cache then None else Some (Mclock_explore.Store.open_ ~dir:cache_dir)
+    in
+    let result =
+      Mclock_exec.Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
+          let result =
+            Mclock_explore.Engine.explore ~pool ?cache ~constraints ~seed
+              ~iterations ~max_clocks ~name ~sched_constraints input.graph
+          in
+          emit_timings pool ~timings ~timings_json;
+          result)
+    in
+    print_string (Mclock_explore.Engine.render_text result);
+    let write path contents =
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      Fmt.epr "wrote %s@." path
+    in
+    Option.iter
+      (fun p ->
+        write p
+          (Mclock_lint.Json.to_string_pretty
+             (Mclock_explore.Engine.frontier_json result)
+          ^ "\n"))
+      json;
+    Option.iter
+      (fun p ->
+        write p
+          (Mclock_lint.Json.to_string_pretty
+             (Mclock_explore.Engine.stats_json result)
+          ^ "\n"))
+      stats_json;
+    let any_functional_failure =
+      List.exists
+        (fun (c : Mclock_explore.Engine.cell) ->
+          match c.Mclock_explore.Engine.status with
+          | Mclock_explore.Engine.Cached m | Mclock_explore.Engine.Simulated m
+            ->
+              not m.Mclock_explore.Metrics.functional_ok
+          | Mclock_explore.Engine.Pruned _ -> false)
+        result.Mclock_explore.Engine.cells
+    in
+    if any_functional_failure then exit 2
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Explore the scheduler x allocator x clock-count x transfers x \
+             voltage design space; prune with pre-simulation bounds, reuse \
+             the persistent evaluation cache, and report the \
+             power/area/latency Pareto frontier.")
+    Term.(
+      const run $ workload_arg $ file_arg $ max_clocks_arg $ constraint_arg
+      $ explore_iterations_arg $ seed_arg $ jobs_arg $ cache_dir_arg
+      $ no_cache_arg $ json_arg $ stats_json_arg $ smoke_arg $ timings_arg
+      $ timings_json_arg)
+
 let () =
   let info =
     Cmd.info "mclock" ~version:"1.0.0"
@@ -518,4 +655,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; show_cmd; synth_cmd; lint_cmd; table_cmd; waves_cmd;
-         sweep_cmd; controller_cmd; calibrate_cmd ]))
+         sweep_cmd; explore_cmd; controller_cmd; calibrate_cmd ]))

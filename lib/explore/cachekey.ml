@@ -1,0 +1,106 @@
+(* Structural digesting of an evaluation cell.
+
+   Everything is fed through Mclock_util.Fingerprint's canonical
+   type-tagged encoding; no Marshal, no Hashtbl.hash, no decimal float
+   formatting — the digest is stable across processes, OCaml versions
+   and machines. *)
+
+let format_version = 1
+
+type spec = {
+  graph : Mclock_dfg.Graph.t;
+  width : int;
+  constraints : Mclock_sched.List_sched.constraints;
+  config : Config.t;
+  tech : Mclock_tech.Library.t;
+  seed : int;
+  iterations : int;
+}
+
+let fp_operand fp = function
+  | Mclock_dfg.Node.Operand_var v ->
+      Mclock_util.Fingerprint.string fp "v";
+      Mclock_util.Fingerprint.string fp (Mclock_dfg.Var.name v)
+  | Mclock_dfg.Node.Operand_const c ->
+      Mclock_util.Fingerprint.string fp "c";
+      Mclock_util.Fingerprint.int fp c
+
+let fp_node fp node =
+  let open Mclock_util.Fingerprint in
+  int fp (Mclock_dfg.Node.id node);
+  string fp (Mclock_dfg.Op.name (Mclock_dfg.Node.op node));
+  list fp fp_operand (Mclock_dfg.Node.operands node);
+  string fp (Mclock_dfg.Var.name (Mclock_dfg.Node.result node))
+
+(* The behaviour's structure: nodes in their (deterministic,
+   topological) stored order plus the input/output interface.  The
+   graph *name* is deliberately excluded — renaming a behaviour does
+   not change anything the simulation can observe. *)
+let fp_graph fp g =
+  let open Mclock_util.Fingerprint in
+  string fp "graph";
+  let var f v = string f (Mclock_dfg.Var.name v) in
+  list fp var (Mclock_dfg.Graph.inputs g);
+  list fp var (Mclock_dfg.Graph.outputs g);
+  list fp fp_node (Mclock_dfg.Graph.nodes g)
+
+(* Every numeric knob of the library, including the per-op functional
+   area table sampled over the whole operation alphabet.  A calibration
+   change therefore invalidates exactly the cells it affects. *)
+let fp_tech fp (t : Mclock_tech.Library.t) =
+  let open Mclock_util.Fingerprint in
+  string fp "tech";
+  string fp t.name;
+  float fp t.supply_voltage;
+  float fp t.clock_frequency;
+  let storage (s : Mclock_tech.Library.storage_params) =
+    float fp s.area_per_bit;
+    float fp s.clock_pin_cap;
+    float fp s.internal_cap_per_bit;
+    float fp s.output_cap_per_bit
+  in
+  storage t.register;
+  storage t.latch;
+  float fp t.mux.area_per_input_bit;
+  float fp t.mux.data_cap_per_bit;
+  float fp t.mux.select_cap;
+  list fp
+    (fun f op ->
+      string f (Mclock_dfg.Op.name op);
+      float f (t.fu_area_per_bit op))
+    Mclock_dfg.Op.all;
+  float fp t.fu_cap_per_area;
+  float fp t.fu_output_cap_per_bit;
+  float fp t.multifunction_penalty;
+  float fp t.addsub_sharing;
+  float fp t.control_line_cap;
+  float fp t.gating_cell_area;
+  float fp t.gating_cell_cap;
+  float fp t.isolation_area_per_bit;
+  float fp t.isolation_cap_per_bit;
+  float fp t.clock_tree_cap_per_sink;
+  float fp t.base_area;
+  float fp t.routing_factor
+
+let digest spec =
+  let open Mclock_util.Fingerprint in
+  let fp = create () in
+  string fp "mclock-explore-cell";
+  int fp format_version;
+  fp_graph fp spec.graph;
+  int fp spec.width;
+  list fp
+    (fun f (op, bound) ->
+      string f (Mclock_dfg.Op.name op);
+      int f bound)
+    spec.constraints;
+  Config.fingerprint fp spec.config;
+  fp_tech fp spec.tech;
+  (* Stimulus specification: the engine evaluates under the paper's
+     uniform-random methodology; model, seed and length pin the exact
+     input streams. *)
+  string fp "stimulus";
+  string fp "uniform";
+  int fp spec.seed;
+  int fp spec.iterations;
+  hex fp

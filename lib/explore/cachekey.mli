@@ -1,0 +1,26 @@
+(** Content-addressed cache keys for evaluation cells.
+
+    The digest covers everything the evaluated metrics depend on — the
+    behaviour's structure, the configuration, the technology model,
+    the stimulus specification and the seed — and nothing they do not
+    (behaviour name, file path, enumeration order).  Editing any input
+    changes the key; re-running an identical cell reproduces it. *)
+
+val format_version : int
+(** Bumped whenever the evaluation semantics change (energy model,
+    simulator, metric definitions), so stale caches from older builds
+    can never serve an entry. *)
+
+type spec = {
+  graph : Mclock_dfg.Graph.t;
+  width : int;
+  constraints : Mclock_sched.List_sched.constraints;
+      (** feed the list scheduler, hence the schedule, hence the design *)
+  config : Config.t;
+  tech : Mclock_tech.Library.t;
+  seed : int;
+  iterations : int;
+}
+
+val digest : spec -> string
+(** 32 hex characters (MD5 of the canonical serialization). *)

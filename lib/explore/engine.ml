@@ -1,0 +1,350 @@
+(* The exploration pipeline.
+
+   Phase order matters for both cost and determinism:
+
+   1. enumerate   — Config.enumerate, canonical order (serial);
+   2. synthesize  — schedule (one per scheduler, memoized) + allocate
+                    every cell; cheap, runs on the submitting domain;
+   3. prune       — constraint check on exact pre-simulation bounds;
+   4. cache       — digest + lookup on the submitting domain, so hit
+                    bookkeeping never races;
+   5. simulate    — only the misses, fanned out on the pool; results
+                    reduced in submission order (jobs-invariant);
+   6. store       — write-back of fresh results (failures tolerated);
+   7. frontier    — Pareto over evaluated, functionally-OK cells.
+
+   The frontier can therefore never depend on the cache state: a hit
+   returns bit-identical metrics to the simulation that populated it
+   (hex-float round-trip), and pruning uses bounds that equal what
+   evaluation would report. *)
+
+type status =
+  | Pruned of Metrics.constraint_ list
+  | Cached of Metrics.t
+  | Simulated of Metrics.t
+
+type cell = {
+  config : Config.t;
+  cell_label : string;
+  key : string;
+  bounds : Metrics.bounds;
+  status : status;
+}
+
+type stats = {
+  enumerated : int;
+  pruned : int;
+  cache_hits : int;
+  cache_misses : int;
+  simulated : int;
+  store_failures : int;
+}
+
+type result = {
+  workload : string;
+  max_clocks : int;
+  seed : int;
+  iterations : int;
+  constraints : Metrics.constraint_ list;
+  cells : cell list;
+  pareto : Pareto.result;
+  stats : stats;
+}
+
+let explore ~pool ?cache ?(constraints = []) ?(seed = 42) ?(iterations = 400)
+    ?(max_clocks = 4) ?(tech = Mclock_tech.Cmos08.t) ?(width = 4) ~name
+    ~sched_constraints graph =
+  (* Counters accumulate across runs sharing a store (e.g. a cold/warm
+     pair); snapshot so this result reports only its own failures. *)
+  let store_failures_before =
+    match cache with
+    | None -> 0
+    | Some store -> (Store.stats store).Store.store_failures
+  in
+  let configs = Config.enumerate ~max_clocks in
+  (* One schedule per scheduler, shared by every cell using it. *)
+  let schedules =
+    List.map
+      (fun s -> (s, ref None))
+      Config.schedulers
+  in
+  let schedule_for config =
+    let slot = List.assoc config.Config.scheduler schedules in
+    match !slot with
+    | Some s -> s
+    | None ->
+        let s = Config.schedule config ~constraints:sched_constraints graph in
+        slot := Some s;
+        s
+  in
+  (* Synthesize + bound every cell (serial, cheap). *)
+  let prepared =
+    List.map
+      (fun config ->
+        let schedule = schedule_for config in
+        let design =
+          Config.synthesize ~tech ~width config
+            ~name:(Printf.sprintf "x_%s" name)
+            schedule
+        in
+        let bounds = Metrics.bounds_of_design ~config tech design in
+        let key =
+          Cachekey.digest
+            {
+              Cachekey.graph;
+              width;
+              constraints = sched_constraints;
+              config;
+              tech;
+              seed;
+              iterations;
+            }
+        in
+        (config, design, bounds, key))
+      configs
+  in
+  (* Prune, then split survivors into cache hits and misses. *)
+  let cells_pre =
+    List.map
+      (fun (config, design, bounds, key) ->
+        match Metrics.violated ~constraints bounds with
+        | _ :: _ as v -> (config, design, bounds, key, `Pruned v)
+        | [] -> (
+            match cache with
+            | None -> (config, design, bounds, key, `Miss)
+            | Some store -> (
+                match Store.find store ~key with
+                | Some m -> (config, design, bounds, key, `Hit m)
+                | None -> (config, design, bounds, key, `Miss))))
+      prepared
+  in
+  let misses =
+    List.filter_map
+      (function
+        | config, design, _, key, `Miss -> Some (config, design, key)
+        | _ -> None)
+      cells_pre
+  in
+  (* Fan the misses out; submission order = enumeration order, so the
+     reduced list is jobs-invariant. *)
+  let misses_arr = Array.of_list misses in
+  let fresh =
+    Mclock_exec.Pool.map pool
+      ~label:(fun i ->
+        let config, _, _ = misses_arr.(i) in
+        Printf.sprintf "%s/%s" name (Config.label config))
+      (fun _ (config, design, _key) ->
+        let report =
+          Mclock_power.Report.evaluate ~seed ~iterations ~kernel:`Compiled
+            ~label:(Config.label config) tech design graph
+        in
+        Metrics.of_report ~config ~tech
+          ~latency_steps:(Mclock_rtl.Design.num_steps design)
+          report)
+      misses
+  in
+  (* Write-back on the submitting domain. *)
+  (match cache with
+  | None -> ()
+  | Some store ->
+      List.iter2
+        (fun (_, _, key) metrics -> Store.store store ~key metrics)
+        misses fresh);
+  (* Stitch fresh results back into enumeration order. *)
+  let fresh_queue = ref fresh in
+  let next_fresh () =
+    match !fresh_queue with
+    | [] -> assert false
+    | m :: rest ->
+        fresh_queue := rest;
+        m
+  in
+  let cells =
+    List.map
+      (fun (config, _design, bounds, key, tag) ->
+        let status =
+          match tag with
+          | `Pruned v -> Pruned v
+          | `Hit m -> Cached m
+          | `Miss -> Simulated (next_fresh ())
+        in
+        { config; cell_label = Config.label config; key; bounds; status })
+      cells_pre
+  in
+  let points =
+    List.mapi (fun i c -> (i, c)) cells
+    |> List.filter_map (fun (i, c) ->
+           match c.status with
+           | Cached m | Simulated m when m.Metrics.functional_ok ->
+               Some { Pareto.index = i; label = c.cell_label; metrics = m }
+           | _ -> None)
+  in
+  let pareto = Pareto.frontier points in
+  let n_pruned =
+    List.length
+      (List.filter (fun c -> match c.status with Pruned _ -> true | _ -> false) cells)
+  in
+  let n_hits =
+    List.length
+      (List.filter (fun c -> match c.status with Cached _ -> true | _ -> false) cells)
+  in
+  let n_sim = List.length misses in
+  let stats =
+    {
+      enumerated = List.length configs;
+      pruned = n_pruned;
+      cache_hits = n_hits;
+      cache_misses = n_sim;
+      simulated = n_sim;
+      store_failures =
+        (match cache with
+        | None -> 0
+        | Some store ->
+            (Store.stats store).Store.store_failures - store_failures_before);
+    }
+  in
+  {
+    workload = name;
+    max_clocks;
+    seed;
+    iterations;
+    constraints;
+    cells;
+    pareto;
+    stats;
+  }
+
+(* --- Rendering --------------------------------------------------------- *)
+
+let status_cells result ~index cell =
+  match cell.status with
+  | Pruned v ->
+      ( "pruned",
+        Printf.sprintf "violates %s"
+          (String.concat ","
+             (List.map Metrics.constraint_to_string v)) )
+  | Cached m | Simulated m ->
+      let provenance =
+        match cell.status with Cached _ -> "cache" | _ -> "sim"
+      in
+      if not m.Metrics.functional_ok then (provenance, "FUNCTIONAL FAIL")
+      else
+        let verdict =
+          List.find_opt
+            (fun (p, _) -> p.Pareto.index = index)
+            result.pareto.Pareto.verdicts
+        in
+        (match verdict with
+        | Some (_, Pareto.On_frontier) -> (provenance, "frontier")
+        | Some (_, Pareto.Dominated_by q) ->
+            (provenance, Printf.sprintf "dominated by %s" q.Pareto.label)
+        | None -> (provenance, "-"))
+
+let render_text result =
+  let buf = Buffer.create 4096 in
+  let table =
+    Mclock_util.Table.create
+      ~title:
+        (Printf.sprintf "design-space exploration: %s (max %d clocks)"
+           result.workload result.max_clocks)
+      ~header:
+        [ "config"; "power [mW]"; "area [l^2]"; "lat"; "mem"; "from"; "verdict" ]
+      ~aligns:
+        Mclock_util.Table.[ Left; Right; Right; Right; Right; Left; Left ]
+      ()
+  in
+  List.iteri
+    (fun index cell ->
+      let provenance, verdict = status_cells result ~index cell in
+      let power, area, lat, mem =
+        match cell.status with
+        | Pruned _ ->
+            ( "-",
+              Printf.sprintf "%.0f" cell.bounds.Metrics.b_area,
+              string_of_int cell.bounds.Metrics.b_latency_steps,
+              string_of_int cell.bounds.Metrics.b_memory_cells )
+        | Cached m | Simulated m ->
+            ( Printf.sprintf "%.2f" m.Metrics.power_mw,
+              Printf.sprintf "%.0f" m.Metrics.area,
+              string_of_int m.Metrics.latency_steps,
+              string_of_int m.Metrics.memory_cells )
+      in
+      Mclock_util.Table.add_row table
+        [ cell.cell_label; power; area; lat; mem; provenance; verdict ])
+    result.cells;
+  Buffer.add_string buf (Mclock_util.Table.render table);
+  Buffer.add_string buf "\n";
+  let s = result.stats in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "cells: %d enumerated, %d pruned, %d cache hits, %d simulated%s\n"
+       s.enumerated s.pruned s.cache_hits s.simulated
+       (if s.store_failures > 0 then
+          Printf.sprintf " (%d cache store failures)" s.store_failures
+        else ""));
+  Buffer.add_string buf
+    (Printf.sprintf "frontier (%d points): %s\n"
+       (List.length result.pareto.Pareto.frontier)
+       (String.concat ", "
+          (List.map
+             (fun p -> p.Pareto.label)
+             result.pareto.Pareto.frontier)));
+  Buffer.contents buf
+
+let point_json (p : Pareto.point) =
+  let m = p.Pareto.metrics in
+  Mclock_lint.Json.Obj
+    [
+      ("config", Mclock_lint.Json.String p.Pareto.label);
+      ("power_mw", Mclock_lint.Json.Float m.Metrics.power_mw);
+      ("area", Mclock_lint.Json.Float m.Metrics.area);
+      ("latency_steps", Mclock_lint.Json.Int m.Metrics.latency_steps);
+      ( "energy_per_computation_pj",
+        Mclock_lint.Json.Float m.Metrics.energy_per_computation_pj );
+      ("memory_cells", Mclock_lint.Json.Int m.Metrics.memory_cells);
+      ("mux_inputs", Mclock_lint.Json.Int m.Metrics.mux_inputs);
+    ]
+
+let frontier_json result =
+  Mclock_lint.Json.Obj
+    [
+      ("workload", Mclock_lint.Json.String result.workload);
+      ("max_clocks", Mclock_lint.Json.Int result.max_clocks);
+      ("seed", Mclock_lint.Json.Int result.seed);
+      ("iterations", Mclock_lint.Json.Int result.iterations);
+      ( "constraints",
+        Mclock_lint.Json.List
+          (List.map
+             (fun c -> Mclock_lint.Json.String (Metrics.constraint_to_string c))
+             result.constraints) );
+      ( "frontier",
+        Mclock_lint.Json.List
+          (List.map point_json result.pareto.Pareto.frontier) );
+      ( "dominated",
+        Mclock_lint.Json.List
+          (List.filter_map
+             (function
+               | _, Pareto.On_frontier -> None
+               | p, Pareto.Dominated_by q ->
+                   Some
+                     (Mclock_lint.Json.Obj
+                        [
+                          ("config", Mclock_lint.Json.String p.Pareto.label);
+                          ( "dominated_by",
+                            Mclock_lint.Json.String q.Pareto.label );
+                        ]))
+             result.pareto.Pareto.verdicts) );
+    ]
+
+let stats_json result =
+  let s = result.stats in
+  Mclock_lint.Json.Obj
+    [
+      ("workload", Mclock_lint.Json.String result.workload);
+      ("enumerated", Mclock_lint.Json.Int s.enumerated);
+      ("pruned", Mclock_lint.Json.Int s.pruned);
+      ("cache_hits", Mclock_lint.Json.Int s.cache_hits);
+      ("cache_misses", Mclock_lint.Json.Int s.cache_misses);
+      ("simulated", Mclock_lint.Json.Int s.simulated);
+      ("store_failures", Mclock_lint.Json.Int s.store_failures);
+    ]

@@ -1,0 +1,76 @@
+(** The exploration engine: enumerate the configuration grid, prune
+    with pre-simulation bounds, serve what the persistent cache
+    already knows, evaluate the rest on the parallel pool with the
+    compiled kernel, and extract the Pareto frontier.
+
+    Determinism contract: for a fixed input (behaviour, constraints,
+    seed, iterations, max_clocks, tech), the result — including the
+    rendered frontier — is byte-identical whatever the worker count
+    and whatever mixture of cache hits and fresh simulations produced
+    the metrics. *)
+
+type status =
+  | Pruned of Metrics.constraint_ list
+      (** rejected by pre-simulation bounds; never simulated *)
+  | Cached of Metrics.t  (** served from the persistent store *)
+  | Simulated of Metrics.t  (** freshly evaluated this run *)
+
+type cell = {
+  config : Config.t;
+  cell_label : string;
+  key : string;  (** content digest (also the cache address) *)
+  bounds : Metrics.bounds;
+  status : status;
+}
+
+type stats = {
+  enumerated : int;
+  pruned : int;
+  cache_hits : int;
+  cache_misses : int;
+  simulated : int;
+  store_failures : int;
+}
+
+type result = {
+  workload : string;
+  max_clocks : int;
+  seed : int;
+  iterations : int;
+  constraints : Metrics.constraint_ list;
+  cells : cell list;  (** enumeration order *)
+  pareto : Pareto.result;
+      (** over evaluated, functionally-correct cells only *)
+  stats : stats;
+}
+
+val explore :
+  pool:Mclock_exec.Pool.t ->
+  ?cache:Store.t ->
+  ?constraints:Metrics.constraint_ list ->
+  ?seed:int ->
+  ?iterations:int ->
+  ?max_clocks:int ->
+  ?tech:Mclock_tech.Library.t ->
+  ?width:int ->
+  name:string ->
+  sched_constraints:Mclock_sched.List_sched.constraints ->
+  Mclock_dfg.Graph.t ->
+  result
+(** Defaults: no cache, no constraints, seed 42, 400 iterations,
+    max_clocks 4, the CMOS08 library, width 4.  [sched_constraints]
+    bound the list scheduler (a workload's [constraints] field; pass
+    [[]] for unconstrained). *)
+
+val render_text : result -> string
+(** Cell-by-cell table (status, cache provenance, metrics) plus the
+    frontier and the hit/miss/prune counters. *)
+
+val frontier_json : result -> Mclock_lint.Json.t
+(** The frontier document: workload, parameters and frontier +
+    dominated attribution.  Deliberately excludes run-dependent cache
+    counters so that a warm rerun is byte-identical — counters live in
+    {!stats_json}. *)
+
+val stats_json : result -> Mclock_lint.Json.t
+(** The observability counters of this run. *)

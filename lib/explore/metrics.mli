@@ -1,0 +1,64 @@
+(** Per-cell evaluation metrics, the cheap pre-simulation bounds used
+    for pruning, and user constraints over both. *)
+
+type t = {
+  power_mw : float;
+  area : float;  (** total design area, λ² *)
+  latency_steps : int;  (** control steps per computation *)
+  energy_per_computation_pj : float;
+  memory_cells : int;
+  mux_inputs : int;
+  functional_ok : bool;
+}
+
+type bounds = {
+  b_area : float;  (** exact post-binding area — no simulation needed *)
+  b_latency_steps : int;
+  b_memory_cells : int;
+}
+(** Everything here comes straight from the synthesized binding,
+    before any simulation; constraint pruning on these values can
+    never reject a cell the full evaluation would have kept. *)
+
+val bounds_of_design :
+  config:Config.t ->
+  Mclock_tech.Library.t ->
+  Mclock_rtl.Design.t ->
+  bounds
+(** For [Scaled] configurations the area and storage are those of the
+    duplicated array ([clocks] copies), matching what {!scale}
+    reports after evaluation. *)
+
+val of_report :
+  config:Config.t ->
+  tech:Mclock_tech.Library.t ->
+  latency_steps:int ->
+  Mclock_power.Report.t ->
+  t
+(** Metrics of an evaluated cell; applies the voltage-scaling
+    duplication transform when the configuration asks for it.
+    [latency_steps] is the design's control-step count (reports do not
+    carry it). *)
+
+type constraint_ = Max_area of float | Max_latency of int | Max_memory of int
+
+val parse_constraint : string -> (constraint_, string) result
+(** ["area<=12000"], ["latency<=6"], ["mem<=40"]. *)
+
+val constraint_to_string : constraint_ -> string
+
+val admissible : constraints:constraint_ list -> bounds -> bool
+(** Whether a cell survives pruning. *)
+
+val violated : constraints:constraint_ list -> bounds -> constraint_ list
+
+val equal : t -> t -> bool
+(** Bit-exact on the float fields — the cache round-trip contract. *)
+
+val to_json : t -> Mclock_lint.Json.t
+(** Floats are encoded as hexadecimal-float strings so that
+    [of_json (to_json m)] returns bit-identical metrics. *)
+
+val of_json : Mclock_lint.Json.t -> (t, string) result
+
+val fingerprint : Mclock_util.Fingerprint.t -> t -> unit

@@ -1,0 +1,61 @@
+(* Pareto frontier over the three objectives the paper trades off:
+   power (the optimization target), area (its cost, Tables 1-4) and
+   latency (the schedule length a scheduler choice pays).
+
+   O(n^2) pairwise domination — exploration spaces are hundreds of
+   cells, not millions, and the quadratic scan keeps the attribution
+   (who dominates whom) trivially deterministic. *)
+
+type point = { index : int; label : string; metrics : Metrics.t }
+
+type verdict = On_frontier | Dominated_by of point
+
+type result = {
+  frontier : point list;
+  verdicts : (point * verdict) list;
+}
+
+let dominates (a : Metrics.t) (b : Metrics.t) =
+  a.Metrics.power_mw <= b.Metrics.power_mw
+  && a.Metrics.area <= b.Metrics.area
+  && a.Metrics.latency_steps <= b.Metrics.latency_steps
+  && (a.Metrics.power_mw < b.Metrics.power_mw
+     || a.Metrics.area < b.Metrics.area
+     || a.Metrics.latency_steps < b.Metrics.latency_steps)
+
+let frontier points =
+  let points = List.sort (fun a b -> Stdlib.compare a.index b.index) points in
+  let verdicts =
+    List.map
+      (fun p ->
+        let dominator =
+          List.find_opt (fun q -> dominates q.metrics p.metrics) points
+        in
+        match dominator with
+        | Some q -> (p, Dominated_by q)
+        | None -> (p, On_frontier))
+      points
+  in
+  (* Attribute to a *frontier* point: if p's first dominator q is
+     itself dominated, walk up — the chain is finite and acyclic
+     because strict improvement in at least one objective is
+     transitive. *)
+  let rec to_frontier q =
+    match List.assq q verdicts with
+    | On_frontier | (exception Not_found) -> q
+    | Dominated_by r -> to_frontier r
+  in
+  let verdicts =
+    List.map
+      (function
+        | p, On_frontier -> (p, On_frontier)
+        | p, Dominated_by q -> (p, Dominated_by (to_frontier q)))
+      verdicts
+  in
+  {
+    frontier =
+      List.filter_map
+        (function p, On_frontier -> Some p | _, Dominated_by _ -> None)
+        verdicts;
+    verdicts;
+  }

@@ -1,0 +1,25 @@
+(** Pareto-frontier extraction over (power, area, latency), minimized
+    jointly, with dominated-point attribution. *)
+
+type point = { index : int; label : string; metrics : Metrics.t }
+(** [index] is the point's position in the engine's enumeration order
+    — the tie-breaking and attribution anchor. *)
+
+type verdict =
+  | On_frontier
+  | Dominated_by of point
+      (** the first (lowest-index) frontier point that dominates it *)
+
+type result = {
+  frontier : point list;  (** in enumeration order *)
+  verdicts : (point * verdict) list;  (** every input point, in order *)
+}
+
+val dominates : Metrics.t -> Metrics.t -> bool
+(** [dominates a b]: [a] is no worse than [b] on power, area and
+    latency, and strictly better on at least one. *)
+
+val frontier : point list -> result
+(** Deterministic: depends only on the multiset of metrics and the
+    input order.  A point with metrics identical to a frontier point's
+    is itself on the frontier (mutual non-domination). *)

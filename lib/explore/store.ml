@@ -1,0 +1,128 @@
+(* On-disk layout: <dir>/<digest>.json, one entry per evaluated cell:
+
+     { "version": 1, "key": "<digest>", "metrics": { ... } }
+
+   Failure philosophy: the cache is an accelerator, not a source of
+   truth.  Every read validates version and key and fully decodes the
+   metrics before anything is returned; any irregularity degrades to a
+   miss.  Writes go through a temp file and a rename so a concurrent
+   or killed run can leave behind at worst a stale temp file, never a
+   half-written entry under a valid key. *)
+
+let version = 1
+
+type t = {
+  dir : string;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stores : int;
+  mutable store_failures : int;
+}
+
+let dir t = t.dir
+
+let open_ ~dir =
+  (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+   with Unix.Unix_error (_, _, _) | Sys_error _ -> ());
+  { dir; hits = 0; misses = 0; stores = 0; store_failures = 0 }
+
+(* Keys come from Cachekey.digest (hex), but defend against a caller
+   handing over something path-hostile anyway. *)
+let safe_key key =
+  String.length key > 0
+  && String.for_all
+       (function 'a' .. 'f' | 'A' .. 'F' | '0' .. '9' -> true | _ -> false)
+       key
+
+let entry_path t ~key = Filename.concat t.dir (key ^ ".json")
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let r =
+        match really_input_string ic (in_channel_length ic) with
+        | s -> Some s
+        | exception (Sys_error _ | End_of_file) -> None
+      in
+      close_in_noerr ic;
+      r
+
+let decode ~key text =
+  match Mclock_lint.Json.parse text with
+  | Error _ -> None
+  | Ok j -> (
+      match
+        ( Mclock_lint.Json.member "version" j,
+          Mclock_lint.Json.member "key" j,
+          Mclock_lint.Json.member "metrics" j )
+      with
+      | Some (Mclock_lint.Json.Int v), Some (Mclock_lint.Json.String k), Some m
+        when v = version && String.equal k key -> (
+          match Metrics.of_json m with Ok metrics -> Some metrics | Error _ -> None)
+      | _ -> None)
+
+let find t ~key =
+  let result =
+    if not (safe_key key) then None
+    else
+      match read_file (entry_path t ~key) with
+      | None -> None
+      | Some text -> decode ~key text
+  in
+  (match result with
+  | Some _ -> t.hits <- t.hits + 1
+  | None -> t.misses <- t.misses + 1);
+  result
+
+let store t ~key metrics =
+  if safe_key key then begin
+    let entry =
+      Mclock_lint.Json.Obj
+        [
+          ("version", Mclock_lint.Json.Int version);
+          ("key", Mclock_lint.Json.String key);
+          ("metrics", Metrics.to_json metrics);
+        ]
+    in
+    let text = Mclock_lint.Json.to_string_pretty entry ^ "\n" in
+    match
+      let tmp =
+        Filename.concat t.dir
+          (Printf.sprintf ".%s.%d.tmp" key (Unix.getpid ()))
+      in
+      let oc = open_out_bin tmp in
+      (match output_string oc text with
+      | () -> close_out oc
+      | exception e ->
+          close_out_noerr oc;
+          (try Sys.remove tmp with Sys_error _ -> ());
+          raise e);
+      Sys.rename tmp (entry_path t ~key)
+    with
+    | () -> t.stores <- t.stores + 1
+    | exception (Sys_error _ | Unix.Unix_error (_, _, _)) ->
+        t.store_failures <- t.store_failures + 1
+  end
+  else t.store_failures <- t.store_failures + 1
+
+type stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  store_failures : int;
+}
+
+let stats (t : t) : stats =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    stores = t.stores;
+    store_failures = t.store_failures;
+  }
+
+let reset_stats (t : t) =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.stores <- 0;
+  t.store_failures <- 0

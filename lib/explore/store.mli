@@ -1,0 +1,42 @@
+(** The persistent content-addressed evaluation cache.
+
+    One JSON file per cell under the cache directory, named by the
+    cell's digest.  The store is defensive at every edge: a missing,
+    truncated, unparseable, wrong-version or wrong-key entry is a
+    *miss* (the cell is simply re-evaluated), and a store failure
+    (read-only directory, full disk) is counted but never raised — a
+    cache must not be able to crash or corrupt an exploration, only to
+    make it slower.  Counters for hits / misses / stores / failures
+    are kept for observability. *)
+
+type t
+
+val version : int
+(** On-disk entry format version; an entry written by any other
+    version is treated as a miss. *)
+
+val open_ : dir:string -> t
+(** Opens (creating the directory if needed and possible — failure to
+    create is tolerated and simply makes every lookup a miss). *)
+
+val dir : t -> string
+
+val find : t -> key:string -> Metrics.t option
+(** [Some metrics] only if a well-formed, current-version entry whose
+    recorded key matches [key] exists.  Never raises. *)
+
+val store : t -> key:string -> Metrics.t -> unit
+(** Atomic write (temp file + rename).  Never raises. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  store_failures : int;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val entry_path : t -> key:string -> string
+(** Where an entry for [key] lives (exposed for tests and tooling). *)

@@ -58,9 +58,13 @@ let evaluate ?(seed = 42) ?(iterations = 400) ?(kernel = `Compiled) ~label tech
    simulation from the same integer seed, so the reports are identical
    whatever the worker count; the pool only changes wall-clock time. *)
 let evaluate_batch ~pool ?seed ?iterations ?kernel tech cells =
+  (* The label callback runs once per task; indexing the list with
+     [List.nth] made labelling O(rows^2).  One [Array.of_list] up front
+     keeps each lookup O(1). *)
+  let cells_arr = Array.of_list cells in
   Mclock_exec.Pool.map pool
     ~label:(fun i ->
-      let label, design, _ = List.nth cells i in
+      let label, design, _ = cells_arr.(i) in
       Printf.sprintf "%s/%s" (Design.name design) label)
     (fun _ (label, design, graph) ->
       evaluate ?seed ?iterations ?kernel ~label tech design graph)

@@ -1,0 +1,44 @@
+(* Canonical byte-stream accumulator finalized with stdlib MD5.
+
+   Every primitive writes a one-byte type tag before its payload and
+   variable-length payloads are length-prefixed, so distinct value
+   shapes can never serialize to the same stream (e.g. ["ab"; "c"] vs
+   ["a"; "bc"], or an int 0 vs an empty list). *)
+
+type t = { buf : Buffer.t }
+
+let create () = { buf = Buffer.create 256 }
+
+let tag t c = Buffer.add_char t.buf c
+
+let raw_int64 t v = Buffer.add_int64_le t.buf v
+
+let int t v =
+  tag t 'i';
+  raw_int64 t (Int64.of_int v)
+
+let string t s =
+  tag t 's';
+  raw_int64 t (Int64.of_int (String.length s));
+  Buffer.add_string t.buf s
+
+let bool t b =
+  tag t 'b';
+  Buffer.add_char t.buf (if b then '\001' else '\000')
+
+let float t f =
+  tag t 'f';
+  raw_int64 t (Int64.bits_of_float f)
+
+let list t elt items =
+  tag t 'l';
+  raw_int64 t (Int64.of_int (List.length items));
+  List.iter (elt t) items
+
+let option t elt = function
+  | None -> tag t 'n'
+  | Some v ->
+      tag t 'o';
+      elt t v
+
+let hex t = Digest.to_hex (Digest.string (Buffer.contents t.buf))

@@ -1,0 +1,34 @@
+(** Deterministic content fingerprints.
+
+    An accumulator over a canonical, type-tagged, length-prefixed byte
+    encoding, finalized to an MD5 hex digest.  Two values fingerprint
+    equal iff they feed identical byte streams, so the digest is stable
+    across runs, processes and machines — the property the persistent
+    exploration cache keys rely on.  (This is a content address for a
+    trusted local cache, not a cryptographic commitment.) *)
+
+type t
+
+val create : unit -> t
+
+val string : t -> string -> unit
+(** Length-prefixed, so [string a; string b] never collides with a
+    different split of the same characters. *)
+
+val int : t -> int -> unit
+val bool : t -> bool -> unit
+
+val float : t -> float -> unit
+(** Feeds the IEEE-754 bit pattern ([Int64.bits_of_float]), so the
+    fingerprint distinguishes every distinct float (including [-0.]
+    from [0.]) and never depends on decimal formatting. *)
+
+val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+(** Length then elements, each through [elt]. *)
+
+val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+
+val hex : t -> string
+(** MD5 of everything fed so far, as 32 lowercase hex characters.  The
+    accumulator stays usable; feeding more data gives the digest of the
+    longer stream. *)

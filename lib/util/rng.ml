@@ -57,10 +57,16 @@ let float t bound =
   let x = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
   bound *. (x /. 9007199254740992.0)
 
+(* One [Array.of_list] instead of two list traversals
+   ([List.length] + [List.nth]).  Consumes exactly one [int] draw, like
+   the list-based implementation it replaced, so seeded streams are
+   unchanged (regression-tested in test_util). *)
 let choose t items =
   match items with
   | [] -> invalid_arg "Rng.choose: empty list"
-  | _ :: _ -> List.nth items (int t (List.length items))
+  | _ :: _ ->
+      let arr = Array.of_list items in
+      arr.(int t (Array.length arr))
 
 let shuffle t items =
   let arr = Array.of_list items in

@@ -20,4 +20,5 @@ let () =
       ("structure", Test_structure.suite);
       ("lint", Test_lint.suite);
       ("properties", Test_props.suite);
+      ("explore", Test_explore.suite);
     ]

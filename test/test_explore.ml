@@ -1,0 +1,524 @@
+(* Tests for the design-space exploration subsystem: grid enumeration,
+   cache keys, the persistent store's failure modes, Pareto extraction,
+   and the engine's determinism + cache-soundness contract (cold = warm
+   = uncached = any job count). *)
+
+open Mclock_explore
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let tech = Mclock_tech.Cmos08.t
+
+(* A throwaway directory per test; the suite never reuses one, so
+   cross-test contamination is impossible. *)
+let temp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "mclock-test-cache.%d.%d" (Unix.getpid ()) !counter)
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    dir
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error (_, _, _) -> ()
+  end
+
+let smoke_workload = Mclock_workloads.Facet.t
+
+let smoke_graph = Mclock_workloads.Workload.graph smoke_workload
+
+let smoke_constraints = smoke_workload.Mclock_workloads.Workload.constraints
+
+let with_pool ?(jobs = 1) f = Mclock_exec.Pool.with_pool ~jobs f
+
+let explore ?cache ?constraints ?(jobs = 1) ?(max_clocks = 2) () =
+  with_pool ~jobs (fun pool ->
+      Engine.explore ~pool ?cache ?constraints ~seed:42 ~iterations:60
+        ~max_clocks ~name:"facet" ~sched_constraints:smoke_constraints
+        smoke_graph)
+
+let sample_metrics =
+  {
+    Metrics.power_mw = 3.14159;
+    area = 123456.75;
+    latency_steps = 4;
+    energy_per_computation_pj = 88.125;
+    memory_cells = 11;
+    mux_inputs = 12;
+    functional_ok = true;
+  }
+
+let sample_key = String.make 32 'a'
+
+(* --- Config ------------------------------------------------------------ *)
+
+let test_enumerate_valid_and_unique () =
+  let configs = Config.enumerate ~max_clocks:3 in
+  List.iter
+    (fun c ->
+      if not (Config.is_valid ~max_clocks:3 c) then
+        fail (Printf.sprintf "invalid config in grid: %s" (Config.label c)))
+    configs;
+  let labels = List.map Config.label configs in
+  let dedup = List.sort_uniq String.compare labels in
+  check Alcotest.int "labels unique" (List.length labels) (List.length dedup);
+  (* 4 schedulers x (conv:3 + gated:3 + integrated:5 + split:2). *)
+  check Alcotest.int "grid size" (4 * 13) (List.length configs)
+
+let test_enumerate_deterministic () =
+  let a = Config.enumerate ~max_clocks:4 in
+  let b = Config.enumerate ~max_clocks:4 in
+  check
+    Alcotest.(list string)
+    "same order" (List.map Config.label a) (List.map Config.label b)
+
+let test_enumerate_rejects_bad_max () =
+  Alcotest.check_raises "max_clocks 0"
+    (Invalid_argument "Config.enumerate: max_clocks < 1") (fun () ->
+      ignore (Config.enumerate ~max_clocks:0))
+
+(* --- Cache keys -------------------------------------------------------- *)
+
+let key_of ?(seed = 42) ?(iterations = 60) config =
+  Cachekey.digest
+    {
+      Cachekey.graph = smoke_graph;
+      width = 4;
+      constraints = smoke_constraints;
+      config;
+      tech;
+      seed;
+      iterations;
+    }
+
+let test_cachekey_stable_and_sensitive () =
+  let configs = Config.enumerate ~max_clocks:2 in
+  let c0 = List.hd configs in
+  check Alcotest.string "stable" (key_of c0) (key_of c0);
+  (* Distinct configs, seeds and iteration counts must key distinct
+     cells. *)
+  let keys = List.map key_of configs in
+  check Alcotest.int "configs key distinct cells"
+    (List.length keys)
+    (List.length (List.sort_uniq String.compare keys));
+  if key_of c0 = key_of ~seed:43 c0 then fail "seed not in key";
+  if key_of c0 = key_of ~iterations:61 c0 then fail "iterations not in key"
+
+let test_cachekey_graph_structure () =
+  let other = Mclock_workloads.Workload.graph Mclock_workloads.Hal.t in
+  let config = List.hd (Config.enumerate ~max_clocks:2) in
+  let digest graph =
+    Cachekey.digest
+      {
+        Cachekey.graph;
+        width = 4;
+        constraints = [];
+        config;
+        tech;
+        seed = 42;
+        iterations = 60;
+      }
+  in
+  if digest smoke_graph = digest other then
+    fail "different behaviours share a key"
+
+(* --- Metrics ----------------------------------------------------------- *)
+
+let test_metrics_json_roundtrip_exact () =
+  (* Awkward floats on purpose: values with no finite decimal
+     representation must still round-trip bit-exactly. *)
+  let m =
+    {
+      sample_metrics with
+      Metrics.power_mw = 0.1 +. 0.2;
+      area = 1.0 /. 3.0;
+      energy_per_computation_pj = Float.max_float;
+    }
+  in
+  match Metrics.of_json (Metrics.to_json m) with
+  | Ok m' ->
+      if not (Metrics.equal m m') then fail "JSON round-trip not bit-exact"
+  | Error e -> fail e
+
+let test_constraint_parsing () =
+  (match Metrics.parse_constraint "area<=12000.5" with
+  | Ok (Metrics.Max_area f) -> check (Alcotest.float 0.0) "area" 12000.5 f
+  | _ -> fail "area constraint");
+  (match Metrics.parse_constraint " latency<=6 " with
+  | Ok (Metrics.Max_latency 6) -> ()
+  | _ -> fail "latency constraint");
+  (match Metrics.parse_constraint "mem<=40" with
+  | Ok (Metrics.Max_memory 40) -> ()
+  | _ -> fail "mem constraint");
+  (match Metrics.parse_constraint "power<=3" with
+  | Error _ -> ()
+  | Ok _ -> fail "unknown name must not parse");
+  match Metrics.parse_constraint "area=3" with
+  | Error _ -> ()
+  | Ok _ -> fail "missing <= must not parse"
+
+(* --- Store failure modes ----------------------------------------------- *)
+
+let test_store_roundtrip () =
+  let dir = temp_dir () in
+  let s = Store.open_ ~dir in
+  check Alcotest.bool "empty store misses" true (Store.find s ~key:sample_key = None);
+  Store.store s ~key:sample_key sample_metrics;
+  (match Store.find s ~key:sample_key with
+  | Some m ->
+      if not (Metrics.equal m sample_metrics) then fail "metrics changed"
+  | None -> fail "stored entry not found");
+  let stats = Store.stats s in
+  check Alcotest.int "one hit" 1 stats.Store.hits;
+  check Alcotest.int "one miss" 1 stats.Store.misses;
+  check Alcotest.int "one store" 1 stats.Store.stores;
+  check Alcotest.int "no failures" 0 stats.Store.store_failures;
+  rm_rf dir
+
+let test_store_truncated_entry_is_miss () =
+  let dir = temp_dir () in
+  let s = Store.open_ ~dir in
+  Store.store s ~key:sample_key sample_metrics;
+  let path = Store.entry_path s ~key:sample_key in
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc
+        (String.sub full 0 (String.length full / 2)));
+  check Alcotest.bool "truncated entry misses" true
+    (Store.find s ~key:sample_key = None);
+  rm_rf dir
+
+let test_store_wrong_version_is_miss () =
+  let dir = temp_dir () in
+  let s = Store.open_ ~dir in
+  Store.store s ~key:sample_key sample_metrics;
+  let path = Store.entry_path s ~key:sample_key in
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  let bumped =
+    (* Replace the first occurrence of the version-1 marker, whatever
+       the exact whitespace the serializer used. *)
+    let try_sub needle repl s =
+      let nl = String.length needle in
+      let rec scan i =
+        if i + nl > String.length s then None
+        else if String.sub s i nl = needle then
+          Some
+            (String.sub s 0 i ^ repl
+            ^ String.sub s (i + nl) (String.length s - i - nl))
+        else scan (i + 1)
+      in
+      scan 0
+    in
+    match try_sub "\"version\": 1" "\"version\": 999" text with
+    | Some s -> s
+    | None -> (
+        match try_sub "\"version\":1" "\"version\":999" text with
+        | Some s -> s
+        | None -> fail "version marker not found in entry")
+  in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc bumped);
+  check Alcotest.bool "future-version entry misses" true
+    (Store.find s ~key:sample_key = None);
+  rm_rf dir
+
+let test_store_digest_mismatch_is_miss () =
+  let dir = temp_dir () in
+  let s = Store.open_ ~dir in
+  Store.store s ~key:sample_key sample_metrics;
+  (* Move a valid entry under a different key: the recorded key no
+     longer matches the address, so it must not be served. *)
+  let other_key = String.make 32 'b' in
+  Sys.rename (Store.entry_path s ~key:sample_key)
+    (Store.entry_path s ~key:other_key);
+  check Alcotest.bool "key-mismatched entry misses" true
+    (Store.find s ~key:other_key = None);
+  rm_rf dir
+
+let test_store_garbage_entry_is_miss () =
+  let dir = temp_dir () in
+  let s = Store.open_ ~dir in
+  Out_channel.with_open_bin (Store.entry_path s ~key:sample_key) (fun oc ->
+      Out_channel.output_string oc "not json at all {{{");
+  check Alcotest.bool "garbage entry misses" true
+    (Store.find s ~key:sample_key = None);
+  rm_rf dir
+
+let test_store_unwritable_dir_never_raises () =
+  (* chmod is useless under root, so simulate an unwritable cache
+     directory with a path that is actually a regular file: mkdir,
+     every write and every read fail on it, and none may raise. *)
+  let dir = temp_dir () in
+  let blocker = Filename.concat dir "not-a-dir" in
+  Out_channel.with_open_bin blocker (fun oc ->
+      Out_channel.output_string oc "x");
+  let s = Store.open_ ~dir:blocker in
+  Store.store s ~key:sample_key sample_metrics;
+  check Alcotest.bool "find on unwritable dir misses" true
+    (Store.find s ~key:sample_key = None);
+  check Alcotest.int "failure counted" 1 (Store.stats s).Store.store_failures;
+  rm_rf dir
+
+let test_store_unsafe_key_rejected () =
+  let dir = temp_dir () in
+  let s = Store.open_ ~dir in
+  Store.store s ~key:"../evil" sample_metrics;
+  check Alcotest.bool "path-hostile key misses" true
+    (Store.find s ~key:"../evil" = None);
+  check Alcotest.bool "nothing escaped the dir" false
+    (Sys.file_exists (Filename.concat dir "../evil.json"));
+  rm_rf dir
+
+(* --- Pareto ------------------------------------------------------------ *)
+
+let point index label power area latency =
+  {
+    Pareto.index;
+    label;
+    metrics =
+      {
+        sample_metrics with
+        Metrics.power_mw = power;
+        area;
+        latency_steps = latency;
+      };
+  }
+
+let test_pareto_frontier_and_attribution () =
+  let a = point 0 "a" 1.0 100.0 4 in
+  let b = point 1 "b" 2.0 50.0 4 in
+  let c = point 2 "c" 2.0 120.0 4 in
+  (* dominated by a *)
+  let d = point 3 "d" 3.0 60.0 4 in
+  (* dominated by b *)
+  let r = Pareto.frontier [ a; b; c; d ] in
+  check
+    Alcotest.(list string)
+    "frontier" [ "a"; "b" ]
+    (List.map (fun p -> p.Pareto.label) r.Pareto.frontier);
+  let verdict label =
+    let _, v =
+      List.find (fun (p, _) -> p.Pareto.label = label) r.Pareto.verdicts
+    in
+    v
+  in
+  (match verdict "c" with
+  | Pareto.Dominated_by p -> check Alcotest.string "c by a" "a" p.Pareto.label
+  | Pareto.On_frontier -> fail "c should be dominated");
+  match verdict "d" with
+  | Pareto.Dominated_by p -> check Alcotest.string "d by b" "b" p.Pareto.label
+  | Pareto.On_frontier -> fail "d should be dominated"
+
+let test_pareto_ties_stay_on_frontier () =
+  let a = point 0 "a" 1.0 100.0 4 in
+  let b = point 1 "b" 1.0 100.0 4 in
+  let r = Pareto.frontier [ a; b ] in
+  check Alcotest.int "both on frontier" 2 (List.length r.Pareto.frontier)
+
+let test_pareto_attribution_lands_on_frontier () =
+  (* A chain a < b < c: c's first dominator in index order may itself
+     be dominated; attribution must walk to a frontier point. *)
+  let a = point 0 "a" 1.0 10.0 4 in
+  let b = point 1 "b" 2.0 20.0 4 in
+  let c = point 2 "c" 3.0 30.0 4 in
+  let r = Pareto.frontier [ a; b; c ] in
+  List.iter
+    (function
+      | _, Pareto.On_frontier -> ()
+      | _, Pareto.Dominated_by q ->
+          if not (List.memq q r.Pareto.frontier) then
+            fail "attributed to a non-frontier point")
+    r.Pareto.verdicts
+
+(* --- Engine: determinism + cache soundness ----------------------------- *)
+
+let frontier_string r = Mclock_lint.Json.to_string (Engine.frontier_json r)
+
+(* The explored frontier must equal the frontier of brute-force
+   exhaustive evaluation with no engine, no cache and no pool fan-out. *)
+let test_engine_matches_exhaustive_uncached () =
+  let r = explore () in
+  let configs = Config.enumerate ~max_clocks:2 in
+  let schedules = Hashtbl.create 4 in
+  let brute =
+    List.mapi
+      (fun i config ->
+        let sched =
+          match Hashtbl.find_opt schedules config.Config.scheduler with
+          | Some s -> s
+          | None ->
+              let s =
+                Config.schedule config ~constraints:smoke_constraints
+                  smoke_graph
+              in
+              Hashtbl.add schedules config.Config.scheduler s;
+              s
+        in
+        let design = Config.synthesize config ~name:"x_facet" sched in
+        let report =
+          Mclock_power.Report.evaluate ~seed:42 ~iterations:60
+            ~label:(Config.label config) tech design smoke_graph
+        in
+        {
+          Pareto.index = i;
+          label = Config.label config;
+          metrics =
+            Metrics.of_report ~config ~tech
+              ~latency_steps:(Mclock_rtl.Design.num_steps design)
+              report;
+        })
+      configs
+  in
+  let brute_frontier =
+    (Pareto.frontier
+       (List.filter (fun p -> p.Pareto.metrics.Metrics.functional_ok) brute))
+      .Pareto.frontier
+  in
+  check Alcotest.int "same frontier size"
+    (List.length brute_frontier)
+    (List.length r.Engine.pareto.Pareto.frontier);
+  List.iter2
+    (fun bp ep ->
+      check Alcotest.string "same config" bp.Pareto.label ep.Pareto.label;
+      if not (Metrics.equal bp.Pareto.metrics ep.Pareto.metrics) then
+        fail (Printf.sprintf "%s: metrics differ" bp.Pareto.label))
+    brute_frontier r.Engine.pareto.Pareto.frontier
+
+let test_engine_jobs_invariant () =
+  let a = explore ~jobs:1 () in
+  let b = explore ~jobs:3 () in
+  check Alcotest.string "frontier byte-identical across job counts"
+    (frontier_string a) (frontier_string b);
+  check Alcotest.string "text render byte-identical across job counts"
+    (Engine.render_text a) (Engine.render_text b)
+
+let test_engine_warm_cache_soundness () =
+  let dir = temp_dir () in
+  let cache = Store.open_ ~dir in
+  let cold = explore ~cache () in
+  let warm = explore ~cache ~jobs:2 () in
+  check Alcotest.string "warm frontier byte-identical"
+    (frontier_string cold) (frontier_string warm);
+  check Alcotest.int "cold simulated everything"
+    cold.Engine.stats.Engine.enumerated cold.Engine.stats.Engine.simulated;
+  check Alcotest.int "warm simulated nothing" 0
+    warm.Engine.stats.Engine.simulated;
+  check Alcotest.int "warm hit everything"
+    warm.Engine.stats.Engine.enumerated warm.Engine.stats.Engine.cache_hits;
+  (* The acceptance bar: a warm rerun re-simulates >= 5x fewer cells. *)
+  if
+    cold.Engine.stats.Engine.simulated
+    < 5 * max 1 warm.Engine.stats.Engine.simulated
+  then fail "warm rerun not at least 5x cheaper";
+  rm_rf dir
+
+let test_engine_corrupt_cache_recovers () =
+  let dir = temp_dir () in
+  let cache = Store.open_ ~dir in
+  let cold = explore ~cache () in
+  (* Vandalize every on-disk entry; the engine must silently fall back
+     to simulation and reproduce the same frontier. *)
+  Array.iter
+    (fun f ->
+      Out_channel.with_open_bin (Filename.concat dir f) (fun oc ->
+          Out_channel.output_string oc "{ \"version\": 1, truncated"))
+    (Sys.readdir dir);
+  let rerun = explore ~cache () in
+  check Alcotest.string "frontier identical after corruption"
+    (frontier_string cold) (frontier_string rerun);
+  check Alcotest.int "everything re-simulated"
+    rerun.Engine.stats.Engine.enumerated rerun.Engine.stats.Engine.simulated;
+  rm_rf dir
+
+let test_engine_pruning_sound () =
+  (* A constraint tight enough to prune the duplication variants: the
+     kept frontier must equal the unconstrained frontier filtered to
+     admissible points (pruning exactness), and pruned cells must not
+     be simulated. *)
+  let area_cap = 3.0e6 in
+  let unconstrained = explore () in
+  let constrained =
+    explore ~constraints:[ Metrics.Max_area area_cap ] ()
+  in
+  check Alcotest.bool "something was pruned" true
+    (constrained.Engine.stats.Engine.pruned > 0);
+  check Alcotest.int "pruned cells not simulated"
+    (constrained.Engine.stats.Engine.enumerated
+    - constrained.Engine.stats.Engine.pruned)
+    constrained.Engine.stats.Engine.simulated;
+  let expected =
+    List.filter
+      (fun p -> p.Pareto.metrics.Metrics.area <= area_cap)
+      unconstrained.Engine.pareto.Pareto.frontier
+  in
+  (* Every admissible unconstrained-frontier point survives as a
+     constrained-frontier point with identical metrics (dominance only
+     shrinks when points are removed). *)
+  List.iter
+    (fun p ->
+      match
+        List.find_opt
+          (fun q -> q.Pareto.label = p.Pareto.label)
+          constrained.Engine.pareto.Pareto.frontier
+      with
+      | Some q ->
+          if not (Metrics.equal p.Pareto.metrics q.Pareto.metrics) then
+            fail "metrics changed under constraints"
+      | None -> fail (Printf.sprintf "%s lost by pruning" p.Pareto.label))
+    expected
+
+let test_engine_scaled_cells_consistent () =
+  (* The pre-simulation bounds must equal the evaluated metrics for
+     area and latency on every cell — including the Scaled transform —
+     otherwise pruning could disagree with evaluation. *)
+  let r = explore () in
+  List.iter
+    (fun (c : Engine.cell) ->
+      match c.Engine.status with
+      | Engine.Pruned _ -> ()
+      | Engine.Cached m | Engine.Simulated m ->
+          if not (Float.equal c.Engine.bounds.Metrics.b_area m.Metrics.area)
+          then fail (Printf.sprintf "%s: bound area differs" c.Engine.cell_label);
+          check Alcotest.int
+            (Printf.sprintf "%s: bound latency" c.Engine.cell_label)
+            c.Engine.bounds.Metrics.b_latency_steps m.Metrics.latency_steps;
+          check Alcotest.int
+            (Printf.sprintf "%s: bound memory" c.Engine.cell_label)
+            c.Engine.bounds.Metrics.b_memory_cells m.Metrics.memory_cells)
+    r.Engine.cells
+
+let suite =
+  [
+    ("enumerate valid+unique", `Quick, test_enumerate_valid_and_unique);
+    ("enumerate deterministic", `Quick, test_enumerate_deterministic);
+    ("enumerate rejects bad max", `Quick, test_enumerate_rejects_bad_max);
+    ("cachekey stable+sensitive", `Quick, test_cachekey_stable_and_sensitive);
+    ("cachekey graph structure", `Quick, test_cachekey_graph_structure);
+    ("metrics json bit-exact", `Quick, test_metrics_json_roundtrip_exact);
+    ("constraint parsing", `Quick, test_constraint_parsing);
+    ("store roundtrip", `Quick, test_store_roundtrip);
+    ("store truncated entry", `Quick, test_store_truncated_entry_is_miss);
+    ("store wrong version", `Quick, test_store_wrong_version_is_miss);
+    ("store digest mismatch", `Quick, test_store_digest_mismatch_is_miss);
+    ("store garbage entry", `Quick, test_store_garbage_entry_is_miss);
+    ("store unwritable dir", `Quick, test_store_unwritable_dir_never_raises);
+    ("store unsafe key", `Quick, test_store_unsafe_key_rejected);
+    ("pareto frontier+attribution", `Quick, test_pareto_frontier_and_attribution);
+    ("pareto ties", `Quick, test_pareto_ties_stay_on_frontier);
+    ("pareto attribution on frontier", `Quick, test_pareto_attribution_lands_on_frontier);
+    ("engine = exhaustive uncached", `Quick, test_engine_matches_exhaustive_uncached);
+    ("engine jobs-invariant", `Quick, test_engine_jobs_invariant);
+    ("engine warm cache sound", `Quick, test_engine_warm_cache_soundness);
+    ("engine corrupt cache recovers", `Quick, test_engine_corrupt_cache_recovers);
+    ("engine pruning sound", `Quick, test_engine_pruning_sound);
+    ("engine scaled cells consistent", `Quick, test_engine_scaled_cells_consistent);
+  ]

@@ -280,6 +280,63 @@ let test_list_ext_group_by () =
   check Alcotest.(list int) "evens" [ 2; 4 ] (List.assoc 0 groups);
   check Alcotest.(list int) "odds" [ 1; 3; 5 ] (List.assoc 1 groups)
 
+(* Recorded from the pre-array implementation
+   (List.nth items (int t (List.length items))): the array rewrite must
+   consume the stream identically, so seeded draws are unchanged. *)
+let test_rng_choose_seeded_regression () =
+  let t = Rng.create 7 in
+  let items = [ "a"; "b"; "c"; "d"; "e"; "f"; "g" ] in
+  let drawn = List.map (fun _ -> Rng.choose t items) (List_ext.range 1 12) in
+  check
+    Alcotest.(list string)
+    "seed 7 draws"
+    [ "f"; "d"; "c"; "c"; "b"; "g"; "b"; "d"; "g"; "d"; "g"; "d" ]
+    drawn;
+  let t2 = Rng.create 42 in
+  let drawn2 =
+    List.map (fun _ -> Rng.choose t2 [ 10; 20; 30; 40; 50 ]) (List_ext.range 1 12)
+  in
+  check
+    Alcotest.(list int)
+    "seed 42 draws"
+    [ 10; 20; 50; 10; 10; 10; 10; 20; 20; 20; 30; 30 ]
+    drawn2
+
+(* --- Fingerprint ------------------------------------------------------- *)
+
+let fp_of feed =
+  let fp = Fingerprint.create () in
+  feed fp;
+  Fingerprint.hex fp
+
+let test_fingerprint_deterministic () =
+  let feed fp =
+    Fingerprint.string fp "hello";
+    Fingerprint.int fp 42;
+    Fingerprint.float fp 3.25;
+    Fingerprint.bool fp true;
+    Fingerprint.list fp Fingerprint.int [ 1; 2; 3 ];
+    Fingerprint.option fp Fingerprint.string (Some "x")
+  in
+  check Alcotest.string "same feed, same digest" (fp_of feed) (fp_of feed);
+  check Alcotest.int "32 hex chars" 32 (String.length (fp_of feed))
+
+let test_fingerprint_no_concat_ambiguity () =
+  let a = fp_of (fun fp -> Fingerprint.string fp "ab"; Fingerprint.string fp "c") in
+  let b = fp_of (fun fp -> Fingerprint.string fp "a"; Fingerprint.string fp "bc") in
+  if a = b then fail "string split ambiguity";
+  let c = fp_of (fun fp -> Fingerprint.list fp Fingerprint.int [ 1; 2 ]) in
+  let d = fp_of (fun fp -> Fingerprint.list fp Fingerprint.int [ 1 ]; Fingerprint.int fp 2) in
+  if c = d then fail "list boundary ambiguity"
+
+let test_fingerprint_distinguishes_values () =
+  let base = fp_of (fun fp -> Fingerprint.float fp 0.) in
+  let negz = fp_of (fun fp -> Fingerprint.float fp (-0.)) in
+  if base = negz then fail "0. and -0. digest equal";
+  let n = fp_of (fun fp -> Fingerprint.option fp Fingerprint.int None) in
+  let s = fp_of (fun fp -> Fingerprint.option fp Fingerprint.int (Some 0)) in
+  if n = s then fail "None and Some 0 digest equal"
+
 let test_list_ext_assoc_update () =
   let a = List_ext.assoc_update ~key:"x" ~default:0 (fun n -> n + 1) [] in
   check Alcotest.int "insert" 1 (List.assoc "x" a);
@@ -295,6 +352,10 @@ let suite =
     ("rng invalid bound", `Quick, test_rng_int_invalid);
     ("rng split independent", `Quick, test_rng_split_independent);
     ("rng choose", `Quick, test_rng_choose);
+    ("rng choose seeded regression", `Quick, test_rng_choose_seeded_regression);
+    ("fingerprint deterministic", `Quick, test_fingerprint_deterministic);
+    ("fingerprint concat-safe", `Quick, test_fingerprint_no_concat_ambiguity);
+    ("fingerprint distinguishes values", `Quick, test_fingerprint_distinguishes_values);
     ("rng shuffle permutation", `Quick, test_rng_shuffle_permutation);
     ("rng float range", `Quick, test_rng_float_range);
     ("bitvec truncation", `Quick, test_bitvec_truncation);
