@@ -19,7 +19,11 @@
           explore (design-space exploration cold vs warm against a
           fresh persistent cache; asserts the warm frontier is
           byte-identical with zero simulations and writes
-          BENCH_explore.json) *)
+          BENCH_explore.json)
+          static-accuracy (static power estimate vs simulation vs
+          certified bound over the catalog x every method; asserts
+          soundness on every cell and writes the error distribution
+          to BENCH_static.json) *)
 
 let tech = Mclock_tech.Cmos08.t
 let iterations = 500
@@ -918,6 +922,139 @@ let run_explore () =
   Fmt.pr "wrote %s@." path;
   Mclock_exec.Pool.shutdown pool
 
+(* --- Static estimate accuracy ------------------------------------------------------------------ *)
+
+(* Sweeps the catalog x all allocation methods x n in {1,2,4},
+   asserting the certified static bound dominates both the analytic
+   estimate and the simulated power on every cell, and writes the
+   estimate error distribution to BENCH_static.json (--json PATH
+   overrides; --smoke shrinks the grid for CI). *)
+let run_static_accuracy () =
+  let smoke = argv_flag "--smoke" in
+  let iterations = if smoke then 100 else 400 in
+  let workloads =
+    if smoke then [ Mclock_workloads.Facet.t ]
+    else Mclock_workloads.Catalog.all
+  in
+  let methods =
+    [
+      ("conv", Mclock_core.Flow.Conventional_non_gated);
+      ("gated", Mclock_core.Flow.Conventional_gated);
+      ("mc1", Mclock_core.Flow.Integrated 1);
+      ("mc2", Mclock_core.Flow.Integrated 2);
+      ("mc4", Mclock_core.Flow.Integrated 4);
+      ("split2", Mclock_core.Flow.Split 2);
+      ("split4", Mclock_core.Flow.Split 4);
+    ]
+  in
+  section
+    (Printf.sprintf
+       "Static estimate vs simulation vs certified bound (%d computations)"
+       iterations);
+  let table =
+    Mclock_util.Table.create
+      ~header:
+        [ "workload"; "method"; "estimate [mW]"; "simulated [mW]";
+          "bound [mW]"; "error"; "bound/sim" ]
+      ~aligns:
+        Mclock_util.Table.[ Left; Left; Right; Right; Right; Right; Right ]
+      ()
+  in
+  let cells = ref [] in
+  List.iter
+    (fun w ->
+      let name = w.Mclock_workloads.Workload.name in
+      let graph = Mclock_workloads.Workload.graph w in
+      let schedule = Mclock_workloads.Workload.schedule w in
+      List.iter
+        (fun (label, m) ->
+          let d = Mclock_core.Flow.synthesize ~method_:m ~name schedule in
+          let a = Mclock_static.Analyze.run ~iterations tech d in
+          let c = Mclock_static.Report.compare_with_simulation ~seed tech d graph a in
+          if not c.Mclock_static.Report.sound then
+            Fmt.failwith "%s/%s: bound violated (est %.4f sim %.4f bound %.4f)"
+              name label a.Mclock_static.Analyze.est_power_mw
+              c.Mclock_static.Report.simulated_power_mw
+              a.Mclock_static.Analyze.b_power_mw;
+          let sim = c.Mclock_static.Report.simulated_power_mw in
+          let bound_ratio = a.Mclock_static.Analyze.b_power_mw /. sim in
+          cells := (name, label, a, c, bound_ratio) :: !cells;
+          Mclock_util.Table.add_row table
+            [
+              name;
+              label;
+              Printf.sprintf "%.4f" a.Mclock_static.Analyze.est_power_mw;
+              Printf.sprintf "%.4f" sim;
+              Printf.sprintf "%.4f" a.Mclock_static.Analyze.b_power_mw;
+              Printf.sprintf "%+.1f%%" (100. *. c.Mclock_static.Report.rel_error);
+              Printf.sprintf "%.2fx" bound_ratio;
+            ])
+        methods)
+    workloads;
+  Mclock_util.Table.print table;
+  let cells = List.rev !cells in
+  let errors = List.map (fun (_, _, _, c, _) -> c.Mclock_static.Report.rel_error) cells in
+  let ratios = List.map (fun (_, _, _, _, r) -> r) cells in
+  let mean xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+  let fold f = function
+    | [] -> nan
+    | x :: xs -> List.fold_left f x xs
+  in
+  let max_abs_error = fold Float.max (List.map Float.abs errors) in
+  Fmt.pr
+    "error: mean %+.2f%%, mean |e| %.2f%%, max |e| %.2f%%; bound/sim: min \
+     %.2fx, max %.2fx — all %d cells sound@."
+    (100. *. mean errors)
+    (100. *. mean (List.map Float.abs errors))
+    (100. *. max_abs_error)
+    (fold Float.min ratios) (fold Float.max ratios) (List.length cells);
+  let path = Option.value (argv_opt "--json") ~default:"BENCH_static.json" in
+  let json =
+    Mclock_lint.Json.Obj
+      [
+        ("benchmark", Mclock_lint.Json.String "static-accuracy");
+        ("iterations", Mclock_lint.Json.Int iterations);
+        ("seed", Mclock_lint.Json.Int seed);
+        ("stimulus", Mclock_lint.Json.String "uniform");
+        ( "summary",
+          Mclock_lint.Json.Obj
+            [
+              ("cells", Mclock_lint.Json.Int (List.length cells));
+              ("all_sound", Mclock_lint.Json.Bool true);
+              ("mean_error", Mclock_lint.Json.Float (mean errors));
+              ( "mean_abs_error",
+                Mclock_lint.Json.Float (mean (List.map Float.abs errors)) );
+              ("max_abs_error", Mclock_lint.Json.Float max_abs_error);
+              ("min_bound_ratio", Mclock_lint.Json.Float (fold Float.min ratios));
+              ("max_bound_ratio", Mclock_lint.Json.Float (fold Float.max ratios));
+            ] );
+        ( "cells",
+          Mclock_lint.Json.List
+            (List.map
+               (fun (name, label, a, c, ratio) ->
+                 Mclock_lint.Json.Obj
+                   [
+                     ("workload", Mclock_lint.Json.String name);
+                     ("method", Mclock_lint.Json.String label);
+                     ( "estimate_mw",
+                       Mclock_lint.Json.Float a.Mclock_static.Analyze.est_power_mw );
+                     ( "simulated_mw",
+                       Mclock_lint.Json.Float
+                         c.Mclock_static.Report.simulated_power_mw );
+                     ( "bound_mw",
+                       Mclock_lint.Json.Float a.Mclock_static.Analyze.b_power_mw );
+                     ( "rel_error",
+                       Mclock_lint.Json.Float c.Mclock_static.Report.rel_error );
+                     ("bound_ratio", Mclock_lint.Json.Float ratio);
+                   ])
+               cells) );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Mclock_lint.Json.to_string_pretty json ^ "\n");
+  close_out oc;
+  Fmt.pr "wrote %s@." path
+
 (* --- Entry ------------------------------------------------------------------------------------- *)
 
 (* Timings go to stderr / a side file so stdout stays byte-identical
@@ -998,5 +1135,6 @@ let () =
   Fmt.pr "mclock benchmark harness — %a@." Mclock_tech.Library.pp tech;
   if argv_flag "sim-throughput" then run_sim_throughput ()
   else if argv_flag "explore" then run_explore ()
+  else if argv_flag "static-accuracy" then run_static_accuracy ()
   else if argv_flag "--smoke" then run_smoke ()
   else run_full ()

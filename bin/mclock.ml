@@ -522,9 +522,13 @@ let explore_cmd =
   let constraint_arg =
     Arg.(value & opt_all string [] & info [ "c"; "constraint" ] ~docv:"EXPR"
            ~doc:"Prune cells violating a bound, e.g. $(b,area<=12000), \
-                 $(b,latency<=6) or $(b,mem<=40). Repeatable; bounds are \
-                 checked on pre-simulation binding results, so pruned \
-                 cells are never simulated.")
+                 $(b,latency<=6), $(b,mem<=40), $(b,power<=4.5) or \
+                 $(b,energy<=900). Repeatable; bounds are checked on \
+                 pre-simulation binding results and the static power \
+                 analyzer's certified bound, so pruned cells are never \
+                 simulated. Power/energy caps are conservative: they keep \
+                 exactly the cells whose worst-case bound fits the \
+                 budget.")
   in
   let cache_dir_arg =
     Arg.(value & opt string ".mclock-cache" & info [ "cache-dir" ] ~docv:"DIR"
@@ -553,13 +557,25 @@ let explore_cmd =
            ~doc:"CI-sized exploration: the facet workload (unless one is \
                  given), 2 clocks, 120 computations per cell.")
   in
+  let estimate_first_arg =
+    Arg.(value & flag & info [ "estimate-first" ]
+           ~doc:"Rank cache misses by static power estimate (ascending) \
+                 before simulating, so the most promising cells evaluate \
+                 first.")
+  in
+  let top_k_arg =
+    Arg.(value & opt (some int) None & info [ "top-k" ] ~docv:"K"
+           ~doc:"Simulate only the $(docv) best-ranked misses (implies \
+                 $(b,--estimate-first)); the rest are reported with their \
+                 static estimate only.")
+  in
   let explore_iterations_arg =
     Arg.(value & opt (some int) None & info [ "iterations" ] ~docv:"N"
            ~doc:"Simulated computations per cell (default 400; 120 under \
                  $(b,--smoke)).")
   in
   let run workload file max_clocks constraints iterations seed jobs cache_dir
-      no_cache json stats_json smoke timings timings_json =
+      no_cache json stats_json smoke estimate_first top_k timings timings_json =
     let workload =
       match (workload, file, smoke) with
       | None, None, true -> Some "facet"
@@ -598,7 +614,8 @@ let explore_cmd =
       Mclock_exec.Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
           let result =
             Mclock_explore.Engine.explore ~pool ?cache ~constraints ~seed
-              ~iterations ~max_clocks ~name ~sched_constraints input.graph
+              ~iterations ~max_clocks ~estimate_first ?top_k ~name
+              ~sched_constraints input.graph
           in
           emit_timings pool ~timings ~timings_json;
           result)
@@ -631,7 +648,8 @@ let explore_cmd =
           | Mclock_explore.Engine.Cached m | Mclock_explore.Engine.Simulated m
             ->
               not m.Mclock_explore.Metrics.functional_ok
-          | Mclock_explore.Engine.Pruned _ -> false)
+          | Mclock_explore.Engine.Pruned _ | Mclock_explore.Engine.Skipped _ ->
+              false)
         result.Mclock_explore.Engine.cells
     in
     if any_functional_failure then exit 2
@@ -645,8 +663,68 @@ let explore_cmd =
     Term.(
       const run $ workload_arg $ file_arg $ max_clocks_arg $ constraint_arg
       $ explore_iterations_arg $ seed_arg $ jobs_arg $ cache_dir_arg
-      $ no_cache_arg $ json_arg $ stats_json_arg $ smoke_arg $ timings_arg
-      $ timings_json_arg)
+      $ no_cache_arg $ json_arg $ stats_json_arg $ smoke_arg
+      $ estimate_first_arg $ top_k_arg $ timings_arg $ timings_json_arg)
+
+(* --- estimate ------------------------------------------------------------ *)
+
+let estimate_cmd =
+  let stimulus_arg =
+    Arg.(value & opt string "uniform" & info [ "stimulus" ] ~docv:"MODEL"
+           ~doc:"Stimulus statistics: $(b,uniform), $(b,correlated:P), \
+                 $(b,ramp:K) or $(b,constant).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the analysis as machine-readable JSON.")
+  in
+  let compare_arg =
+    Arg.(value & flag & info [ "compare" ]
+           ~doc:"Also run the simulator under the same stimulus model and \
+                 report the per-component estimation error and the bound \
+                 check; exits 3 if any component exceeds its certified \
+                 bound.")
+  in
+  let run workload file scheduler method_ clocks iterations seed stimulus json
+      compare =
+    let input = or_die (load ~workload ~file ~scheduler) in
+    let m = method_of (method_, clocks) in
+    let name =
+      match (workload, file) with
+      | Some n, _ -> n
+      | _, Some p -> Filename.remove_extension (Filename.basename p)
+      | None, None -> "design"
+    in
+    let stimulus = or_die (Mclock_static.Stim.parse stimulus) in
+    let design = Mclock_core.Flow.synthesize ~method_:m ~name input.schedule in
+    let analysis =
+      Mclock_static.Analyze.run ~stimulus ~iterations tech design
+    in
+    let comparison =
+      if compare then
+        Some
+          (Mclock_static.Report.compare_with_simulation ~seed tech design
+             input.graph analysis)
+      else None
+    in
+    if json then
+      print_endline
+        (Mclock_lint.Json.to_string_pretty
+           (Mclock_static.Report.to_json ?comparison analysis))
+    else print_string (Mclock_static.Report.to_text ?comparison analysis);
+    match comparison with
+    | Some c when not c.Mclock_static.Report.sound -> exit 3
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Simulation-free static power analysis: expected power under a \
+             stimulus model plus a certified upper bound, per component and \
+             mechanism.")
+    Term.(
+      const run $ workload_arg $ file_arg $ scheduler_arg $ method_arg
+      $ clocks_arg $ iterations_arg $ seed_arg $ stimulus_arg $ json_arg
+      $ compare_arg)
 
 let () =
   let info =
@@ -655,4 +733,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; show_cmd; synth_cmd; lint_cmd; table_cmd; waves_cmd;
-         sweep_cmd; explore_cmd; controller_cmd; calibrate_cmd ]))
+         sweep_cmd; explore_cmd; estimate_cmd; controller_cmd; calibrate_cmd ]))

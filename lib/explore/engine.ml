@@ -20,6 +20,9 @@
 
 type status =
   | Pruned of Metrics.constraint_ list
+  | Skipped of float
+      (** estimate-first mode ranked this cell below the [top_k]
+          cutoff; carries its static power estimate [mW] *)
   | Cached of Metrics.t
   | Simulated of Metrics.t
 
@@ -37,6 +40,7 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   simulated : int;
+  skipped : int;  (** misses left unsimulated by the [top_k] cutoff *)
   store_failures : int;
 }
 
@@ -52,8 +56,12 @@ type result = {
 }
 
 let explore ~pool ?cache ?(constraints = []) ?(seed = 42) ?(iterations = 400)
-    ?(max_clocks = 4) ?(tech = Mclock_tech.Cmos08.t) ?(width = 4) ~name
-    ~sched_constraints graph =
+    ?(max_clocks = 4) ?(tech = Mclock_tech.Cmos08.t) ?(width = 4)
+    ?(estimate_first = false) ?top_k ~name ~sched_constraints graph =
+  (match top_k with
+  | Some k when k < 1 -> invalid_arg "Engine.explore: top_k >= 1"
+  | _ -> ());
+  let estimate_first = estimate_first || top_k <> None in
   (* Counters accumulate across runs sharing a store (e.g. a cold/warm
      pair); snapshot so this result reports only its own failures. *)
   let store_failures_before =
@@ -87,7 +95,7 @@ let explore ~pool ?cache ?(constraints = []) ?(seed = 42) ?(iterations = 400)
             ~name:(Printf.sprintf "x_%s" name)
             schedule
         in
-        let bounds = Metrics.bounds_of_design ~config tech design in
+        let bounds = Metrics.bounds_of_design ~config ~iterations tech design in
         let key =
           Cachekey.digest
             {
@@ -125,15 +133,46 @@ let explore ~pool ?cache ?(constraints = []) ?(seed = 42) ?(iterations = 400)
         | _ -> None)
       cells_pre
   in
-  (* Fan the misses out; submission order = enumeration order, so the
-     reduced list is jobs-invariant. *)
-  let misses_arr = Array.of_list misses in
+  (* Estimate-first: rank the misses by static expected power
+     (ascending, enumeration order breaking ties) so the most
+     promising cells simulate first and a [top_k] cutoff is
+     well-defined.  Everything here is deterministic, so the
+     simulation set — and with it the frontier — is jobs- and
+     cache-state-invariant. *)
+  let indexed_misses =
+    if not estimate_first then
+      List.mapi (fun i m -> (i, None, m)) misses
+    else
+      List.mapi
+        (fun i ((config, design, _key) as m) ->
+          let est_power, _ =
+            Metrics.estimate_of_design ~config ~iterations tech design
+          in
+          (i, Some est_power, m))
+        misses
+      |> List.stable_sort (fun (i, ea, _) (j, eb, _) ->
+             match Option.compare Float.compare ea eb with
+             | 0 -> Stdlib.compare i j
+             | c -> c)
+  in
+  let selected, cut =
+    match top_k with
+    | None -> (indexed_misses, [])
+    | Some k ->
+        List.partition
+          (fun (rank, _) -> rank < k)
+          (List.mapi (fun rank m -> (rank, m)) indexed_misses)
+        |> fun (a, b) -> (List.map snd a, List.map snd b)
+  in
+  (* Fan the selected misses out; submission order is the (ranked)
+     selection order, so the reduced list is jobs-invariant. *)
+  let selected_arr = Array.of_list selected in
   let fresh =
     Mclock_exec.Pool.map pool
       ~label:(fun i ->
-        let config, _, _ = misses_arr.(i) in
+        let _, _, (config, _, _) = selected_arr.(i) in
         Printf.sprintf "%s/%s" name (Config.label config))
-      (fun _ (config, design, _key) ->
+      (fun _ (_, _, (config, design, _key)) ->
         let report =
           Mclock_power.Report.evaluate ~seed ~iterations ~kernel:`Compiled
             ~label:(Config.label config) tech design graph
@@ -141,23 +180,31 @@ let explore ~pool ?cache ?(constraints = []) ?(seed = 42) ?(iterations = 400)
         Metrics.of_report ~config ~tech
           ~latency_steps:(Mclock_rtl.Design.num_steps design)
           report)
-      misses
+      selected
   in
   (* Write-back on the submitting domain. *)
   (match cache with
   | None -> ()
   | Some store ->
       List.iter2
-        (fun (_, _, key) metrics -> Store.store store ~key metrics)
-        misses fresh);
-  (* Stitch fresh results back into enumeration order. *)
-  let fresh_queue = ref fresh in
-  let next_fresh () =
-    match !fresh_queue with
-    | [] -> assert false
-    | m :: rest ->
-        fresh_queue := rest;
-        m
+        (fun (_, _, (_, _, key)) metrics -> Store.store store ~key metrics)
+        selected fresh);
+  (* Stitch results back into enumeration order. *)
+  let miss_status = Array.make (List.length misses) None in
+  List.iter2
+    (fun (i, _, _) m -> miss_status.(i) <- Some (Simulated m))
+    selected fresh;
+  List.iter
+    (fun (i, est, _) ->
+      match est with
+      | Some e -> miss_status.(i) <- Some (Skipped e)
+      | None -> assert false (* a cutoff implies estimate-first *))
+    cut;
+  let miss_counter = ref 0 in
+  let next_miss () =
+    let i = !miss_counter in
+    incr miss_counter;
+    match miss_status.(i) with Some st -> st | None -> assert false
   in
   let cells =
     List.map
@@ -166,7 +213,7 @@ let explore ~pool ?cache ?(constraints = []) ?(seed = 42) ?(iterations = 400)
           match tag with
           | `Pruned v -> Pruned v
           | `Hit m -> Cached m
-          | `Miss -> Simulated (next_fresh ())
+          | `Miss -> next_miss ()
         in
         { config; cell_label = Config.label config; key; bounds; status })
       cells_pre
@@ -188,14 +235,16 @@ let explore ~pool ?cache ?(constraints = []) ?(seed = 42) ?(iterations = 400)
     List.length
       (List.filter (fun c -> match c.status with Cached _ -> true | _ -> false) cells)
   in
-  let n_sim = List.length misses in
+  let n_misses = List.length misses in
+  let n_sim = List.length selected in
   let stats =
     {
       enumerated = List.length configs;
       pruned = n_pruned;
       cache_hits = n_hits;
-      cache_misses = n_sim;
+      cache_misses = n_misses;
       simulated = n_sim;
+      skipped = n_misses - n_sim;
       store_failures =
         (match cache with
         | None -> 0
@@ -223,6 +272,7 @@ let status_cells result ~index cell =
         Printf.sprintf "violates %s"
           (String.concat ","
              (List.map Metrics.constraint_to_string v)) )
+  | Skipped est -> ("skipped", Printf.sprintf "est %.2f mW, below top-k" est)
   | Cached m | Simulated m ->
       let provenance =
         match cell.status with Cached _ -> "cache" | _ -> "sim"
@@ -263,6 +313,11 @@ let render_text result =
               Printf.sprintf "%.0f" cell.bounds.Metrics.b_area,
               string_of_int cell.bounds.Metrics.b_latency_steps,
               string_of_int cell.bounds.Metrics.b_memory_cells )
+        | Skipped est ->
+            ( Printf.sprintf "~%.2f" est,
+              Printf.sprintf "%.0f" cell.bounds.Metrics.b_area,
+              string_of_int cell.bounds.Metrics.b_latency_steps,
+              string_of_int cell.bounds.Metrics.b_memory_cells )
         | Cached m | Simulated m ->
             ( Printf.sprintf "%.2f" m.Metrics.power_mw,
               Printf.sprintf "%.0f" m.Metrics.area,
@@ -277,8 +332,11 @@ let render_text result =
   let s = result.stats in
   Buffer.add_string buf
     (Printf.sprintf
-       "cells: %d enumerated, %d pruned, %d cache hits, %d simulated%s\n"
+       "cells: %d enumerated, %d pruned, %d cache hits, %d simulated%s%s\n"
        s.enumerated s.pruned s.cache_hits s.simulated
+       (if s.skipped > 0 then
+          Printf.sprintf ", %d skipped (top-k)" s.skipped
+        else "")
        (if s.store_failures > 0 then
           Printf.sprintf " (%d cache store failures)" s.store_failures
         else ""));
@@ -346,5 +404,6 @@ let stats_json result =
       ("cache_hits", Mclock_lint.Json.Int s.cache_hits);
       ("cache_misses", Mclock_lint.Json.Int s.cache_misses);
       ("simulated", Mclock_lint.Json.Int s.simulated);
+      ("skipped", Mclock_lint.Json.Int s.skipped);
       ("store_failures", Mclock_lint.Json.Int s.store_failures);
     ]

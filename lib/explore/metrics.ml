@@ -21,6 +21,8 @@ type bounds = {
   b_area : float;
   b_latency_steps : int;
   b_memory_cells : int;
+  b_power_mw : float;
+  b_energy_pj : float;
 }
 
 (* Area and storage of the [Scaled] duplication variant, derivable from
@@ -31,24 +33,54 @@ let scaled_area tech ~copies area =
   let base = tech.Mclock_tech.Library.base_area in
   base +. (float_of_int copies *. (area -. base))
 
-let bounds_of_design ~config tech design =
+(* The quadratic voltage factor of the [Scaled] duplication variant:
+   power (and per-computation energy) of the n-copy low-voltage array
+   relative to the single-copy design — exactly the ratio
+   [Voltage.duplicate] applies to its measured baseline, so bounds and
+   estimates transform the same way evaluated metrics do. *)
+let scaled_power_factor tech ~copies =
+  let vdd = tech.Mclock_tech.Library.supply_voltage in
+  let v = Mclock_power.Voltage.scaled_voltage ~vdd (float_of_int copies) in
+  v /. vdd *. (v /. vdd)
+
+let bounds_of_design ~config ~iterations tech design =
   let area =
     (Mclock_power.Area.of_design tech design).Mclock_power.Area.design_total
   in
   let cells = Mclock_rtl.Datapath.memory_cells (Mclock_rtl.Design.datapath design) in
+  let a = Mclock_static.Analyze.run ~iterations tech design in
+  let b_power_mw = a.Mclock_static.Analyze.b_power_mw in
+  let b_energy_pj = a.Mclock_static.Analyze.b_energy_pj in
   match config.Config.voltage with
   | Config.Nominal ->
       {
         b_area = area;
         b_latency_steps = Mclock_rtl.Design.num_steps design;
         b_memory_cells = cells;
+        b_power_mw;
+        b_energy_pj;
       }
   | Config.Scaled ->
+      let factor = scaled_power_factor tech ~copies:config.Config.clocks in
       {
         b_area = scaled_area tech ~copies:config.Config.clocks area;
         b_latency_steps = Mclock_rtl.Design.num_steps design;
         b_memory_cells = config.Config.clocks * cells;
+        b_power_mw = b_power_mw *. factor;
+        b_energy_pj = b_energy_pj *. factor;
       }
+
+(* Static expected power/energy of a cell, through the same scaling
+   transform as [of_report] — the estimate-first ranking key. *)
+let estimate_of_design ~config ~iterations tech design =
+  let a = Mclock_static.Analyze.run ~iterations tech design in
+  let est_power = a.Mclock_static.Analyze.est_power_mw in
+  let est_energy = a.Mclock_static.Analyze.est_energy_pj in
+  match config.Config.voltage with
+  | Config.Nominal -> (est_power, est_energy)
+  | Config.Scaled ->
+      let factor = scaled_power_factor tech ~copies:config.Config.clocks in
+      (est_power *. factor, est_energy *. factor)
 
 let of_report ~config ~tech ~latency_steps (r : Mclock_power.Report.t) =
   let base =
@@ -84,7 +116,12 @@ let of_report ~config ~tech ~latency_steps (r : Mclock_power.Report.t) =
         mux_inputs = n * base.mux_inputs;
       }
 
-type constraint_ = Max_area of float | Max_latency of int | Max_memory of int
+type constraint_ =
+  | Max_area of float
+  | Max_latency of int
+  | Max_memory of int
+  | Max_power of float  (** certified upper bound [b_power_mw], mW *)
+  | Max_energy of float  (** certified upper bound [b_energy_pj], pJ *)
 
 let parse_constraint s =
   let s = String.trim s in
@@ -106,10 +143,20 @@ let parse_constraint s =
           match int_of_string_opt v with
           | Some i when i > 0 -> Ok (Max_memory i)
           | _ -> Error (Printf.sprintf "bad memory bound %S" v))
+      | "power", v -> (
+          match float_of_string_opt v with
+          | Some f when f > 0. -> Ok (Max_power f)
+          | _ -> Error (Printf.sprintf "bad power bound %S" v))
+      | "energy", v -> (
+          match float_of_string_opt v with
+          | Some f when f > 0. -> Ok (Max_energy f)
+          | _ -> Error (Printf.sprintf "bad energy bound %S" v))
       | other, _ ->
           Error
             (Printf.sprintf
-               "unknown constraint %S (expected area, latency or mem)" other))
+               "unknown constraint %S (expected area, latency, mem, power or \
+                energy)"
+               other))
   | _ ->
       Error
         (Printf.sprintf
@@ -121,11 +168,15 @@ let constraint_to_string = function
   | Max_area f -> Printf.sprintf "area<=%g" f
   | Max_latency i -> Printf.sprintf "latency<=%d" i
   | Max_memory i -> Printf.sprintf "mem<=%d" i
+  | Max_power f -> Printf.sprintf "power<=%g" f
+  | Max_energy f -> Printf.sprintf "energy<=%g" f
 
 let satisfies b = function
   | Max_area f -> b.b_area <= f
   | Max_latency i -> b.b_latency_steps <= i
   | Max_memory i -> b.b_memory_cells <= i
+  | Max_power f -> b.b_power_mw <= f
+  | Max_energy f -> b.b_energy_pj <= f
 
 let violated ~constraints b =
   List.filter (fun c -> not (satisfies b c)) constraints

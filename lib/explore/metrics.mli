@@ -15,19 +15,41 @@ type bounds = {
   b_area : float;  (** exact post-binding area — no simulation needed *)
   b_latency_steps : int;
   b_memory_cells : int;
+  b_power_mw : float;
+      (** certified static upper bound on simulated power
+          ({!Mclock_static.Analyze}) *)
+  b_energy_pj : float;  (** certified upper bound, pJ per computation *)
 }
-(** Everything here comes straight from the synthesized binding,
-    before any simulation; constraint pruning on these values can
-    never reject a cell the full evaluation would have kept. *)
+(** Everything here comes from the synthesized binding and the static
+    analyzer, before any simulation; constraint pruning on these
+    values can never reject a cell the full evaluation would have
+    kept.  Power and energy constraints are certified-bound
+    constraints by definition: [power<=X] keeps exactly the cells
+    whose worst-case bound fits the budget, so pruning decisions are
+    deterministic and never admit an actual violator. *)
 
 val bounds_of_design :
   config:Config.t ->
+  iterations:int ->
   Mclock_tech.Library.t ->
   Mclock_rtl.Design.t ->
   bounds
 (** For [Scaled] configurations the area and storage are those of the
-    duplicated array ([clocks] copies), matching what {!scale}
-    reports after evaluation. *)
+    duplicated array ([clocks] copies) and the power/energy bounds
+    carry the same quadratic voltage factor {!of_report} applies,
+    matching what evaluation reports.  [iterations] must match the
+    evaluation's computation count (the reset transient amortizes over
+    it). *)
+
+val estimate_of_design :
+  config:Config.t ->
+  iterations:int ->
+  Mclock_tech.Library.t ->
+  Mclock_rtl.Design.t ->
+  float * float
+(** Static expected [(power_mw, energy_pj)] of a cell, through the
+    same scaling transform as {!of_report} — the estimate-first
+    ranking key. *)
 
 val of_report :
   config:Config.t ->
@@ -40,10 +62,16 @@ val of_report :
     [latency_steps] is the design's control-step count (reports do not
     carry it). *)
 
-type constraint_ = Max_area of float | Max_latency of int | Max_memory of int
+type constraint_ =
+  | Max_area of float
+  | Max_latency of int
+  | Max_memory of int
+  | Max_power of float  (** on the certified bound [b_power_mw], mW *)
+  | Max_energy of float  (** on the certified bound [b_energy_pj], pJ *)
 
 val parse_constraint : string -> (constraint_, string) result
-(** ["area<=12000"], ["latency<=6"], ["mem<=40"]. *)
+(** ["area<=12000"], ["latency<=6"], ["mem<=40"], ["power<=4.5"],
+    ["energy<=900"]. *)
 
 val constraint_to_string : constraint_ -> string
 

@@ -61,9 +61,10 @@ let build_sub b xs ys = fst (ripple_sub b xs ys)
 let build_mul b ~width xs ys =
   (* Row i: partial product (a AND b_i) shifted left by i, truncated to
      [width]; accumulate with ripple adders. *)
+  let ys_arr = Array.of_list ys in
   let row i =
     let pp =
-      List.map (fun x -> Circuit.gate b Gate.And2 [ x; List.nth ys i ]) xs
+      List.map (fun x -> Circuit.gate b Gate.And2 [ x; ys_arr.(i) ]) xs
     in
     let shifted = zeros b i @ pp in
     Mclock_util.List_ext.take width shifted
@@ -87,11 +88,12 @@ let build_div b ~width xs ys =
       (List.hd ys) (List.tl ys)
   in
   let b_zero = Circuit.gate b Gate.Inv [ b_nonzero ] in
+  let xs_arr = Array.of_list xs in
   let r = ref (zeros b ext) in
   let quotient = Array.make width (Circuit.zero b) in
   for i = width - 1 downto 0 do
     (* r' = (r << 1) | a_i, still within ext bits. *)
-    let r' = List.nth xs i :: Mclock_util.List_ext.take (ext - 1) !r in
+    let r' = xs_arr.(i) :: Mclock_util.List_ext.take (ext - 1) !r in
     let diff, carry = ripple_sub b r' ys_ext in
     quotient.(i) <- carry;
     (* restore: keep r' when r' < b (carry = 0). *)
@@ -107,15 +109,17 @@ let build_div b ~width xs ys =
 let build_shift b ~width ~left xs ys =
   (* Barrel shifter over the low three bits of the amount (matching
      Op.eval's [land 7]); amounts >= width zero out naturally. *)
+  let ys_arr = Array.of_list ys in
   let stage bits k =
-    let amount_bit = List.nth ys k in
+    let amount_bit = ys_arr.(k) in
     let dist = 1 lsl k in
+    let bits_arr = Array.of_list bits in
     List.mapi
       (fun i bit ->
         let shifted_index = if left then i - dist else i + dist in
         let shifted =
           if shifted_index < 0 || shifted_index >= width then Circuit.zero b
-          else List.nth bits shifted_index
+          else bits_arr.(shifted_index)
         in
         Circuit.gate b Gate.Mux2 [ amount_bit; bit; shifted ])
       bits

@@ -4,8 +4,8 @@
    diagnostics: every value crossing a phase partition goes through a
    transfer register, latched controls only change in their owner's
    duty cycle, phase clocks never overlap.  The four historical
-   Mclock_rtl.Check checks live here as MC001-MC005 (Check remains as
-   a deprecated shim); MC006-MC011 are new.  Behavioural rules
+   Mclock_rtl.Check checks live here as MC001-MC005 (the shim itself
+   is gone); MC006-MC011 are new.  Behavioural rules
    (MC1xx) lint DFGs and raw schedule assignments before allocation,
    accepting inputs the validating constructors would reject. *)
 
@@ -370,7 +370,7 @@ let check_latch_read_write tbl design =
           match Comp.kind (Datapath.comp datapath target) with
           | Comp.Storage s ->
               let readers =
-                Check.sequential_cone ~select datapath s.Comp.s_input
+                Datapath.sequential_cone ~select datapath s.Comp.s_input
               in
               List.filter_map
                 (fun reader ->
@@ -522,7 +522,7 @@ let check_cdc tbl design =
         List.filter_map
           (fun alu_id ->
             let cone =
-              Check.sequential_cone ~select datapath
+              Datapath.sequential_cone ~select datapath
                 (Comp.From_comp alu_id)
             in
             let phases =
@@ -594,7 +594,7 @@ let check_latch_transparency tbl design =
             match Comp.kind (Datapath.comp datapath id) with
             | Comp.Storage s ->
                 let cone =
-                  Check.sequential_cone ~select datapath s.Comp.s_input
+                  Datapath.sequential_cone ~select datapath s.Comp.s_input
                 in
                 if List.mem id cone then
                   Some

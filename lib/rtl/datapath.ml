@@ -179,6 +179,39 @@ let combinational_order t =
   List.iter (fun c -> visit (Comp.id c)) (comps t);
   List.rev !order
 
+(* Transitive combinational fan-in of a source: the set of sequential
+   component ids (inputs and storages) that can influence it within one
+   step.  When [select] is given, muxes whose routing it resolves
+   contribute only their selected input (the read that physically
+   matters); unresolved muxes contribute every input, conservatively. *)
+let sequential_cone ?select t source =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec visit = function
+    | Comp.From_const _ -> ()
+    | Comp.From_comp id ->
+        if not (Hashtbl.mem seen id) then begin
+          Hashtbl.replace seen id ();
+          let c = comp t id in
+          match Comp.kind c with
+          | Comp.Input _ | Comp.Storage _ -> acc := id :: !acc
+          | Comp.Alu a ->
+              visit a.Comp.a_src_a;
+              Option.iter visit a.Comp.a_src_b
+          | Comp.Mux m -> (
+              let resolved =
+                match select with None -> None | Some f -> f id
+              in
+              match resolved with
+              | Some idx when idx >= 0 && idx < Array.length m.Comp.m_choices
+                ->
+                  visit m.Comp.m_choices.(idx)
+              | Some _ | None -> Array.iter visit m.Comp.m_choices)
+        end
+  in
+  visit source;
+  !acc
+
 (* Fanout count per component id (how many sinks read its output),
    used for output-load capacitance. *)
 let fanout_counts t =

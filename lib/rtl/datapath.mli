@@ -72,6 +72,11 @@ val validate : t -> unit
 val combinational_order : t -> Comp.t list
 (** Muxes and ALUs in evaluation (topological) order; validates first. *)
 
+val sequential_cone : ?select:(int -> int option) -> t -> Comp.source -> int list
+(** Sequential components (inputs/storages) in a source's combinational
+    fan-in; [select] resolves mux routing (unresolved muxes contribute
+    all inputs, conservatively). *)
+
 val fanout_counts : t -> int -> int
 (** [fanout_counts t id] is the number of sinks reading component
     [id]'s output. *)

@@ -1,0 +1,97 @@
+(* Probability algebra for static switching-activity analysis.
+
+   Two interpretations share every propagation rule:
+
+   - [Estimate]: values are real probabilities in [0, 1].  Signal
+     probabilities p = P[bit = 1] and transition probabilities
+     t = P[bit toggles this cycle] combine under an independence
+     assumption — the classic static power-estimation algebra.
+
+   - [Bound]: values are elements of a tiny abstract domain.  A signal
+     probability is one of {0.0, 1.0, 0.5}, read as "provably 0",
+     "provably 1", "unknown" (0.5 is the top element, not a
+     probability).  A transition value is 0.0 ("provably cannot
+     toggle") or 1.0 ("may toggle").  Every combinator returns the
+     worst case over all concrete behaviours, so any quantity summed
+     from [Bound] transition values dominates the corresponding count
+     in any concrete simulation run.
+
+   Soundness of estimate <= bound is by pointwise dominance: for every
+   combinator, if each estimate input is <= the corresponding bound
+   input (and agrees exactly on pinned values), the estimate output is
+   <= the bound output.  Each combinator below notes why. *)
+
+type mode = Estimate | Bound
+
+(* A [Bound]-mode signal value that is exactly 0 or 1 is a proven
+   constant; estimate-mode values hit 0/1 only when they were derived
+   from the same proofs (reset values, constants, pinned op bits). *)
+let pinned p = p = 0. || p = 1.
+
+(* Least upper bound of two abstract signal values. *)
+let join a b = if a = b then a else 0.5
+
+(* P[a <> b] of two independent bits, used both as the value of an XOR
+   bit and as the toggle probability of a freshly selected net.
+   Bound: 0 only when both sides are pinned equal; 1 otherwise (a
+   pinned unequal pair must differ, which 1 also covers). *)
+let differ mode pa pb =
+  match mode with
+  | Estimate -> (pa *. (1. -. pb)) +. (pb *. (1. -. pa))
+  | Bound -> if pinned pa && pa = pb then 0. else 1.
+
+(* The value-level XOR of two signal bits: same quantity as [differ]
+   but landing in the signal domain, so an unknown result is top (0.5)
+   rather than "may toggle" (1). *)
+let xor_p mode pa pb =
+  match mode with
+  | Estimate -> differ Estimate pa pb
+  | Bound -> if pinned pa && pinned pb then abs_float (pa -. pb) else 0.5
+
+let and_p mode pa pb =
+  match mode with
+  | Estimate -> pa *. pb
+  | Bound -> if pa = 0. || pb = 0. then 0. else if pa = 1. && pb = 1. then 1. else 0.5
+
+let or_p mode pa pb =
+  match mode with
+  | Estimate -> pa +. pb -. (pa *. pb)
+  | Bound -> if pa = 1. || pb = 1. then 1. else if pa = 0. && pb = 0. then 0. else 0.5
+
+let not_p _mode p = 1. -. p
+
+(* Accumulate one more cycle's toggle probability into a running
+   "differs from the captured value" state.  Estimate: P[odd number of
+   toggles] of independent events (exact for a single event, the usual
+   approximation for several).  Bound: the captured value may differ
+   as soon as any cycle may toggle; if no cycle can toggle the values
+   are provably equal — max is exactly that.  Dominance: a+b-2ab <=
+   max(A,B) whenever a <= A, b <= B in {0,1}. *)
+let toggle_acc mode acc t =
+  match mode with
+  | Estimate -> acc +. t -. (2. *. acc *. t)
+  | Bound -> Float.max acc t
+
+(* P[at least one bit of the array toggles]: gates downstream
+   re-evaluation.  Independence product for the estimate; for bounds
+   the product over {0,1} is the exact may-any. *)
+let union_any arr =
+  let q = ref 1. in
+  Array.iter (fun t -> q := !q *. (1. -. t)) arr;
+  1. -. !q
+
+(* Held-value update after a re-evaluation that fires with probability
+   [q].  Estimate: probability mixture.  Bound: if the update cannot
+   fire the old value survives; otherwise either may survive, so join.
+   Dominance: the mixture lies between [held] and [fresh], and the
+   bound join is top unless both are pinned equal. *)
+let blend mode ~q ~held ~fresh =
+  match mode with
+  | Estimate -> (q *. fresh) +. ((1. -. q) *. held)
+  | Bound -> if q = 0. then held else join held fresh
+
+(* Initial "differs from an all-zero reset value" state for a source
+   whose reset-time signal probability is [p]. *)
+let init_diff mode p = match mode with Estimate -> p | Bound -> if p = 0. then 0. else 1.
+
+let sum arr = Array.fold_left ( +. ) 0. arr

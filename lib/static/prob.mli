@@ -1,0 +1,44 @@
+(** Probability algebra shared by the estimate and bound propagations.
+
+    [Estimate] works with real probabilities under an independence
+    assumption; [Bound] works with a three-point abstract domain
+    ({0, 1} = proven constants, 0.5 = unknown) for signal values and
+    {0, 1} may-toggle indicators for transitions.  Every combinator is
+    worst-case correct in [Bound] mode and pointwise dominates its
+    [Estimate] counterpart, which is the construction behind
+    [estimate <= b_power]. *)
+
+type mode = Estimate | Bound
+
+val pinned : float -> bool
+(** The value is a proven constant (exactly 0.0 or 1.0). *)
+
+val join : float -> float -> float
+
+val differ : mode -> float -> float -> float
+(** P[a <> b] landing in the transition domain (Bound: 0 = provably
+    equal, 1 = may differ). *)
+
+val xor_p : mode -> float -> float -> float
+(** P[a <> b] landing in the signal domain (Bound: unknown is 0.5). *)
+
+val and_p : mode -> float -> float -> float
+val or_p : mode -> float -> float -> float
+val not_p : mode -> float -> float
+
+val toggle_acc : mode -> float -> float -> float
+(** [toggle_acc mode acc t] folds one cycle's toggle probability into a
+    running "differs from the captured value" accumulator. *)
+
+val union_any : float array -> float
+(** P[at least one element toggles]. *)
+
+val blend : mode -> q:float -> held:float -> fresh:float -> float
+(** Held-value signal probability after an update firing with
+    probability [q]. *)
+
+val init_diff : mode -> float -> float
+(** "Differs from all-zero reset" state of a source with reset signal
+    probability [p]. *)
+
+val sum : float array -> float

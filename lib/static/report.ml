@@ -1,0 +1,170 @@
+(* Rendering and simulator cross-checking for static analyses. *)
+
+module Activity = Mclock_sim.Activity
+module Stimulus = Mclock_sim.Stimulus
+module Simulator = Mclock_sim.Simulator
+module Json = Mclock_lint.Json
+
+type comparison = {
+  simulated_power_mw : float;
+  simulated_energy_pj : float;  (** per computation *)
+  rel_error : float;  (** (estimate - simulated) / simulated *)
+  sound : bool;  (** simulated <= bound and estimate <= bound *)
+  components : (int * float * float * float) list;
+      (** (component, estimate pJ, simulated pJ, bound pJ) *)
+}
+
+(* Tiny slack for the floating-point accumulation-order difference
+   between the analyzer's expected sums and the simulator's per-event
+   charges; both sides sum the same magnitudes, so a relative epsilon
+   is enough. *)
+let leq_tol a b = a <= b +. (1e-9 *. Float.max 1. (Float.abs b))
+
+let compare_with_simulation ?(seed = 42) tech design graph
+    (a : Analyze.t) =
+  let width = Mclock_rtl.Datapath.width (Mclock_rtl.Design.datapath design) in
+  let envs =
+    Stimulus.generate a.Analyze.stimulus
+      (Mclock_util.Rng.create seed)
+      ~width ~iterations:a.Analyze.iterations graph
+  in
+  let r =
+    Simulator.run ~seed ~stimulus:envs tech design
+      ~iterations:a.Analyze.iterations
+  in
+  let sim_energy =
+    r.Simulator.energy_pj /. float_of_int a.Analyze.iterations
+  in
+  let comp_ids =
+    List.sort_uniq Stdlib.compare
+      (List.map fst (Activity.by_component a.Analyze.bound)
+      @ List.map fst (Activity.by_component r.Simulator.activity))
+  in
+  let components =
+    List.map
+      (fun c ->
+        ( c,
+          Activity.of_component a.Analyze.estimate c,
+          Activity.of_component r.Simulator.activity c,
+          Activity.of_component a.Analyze.bound c ))
+      comp_ids
+  in
+  let sound =
+    leq_tol r.Simulator.power_mw a.Analyze.b_power_mw
+    && leq_tol a.Analyze.est_power_mw a.Analyze.b_power_mw
+    && List.for_all
+         (fun (_, est, sim, bound) ->
+           leq_tol est bound && leq_tol sim bound)
+         components
+  in
+  let rel_error =
+    if r.Simulator.power_mw = 0. then 0.
+    else
+      (a.Analyze.est_power_mw -. r.Simulator.power_mw)
+      /. r.Simulator.power_mw
+  in
+  {
+    simulated_power_mw = r.Simulator.power_mw;
+    simulated_energy_pj = sim_energy;
+    rel_error;
+    sound;
+    components;
+  }
+
+let to_text ?comparison (a : Analyze.t) =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "design       %s\n" a.Analyze.design_name;
+  pf "stimulus     %s\n" (Stimulus.name a.Analyze.stimulus);
+  pf "computations %d (%d cycles)\n\n" a.Analyze.iterations a.Analyze.cycles;
+  pf "%-14s %14s %14s\n" "category" "estimate [pJ]" "bound [pJ]";
+  List.iter
+    (fun cat ->
+      let e =
+        List.assoc_opt cat (Activity.by_category a.Analyze.estimate)
+        |> Option.value ~default:0.
+      and b =
+        List.assoc_opt cat (Activity.by_category a.Analyze.bound)
+        |> Option.value ~default:0.
+      in
+      if e <> 0. || b <> 0. then
+        pf "%-14s %14.2f %14.2f\n" (Activity.category_name cat) e b)
+    Activity.all_categories;
+  pf "%-14s %14.2f %14.2f\n\n" "total"
+    (Activity.total a.Analyze.estimate)
+    (Activity.total a.Analyze.bound);
+  pf "power        %.4f mW estimated, <= %.4f mW certified\n"
+    a.Analyze.est_power_mw a.Analyze.b_power_mw;
+  pf "energy/comp  %.2f pJ estimated, <= %.2f pJ certified\n"
+    a.Analyze.est_energy_pj a.Analyze.b_energy_pj;
+  (match comparison with
+  | None -> ()
+  | Some c ->
+      pf "\nsimulated    %.4f mW (%.2f pJ/comp), estimate error %+.1f%%\n"
+        c.simulated_power_mw c.simulated_energy_pj (100. *. c.rel_error);
+      pf "soundness    %s\n"
+        (if c.sound then "ok (simulated <= bound on every component)"
+         else "VIOLATED"));
+  Buffer.contents buf
+
+let activity_json act =
+  Json.Obj
+    (List.filter_map
+       (fun cat ->
+         match List.assoc_opt cat (Activity.by_category act) with
+         | Some v when v <> 0. ->
+             Some (Activity.category_name cat, Json.Float v)
+         | _ -> None)
+       Activity.all_categories)
+
+let to_json ?comparison (a : Analyze.t) =
+  let side act power energy =
+    Json.Obj
+      [
+        ("power_mw", Json.Float power);
+        ("energy_per_computation_pj", Json.Float energy);
+        ("total_pj", Json.Float (Activity.total act));
+        ("by_category", activity_json act);
+      ]
+  in
+  let base =
+    [
+      ("design", Json.String a.Analyze.design_name);
+      ("stimulus", Json.String (Stimulus.name a.Analyze.stimulus));
+      ("iterations", Json.Int a.Analyze.iterations);
+      ("cycles", Json.Int a.Analyze.cycles);
+      ( "estimate",
+        side a.Analyze.estimate a.Analyze.est_power_mw a.Analyze.est_energy_pj
+      );
+      ("bound", side a.Analyze.bound a.Analyze.b_power_mw a.Analyze.b_energy_pj);
+    ]
+  in
+  let extra =
+    match comparison with
+    | None -> []
+    | Some c ->
+        [
+          ( "comparison",
+            Json.Obj
+              [
+                ("simulated_power_mw", Json.Float c.simulated_power_mw);
+                ( "simulated_energy_per_computation_pj",
+                  Json.Float c.simulated_energy_pj );
+                ("relative_error", Json.Float c.rel_error);
+                ("sound", Json.Bool c.sound);
+                ( "components",
+                  Json.List
+                    (List.map
+                       (fun (comp, est, sim, bound) ->
+                         Json.Obj
+                           [
+                             ("component", Json.Int comp);
+                             ("estimate_pj", Json.Float est);
+                             ("simulated_pj", Json.Float sim);
+                             ("bound_pj", Json.Float bound);
+                           ])
+                       c.components) );
+              ] );
+        ]
+  in
+  Json.Obj (base @ extra)

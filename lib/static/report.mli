@@ -1,0 +1,29 @@
+(** Text/JSON rendering of static analyses and the simulator
+    cross-check behind [mclock estimate --compare]. *)
+
+type comparison = {
+  simulated_power_mw : float;
+  simulated_energy_pj : float;  (** per computation *)
+  rel_error : float;  (** (estimate - simulated) / simulated *)
+  sound : bool;  (** simulated <= bound and estimate <= bound *)
+  components : (int * float * float * float) list;
+      (** (component, estimate pJ, simulated pJ, bound pJ) *)
+}
+
+val leq_tol : float -> float -> bool
+(** [a <= b] up to the relative float-summation epsilon used by the
+    soundness checks. *)
+
+val compare_with_simulation :
+  ?seed:int ->
+  Mclock_tech.Library.t ->
+  Mclock_rtl.Design.t ->
+  Mclock_dfg.Graph.t ->
+  Analyze.t ->
+  comparison
+(** Simulate the design under the analysis' stimulus model (matched
+    environments from {!Mclock_sim.Stimulus.generate}) and check the
+    bound per component. *)
+
+val to_text : ?comparison:comparison -> Analyze.t -> string
+val to_json : ?comparison:comparison -> Analyze.t -> Mclock_lint.Json.t

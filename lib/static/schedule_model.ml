@@ -1,0 +1,104 @@
+(* Exact replay of the latched control schedule.
+
+   Control words assign mux selects and ALU functions sparsely;
+   unassigned lines hold their previous value.  From the simulator's
+   reset state (selects 0, each ALU on the first function of its set,
+   no loads) the held state after one full period repeats every period
+   thereafter: the same assignments land on the same held values.  Two
+   resolved periods therefore describe every cycle of a run:
+
+   - [first]   — steps 1..T from reset (transient select/function
+     changes, the load-line edge out of the all-idle reset);
+   - [steady]  — steps 1..T of every later period.
+
+   Each resolved step carries, per component, the held select/function
+   in force during that cycle, whether the control assignment changed
+   it (the simulator charges select-line and function-change energy on
+   exactly those events), the busy and load sets, and the total
+   control-line change count including load-line edges.  All of it is
+   data-independent, so these are exact facts about any simulation of
+   the design, not estimates. *)
+
+open Mclock_rtl
+
+type step = {
+  sel : int array;  (** held select per mux id, in force this cycle *)
+  sel_changed : bool array;
+  op : Mclock_dfg.Op.t option array;  (** held function per ALU id *)
+  op_changed : bool array;
+  busy : bool array;  (** ALU listed in this step's function assignments *)
+  loads : bool array;  (** storage load-enable per id *)
+  control_changes : int;
+      (** select + function + load-line transitions this cycle *)
+}
+
+type t = {
+  t_steps : int;
+  max_id : int;
+  first : step array;  (** steps 1..T of the first period, 0-indexed *)
+  steady : step array;  (** steps 1..T of every later period *)
+}
+
+let build design =
+  let datapath = Design.datapath design in
+  let control = Design.control design in
+  let t_steps = Control.num_steps control in
+  let max_id =
+    List.fold_left (fun acc c -> max acc (Comp.id c)) 0 (Datapath.comps datapath)
+  in
+  (* Held state, mirrored from the simulator's reset values. *)
+  let sel = Array.make (max_id + 1) 0 in
+  let fn : Mclock_dfg.Op.t option array = Array.make (max_id + 1) None in
+  List.iter
+    (fun (c, a) ->
+      fn.(Comp.id c) <-
+        Some (List.hd (Mclock_dfg.Op.Set.to_list a.Comp.a_fset)))
+    (Datapath.alus datapath);
+  let prev_loads = Array.make (max_id + 1) false in
+  let resolve step_no =
+    let word = Control.word control ~step:(((step_no - 1) mod t_steps) + 1) in
+    let changes = ref 0 in
+    let sel_changed = Array.make (max_id + 1) false in
+    List.iter
+      (fun (mux_id, idx) ->
+        if sel.(mux_id) <> idx then begin
+          incr changes;
+          sel_changed.(mux_id) <- true;
+          sel.(mux_id) <- idx
+        end)
+      word.Control.selects;
+    let op_changed = Array.make (max_id + 1) false in
+    let busy = Array.make (max_id + 1) false in
+    List.iter
+      (fun (alu_id, op) ->
+        busy.(alu_id) <- true;
+        (match fn.(alu_id) with
+        | Some prev when Mclock_dfg.Op.equal prev op -> ()
+        | Some _ | None ->
+            incr changes;
+            op_changed.(alu_id) <- true);
+        fn.(alu_id) <- Some op)
+      word.Control.alu_ops;
+    let loads = Array.make (max_id + 1) false in
+    List.iter (fun id -> loads.(id) <- true) word.Control.loads;
+    for id = 0 to max_id do
+      if loads.(id) <> prev_loads.(id) then incr changes;
+      prev_loads.(id) <- loads.(id)
+    done;
+    {
+      sel = Array.copy sel;
+      sel_changed;
+      op = Array.copy fn;
+      op_changed;
+      busy;
+      loads;
+      control_changes = !changes;
+    }
+  in
+  let first = Array.init t_steps (fun i -> resolve (i + 1)) in
+  let steady = Array.init t_steps (fun i -> resolve (t_steps + i + 1)) in
+  { t_steps; max_id; first; steady }
+
+let step_at t ~cycle =
+  let idx = (cycle - 1) mod t.t_steps in
+  if cycle <= t.t_steps then t.first.(idx) else t.steady.(idx)

@@ -1,0 +1,27 @@
+(** Exact resolution of the latched control schedule into two fully
+    held-resolved periods (the first period from reset, and the steady
+    period every later cycle replays).  Everything here is
+    data-independent and therefore exact for any simulation run. *)
+
+type step = {
+  sel : int array;  (** held select per mux id, in force this cycle *)
+  sel_changed : bool array;  (** select assignment changed the line *)
+  op : Mclock_dfg.Op.t option array;  (** held function per ALU id *)
+  op_changed : bool array;  (** function assignment changed the line *)
+  busy : bool array;  (** ALU has a function assignment this step *)
+  loads : bool array;  (** storage load-enable per id *)
+  control_changes : int;
+      (** select + function + load-line transitions this cycle *)
+}
+
+type t = {
+  t_steps : int;
+  max_id : int;
+  first : step array;  (** steps 1..T of the first period, 0-indexed *)
+  steady : step array;  (** steps 1..T of every later period *)
+}
+
+val build : Mclock_rtl.Design.t -> t
+
+val step_at : t -> cycle:int -> step
+(** The resolved step in force at 1-based global [cycle]. *)

@@ -1,0 +1,88 @@
+(* Closed-form input statistics of the stimulus models.
+
+   The simulator applies one fresh environment per computation; a port
+   therefore sees a stream of adjacent (env_{i-1}, env_i) pairs, and
+   the per-bit statistics of that stream have closed forms for every
+   model in [Mclock_sim.Stimulus]:
+
+   - Uniform: independent uniform draws; every bit has signal
+     probability 1/2 and flips between adjacent draws with
+     probability 1/2.
+   - Correlated p: each bit flips with probability p per step; the
+     first draw is uniform and bit-flipping preserves uniformity, so
+     the signal probability stays 1/2.
+   - Ramp k: x_{i+1} = x_i + k (mod 2^w) from a uniform start, which
+     keeps every x_i uniform.  Bit j of x xor (x+k) is a function of
+     x mod 2^(j+1) only (carries come from below), so its exact toggle
+     rate is an average over that residue — enumerated below.  Bits
+     below the 2-adic valuation of k never toggle.
+   - Constant: the first draw repeats forever; signal probability 1/2
+     (the held value is a uniform unknown), toggle probability 0.
+
+   The first environment is always a uniform draw regardless of model,
+   so the reset-time signal probability is 1/2 for every model. *)
+
+let signal_probability (_ : Mclock_sim.Stimulus.model) = 0.5
+
+(* Exact toggle rate of bit [j] under x -> x + k at width [w], averaged
+   over a uniform x: enumerate the low (j+1)-bit residues.  Falls back
+   to 1/2 above [enum_limit] bits (no bundled workload is that wide). *)
+let enum_limit = 20
+
+let ramp_bit_rate ~width ~k j =
+  let k = k land ((1 lsl width) - 1) in
+  if k = 0 then 0.
+  else if j + 1 > enum_limit then 0.5
+  else begin
+    let m = 1 lsl (j + 1) in
+    let kl = k land (m - 1) in
+    let count = ref 0 in
+    for x = 0 to m - 1 do
+      let toggled = (x lxor ((x + kl) land (m - 1))) land (1 lsl j) <> 0 in
+      if toggled then incr count
+    done;
+    float_of_int !count /. float_of_int m
+  end
+
+(* Per-bit probability that one applied port update flips the bit
+   (index 0 = LSB). *)
+let transition model ~width =
+  match (model : Mclock_sim.Stimulus.model) with
+  | Uniform -> Array.make width 0.5
+  | Correlated p -> Array.make width p
+  | Constant -> Array.make width 0.
+  | Ramp k -> Array.init width (ramp_bit_rate ~width ~k)
+
+(* May-flip indicators: a bit whose exact rate is 0 provably never
+   toggles (Constant ports, Ramp bits below the valuation of k); any
+   positive rate may toggle on any given update. *)
+let transition_bound model ~width =
+  Array.map (fun r -> if r = 0. then 0. else 1.) (transition model ~width)
+
+let parse s =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "bad stimulus %S (expected uniform, correlated:P, ramp:K or constant)"
+         s)
+  in
+  match String.lowercase_ascii (String.trim s) with
+  | "uniform" -> Ok Mclock_sim.Stimulus.Uniform
+  | "constant" -> Ok Mclock_sim.Stimulus.Constant
+  | t -> (
+      match String.index_opt t ':' with
+      | Some i -> (
+          let head = String.sub t 0 i in
+          let arg = String.sub t (i + 1) (String.length t - i - 1) in
+          match head with
+          | "correlated" -> (
+              match float_of_string_opt arg with
+              | Some p when p >= 0. && p <= 1. ->
+                  Ok (Mclock_sim.Stimulus.Correlated p)
+              | _ -> fail ())
+          | "ramp" -> (
+              match int_of_string_opt arg with
+              | Some k when k >= 0 -> Ok (Mclock_sim.Stimulus.Ramp k)
+              | _ -> fail ())
+          | _ -> fail ())
+      | None -> fail ())

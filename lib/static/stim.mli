@@ -1,0 +1,23 @@
+(** Closed-form per-bit statistics of the stimulus models: signal
+    probability of a held input value and toggle probability of one
+    applied port update.  Exact for every model (Ramp by residue
+    enumeration up to 20 bits). *)
+
+val signal_probability : Mclock_sim.Stimulus.model -> float
+(** Reset-time and stationary P[bit = 1]; 1/2 for every model because
+    the first environment is a uniform draw. *)
+
+val ramp_bit_rate : width:int -> k:int -> int -> float
+(** Exact toggle rate of bit [j] under [x -> x + k] at [width] bits,
+    averaged over a uniform start value. *)
+
+val transition : Mclock_sim.Stimulus.model -> width:int -> float array
+(** Per-bit flip probability of one adjacent environment pair,
+    index 0 = LSB. *)
+
+val transition_bound : Mclock_sim.Stimulus.model -> width:int -> float array
+(** {0, 1} may-flip indicators; 0 exactly where the bit provably never
+    toggles. *)
+
+val parse : string -> (Mclock_sim.Stimulus.model, string) result
+(** Parse "uniform", "correlated:P", "ramp:K" or "constant". *)

@@ -21,4 +21,5 @@ let () =
       ("lint", Test_lint.suite);
       ("properties", Test_props.suite);
       ("explore", Test_explore.suite);
+      ("static", Test_static.suite);
     ]

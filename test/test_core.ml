@@ -380,8 +380,12 @@ let test_structure_storage_phases_match_loads () =
   let s = Mclock_workloads.Workload.schedule w in
   let d = Integrated.allocate ~n:3 ~name:"f3" s in
   check Alcotest.(list string) "no violations" []
-    (List.map (fun v -> v.Mclock_rtl.Check.message)
-       (Mclock_rtl.Check.check_partition_discipline d))
+    (List.filter_map
+       (fun g ->
+         if g.Mclock_lint.Diagnostic.code = "MC002" then
+           Some g.Mclock_lint.Diagnostic.message
+         else None)
+       (Mclock_lint.Lint.design d))
 
 let test_structure_conflict_free_microcode () =
   (* Every workload x every method builds without Structure.Conflict. *)
@@ -460,8 +464,12 @@ let test_split_latch_conflicts_resolved () =
             Alcotest.(list string)
             (Printf.sprintf "%s n=%d" w.Mclock_workloads.Workload.name n)
             []
-            (List.map (fun v -> v.Mclock_rtl.Check.message)
-               (Mclock_rtl.Check.check_latch_read_write d)))
+            (List.filter_map
+               (fun g ->
+                 if g.Mclock_lint.Diagnostic.code = "MC003" then
+                   Some g.Mclock_lint.Diagnostic.message
+                 else None)
+               (Mclock_lint.Lint.design d)))
         [ 1; 2; 3 ])
     Mclock_workloads.Catalog.all
 

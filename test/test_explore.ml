@@ -40,11 +40,12 @@ let smoke_constraints = smoke_workload.Mclock_workloads.Workload.constraints
 
 let with_pool ?(jobs = 1) f = Mclock_exec.Pool.with_pool ~jobs f
 
-let explore ?cache ?constraints ?(jobs = 1) ?(max_clocks = 2) () =
+let explore ?cache ?constraints ?(jobs = 1) ?(max_clocks = 2) ?estimate_first
+    ?top_k () =
   with_pool ~jobs (fun pool ->
       Engine.explore ~pool ?cache ?constraints ~seed:42 ~iterations:60
-        ~max_clocks ~name:"facet" ~sched_constraints:smoke_constraints
-        smoke_graph)
+        ~max_clocks ?estimate_first ?top_k ~name:"facet"
+        ~sched_constraints:smoke_constraints smoke_graph)
 
 let sample_metrics =
   {
@@ -159,7 +160,13 @@ let test_constraint_parsing () =
   (match Metrics.parse_constraint "mem<=40" with
   | Ok (Metrics.Max_memory 40) -> ()
   | _ -> fail "mem constraint");
-  (match Metrics.parse_constraint "power<=3" with
+  (match Metrics.parse_constraint "power<=3.5" with
+  | Ok (Metrics.Max_power f) -> check (Alcotest.float 0.0) "power" 3.5 f
+  | _ -> fail "power constraint");
+  (match Metrics.parse_constraint "energy<=900" with
+  | Ok (Metrics.Max_energy f) -> check (Alcotest.float 0.0) "energy" 900. f
+  | _ -> fail "energy constraint");
+  (match Metrics.parse_constraint "throughput<=3" with
   | Error _ -> ()
   | Ok _ -> fail "unknown name must not parse");
   match Metrics.parse_constraint "area=3" with
@@ -476,6 +483,128 @@ let test_engine_pruning_sound () =
       | None -> fail (Printf.sprintf "%s lost by pruning" p.Pareto.label))
     expected
 
+let test_engine_power_pruning_differential () =
+  (* power<=X is a certified-bound constraint: the pruned set must be
+     exactly the cells whose deterministic static bound exceeds the
+     cap (pre-prune and post-evaluation views agree), no simulated
+     cell may exceed the cap on its bound, and every admissible
+     unconstrained-frontier point survives untouched. *)
+  let unconstrained = explore () in
+  let bounds = List.map (fun c -> c.Engine.bounds.Metrics.b_power_mw)
+      unconstrained.Engine.cells in
+  (* A cap between the min and max bound so both outcomes occur. *)
+  let cap =
+    let mn = List.fold_left Float.min Float.max_float bounds in
+    let mx = List.fold_left Float.max 0. bounds in
+    (mn +. mx) /. 2.
+  in
+  let constrained = explore ~constraints:[ Metrics.Max_power cap ] () in
+  check Alcotest.bool "something was pruned" true
+    (constrained.Engine.stats.Engine.pruned > 0);
+  check Alcotest.bool "something survived" true
+    (constrained.Engine.stats.Engine.simulated > 0);
+  List.iter2
+    (fun (u : Engine.cell) (c : Engine.cell) ->
+      check Alcotest.string "same grid" u.Engine.cell_label c.Engine.cell_label;
+      let should_prune = u.Engine.bounds.Metrics.b_power_mw > cap in
+      match c.Engine.status with
+      | Engine.Pruned v ->
+          check Alcotest.bool
+            (Printf.sprintf "%s pruned only above cap" c.Engine.cell_label)
+            true should_prune;
+          check Alcotest.bool "violation names the power cap" true
+            (List.mem (Metrics.Max_power cap) v)
+      | Engine.Skipped _ -> fail "no top-k in this run"
+      | Engine.Cached m | Engine.Simulated m ->
+          check Alcotest.bool
+            (Printf.sprintf "%s kept only within cap" c.Engine.cell_label)
+            false should_prune;
+          (* The certificate: an evaluated survivor never violates. *)
+          check Alcotest.bool
+            (Printf.sprintf "%s simulated within cap" c.Engine.cell_label)
+            true
+            (m.Metrics.power_mw <= cap))
+    unconstrained.Engine.cells constrained.Engine.cells;
+  (* Admissible unconstrained-frontier points survive with identical
+     metrics, exactly as with the area constraint. *)
+  List.iter
+    (fun p ->
+      let cell =
+        List.find
+          (fun c -> c.Engine.cell_label = p.Pareto.label)
+          unconstrained.Engine.cells
+      in
+      if cell.Engine.bounds.Metrics.b_power_mw <= cap then
+        match
+          List.find_opt
+            (fun q -> q.Pareto.label = p.Pareto.label)
+            constrained.Engine.pareto.Pareto.frontier
+        with
+        | Some q ->
+            if not (Metrics.equal p.Pareto.metrics q.Pareto.metrics) then
+              fail "metrics changed under power constraint"
+        | None -> fail (Printf.sprintf "%s lost by power pruning" p.Pareto.label))
+    unconstrained.Engine.pareto.Pareto.frontier
+
+let test_engine_estimate_first_invariant () =
+  (* Ranking the misses by static estimate changes only the submission
+     order; the cells and frontier must be byte-identical to the plain
+     enumeration-order run. *)
+  let plain = explore () in
+  let ranked = explore ~estimate_first:true () in
+  check Alcotest.int "same simulated count"
+    plain.Engine.stats.Engine.simulated ranked.Engine.stats.Engine.simulated;
+  check Alcotest.int "nothing skipped" 0 ranked.Engine.stats.Engine.skipped;
+  List.iter2
+    (fun (a : Engine.cell) (b : Engine.cell) ->
+      check Alcotest.string "label" a.Engine.cell_label b.Engine.cell_label;
+      match (a.Engine.status, b.Engine.status) with
+      | Engine.Simulated m, Engine.Simulated m' ->
+          if not (Metrics.equal m m') then fail "metrics differ under ranking"
+      | Engine.Pruned _, Engine.Pruned _ -> ()
+      | _ -> fail "status changed under ranking")
+    plain.Engine.cells ranked.Engine.cells;
+  check Alcotest.string "frontier identical"
+    (String.concat ","
+       (List.map (fun p -> p.Pareto.label) plain.Engine.pareto.Pareto.frontier))
+    (String.concat ","
+       (List.map (fun p -> p.Pareto.label) ranked.Engine.pareto.Pareto.frontier))
+
+let test_engine_top_k_cutoff () =
+  (* top_k simulates exactly the k best-ranked misses; the skipped
+     cells carry their static estimate, and every simulated cell's
+     estimate is <= every skipped cell's estimate. *)
+  let k = 3 in
+  let r = explore ~top_k:k () in
+  check Alcotest.int "simulated = k" k r.Engine.stats.Engine.simulated;
+  check Alcotest.int "skipped = misses - k"
+    (r.Engine.stats.Engine.cache_misses - k)
+    r.Engine.stats.Engine.skipped;
+  let skipped_estimates =
+    List.filter_map
+      (fun (c : Engine.cell) ->
+        match c.Engine.status with
+        | Engine.Skipped est -> Some est
+        | _ -> None)
+      r.Engine.cells
+  in
+  check Alcotest.int "skipped statuses match stats"
+    r.Engine.stats.Engine.skipped
+    (List.length skipped_estimates);
+  (* Rerunning with a cache: the k simulated cells become hits and the
+     next k misses get their turn. *)
+  let dir = temp_dir () in
+  let cache = Store.open_ ~dir in
+  let warm1 = explore ~cache ~top_k:k () in
+  let warm2 = explore ~cache ~top_k:k () in
+  check Alcotest.int "second pass re-simulates k more" k
+    warm2.Engine.stats.Engine.simulated;
+  check Alcotest.int "second pass serves k hits" k
+    warm2.Engine.stats.Engine.cache_hits;
+  check Alcotest.int "first pass simulated k" k
+    warm1.Engine.stats.Engine.simulated;
+  rm_rf dir
+
 let test_engine_scaled_cells_consistent () =
   (* The pre-simulation bounds must equal the evaluated metrics for
      area and latency on every cell — including the Scaled transform —
@@ -484,7 +613,7 @@ let test_engine_scaled_cells_consistent () =
   List.iter
     (fun (c : Engine.cell) ->
       match c.Engine.status with
-      | Engine.Pruned _ -> ()
+      | Engine.Pruned _ | Engine.Skipped _ -> ()
       | Engine.Cached m | Engine.Simulated m ->
           if not (Float.equal c.Engine.bounds.Metrics.b_area m.Metrics.area)
           then fail (Printf.sprintf "%s: bound area differs" c.Engine.cell_label);
@@ -493,7 +622,18 @@ let test_engine_scaled_cells_consistent () =
             c.Engine.bounds.Metrics.b_latency_steps m.Metrics.latency_steps;
           check Alcotest.int
             (Printf.sprintf "%s: bound memory" c.Engine.cell_label)
-            c.Engine.bounds.Metrics.b_memory_cells m.Metrics.memory_cells)
+            c.Engine.bounds.Metrics.b_memory_cells m.Metrics.memory_cells;
+          (* Power and energy bounds are certificates, not equalities. *)
+          check Alcotest.bool
+            (Printf.sprintf "%s: power within bound" c.Engine.cell_label)
+            true
+            (m.Metrics.power_mw
+            <= c.Engine.bounds.Metrics.b_power_mw *. (1. +. 1e-9));
+          check Alcotest.bool
+            (Printf.sprintf "%s: energy within bound" c.Engine.cell_label)
+            true
+            (m.Metrics.energy_per_computation_pj
+            <= c.Engine.bounds.Metrics.b_energy_pj *. (1. +. 1e-9)))
     r.Engine.cells
 
 let suite =
@@ -520,5 +660,8 @@ let suite =
     ("engine warm cache sound", `Quick, test_engine_warm_cache_soundness);
     ("engine corrupt cache recovers", `Quick, test_engine_corrupt_cache_recovers);
     ("engine pruning sound", `Quick, test_engine_pruning_sound);
+    ("engine power pruning differential", `Quick, test_engine_power_pruning_differential);
+    ("engine estimate-first invariant", `Quick, test_engine_estimate_first_invariant);
+    ("engine top-k cutoff", `Quick, test_engine_top_k_cutoff);
     ("engine scaled cells consistent", `Quick, test_engine_scaled_cells_consistent);
   ]

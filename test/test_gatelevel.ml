@@ -121,6 +121,35 @@ let test_gate_census () =
   check Alcotest.(list (pair string int)) "4 and gates" [ ("and2", 4) ]
     (G.Circuit.gate_census c)
 
+(* Pinned total gate counts for every expansion at widths 4 and 8: a
+   structural regression net over the macro generators (any change to
+   the expansion logic — intended or not — shows up here first). *)
+let test_gate_counts_pinned () =
+  List.iter
+    (fun (op, expect4, expect8) ->
+      List.iter
+        (fun (width, expect) ->
+          check Alcotest.int
+            (Printf.sprintf "%s w=%d" (Op.name op) width)
+            expect
+            (G.Circuit.num_gates (G.Expand.circuit ~width op)))
+        [ (4, expect4); (8, expect8) ])
+    [
+      (Op.Add, 22, 42);
+      (Op.Sub, 27, 51);
+      (Op.Mul, 78, 346);
+      (Op.Div, 151, 523);
+      (Op.And, 4, 8);
+      (Op.Or, 4, 8);
+      (Op.Xor, 4, 8);
+      (Op.Not, 4, 8);
+      (Op.Shl, 14, 26);
+      (Op.Shr, 14, 26);
+      (Op.Gt, 28, 52);
+      (Op.Lt, 28, 52);
+      (Op.Eq, 9, 17);
+    ]
+
 let test_calibration_sane () =
   let tech = Mclock_tech.Cmos08.t in
   let m = G.Calibrate.measure ~samples:500 tech ~width:4 Op.Add in
@@ -182,6 +211,7 @@ let suite =
     ("transitions zero on identical", `Quick, test_transitions_zero_on_identical);
     ("transitions positive on change", `Quick, test_transitions_positive_on_change);
     ("gate census", `Quick, test_gate_census);
+    ("gate counts pinned", `Quick, test_gate_counts_pinned);
     ("calibration sane", `Quick, test_calibration_sane);
     ("calibration mul heavier", `Quick, test_calibration_mul_heavier_than_add);
     ("calibration RTL model in band", `Quick, test_calibration_rtl_model_within_band);

@@ -122,9 +122,14 @@ let test_mux_aware_design_verified () =
         true
         (Mclock_sim.Verify.ok report);
       check Alcotest.(list string) "checks clean" []
-        (List.map
-           (fun v -> v.Mclock_rtl.Check.message)
-           (Mclock_rtl.Check.all r.Integrated.design)))
+        (List.filter_map
+           (fun g ->
+             if
+               List.mem g.Mclock_lint.Diagnostic.code
+                 [ "MC001"; "MC002"; "MC003"; "MC004"; "MC005" ]
+             then Some g.Mclock_lint.Diagnostic.message
+             else None)
+           (Mclock_lint.Lint.design r.Integrated.design)))
     Mclock_workloads.Catalog.paper_tables
 
 let suite =
