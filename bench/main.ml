@@ -20,6 +20,12 @@
           fresh persistent cache; asserts the warm frontier is
           byte-identical with zero simulations and writes
           BENCH_explore.json)
+          search (successive-halving search cold vs warm against a
+          fresh persistent cache, then the exhaustive grid on the same
+          cache; asserts byte-identical warm documents, and — under
+          --smoke — that the winner equals the exhaustive best and the
+          search costs less than half the grid's simulated iterations;
+          writes BENCH_search.json)
           static-accuracy (static power estimate vs simulation vs
           certified bound over the catalog x every method; asserts
           soundness on every cell and writes the error distribution
@@ -840,7 +846,7 @@ let run_explore () =
       let graph = Mclock_workloads.Workload.graph w in
       let name = w.Mclock_workloads.Workload.name in
       let sched_constraints = w.Mclock_workloads.Workload.constraints in
-      let cache = Mclock_explore.Store.open_ ~dir:cache_dir in
+      let cache = Mclock_explore.Store.open_ ~dir:cache_dir () in
       let pass () =
         let t0 = Unix.gettimeofday () in
         let r =
@@ -912,6 +918,185 @@ let run_explore () =
                      ("warm_seconds", Mclock_lint.Json.Float warm_dt);
                      ( "speedup",
                        Mclock_lint.Json.Float (cold_dt /. warm_dt) );
+                   ])
+               !results) );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Mclock_lint.Json.to_string_pretty json ^ "\n");
+  close_out oc;
+  Fmt.pr "wrote %s@." path;
+  Mclock_exec.Pool.shutdown pool
+
+(* --- Successive-halving search vs exhaustive grid ---------------------------------------------- *)
+
+(* `search` runs the halving search twice per workload against a fresh
+   cache (cold, then warm: the search document must be byte-identical
+   and the warm pass must simulate nothing), then runs the exhaustive
+   exploration against the same cache and checks the halving winner
+   against the exhaustive best under the same objective.  The headline
+   number is the simulated-iteration savings: halving's total
+   evaluation work vs the exhaustive grid at full fidelity. *)
+let run_search () =
+  let smoke = argv_flag "--smoke" in
+  let iterations = if smoke then 120 else 400 in
+  let max_clocks = if smoke then 2 else 4 in
+  let workloads =
+    if smoke then [ Mclock_workloads.Facet.t ]
+    else Mclock_workloads.Catalog.paper_tables
+  in
+  let objective = Mclock_explore.Objective.default in
+  section
+    (Printf.sprintf
+       "Successive-halving search vs exhaustive grid (max %d clocks, %d \
+        computations, objective %s)"
+       max_clocks iterations
+       (Mclock_explore.Objective.to_string objective))
+  ;
+  let cache_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mclock-bench-search-cache.%d" (Unix.getpid ()))
+  in
+  let table =
+    Mclock_util.Table.create
+      ~header:
+        [ "workload"; "cells"; "rungs"; "search iters"; "grid iters";
+          "savings"; "winner"; "= exhaustive" ]
+      ~aligns:
+        Mclock_util.Table.[ Left; Right; Right; Right; Right; Right; Left; Left ]
+      ()
+  in
+  let results = ref [] in
+  List.iter
+    (fun w ->
+      let graph = Mclock_workloads.Workload.graph w in
+      let name = w.Mclock_workloads.Workload.name in
+      let sched_constraints = w.Mclock_workloads.Workload.constraints in
+      let cache = Mclock_explore.Store.open_ ~dir:cache_dir () in
+      let pass () =
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Mclock_explore.Halving.run ~pool ~cache ~seed ~iterations
+            ~max_clocks ~objective ~name ~sched_constraints graph
+        in
+        (r, Unix.gettimeofday () -. t0)
+      in
+      let cold, cold_dt = pass () in
+      let warm, warm_dt = pass () in
+      let doc r =
+        Mclock_lint.Json.to_string (Mclock_explore.Halving.result_json r)
+      in
+      if doc cold <> doc warm then
+        Fmt.failwith "%s: warm-cache search document differs from cold" name;
+      if warm.Mclock_explore.Halving.stats.Mclock_explore.Halving.simulated <> 0
+      then
+        Fmt.failwith "%s: warm search simulated %d cells (expected 0)" name
+          warm.Mclock_explore.Halving.stats.Mclock_explore.Halving.simulated;
+      if warm.Mclock_explore.Halving.stats.Mclock_explore.Halving.cache_hits = 0
+      then Fmt.failwith "%s: warm search served no cache hits" name;
+      let winner =
+        match cold.Mclock_explore.Halving.winner with
+        | Some c -> c.Mclock_explore.Halving.c_label
+        | None -> Fmt.failwith "%s: search found no functional winner" name
+      in
+      (* The exhaustive grid shares the cache, so the halving rungs it
+         already paid for (the full-fidelity final rung in particular)
+         are not re-simulated. *)
+      let exhaustive =
+        Mclock_explore.Engine.explore ~pool ~cache ~seed ~iterations
+          ~max_clocks ~name ~sched_constraints graph
+      in
+      let exhaustive_best =
+        match Mclock_explore.Engine.best ~objective exhaustive with
+        | Some (cell, _) -> cell.Mclock_explore.Engine.cell_label
+        | None -> Fmt.failwith "%s: exhaustive grid has no functional cell" name
+      in
+      let matches = String.equal winner exhaustive_best in
+      (* The smoke grid is the CI contract: the halving winner must be
+         the exhaustive best, and the search must cost less than half
+         the grid.  The full catalog reports the same numbers without
+         failing, fidelity-vs-optimality being the trade-off under
+         study there. *)
+      if smoke && not matches then
+        Fmt.failwith "%s: halving winner %s but exhaustive best %s" name
+          winner exhaustive_best;
+      let search_iters = cold.Mclock_explore.Halving.evaluation_iterations in
+      let grid_iters = cold.Mclock_explore.Halving.exhaustive_iterations in
+      let savings = float_of_int grid_iters /. float_of_int search_iters in
+      if smoke && savings < 2.0 then
+        Fmt.failwith
+          "%s: halving saved only %.2fx vs the exhaustive grid (expected >= \
+           2x)"
+          name savings;
+      results :=
+        (name, cold, winner, exhaustive_best, matches, savings, cold_dt,
+         warm_dt, warm.Mclock_explore.Halving.stats)
+        :: !results;
+      Mclock_util.Table.add_row table
+        [
+          name;
+          string_of_int cold.Mclock_explore.Halving.enumerated;
+          string_of_int (List.length cold.Mclock_explore.Halving.rungs);
+          string_of_int search_iters;
+          string_of_int grid_iters;
+          Printf.sprintf "%.1fx" savings;
+          winner;
+          (if matches then "yes" else Printf.sprintf "no (%s)" exhaustive_best);
+        ])
+    workloads;
+  Mclock_util.Table.print table;
+  (* The bench cache is throwaway; leave nothing behind. *)
+  (try
+     Array.iter
+       (fun f -> Sys.remove (Filename.concat cache_dir f))
+       (Sys.readdir cache_dir);
+     Unix.rmdir cache_dir
+   with Sys_error _ | Unix.Unix_error (_, _, _) -> ());
+  let path = Option.value (argv_opt "--json") ~default:"BENCH_search.json" in
+  let json =
+    Mclock_lint.Json.Obj
+      [
+        ("benchmark", Mclock_lint.Json.String "search");
+        ("iterations", Mclock_lint.Json.Int iterations);
+        ("max_clocks", Mclock_lint.Json.Int max_clocks);
+        ("seed", Mclock_lint.Json.Int seed);
+        ( "objective",
+          Mclock_lint.Json.String (Mclock_explore.Objective.to_string objective)
+        );
+        ( "results",
+          Mclock_lint.Json.List
+            (List.rev_map
+               (fun (name, cold, winner, exhaustive_best, matches, savings,
+                     cold_dt, warm_dt, warm_stats) ->
+                 Mclock_lint.Json.Obj
+                   [
+                     ("workload", Mclock_lint.Json.String name);
+                     ( "enumerated",
+                       Mclock_lint.Json.Int
+                         cold.Mclock_explore.Halving.enumerated );
+                     ( "pruned",
+                       Mclock_lint.Json.Int cold.Mclock_explore.Halving.pruned
+                     );
+                     ( "rungs",
+                       Mclock_lint.Json.Int
+                         (List.length cold.Mclock_explore.Halving.rungs) );
+                     ( "search_iterations",
+                       Mclock_lint.Json.Int
+                         cold.Mclock_explore.Halving.evaluation_iterations );
+                     ( "exhaustive_iterations",
+                       Mclock_lint.Json.Int
+                         cold.Mclock_explore.Halving.exhaustive_iterations );
+                     ("savings", Mclock_lint.Json.Float savings);
+                     ("winner", Mclock_lint.Json.String winner);
+                     ( "exhaustive_best",
+                       Mclock_lint.Json.String exhaustive_best );
+                     ("winner_matches", Mclock_lint.Json.Bool matches);
+                     ("cold_seconds", Mclock_lint.Json.Float cold_dt);
+                     ("warm_seconds", Mclock_lint.Json.Float warm_dt);
+                     ( "warm_hits",
+                       Mclock_lint.Json.Int
+                         warm_stats.Mclock_explore.Halving.cache_hits );
                    ])
                !results) );
       ]
@@ -1135,6 +1320,7 @@ let () =
   Fmt.pr "mclock benchmark harness — %a@." Mclock_tech.Library.pp tech;
   if argv_flag "sim-throughput" then run_sim_throughput ()
   else if argv_flag "explore" then run_explore ()
+  else if argv_flag "search" then run_search ()
   else if argv_flag "static-accuracy" then run_static_accuracy ()
   else if argv_flag "--smoke" then run_smoke ()
   else run_full ()

@@ -8,6 +8,9 @@
      table      the paper's five-design comparison table for a workload
      waves      ASCII waveforms of an n-phase clocking scheme
      sweep      clock-count sweep for a workload
+     explore    exhaustive design-space exploration (Pareto frontier)
+     search     successive-halving multi-fidelity search (scalarized best)
+     estimate   simulation-free static power analysis
 
    Behaviours come from the bundled catalog (--workload) or a text-format
    DFG file (--file); unscheduled files are scheduled with the chosen
@@ -181,6 +184,16 @@ let or_die = function
   | Error msg ->
       Fmt.epr "mclock: %s@." msg;
       exit 1
+
+(* Uniform validation of count-like options: every subcommand rejects a
+   zero or negative value the same way — a usage error on stderr and
+   exit 1 — instead of hanging a worker pool or raising deep inside a
+   library. *)
+let require_at_least ~what ~min n =
+  if n < min then
+    or_die (Error (Printf.sprintf "%s must be >= %d (got %d)" what min n))
+
+let require_positive ~what n = require_at_least ~what ~min:1 n
 
 (* --- list --------------------------------------------------------------------- *)
 
@@ -378,6 +391,8 @@ let lint_cmd =
 let table_cmd =
   let run workload file scheduler iterations seed kernel jobs timings
       timings_json =
+    require_positive ~what:"--iterations" iterations;
+    Option.iter (require_positive ~what:"--jobs") jobs;
     let input = or_die (load ~workload ~file ~scheduler) in
     let name = Option.value ~default:"design" workload in
     let suite = Mclock_core.Flow.standard_suite ~name input.schedule in
@@ -462,6 +477,9 @@ let sweep_cmd =
   in
   let run workload file scheduler iterations seed kernel max_n jobs timings
       timings_json =
+    require_positive ~what:"--iterations" iterations;
+    require_positive ~what:"--max" max_n;
+    Option.iter (require_positive ~what:"--jobs") jobs;
     let input = or_die (load ~workload ~file ~scheduler) in
     let table =
       Mclock_util.Table.create ~title:"clock-count sweep"
@@ -511,51 +529,86 @@ let sweep_cmd =
       $ seed_arg $ kernel_arg $ max_arg $ jobs_arg $ timings_arg
       $ timings_json_arg)
 
+(* --- explore / search shared options ------------------------------------- *)
+
+let max_clocks_arg =
+  Arg.(value & opt (some int) None & info [ "max-clocks" ] ~docv:"N"
+         ~doc:"Largest clock count in the exploration grid \
+               (default 4; 2 under $(b,--smoke)).")
+
+let constraint_arg =
+  Arg.(value & opt_all string [] & info [ "c"; "constraint" ] ~docv:"EXPR"
+         ~doc:"Prune cells violating a bound, e.g. $(b,area<=12000), \
+               $(b,latency<=6), $(b,mem<=40), $(b,power<=4.5) or \
+               $(b,energy<=900). Repeatable; bounds are checked on \
+               pre-simulation binding results and the static power \
+               analyzer's certified bound, so pruned cells are never \
+               simulated. Power/energy caps are conservative: they keep \
+               exactly the cells whose worst-case bound fits the \
+               budget.")
+
+let cache_dir_arg =
+  Arg.(value & opt string ".mclock-cache" & info [ "cache-dir" ] ~docv:"DIR"
+         ~doc:"Persistent content-addressed evaluation cache directory \
+               (created on demand).")
+
+let no_cache_arg =
+  Arg.(value & flag & info [ "no-cache" ]
+         ~doc:"Disable the persistent cache: every surviving cell is \
+               simulated.")
+
+let stats_json_arg =
+  Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"PATH"
+         ~doc:"Write this run's hit/miss/prune counters as JSON to \
+               $(docv).")
+
+let smoke_arg =
+  Arg.(value & flag & info [ "smoke" ]
+         ~doc:"CI-sized run: the facet workload (unless one is given), \
+               2 clocks, 120 computations per cell.")
+
+let explore_iterations_arg =
+  Arg.(value & opt (some int) None & info [ "iterations" ] ~docv:"N"
+         ~doc:"Simulated computations per cell (default 400; 120 under \
+               $(b,--smoke)).")
+
+let objective_arg =
+  Arg.(value & opt (some string) None & info [ "objective" ] ~docv:"EXPR"
+         ~doc:"Scalarized objective, e.g. $(b,power) or \
+               $(b,0.7*power+0.2*area+0.1*latency): a weighted sum of \
+               per-metric scores, each min-max normalized across the \
+               candidates being compared (lower is better). Valid \
+               metrics: power, area, latency, energy, mem.")
+
+(* Shared by explore and search so both emit documents identically. *)
+let write_doc path json =
+  let oc = open_out path in
+  output_string oc (Mclock_lint.Json.to_string_pretty json ^ "\n");
+  close_out oc;
+  Fmt.epr "wrote %s@." path
+
+let parse_constraints constraints =
+  List.map
+    (fun s -> or_die (Mclock_explore.Metrics.parse_constraint s))
+    constraints
+
+let sched_constraints_of ~workload =
+  match workload with
+  | Some n -> (
+      match Mclock_workloads.Catalog.find n with
+      | Some w -> w.Mclock_workloads.Workload.constraints
+      | None -> [])
+  | None -> []
+
 (* --- explore ----------------------------------------------------------------- *)
 
 let explore_cmd =
-  let max_clocks_arg =
-    Arg.(value & opt (some int) None & info [ "max-clocks" ] ~docv:"N"
-           ~doc:"Largest clock count in the exploration grid \
-                 (default 4; 2 under $(b,--smoke)).")
-  in
-  let constraint_arg =
-    Arg.(value & opt_all string [] & info [ "c"; "constraint" ] ~docv:"EXPR"
-           ~doc:"Prune cells violating a bound, e.g. $(b,area<=12000), \
-                 $(b,latency<=6), $(b,mem<=40), $(b,power<=4.5) or \
-                 $(b,energy<=900). Repeatable; bounds are checked on \
-                 pre-simulation binding results and the static power \
-                 analyzer's certified bound, so pruned cells are never \
-                 simulated. Power/energy caps are conservative: they keep \
-                 exactly the cells whose worst-case bound fits the \
-                 budget.")
-  in
-  let cache_dir_arg =
-    Arg.(value & opt string ".mclock-cache" & info [ "cache-dir" ] ~docv:"DIR"
-           ~doc:"Persistent content-addressed evaluation cache directory \
-                 (created on demand).")
-  in
-  let no_cache_arg =
-    Arg.(value & flag & info [ "no-cache" ]
-           ~doc:"Disable the persistent cache: every surviving cell is \
-                 simulated.")
-  in
   let json_arg =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH"
            ~doc:"Write the frontier document (frontier + dominated-point \
                  attribution) as JSON to $(docv). Byte-identical across \
                  reruns and job counts; cache counters are excluded (see \
                  $(b,--stats-json)).")
-  in
-  let stats_json_arg =
-    Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"PATH"
-           ~doc:"Write this run's hit/miss/prune counters as JSON to \
-                 $(docv).")
-  in
-  let smoke_arg =
-    Arg.(value & flag & info [ "smoke" ]
-           ~doc:"CI-sized exploration: the facet workload (unless one is \
-                 given), 2 clocks, 120 computations per cell.")
   in
   let estimate_first_arg =
     Arg.(value & flag & info [ "estimate-first" ]
@@ -569,13 +622,27 @@ let explore_cmd =
                  $(b,--estimate-first)); the rest are reported with their \
                  static estimate only.")
   in
-  let explore_iterations_arg =
-    Arg.(value & opt (some int) None & info [ "iterations" ] ~docv:"N"
-           ~doc:"Simulated computations per cell (default 400; 120 under \
-                 $(b,--smoke)).")
+  let best_arg =
+    Arg.(value & flag & info [ "best" ]
+           ~doc:"Also print the best evaluated cell under the scalarized \
+                 $(b,--objective) (default: pure power).")
   in
   let run workload file max_clocks constraints iterations seed jobs cache_dir
-      no_cache json stats_json smoke estimate_first top_k timings timings_json =
+      no_cache json stats_json smoke estimate_first top_k objective best
+      timings timings_json =
+    Option.iter (require_positive ~what:"--iterations") iterations;
+    Option.iter (require_positive ~what:"--max-clocks") max_clocks;
+    Option.iter (require_positive ~what:"--jobs") jobs;
+    Option.iter (require_positive ~what:"--top-k") top_k;
+    let objective_opt =
+      Option.map (fun s -> or_die (Mclock_explore.Objective.parse s)) objective
+    in
+    (* --objective alone implies --best: parsing an objective and then
+       not using it would be surprising. *)
+    let best = best || objective_opt <> None in
+    let objective =
+      Option.value ~default:Mclock_explore.Objective.default objective_opt
+    in
     let workload =
       match (workload, file, smoke) with
       | None, None, true -> Some "facet"
@@ -587,11 +654,7 @@ let explore_cmd =
     let iterations =
       match iterations with Some n -> n | None -> if smoke then 120 else 400
     in
-    let constraints =
-      List.map
-        (fun s -> or_die (Mclock_explore.Metrics.parse_constraint s))
-        constraints
-    in
+    let constraints = parse_constraints constraints in
     let input = or_die (load ~workload ~file ~scheduler:`Annotated) in
     let name =
       match (workload, file) with
@@ -599,16 +662,9 @@ let explore_cmd =
       | _, Some p -> Filename.remove_extension (Filename.basename p)
       | None, None -> "design"
     in
-    let sched_constraints =
-      match workload with
-      | Some n -> (
-          match Mclock_workloads.Catalog.find n with
-          | Some w -> w.Mclock_workloads.Workload.constraints
-          | None -> [])
-      | None -> []
-    in
+    let sched_constraints = sched_constraints_of ~workload in
     let cache =
-      if no_cache then None else Some (Mclock_explore.Store.open_ ~dir:cache_dir)
+      if no_cache then None else Some (Mclock_explore.Store.open_ ~dir:cache_dir ())
     in
     let result =
       Mclock_exec.Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
@@ -621,25 +677,20 @@ let explore_cmd =
           result)
     in
     print_string (Mclock_explore.Engine.render_text result);
-    let write path contents =
-      let oc = open_out path in
-      output_string oc contents;
-      close_out oc;
-      Fmt.epr "wrote %s@." path
-    in
+    if best then
+      (match Mclock_explore.Engine.best ~objective result with
+      | Some (cell, score) ->
+          Printf.printf "best (%s): %s (score %.4f)\n"
+            (Mclock_explore.Objective.to_string objective)
+            cell.Mclock_explore.Engine.cell_label score
+      | None ->
+          Printf.printf "best (%s): none (no evaluated functional cell)\n"
+            (Mclock_explore.Objective.to_string objective));
     Option.iter
-      (fun p ->
-        write p
-          (Mclock_lint.Json.to_string_pretty
-             (Mclock_explore.Engine.frontier_json result)
-          ^ "\n"))
+      (fun p -> write_doc p (Mclock_explore.Engine.frontier_json result))
       json;
     Option.iter
-      (fun p ->
-        write p
-          (Mclock_lint.Json.to_string_pretty
-             (Mclock_explore.Engine.stats_json result)
-          ^ "\n"))
+      (fun p -> write_doc p (Mclock_explore.Engine.stats_json result))
       stats_json;
     let any_functional_failure =
       List.exists
@@ -664,7 +715,109 @@ let explore_cmd =
       const run $ workload_arg $ file_arg $ max_clocks_arg $ constraint_arg
       $ explore_iterations_arg $ seed_arg $ jobs_arg $ cache_dir_arg
       $ no_cache_arg $ json_arg $ stats_json_arg $ smoke_arg
-      $ estimate_first_arg $ top_k_arg $ timings_arg $ timings_json_arg)
+      $ estimate_first_arg $ top_k_arg $ objective_arg $ best_arg
+      $ timings_arg $ timings_json_arg)
+
+(* --- search ------------------------------------------------------------------ *)
+
+let search_cmd =
+  let eta_arg =
+    Arg.(value & opt int 2 & info [ "eta" ] ~docv:"N"
+           ~doc:"Halving rate: each rung keeps the best ceil(n/$(docv)) \
+                 candidates and multiplies the iteration budget by \
+                 $(docv). Must be >= 2.")
+  in
+  let min_iterations_arg =
+    Arg.(value & opt (some int) None & info [ "min-iterations" ] ~docv:"N"
+           ~doc:"First rung's iteration budget (default: iterations/16, \
+                 at least 1).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH"
+           ~doc:"Write the search document (rung schedule, per-candidate \
+                 scores, kept sets, winner, iteration totals) as JSON to \
+                 $(docv). Byte-identical across reruns, job counts and \
+                 cache states; cache counters are excluded (see \
+                 $(b,--stats-json)).")
+  in
+  let run workload file max_clocks constraints iterations seed jobs cache_dir
+      no_cache json stats_json smoke eta min_iterations objective timings
+      timings_json =
+    require_at_least ~what:"--eta" ~min:2 eta;
+    Option.iter (require_positive ~what:"--iterations") iterations;
+    Option.iter (require_positive ~what:"--min-iterations") min_iterations;
+    Option.iter (require_positive ~what:"--max-clocks") max_clocks;
+    Option.iter (require_positive ~what:"--jobs") jobs;
+    let workload =
+      match (workload, file, smoke) with
+      | None, None, true -> Some "facet"
+      | w, _, _ -> w
+    in
+    let max_clocks =
+      match max_clocks with Some n -> n | None -> if smoke then 2 else 4
+    in
+    let iterations =
+      match iterations with Some n -> n | None -> if smoke then 120 else 400
+    in
+    Option.iter
+      (fun m ->
+        if m > iterations then
+          or_die
+            (Error
+               (Printf.sprintf
+                  "--min-iterations (%d) must not exceed --iterations (%d)" m
+                  iterations)))
+      min_iterations;
+    let objective =
+      match objective with
+      | None -> Mclock_explore.Objective.default
+      | Some s -> or_die (Mclock_explore.Objective.parse s)
+    in
+    let constraints = parse_constraints constraints in
+    let input = or_die (load ~workload ~file ~scheduler:`Annotated) in
+    let name =
+      match (workload, file) with
+      | Some n, _ -> n
+      | _, Some p -> Filename.remove_extension (Filename.basename p)
+      | None, None -> "design"
+    in
+    let sched_constraints = sched_constraints_of ~workload in
+    let cache =
+      if no_cache then None
+      else Some (Mclock_explore.Store.open_ ~dir:cache_dir ())
+    in
+    let result =
+      Mclock_exec.Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
+          let result =
+            Mclock_explore.Halving.run ~pool ?cache ~eta ?min_iterations
+              ~constraints ~seed ~iterations ~max_clocks ~objective ~name
+              ~sched_constraints input.graph
+          in
+          emit_timings pool ~timings ~timings_json;
+          result)
+    in
+    print_string (Mclock_explore.Halving.render_text result);
+    Option.iter
+      (fun p -> write_doc p (Mclock_explore.Halving.result_json result))
+      json;
+    Option.iter
+      (fun p -> write_doc p (Mclock_explore.Halving.stats_json result))
+      stats_json;
+    if result.Mclock_explore.Halving.winner = None then exit 2
+  in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:"Successive-halving multi-fidelity search of the design space: \
+             evaluate everything cheaply, keep the best ceil(n/eta) under \
+             the scalarized objective, double down on the survivors until \
+             one rung runs at full fidelity. Shares the persistent \
+             evaluation cache with $(b,mclock explore); results are \
+             byte-identical across job counts and cache states.")
+    Term.(
+      const run $ workload_arg $ file_arg $ max_clocks_arg $ constraint_arg
+      $ explore_iterations_arg $ seed_arg $ jobs_arg $ cache_dir_arg
+      $ no_cache_arg $ json_arg $ stats_json_arg $ smoke_arg $ eta_arg
+      $ min_iterations_arg $ objective_arg $ timings_arg $ timings_json_arg)
 
 (* --- estimate ------------------------------------------------------------ *)
 
@@ -733,4 +886,5 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; show_cmd; synth_cmd; lint_cmd; table_cmd; waves_cmd;
-         sweep_cmd; explore_cmd; estimate_cmd; controller_cmd; calibrate_cmd ]))
+         sweep_cmd; explore_cmd; search_cmd; estimate_cmd; controller_cmd;
+         calibrate_cmd ]))

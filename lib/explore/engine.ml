@@ -55,9 +55,151 @@ type result = {
   stats : stats;
 }
 
+(* --- Prepared search spaces -------------------------------------------- *)
+
+type prepared = {
+  p_index : int;
+  p_config : Config.t;
+  p_label : string;
+  p_design : Mclock_rtl.Design.t;
+  p_bounds : Metrics.bounds;
+  p_est_power_mw : float;
+}
+
+type space = {
+  sp_graph : Mclock_dfg.Graph.t;
+  sp_width : int;
+  sp_tech : Mclock_tech.Library.t;
+  sp_name : string;
+  sp_sched_constraints : Mclock_sched.List_sched.constraints;
+  sp_cells : prepared list;
+}
+
+let prepare ?(tech = Mclock_tech.Cmos08.t) ?(width = 4) ?(max_clocks = 4)
+    ~iterations ~name ~sched_constraints graph =
+  let configs = Config.enumerate ~max_clocks in
+  (* One schedule per scheduler, shared by every cell using it. *)
+  let schedules = List.map (fun s -> (s, ref None)) Config.schedulers in
+  let schedule_for config =
+    let slot = List.assoc config.Config.scheduler schedules in
+    match !slot with
+    | Some s -> s
+    | None ->
+        let s = Config.schedule config ~constraints:sched_constraints graph in
+        slot := Some s;
+        s
+  in
+  (* Synthesize + bound + estimate every cell (serial, cheap). *)
+  let cells =
+    List.mapi
+      (fun i config ->
+        let schedule = schedule_for config in
+        let design =
+          Config.synthesize ~tech ~width config
+            ~name:(Printf.sprintf "x_%s" name)
+            schedule
+        in
+        let bounds, est_power, _ =
+          Metrics.bounds_and_estimate_of_design ~config ~iterations tech design
+        in
+        {
+          p_index = i;
+          p_config = config;
+          p_label = Config.label config;
+          p_design = design;
+          p_bounds = bounds;
+          p_est_power_mw = est_power;
+        })
+      configs
+  in
+  {
+    sp_graph = graph;
+    sp_width = width;
+    sp_tech = tech;
+    sp_name = name;
+    sp_sched_constraints = sched_constraints;
+    sp_cells = cells;
+  }
+
+let cell_key space ~seed ~iterations p =
+  Cachekey.digest
+    {
+      Cachekey.graph = space.sp_graph;
+      width = space.sp_width;
+      constraints = space.sp_sched_constraints;
+      config = p.p_config;
+      tech = space.sp_tech;
+      seed;
+      iterations;
+    }
+
+(* --- Partial-fidelity evaluation --------------------------------------- *)
+
+type rung_stats = { rs_cache_hits : int; rs_simulated : int }
+
+let evaluate_at ~pool ?cache ~seed ~iterations space cells =
+  let looked =
+    List.map
+      (fun p ->
+        let key = cell_key space ~seed ~iterations p in
+        let hit =
+          match cache with
+          | None -> None
+          | Some store -> Store.find store ~key
+        in
+        (p, key, hit))
+      cells
+  in
+  let misses =
+    List.filter_map
+      (function p, key, None -> Some (p, key) | _ -> None)
+      looked
+  in
+  let misses_arr = Array.of_list misses in
+  let fresh =
+    Mclock_exec.Pool.map pool
+      ~label:(fun i ->
+        Printf.sprintf "%s/%s@%d" space.sp_name (fst misses_arr.(i)).p_label
+          iterations)
+      (fun _ (p, _key) ->
+        let report =
+          Mclock_power.Report.evaluate ~seed ~iterations ~kernel:`Compiled
+            ~label:p.p_label space.sp_tech p.p_design space.sp_graph
+        in
+        Metrics.of_report ~config:p.p_config ~tech:space.sp_tech
+          ~latency_steps:(Mclock_rtl.Design.num_steps p.p_design)
+          report)
+      misses
+  in
+  (* Write-back on the submitting domain. *)
+  (match cache with
+  | None -> ()
+  | Some store ->
+      List.iter2 (fun (_, key) m -> Store.store store ~key m) misses fresh);
+  (* Stitch hits and fresh results back into input order. *)
+  let fresh_q = ref fresh in
+  let metrics =
+    List.map
+      (fun (_, _, hit) ->
+        match hit with
+        | Some m -> m
+        | None -> (
+            match !fresh_q with
+            | m :: rest ->
+                fresh_q := rest;
+                m
+            | [] -> assert false))
+      looked
+  in
+  ( metrics,
+    {
+      rs_cache_hits = List.length cells - List.length misses;
+      rs_simulated = List.length misses;
+    } )
+
 let explore ~pool ?cache ?(constraints = []) ?(seed = 42) ?(iterations = 400)
-    ?(max_clocks = 4) ?(tech = Mclock_tech.Cmos08.t) ?(width = 4)
-    ?(estimate_first = false) ?top_k ~name ~sched_constraints graph =
+    ?(max_clocks = 4) ?tech ?width ?(estimate_first = false) ?top_k ~name
+    ~sched_constraints graph =
   (match top_k with
   | Some k when k < 1 -> invalid_arg "Engine.explore: top_k >= 1"
   | _ -> ());
@@ -69,68 +211,29 @@ let explore ~pool ?cache ?(constraints = []) ?(seed = 42) ?(iterations = 400)
     | None -> 0
     | Some store -> (Store.stats store).Store.store_failures
   in
-  let configs = Config.enumerate ~max_clocks in
-  (* One schedule per scheduler, shared by every cell using it. *)
-  let schedules =
-    List.map
-      (fun s -> (s, ref None))
-      Config.schedulers
+  let space =
+    prepare ?tech ?width ~max_clocks ~iterations ~name ~sched_constraints graph
   in
-  let schedule_for config =
-    let slot = List.assoc config.Config.scheduler schedules in
-    match !slot with
-    | Some s -> s
-    | None ->
-        let s = Config.schedule config ~constraints:sched_constraints graph in
-        slot := Some s;
-        s
-  in
-  (* Synthesize + bound every cell (serial, cheap). *)
-  let prepared =
-    List.map
-      (fun config ->
-        let schedule = schedule_for config in
-        let design =
-          Config.synthesize ~tech ~width config
-            ~name:(Printf.sprintf "x_%s" name)
-            schedule
-        in
-        let bounds = Metrics.bounds_of_design ~config ~iterations tech design in
-        let key =
-          Cachekey.digest
-            {
-              Cachekey.graph;
-              width;
-              constraints = sched_constraints;
-              config;
-              tech;
-              seed;
-              iterations;
-            }
-        in
-        (config, design, bounds, key))
-      configs
-  in
+  let tech = space.sp_tech in
   (* Prune, then split survivors into cache hits and misses. *)
   let cells_pre =
     List.map
-      (fun (config, design, bounds, key) ->
-        match Metrics.violated ~constraints bounds with
-        | _ :: _ as v -> (config, design, bounds, key, `Pruned v)
+      (fun p ->
+        let key = cell_key space ~seed ~iterations p in
+        match Metrics.violated ~constraints p.p_bounds with
+        | _ :: _ as v -> (p, key, `Pruned v)
         | [] -> (
             match cache with
-            | None -> (config, design, bounds, key, `Miss)
+            | None -> (p, key, `Miss)
             | Some store -> (
                 match Store.find store ~key with
-                | Some m -> (config, design, bounds, key, `Hit m)
-                | None -> (config, design, bounds, key, `Miss))))
-      prepared
+                | Some m -> (p, key, `Hit m)
+                | None -> (p, key, `Miss))))
+      space.sp_cells
   in
   let misses =
     List.filter_map
-      (function
-        | config, design, _, key, `Miss -> Some (config, design, key)
-        | _ -> None)
+      (function p, key, `Miss -> Some (p, key) | _ -> None)
       cells_pre
   in
   (* Estimate-first: rank the misses by static expected power
@@ -144,11 +247,7 @@ let explore ~pool ?cache ?(constraints = []) ?(seed = 42) ?(iterations = 400)
       List.mapi (fun i m -> (i, None, m)) misses
     else
       List.mapi
-        (fun i ((config, design, _key) as m) ->
-          let est_power, _ =
-            Metrics.estimate_of_design ~config ~iterations tech design
-          in
-          (i, Some est_power, m))
+        (fun i ((p, _key) as m) -> (i, Some p.p_est_power_mw, m))
         misses
       |> List.stable_sort (fun (i, ea, _) (j, eb, _) ->
              match Option.compare Float.compare ea eb with
@@ -170,15 +269,15 @@ let explore ~pool ?cache ?(constraints = []) ?(seed = 42) ?(iterations = 400)
   let fresh =
     Mclock_exec.Pool.map pool
       ~label:(fun i ->
-        let _, _, (config, _, _) = selected_arr.(i) in
-        Printf.sprintf "%s/%s" name (Config.label config))
-      (fun _ (_, _, (config, design, _key)) ->
+        let _, _, (p, _) = selected_arr.(i) in
+        Printf.sprintf "%s/%s" name p.p_label)
+      (fun _ (_, _, (p, _key)) ->
         let report =
           Mclock_power.Report.evaluate ~seed ~iterations ~kernel:`Compiled
-            ~label:(Config.label config) tech design graph
+            ~label:p.p_label tech p.p_design graph
         in
-        Metrics.of_report ~config ~tech
-          ~latency_steps:(Mclock_rtl.Design.num_steps design)
+        Metrics.of_report ~config:p.p_config ~tech
+          ~latency_steps:(Mclock_rtl.Design.num_steps p.p_design)
           report)
       selected
   in
@@ -187,7 +286,7 @@ let explore ~pool ?cache ?(constraints = []) ?(seed = 42) ?(iterations = 400)
   | None -> ()
   | Some store ->
       List.iter2
-        (fun (_, _, (_, _, key)) metrics -> Store.store store ~key metrics)
+        (fun (_, _, (_, key)) metrics -> Store.store store ~key metrics)
         selected fresh);
   (* Stitch results back into enumeration order. *)
   let miss_status = Array.make (List.length misses) None in
@@ -208,14 +307,14 @@ let explore ~pool ?cache ?(constraints = []) ?(seed = 42) ?(iterations = 400)
   in
   let cells =
     List.map
-      (fun (config, _design, bounds, key, tag) ->
+      (fun (p, key, tag) ->
         let status =
           match tag with
           | `Pruned v -> Pruned v
           | `Hit m -> Cached m
           | `Miss -> next_miss ()
         in
-        { config; cell_label = Config.label config; key; bounds; status })
+        { config = p.p_config; cell_label = p.p_label; key; bounds = p.p_bounds; status })
       cells_pre
   in
   let points =
@@ -239,7 +338,7 @@ let explore ~pool ?cache ?(constraints = []) ?(seed = 42) ?(iterations = 400)
   let n_sim = List.length selected in
   let stats =
     {
-      enumerated = List.length configs;
+      enumerated = List.length space.sp_cells;
       pruned = n_pruned;
       cache_hits = n_hits;
       cache_misses = n_misses;
@@ -393,6 +492,25 @@ let frontier_json result =
                         ]))
              result.pareto.Pareto.verdicts) );
     ]
+
+(* --- Objective-based best pick ----------------------------------------- *)
+
+(* Cells arrive in enumeration order, so Objective.best's first-wins
+   tie-break is canonical config order. *)
+let best ~objective result =
+  let evaluated =
+    List.filter_map
+      (fun c ->
+        match c.status with
+        | (Cached m | Simulated m) when m.Metrics.functional_ok -> Some (c, m)
+        | _ -> None)
+      result.cells
+  in
+  match Objective.best objective (List.map snd evaluated) with
+  | None -> None
+  | Some (i, score) ->
+      let cell, _ = List.nth evaluated i in
+      Some (cell, score)
 
 let stats_json result =
   let s = result.stats in

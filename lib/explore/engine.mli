@@ -48,6 +48,64 @@ type result = {
   stats : stats;
 }
 
+type prepared = {
+  p_index : int;  (** canonical enumeration index (the tie-break order) *)
+  p_config : Config.t;
+  p_label : string;
+  p_design : Mclock_rtl.Design.t;
+  p_bounds : Metrics.bounds;
+  p_est_power_mw : float;  (** static expected power, the ranking key *)
+}
+(** A synthesized, bounded, estimated cell — everything that can be
+    known about it without simulating. *)
+
+type space = {
+  sp_graph : Mclock_dfg.Graph.t;
+  sp_width : int;
+  sp_tech : Mclock_tech.Library.t;
+  sp_name : string;
+  sp_sched_constraints : Mclock_sched.List_sched.constraints;
+  sp_cells : prepared list;  (** enumeration order *)
+}
+(** A prepared search space: the enumerated grid plus the shared
+    inputs every cache key derives from. *)
+
+val prepare :
+  ?tech:Mclock_tech.Library.t ->
+  ?width:int ->
+  ?max_clocks:int ->
+  iterations:int ->
+  name:string ->
+  sched_constraints:Mclock_sched.List_sched.constraints ->
+  Mclock_dfg.Graph.t ->
+  space
+(** Enumerate, synthesize, bound and estimate the whole grid (serial,
+    cheap — no simulation).  [iterations] is the evaluation fidelity
+    the bounds certify (the reset transient amortizes over it). *)
+
+val cell_key : space -> seed:int -> iterations:int -> prepared -> string
+(** The cell's content digest at the given evaluation fidelity —
+    iteration count is part of the key, so partial-fidelity runs cache
+    independently of (and alongside) full-fidelity ones. *)
+
+type rung_stats = { rs_cache_hits : int; rs_simulated : int }
+
+val evaluate_at :
+  pool:Mclock_exec.Pool.t ->
+  ?cache:Store.t ->
+  seed:int ->
+  iterations:int ->
+  space ->
+  prepared list ->
+  Metrics.t list * rung_stats
+(** The partial-fidelity evaluation entry point: evaluate the given
+    cells at an arbitrary iteration budget, serving cache hits and
+    fanning the misses over the pool (submission order = input order,
+    so results are jobs-invariant), writing fresh results back.
+    Returns metrics in input order.  Successive-halving rungs are
+    built on this; [iterations] need not match the fidelity the space
+    was prepared at. *)
+
 val explore :
   pool:Mclock_exec.Pool.t ->
   ?cache:Store.t ->
@@ -88,3 +146,10 @@ val frontier_json : result -> Mclock_lint.Json.t
 
 val stats_json : result -> Mclock_lint.Json.t
 (** The observability counters of this run. *)
+
+val best : objective:Objective.t -> result -> (cell * float) option
+(** The best evaluated, functionally-correct cell under a scalarized
+    objective (scores normalized across exactly those cells), with its
+    score.  Ties break by canonical config order.  [None] when nothing
+    was evaluated.  Deterministic: independent of job count and cache
+    state. *)

@@ -1,0 +1,377 @@
+(* Successive-halving search.
+
+   The rung loop is the whole algorithm:
+
+   1. seed   — prepare the grid, prune on certified bounds, rank the
+               admissible cells by static expected power (enumeration
+               order breaking ties);
+   2. rung   — evaluate every survivor at the current budget through
+               [Engine.evaluate_at] (cache-served, pool-fanned,
+               jobs-invariant), score with the scalarized objective
+               (non-functional candidates score infinity), sort by
+               (score, enumeration index);
+   3. keep   — the best [ceil (n / eta)] functional candidates survive
+               to the next rung, whose budget is [eta] times larger
+               (capped at full fidelity; a field of <= 1 jumps
+               straight to full);
+   4. stop   — the rung that ran at the full budget names the winner.
+
+   Budgets strictly increase (eta >= 2), so the loop always reaches the
+   full-fidelity rung.  Every quantity the keep-rule consumes is a
+   deterministic function of the candidate metrics, which are
+   themselves bit-identical across cache states (hex-float round-trip)
+   and job counts (submission-order reduction) — hence the byte-identity
+   guarantee on the rendered documents. *)
+
+type candidate = {
+  c_index : int;
+  c_label : string;
+  c_config : Config.t;
+  c_metrics : Metrics.t;
+  c_score : float;
+}
+
+type rung = {
+  r_number : int;
+  r_iterations : int;
+  r_candidates : candidate list;
+  r_kept : string list;
+}
+
+type stats = {
+  cache_hits : int;
+  simulated : int;
+  simulated_iterations : int;
+  store_failures : int;
+}
+
+type result = {
+  workload : string;
+  max_clocks : int;
+  seed : int;
+  eta : int;
+  min_iterations : int;
+  iterations : int;
+  objective : Objective.t;
+  constraints : Metrics.constraint_ list;
+  enumerated : int;
+  pruned : int;
+  rungs : rung list;
+  winner : candidate option;
+  evaluation_iterations : int;
+  exhaustive_iterations : int;
+  stats : stats;
+}
+
+(* Score one rung: min-max normalization runs over the functional
+   candidates only (a failed candidate must not stretch the ranges),
+   and a failed candidate scores infinity so it sorts last and can
+   never be kept over a functional one. *)
+let score_rung objective survivors metrics =
+  let pairs = List.combine survivors metrics in
+  let functional =
+    List.filter (fun (_, m) -> m.Metrics.functional_ok) pairs
+  in
+  let scores = Objective.scores objective (List.map snd functional) in
+  let tbl = Hashtbl.create 16 in
+  List.iter2
+    (fun ((p : Engine.prepared), _) s -> Hashtbl.replace tbl p.Engine.p_index s)
+    functional scores;
+  List.map
+    (fun ((p : Engine.prepared), m) ->
+      let score =
+        match Hashtbl.find_opt tbl p.Engine.p_index with
+        | Some s -> s
+        | None -> infinity
+      in
+      {
+        c_index = p.Engine.p_index;
+        c_label = p.Engine.p_label;
+        c_config = p.Engine.p_config;
+        c_metrics = m;
+        c_score = score;
+      })
+    pairs
+
+let run ~pool ?cache ?(eta = 2) ?min_iterations ?(constraints = [])
+    ?(seed = 42) ?(iterations = 400) ?(max_clocks = 4) ?tech ?width
+    ?(objective = Objective.default) ~name ~sched_constraints graph =
+  if eta < 2 then invalid_arg "Halving.run: eta >= 2";
+  if iterations < 1 then invalid_arg "Halving.run: iterations >= 1";
+  let min_iterations =
+    match min_iterations with
+    | None -> max 1 (iterations / 16)
+    | Some m ->
+        if m < 1 || m > iterations then
+          invalid_arg "Halving.run: min_iterations in 1..iterations";
+        m
+  in
+  (* Counters accumulate across runs sharing a store; snapshot so this
+     result reports only its own failures. *)
+  let store_failures_before =
+    match cache with
+    | None -> 0
+    | Some store -> (Store.stats store).Store.store_failures
+  in
+  let space =
+    Engine.prepare ?tech ?width ~max_clocks ~iterations ~name
+      ~sched_constraints graph
+  in
+  let admissible, rejected =
+    List.partition
+      (fun (p : Engine.prepared) ->
+        Metrics.admissible ~constraints p.Engine.p_bounds)
+      space.Engine.sp_cells
+  in
+  (* The seed pool, cheapest static power estimate first — the same
+     ranking estimate-first exploration uses, so the small-budget rungs
+     spend their work on the statically promising region. *)
+  let seed_pool =
+    List.stable_sort
+      (fun (a : Engine.prepared) (b : Engine.prepared) ->
+        match Float.compare a.Engine.p_est_power_mw b.Engine.p_est_power_mw with
+        | 0 -> Stdlib.compare a.Engine.p_index b.Engine.p_index
+        | c -> c)
+      admissible
+  in
+  let keep_count n = max 1 ((n + eta - 1) / eta) in
+  let rec loop rung_no budget survivors acc =
+    let rungs_acc, hits, sims, sim_iters, eval_iters = acc in
+    let metrics, rs =
+      Engine.evaluate_at ~pool ?cache ~seed ~iterations:budget space survivors
+    in
+    let candidates = score_rung objective survivors metrics in
+    let ranked =
+      List.stable_sort
+        (fun a b ->
+          match Float.compare a.c_score b.c_score with
+          | 0 -> Stdlib.compare a.c_index b.c_index
+          | c -> c)
+        candidates
+    in
+    let functional_ranked =
+      List.filter (fun c -> c.c_score < infinity) ranked
+    in
+    let n = List.length survivors in
+    let hits = hits + rs.Engine.rs_cache_hits in
+    let sims = sims + rs.Engine.rs_simulated in
+    let sim_iters = sim_iters + (rs.Engine.rs_simulated * budget) in
+    let eval_iters = eval_iters + (n * budget) in
+    if budget >= iterations then
+      (* The full-fidelity rung: its best functional candidate is the
+         winner. *)
+      let winner =
+        match functional_ranked with [] -> None | w :: _ -> Some w
+      in
+      let kept = match winner with None -> [] | Some w -> [ w.c_label ] in
+      let r =
+        {
+          r_number = rung_no;
+          r_iterations = budget;
+          r_candidates = candidates;
+          r_kept = kept;
+        }
+      in
+      (List.rev (r :: rungs_acc), winner, hits, sims, sim_iters, eval_iters)
+    else
+      let kept =
+        List.filteri (fun i _ -> i < keep_count n) functional_ranked
+      in
+      let r =
+        {
+          r_number = rung_no;
+          r_iterations = budget;
+          r_candidates = candidates;
+          r_kept = List.map (fun c -> c.c_label) kept;
+        }
+      in
+      match kept with
+      | [] ->
+          (* Every survivor failed functionally — nothing to promote. *)
+          (List.rev (r :: rungs_acc), None, hits, sims, sim_iters, eval_iters)
+      | _ ->
+          let next_budget =
+            if List.length kept <= 1 then iterations
+            else min iterations (budget * eta)
+          in
+          let by_index = Hashtbl.create 16 in
+          List.iter
+            (fun (p : Engine.prepared) ->
+              Hashtbl.replace by_index p.Engine.p_index p)
+            survivors;
+          let next =
+            List.map (fun c -> Hashtbl.find by_index c.c_index) kept
+          in
+          loop (rung_no + 1) next_budget next
+            (r :: rungs_acc, hits, sims, sim_iters, eval_iters)
+  in
+  let rungs, winner, hits, sims, sim_iters, eval_iters =
+    match seed_pool with
+    | [] -> ([], None, 0, 0, 0, 0)
+    | _ -> loop 0 (min iterations min_iterations) seed_pool ([], 0, 0, 0, 0)
+  in
+  {
+    workload = name;
+    max_clocks;
+    seed;
+    eta;
+    min_iterations;
+    iterations;
+    objective;
+    constraints;
+    enumerated = List.length space.Engine.sp_cells;
+    pruned = List.length rejected;
+    rungs;
+    winner;
+    evaluation_iterations = eval_iters;
+    exhaustive_iterations = List.length admissible * iterations;
+    stats =
+      {
+        cache_hits = hits;
+        simulated = sims;
+        simulated_iterations = sim_iters;
+        store_failures =
+          (match cache with
+          | None -> 0
+          | Some store ->
+              (Store.stats store).Store.store_failures
+              - store_failures_before);
+      };
+  }
+
+(* --- Rendering --------------------------------------------------------- *)
+
+let score_text c =
+  if c.c_score < infinity then Printf.sprintf "%.4f" c.c_score
+  else "fail"
+
+let render_text result =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "successive-halving search: %s (max %d clocks, eta %d, objective %s)\n"
+       result.workload result.max_clocks result.eta
+       (Objective.to_string result.objective));
+  Buffer.add_string buf
+    (Printf.sprintf "cells: %d enumerated, %d pruned by constraints\n"
+       result.enumerated result.pruned);
+  List.iter
+    (fun r ->
+      let is_kept l = List.mem l r.r_kept in
+      let table =
+        Mclock_util.Table.create
+          ~title:
+            (Printf.sprintf "rung %d: %d candidates @ %d iterations"
+               r.r_number
+               (List.length r.r_candidates)
+               r.r_iterations)
+          ~header:
+            [ "config"; "score"; "power [mW]"; "area [l^2]"; "lat"; "verdict" ]
+          ~aligns:Mclock_util.Table.[ Left; Right; Right; Right; Right; Left ]
+          ()
+      in
+      List.iter
+        (fun c ->
+          let m = c.c_metrics in
+          let verdict =
+            if not m.Metrics.functional_ok then "FUNCTIONAL FAIL"
+            else if is_kept c.c_label then "kept"
+            else "dropped"
+          in
+          Mclock_util.Table.add_row table
+            [
+              c.c_label;
+              score_text c;
+              Printf.sprintf "%.2f" m.Metrics.power_mw;
+              Printf.sprintf "%.0f" m.Metrics.area;
+              string_of_int m.Metrics.latency_steps;
+              verdict;
+            ])
+        r.r_candidates;
+      Buffer.add_string buf (Mclock_util.Table.render table);
+      Buffer.add_string buf "\n")
+    result.rungs;
+  (match result.winner with
+  | None -> Buffer.add_string buf "winner: none (no functional candidate)\n"
+  | Some w ->
+      Buffer.add_string buf
+        (Printf.sprintf "winner: %s (score %.4f, %.2f mW @ %d iterations)\n"
+           w.c_label w.c_score w.c_metrics.Metrics.power_mw result.iterations));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "evaluation: %d simulated iterations vs %d exhaustive (%.1fx savings)\n"
+       result.evaluation_iterations result.exhaustive_iterations
+       (if result.evaluation_iterations > 0 then
+          float_of_int result.exhaustive_iterations
+          /. float_of_int result.evaluation_iterations
+        else 0.));
+  Buffer.contents buf
+
+let candidate_json c =
+  let m = c.c_metrics in
+  Mclock_lint.Json.Obj
+    [
+      ("config", Mclock_lint.Json.String c.c_label);
+      ( "score",
+        if c.c_score < infinity then Mclock_lint.Json.Float c.c_score
+        else Mclock_lint.Json.Null );
+      ("functional", Mclock_lint.Json.Bool m.Metrics.functional_ok);
+      ("power_mw", Mclock_lint.Json.Float m.Metrics.power_mw);
+      ("area", Mclock_lint.Json.Float m.Metrics.area);
+      ("latency_steps", Mclock_lint.Json.Int m.Metrics.latency_steps);
+      ( "energy_per_computation_pj",
+        Mclock_lint.Json.Float m.Metrics.energy_per_computation_pj );
+      ("memory_cells", Mclock_lint.Json.Int m.Metrics.memory_cells);
+    ]
+
+let rung_json r =
+  Mclock_lint.Json.Obj
+    [
+      ("rung", Mclock_lint.Json.Int r.r_number);
+      ("iterations", Mclock_lint.Json.Int r.r_iterations);
+      ( "candidates",
+        Mclock_lint.Json.List (List.map candidate_json r.r_candidates) );
+      ( "kept",
+        Mclock_lint.Json.List
+          (List.map (fun l -> Mclock_lint.Json.String l) r.r_kept) );
+    ]
+
+let result_json result =
+  Mclock_lint.Json.Obj
+    [
+      ("workload", Mclock_lint.Json.String result.workload);
+      ("max_clocks", Mclock_lint.Json.Int result.max_clocks);
+      ("seed", Mclock_lint.Json.Int result.seed);
+      ("eta", Mclock_lint.Json.Int result.eta);
+      ("min_iterations", Mclock_lint.Json.Int result.min_iterations);
+      ("iterations", Mclock_lint.Json.Int result.iterations);
+      ( "objective",
+        Mclock_lint.Json.String (Objective.to_string result.objective) );
+      ( "constraints",
+        Mclock_lint.Json.List
+          (List.map
+             (fun c -> Mclock_lint.Json.String (Metrics.constraint_to_string c))
+             result.constraints) );
+      ("enumerated", Mclock_lint.Json.Int result.enumerated);
+      ("pruned", Mclock_lint.Json.Int result.pruned);
+      ("rungs", Mclock_lint.Json.List (List.map rung_json result.rungs));
+      ( "winner",
+        match result.winner with
+        | None -> Mclock_lint.Json.Null
+        | Some w -> candidate_json w );
+      ( "evaluation_iterations",
+        Mclock_lint.Json.Int result.evaluation_iterations );
+      ( "exhaustive_iterations",
+        Mclock_lint.Json.Int result.exhaustive_iterations );
+    ]
+
+let stats_json result =
+  let s = result.stats in
+  Mclock_lint.Json.Obj
+    [
+      ("workload", Mclock_lint.Json.String result.workload);
+      ("cache_hits", Mclock_lint.Json.Int s.cache_hits);
+      ("simulated", Mclock_lint.Json.Int s.simulated);
+      ("simulated_iterations", Mclock_lint.Json.Int s.simulated_iterations);
+      ("store_failures", Mclock_lint.Json.Int s.store_failures);
+    ]

@@ -43,7 +43,11 @@ let scaled_power_factor tech ~copies =
   let v = Mclock_power.Voltage.scaled_voltage ~vdd (float_of_int copies) in
   v /. vdd *. (v /. vdd)
 
-let bounds_of_design ~config ~iterations tech design =
+(* One static analysis yields both the certified bounds (for pruning)
+   and the expected-power estimate (the ranking key for estimate-first
+   exploration and the halving seed pool); computing them together
+   halves the analyzer invocations per cell. *)
+let bounds_and_estimate_of_design ~config ~iterations tech design =
   let area =
     (Mclock_power.Area.of_design tech design).Mclock_power.Area.design_total
   in
@@ -51,36 +55,42 @@ let bounds_of_design ~config ~iterations tech design =
   let a = Mclock_static.Analyze.run ~iterations tech design in
   let b_power_mw = a.Mclock_static.Analyze.b_power_mw in
   let b_energy_pj = a.Mclock_static.Analyze.b_energy_pj in
+  let est_power = a.Mclock_static.Analyze.est_power_mw in
+  let est_energy = a.Mclock_static.Analyze.est_energy_pj in
   match config.Config.voltage with
   | Config.Nominal ->
-      {
-        b_area = area;
-        b_latency_steps = Mclock_rtl.Design.num_steps design;
-        b_memory_cells = cells;
-        b_power_mw;
-        b_energy_pj;
-      }
+      ( {
+          b_area = area;
+          b_latency_steps = Mclock_rtl.Design.num_steps design;
+          b_memory_cells = cells;
+          b_power_mw;
+          b_energy_pj;
+        },
+        est_power,
+        est_energy )
   | Config.Scaled ->
       let factor = scaled_power_factor tech ~copies:config.Config.clocks in
-      {
-        b_area = scaled_area tech ~copies:config.Config.clocks area;
-        b_latency_steps = Mclock_rtl.Design.num_steps design;
-        b_memory_cells = config.Config.clocks * cells;
-        b_power_mw = b_power_mw *. factor;
-        b_energy_pj = b_energy_pj *. factor;
-      }
+      ( {
+          b_area = scaled_area tech ~copies:config.Config.clocks area;
+          b_latency_steps = Mclock_rtl.Design.num_steps design;
+          b_memory_cells = config.Config.clocks * cells;
+          b_power_mw = b_power_mw *. factor;
+          b_energy_pj = b_energy_pj *. factor;
+        },
+        est_power *. factor,
+        est_energy *. factor )
+
+let bounds_of_design ~config ~iterations tech design =
+  let b, _, _ = bounds_and_estimate_of_design ~config ~iterations tech design in
+  b
 
 (* Static expected power/energy of a cell, through the same scaling
    transform as [of_report] — the estimate-first ranking key. *)
 let estimate_of_design ~config ~iterations tech design =
-  let a = Mclock_static.Analyze.run ~iterations tech design in
-  let est_power = a.Mclock_static.Analyze.est_power_mw in
-  let est_energy = a.Mclock_static.Analyze.est_energy_pj in
-  match config.Config.voltage with
-  | Config.Nominal -> (est_power, est_energy)
-  | Config.Scaled ->
-      let factor = scaled_power_factor tech ~copies:config.Config.clocks in
-      (est_power *. factor, est_energy *. factor)
+  let _, est_power, est_energy =
+    bounds_and_estimate_of_design ~config ~iterations tech design
+  in
+  (est_power, est_energy)
 
 let of_report ~config ~tech ~latency_steps (r : Mclock_power.Report.t) =
   let base =
@@ -154,8 +164,8 @@ let parse_constraint s =
       | other, _ ->
           Error
             (Printf.sprintf
-               "unknown constraint %S (expected area, latency, mem, power or \
-                energy)"
+               "unknown metric %S in constraint (valid metrics: area, \
+                latency, mem, power, energy)"
                other))
   | _ ->
       Error

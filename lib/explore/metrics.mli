@@ -28,6 +28,18 @@ type bounds = {
     whose worst-case bound fits the budget, so pruning decisions are
     deterministic and never admit an actual violator. *)
 
+val bounds_and_estimate_of_design :
+  config:Config.t ->
+  iterations:int ->
+  Mclock_tech.Library.t ->
+  Mclock_rtl.Design.t ->
+  bounds * float * float
+(** [(bounds, est_power_mw, est_energy_pj)] from one static analysis:
+    the certified pruning bounds plus the expected-power estimate used
+    as the ranking key (estimate-first exploration, halving seed
+    pool), all through the [Scaled] transform when the configuration
+    asks for it. *)
+
 val bounds_of_design :
   config:Config.t ->
   iterations:int ->

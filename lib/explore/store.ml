@@ -17,14 +17,57 @@ type t = {
   mutable misses : int;
   mutable stores : int;
   mutable store_failures : int;
+  mutable swept_tmp : int;
 }
 
 let dir t = t.dir
 
-let open_ ~dir =
+(* A run killed between temp-write and rename leaves a ".<key>.<pid>.tmp"
+   orphan behind.  They are invisible to lookups but accumulate
+   forever, so opening the store sweeps them — age-gated, because a
+   young temp file may belong to a live concurrent writer about to
+   rename it.  Every failure is tolerated: sweeping is hygiene, not
+   correctness. *)
+let is_tmp_name name =
+  String.length name > 5
+  && name.[0] = '.'
+  && Filename.check_suffix name ".tmp"
+
+let sweep_tmp ~max_age dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | names ->
+      let now = Unix.gettimeofday () in
+      Array.fold_left
+        (fun swept name ->
+          if not (is_tmp_name name) then swept
+          else
+            let path = Filename.concat dir name in
+            match Unix.stat path with
+            | exception Unix.Unix_error (_, _, _) -> swept
+            | st ->
+                if
+                  st.Unix.st_kind = Unix.S_REG
+                  && now -. st.Unix.st_mtime > max_age
+                then
+                  match Sys.remove path with
+                  | () -> swept + 1
+                  | exception Sys_error _ -> swept
+                else swept)
+        0 names
+
+let open_ ?(tmp_max_age = 3600.) ~dir () =
   (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
    with Unix.Unix_error (_, _, _) | Sys_error _ -> ());
-  { dir; hits = 0; misses = 0; stores = 0; store_failures = 0 }
+  let swept = sweep_tmp ~max_age:tmp_max_age dir in
+  {
+    dir;
+    hits = 0;
+    misses = 0;
+    stores = 0;
+    store_failures = 0;
+    swept_tmp = swept;
+  }
 
 (* Keys come from Cachekey.digest (hex), but defend against a caller
    handing over something path-hostile anyway. *)
@@ -111,6 +154,7 @@ type stats = {
   misses : int;
   stores : int;
   store_failures : int;
+  swept_tmp : int;
 }
 
 let stats (t : t) : stats =
@@ -119,10 +163,12 @@ let stats (t : t) : stats =
     misses = t.misses;
     stores = t.stores;
     store_failures = t.store_failures;
+    swept_tmp = t.swept_tmp;
   }
 
 let reset_stats (t : t) =
   t.hits <- 0;
   t.misses <- 0;
   t.stores <- 0;
-  t.store_failures <- 0
+  t.store_failures <- 0;
+  t.swept_tmp <- 0

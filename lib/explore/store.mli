@@ -15,9 +15,17 @@ val version : int
 (** On-disk entry format version; an entry written by any other
     version is treated as a miss. *)
 
-val open_ : dir:string -> t
+val open_ : ?tmp_max_age:float -> dir:string -> unit -> t
 (** Opens (creating the directory if needed and possible — failure to
-    create is tolerated and simply makes every lookup a miss). *)
+    create is tolerated and simply makes every lookup a miss).
+
+    Opening also sweeps stale temp files: a run killed between a
+    temp-file write and its rename leaks a [.<key>.<pid>.tmp] orphan,
+    invisible to lookups but accumulating forever.  Only temp files
+    older than [tmp_max_age] seconds (default one hour) are removed, so
+    a live concurrent writer's in-flight temp file is never raced; the
+    sweep tolerates every filesystem error and reports its count as
+    [swept_tmp] in {!stats}. *)
 
 val dir : t -> string
 
@@ -33,6 +41,7 @@ type stats = {
   misses : int;
   stores : int;
   store_failures : int;
+  swept_tmp : int;  (** stale temp files removed when the store opened *)
 }
 
 val stats : t -> stats

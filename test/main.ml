@@ -21,5 +21,6 @@ let () =
       ("lint", Test_lint.suite);
       ("properties", Test_props.suite);
       ("explore", Test_explore.suite);
+      ("search", Test_search.suite);
       ("static", Test_static.suite);
     ]

@@ -173,11 +173,46 @@ let test_constraint_parsing () =
   | Error _ -> ()
   | Ok _ -> fail "missing <= must not parse"
 
+let string_contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i =
+    i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1))
+  in
+  scan 0
+
+let test_constraint_unknown_metric_diagnostic () =
+  (* A typo'd metric name must produce a diagnostic that names the typo
+     and lists every valid metric, not a bare parse failure. *)
+  match Metrics.parse_constraint "powr<=3" with
+  | Ok _ -> fail "typo'd metric must not parse"
+  | Error msg ->
+      List.iter
+        (fun needle ->
+          if not (string_contains ~needle msg) then
+            fail (Printf.sprintf "diagnostic %S misses %S" msg needle))
+        [ "powr"; "area"; "latency"; "mem"; "power"; "energy" ]
+
+let test_constraint_to_string_roundtrip () =
+  List.iter
+    (fun c ->
+      let rendered = Metrics.constraint_to_string c in
+      match Metrics.parse_constraint rendered with
+      | Ok c' when c = c' -> ()
+      | Ok _ -> fail (Printf.sprintf "%s re-parsed differently" rendered)
+      | Error e -> fail (Printf.sprintf "%s does not re-parse: %s" rendered e))
+    [
+      Metrics.Max_area 12000.5;
+      Metrics.Max_latency 6;
+      Metrics.Max_memory 40;
+      Metrics.Max_power 4.5;
+      Metrics.Max_energy 900.;
+    ]
+
 (* --- Store failure modes ----------------------------------------------- *)
 
 let test_store_roundtrip () =
   let dir = temp_dir () in
-  let s = Store.open_ ~dir in
+  let s = Store.open_ ~dir () in
   check Alcotest.bool "empty store misses" true (Store.find s ~key:sample_key = None);
   Store.store s ~key:sample_key sample_metrics;
   (match Store.find s ~key:sample_key with
@@ -193,7 +228,7 @@ let test_store_roundtrip () =
 
 let test_store_truncated_entry_is_miss () =
   let dir = temp_dir () in
-  let s = Store.open_ ~dir in
+  let s = Store.open_ ~dir () in
   Store.store s ~key:sample_key sample_metrics;
   let path = Store.entry_path s ~key:sample_key in
   let full = In_channel.with_open_bin path In_channel.input_all in
@@ -206,7 +241,7 @@ let test_store_truncated_entry_is_miss () =
 
 let test_store_wrong_version_is_miss () =
   let dir = temp_dir () in
-  let s = Store.open_ ~dir in
+  let s = Store.open_ ~dir () in
   Store.store s ~key:sample_key sample_metrics;
   let path = Store.entry_path s ~key:sample_key in
   let text = In_channel.with_open_bin path In_channel.input_all in
@@ -240,7 +275,7 @@ let test_store_wrong_version_is_miss () =
 
 let test_store_digest_mismatch_is_miss () =
   let dir = temp_dir () in
-  let s = Store.open_ ~dir in
+  let s = Store.open_ ~dir () in
   Store.store s ~key:sample_key sample_metrics;
   (* Move a valid entry under a different key: the recorded key no
      longer matches the address, so it must not be served. *)
@@ -253,7 +288,7 @@ let test_store_digest_mismatch_is_miss () =
 
 let test_store_garbage_entry_is_miss () =
   let dir = temp_dir () in
-  let s = Store.open_ ~dir in
+  let s = Store.open_ ~dir () in
   Out_channel.with_open_bin (Store.entry_path s ~key:sample_key) (fun oc ->
       Out_channel.output_string oc "not json at all {{{");
   check Alcotest.bool "garbage entry misses" true
@@ -268,16 +303,42 @@ let test_store_unwritable_dir_never_raises () =
   let blocker = Filename.concat dir "not-a-dir" in
   Out_channel.with_open_bin blocker (fun oc ->
       Out_channel.output_string oc "x");
-  let s = Store.open_ ~dir:blocker in
+  let s = Store.open_ ~dir:blocker () in
   Store.store s ~key:sample_key sample_metrics;
   check Alcotest.bool "find on unwritable dir misses" true
     (Store.find s ~key:sample_key = None);
   check Alcotest.int "failure counted" 1 (Store.stats s).Store.store_failures;
   rm_rf dir
 
+let test_store_tmp_sweep () =
+  (* A run killed mid-store leaves a ".<key>.<pid>.tmp" orphan; opening
+     the store must remove old ones, count them, and leave both young
+     temp files (a live writer may still rename them) and real entries
+     alone — whatever their age. *)
+  let dir = temp_dir () in
+  let stale = Filename.concat dir ".deadbeef.123.tmp" in
+  let fresh = Filename.concat dir ".cafe.456.tmp" in
+  Out_channel.with_open_bin stale (fun oc -> Out_channel.output_string oc "{");
+  Out_channel.with_open_bin fresh (fun oc -> Out_channel.output_string oc "{");
+  let old = Unix.gettimeofday () -. 7200. in
+  Unix.utimes stale old old;
+  let s = Store.open_ ~dir () in
+  check Alcotest.int "one file swept" 1 (Store.stats s).Store.swept_tmp;
+  check Alcotest.bool "stale tmp removed" false (Sys.file_exists stale);
+  check Alcotest.bool "young tmp kept" true (Sys.file_exists fresh);
+  (* An old *entry* is data, not garbage: reopening must never sweep
+     it. *)
+  Store.store s ~key:sample_key sample_metrics;
+  Unix.utimes (Store.entry_path s ~key:sample_key) old old;
+  let s2 = Store.open_ ~dir () in
+  check Alcotest.int "nothing else swept" 0 (Store.stats s2).Store.swept_tmp;
+  check Alcotest.bool "old entry survives reopen" true
+    (Store.find s2 ~key:sample_key <> None);
+  rm_rf dir
+
 let test_store_unsafe_key_rejected () =
   let dir = temp_dir () in
-  let s = Store.open_ ~dir in
+  let s = Store.open_ ~dir () in
   Store.store s ~key:"../evil" sample_metrics;
   check Alcotest.bool "path-hostile key misses" true
     (Store.find s ~key:"../evil" = None);
@@ -410,7 +471,7 @@ let test_engine_jobs_invariant () =
 
 let test_engine_warm_cache_soundness () =
   let dir = temp_dir () in
-  let cache = Store.open_ ~dir in
+  let cache = Store.open_ ~dir () in
   let cold = explore ~cache () in
   let warm = explore ~cache ~jobs:2 () in
   check Alcotest.string "warm frontier byte-identical"
@@ -430,7 +491,7 @@ let test_engine_warm_cache_soundness () =
 
 let test_engine_corrupt_cache_recovers () =
   let dir = temp_dir () in
-  let cache = Store.open_ ~dir in
+  let cache = Store.open_ ~dir () in
   let cold = explore ~cache () in
   (* Vandalize every on-disk entry; the engine must silently fall back
      to simulation and reproduce the same frontier. *)
@@ -594,7 +655,7 @@ let test_engine_top_k_cutoff () =
   (* Rerunning with a cache: the k simulated cells become hits and the
      next k misses get their turn. *)
   let dir = temp_dir () in
-  let cache = Store.open_ ~dir in
+  let cache = Store.open_ ~dir () in
   let warm1 = explore ~cache ~top_k:k () in
   let warm2 = explore ~cache ~top_k:k () in
   check Alcotest.int "second pass re-simulates k more" k
@@ -645,7 +706,12 @@ let suite =
     ("cachekey graph structure", `Quick, test_cachekey_graph_structure);
     ("metrics json bit-exact", `Quick, test_metrics_json_roundtrip_exact);
     ("constraint parsing", `Quick, test_constraint_parsing);
+    ( "constraint unknown metric diagnostic",
+      `Quick,
+      test_constraint_unknown_metric_diagnostic );
+    ("constraint to_string roundtrip", `Quick, test_constraint_to_string_roundtrip);
     ("store roundtrip", `Quick, test_store_roundtrip);
+    ("store tmp sweep", `Quick, test_store_tmp_sweep);
     ("store truncated entry", `Quick, test_store_truncated_entry_is_miss);
     ("store wrong version", `Quick, test_store_wrong_version_is_miss);
     ("store digest mismatch", `Quick, test_store_digest_mismatch_is_miss);
