@@ -26,6 +26,11 @@
           --smoke — that the winner equals the exhaustive best and the
           search costs less than half the grid's simulated iterations;
           writes BENCH_search.json)
+          resume (halving search with checkpointed incremental
+          promotion vs restart-per-rung on fresh caches; asserts
+          identical scores and winner, byte-identical warm documents,
+          winner equal to the exhaustive best, and — under --smoke —
+          >= 1.2x fewer simulated iterations; writes BENCH_resume.json)
           static-accuracy (static power estimate vs simulation vs
           certified bound over the catalog x every method; asserts
           soundness on every cell and writes the error distribution
@@ -1107,6 +1112,219 @@ let run_search () =
   Fmt.pr "wrote %s@." path;
   Mclock_exec.Pool.shutdown pool
 
+(* --- Checkpointed resume vs restart-per-rung --------------------------------------------------- *)
+
+(* `resume` quantifies what the checkpoint sidecars buy: the halving
+   search runs against two fresh caches, once with the default
+   incremental promotion (each rung extends the previous rung's
+   checkpoints) and once with --no-resume semantics (every rung
+   restarts from iteration zero).  Both searches must agree on every
+   score and the winner — resume is a pure cost optimization — and the
+   winner must equal the exhaustive best under the same objective.  A
+   warm re-run of the incremental search must render byte-identically
+   and simulate nothing.  The headline number is the reduction in
+   actually-simulated iterations; the smoke run enforces >= 1.2x as
+   the CI contract. *)
+let run_resume () =
+  let smoke = argv_flag "--smoke" in
+  let iterations = if smoke then 120 else 400 in
+  let max_clocks = if smoke then 2 else 4 in
+  let workloads =
+    if smoke then [ Mclock_workloads.Facet.t ]
+    else Mclock_workloads.Catalog.paper_tables
+  in
+  let objective = Mclock_explore.Objective.default in
+  section
+    (Printf.sprintf
+       "Checkpointed resume vs restart-per-rung (max %d clocks, %d \
+        computations, objective %s)"
+       max_clocks iterations
+       (Mclock_explore.Objective.to_string objective));
+  let fresh_cache tag name =
+    Mclock_explore.Store.open_
+      ~dir:
+        (Filename.concat
+           (Filename.get_temp_dir_name ())
+           (Printf.sprintf "mclock-bench-resume-%s-%s.%d" tag name
+              (Unix.getpid ())))
+      ()
+  in
+  let drop_cache cache =
+    let dir = Mclock_explore.Store.dir cache in
+    try
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Unix.rmdir dir
+    with Sys_error _ | Unix.Unix_error (_, _, _) -> ()
+  in
+  let table =
+    Mclock_util.Table.create
+      ~header:
+        [ "workload"; "cells"; "rungs"; "restart iters"; "resume iters";
+          "reduction"; "resumed"; "ckpts"; "winner"; "= exhaustive" ]
+      ~aligns:
+        Mclock_util.Table.[ Left; Right; Right; Right; Right; Right; Right;
+                            Right; Left; Left ]
+      ()
+  in
+  let results = ref [] in
+  List.iter
+    (fun w ->
+      let graph = Mclock_workloads.Workload.graph w in
+      let name = w.Mclock_workloads.Workload.name in
+      let sched_constraints = w.Mclock_workloads.Workload.constraints in
+      let search ~resume cache =
+        Mclock_explore.Halving.run ~pool ~cache ~seed ~iterations ~max_clocks
+          ~objective ~resume ~name ~sched_constraints graph
+      in
+      let doc r =
+        Mclock_lint.Json.to_string (Mclock_explore.Halving.result_json r)
+      in
+      let resume_cache = fresh_cache "inc" name in
+      let cold = search ~resume:true resume_cache in
+      let warm = search ~resume:true resume_cache in
+      if doc cold <> doc warm then
+        Fmt.failwith "%s: warm-cache search document differs from cold" name;
+      if
+        warm.Mclock_explore.Halving.stats
+          .Mclock_explore.Halving.simulated_iterations <> 0
+      then
+        Fmt.failwith "%s: warm search simulated %d iterations (expected 0)"
+          name
+          warm.Mclock_explore.Halving.stats
+            .Mclock_explore.Halving.simulated_iterations;
+      let restart_cache = fresh_cache "restart" name in
+      let restart = search ~resume:false restart_cache in
+      drop_cache restart_cache;
+      let cs = cold.Mclock_explore.Halving.stats in
+      let rs = restart.Mclock_explore.Halving.stats in
+      let winner_label r =
+        match r.Mclock_explore.Halving.winner with
+        | Some c -> c.Mclock_explore.Halving.c_label
+        | None -> Fmt.failwith "%s: search found no functional winner" name
+      in
+      let winner = winner_label cold in
+      if not (String.equal winner (winner_label restart)) then
+        Fmt.failwith "%s: resume winner %s but restart winner %s" name winner
+          (winner_label restart);
+      (* Scores must agree rung by rung, not just the winner: resume
+         only changes where iterations come from. *)
+      let scores r =
+        List.concat_map
+          (fun rung ->
+            List.map
+              (fun c ->
+                (c.Mclock_explore.Halving.c_label,
+                 c.Mclock_explore.Halving.c_score))
+              rung.Mclock_explore.Halving.r_candidates)
+          r.Mclock_explore.Halving.rungs
+      in
+      if scores cold <> scores restart then
+        Fmt.failwith "%s: resume and restart rung scores differ" name;
+      (* The exhaustive grid shares the incremental cache, so the
+         full-fidelity final rung is already paid for. *)
+      let exhaustive =
+        Mclock_explore.Engine.explore ~pool ~cache:resume_cache ~seed
+          ~iterations ~max_clocks ~name ~sched_constraints graph
+      in
+      drop_cache resume_cache;
+      let exhaustive_best =
+        match Mclock_explore.Engine.best ~objective exhaustive with
+        | Some (cell, _) -> cell.Mclock_explore.Engine.cell_label
+        | None -> Fmt.failwith "%s: exhaustive grid has no functional cell" name
+      in
+      let matches = String.equal winner exhaustive_best in
+      if smoke && not matches then
+        Fmt.failwith "%s: halving winner %s but exhaustive best %s" name
+          winner exhaustive_best;
+      let reduction =
+        float_of_int rs.Mclock_explore.Halving.simulated_iterations
+        /. float_of_int cs.Mclock_explore.Halving.simulated_iterations
+      in
+      if smoke && reduction < 1.2 then
+        Fmt.failwith
+          "%s: checkpoints cut simulated iterations only %.2fx vs \
+           restart-per-rung (expected >= 1.2x)"
+          name reduction;
+      if cs.Mclock_explore.Halving.resumed = 0 then
+        Fmt.failwith "%s: cold incremental search resumed no checkpoints" name;
+      if cs.Mclock_explore.Halving.checkpoints_written = 0 then
+        Fmt.failwith "%s: cold incremental search wrote no checkpoints" name;
+      results := (name, cold, restart, winner, exhaustive_best, matches,
+                  reduction)
+                 :: !results;
+      Mclock_util.Table.add_row table
+        [
+          name;
+          string_of_int cold.Mclock_explore.Halving.enumerated;
+          string_of_int (List.length cold.Mclock_explore.Halving.rungs);
+          string_of_int rs.Mclock_explore.Halving.simulated_iterations;
+          string_of_int cs.Mclock_explore.Halving.simulated_iterations;
+          Printf.sprintf "%.1fx" reduction;
+          string_of_int cs.Mclock_explore.Halving.resumed;
+          string_of_int cs.Mclock_explore.Halving.checkpoints_written;
+          winner;
+          (if matches then "yes" else Printf.sprintf "no (%s)" exhaustive_best);
+        ])
+    workloads;
+  Mclock_util.Table.print table;
+  let path = Option.value (argv_opt "--json") ~default:"BENCH_resume.json" in
+  let json =
+    Mclock_lint.Json.Obj
+      [
+        ("benchmark", Mclock_lint.Json.String "resume");
+        ("iterations", Mclock_lint.Json.Int iterations);
+        ("max_clocks", Mclock_lint.Json.Int max_clocks);
+        ("seed", Mclock_lint.Json.Int seed);
+        ( "objective",
+          Mclock_lint.Json.String (Mclock_explore.Objective.to_string objective)
+        );
+        ( "results",
+          Mclock_lint.Json.List
+            (List.rev_map
+               (fun (name, cold, restart, winner, exhaustive_best, matches,
+                     reduction) ->
+                 let cs = cold.Mclock_explore.Halving.stats in
+                 let rs = restart.Mclock_explore.Halving.stats in
+                 Mclock_lint.Json.Obj
+                   [
+                     ("workload", Mclock_lint.Json.String name);
+                     ( "enumerated",
+                       Mclock_lint.Json.Int
+                         cold.Mclock_explore.Halving.enumerated );
+                     ( "rungs",
+                       Mclock_lint.Json.Int
+                         (List.length cold.Mclock_explore.Halving.rungs) );
+                     ( "restart_simulated_iterations",
+                       Mclock_lint.Json.Int
+                         rs.Mclock_explore.Halving.simulated_iterations );
+                     ( "resume_simulated_iterations",
+                       Mclock_lint.Json.Int
+                         cs.Mclock_explore.Halving.simulated_iterations );
+                     ("reduction", Mclock_lint.Json.Float reduction);
+                     ( "resumed",
+                       Mclock_lint.Json.Int cs.Mclock_explore.Halving.resumed );
+                     ( "resumed_iterations",
+                       Mclock_lint.Json.Int
+                         cs.Mclock_explore.Halving.resumed_iterations );
+                     ( "checkpoints_written",
+                       Mclock_lint.Json.Int
+                         cs.Mclock_explore.Halving.checkpoints_written );
+                     ("winner", Mclock_lint.Json.String winner);
+                     ( "exhaustive_best",
+                       Mclock_lint.Json.String exhaustive_best );
+                     ("winner_matches", Mclock_lint.Json.Bool matches);
+                   ])
+               !results) );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Mclock_lint.Json.to_string_pretty json ^ "\n");
+  close_out oc;
+  Fmt.pr "wrote %s@." path;
+  Mclock_exec.Pool.shutdown pool
+
 (* --- Static estimate accuracy ------------------------------------------------------------------ *)
 
 (* Sweeps the catalog x all allocation methods x n in {1,2,4},
@@ -1321,6 +1539,7 @@ let () =
   if argv_flag "sim-throughput" then run_sim_throughput ()
   else if argv_flag "explore" then run_explore ()
   else if argv_flag "search" then run_search ()
+  else if argv_flag "resume" then run_resume ()
   else if argv_flag "static-accuracy" then run_static_accuracy ()
   else if argv_flag "--smoke" then run_smoke ()
   else run_full ()

@@ -740,10 +740,41 @@ let search_cmd =
                  cache states; cache counters are excluded (see \
                  $(b,--stats-json)).")
   in
+  let no_resume_arg =
+    Arg.(value & flag & info [ "no-resume" ]
+           ~doc:"Restart every rung's simulations from iteration zero \
+                 instead of extending the previous rung's checkpoints. \
+                 Scores, kept sets and the winner are byte-identical \
+                 either way; this only forgoes the saved iterations \
+                 (and the checkpoint sidecars in the cache).")
+  in
+  let race_arg =
+    Arg.(value & flag & info [ "race" ]
+           ~doc:"Race each rung: evaluate at half the budget first and \
+                 stop candidates scoring worse than the keep-boundary by \
+                 more than $(b,--race-margin); survivors are always \
+                 confirmed at the full rung budget.")
+  in
+  let race_margin_arg =
+    Arg.(value & opt float 0.25 & info [ "race-margin" ] ~docv:"M"
+           ~doc:"Safety margin (in normalized objective units, >= 0) a \
+                 candidate must trail the keep-boundary by before \
+                 $(b,--race) stops it early.")
+  in
+  let close_threshold_arg =
+    Arg.(value & opt float 0. & info [ "close-threshold" ] ~docv:"T"
+           ~doc:"Widen a rung's keep-set to every candidate scoring \
+                 within $(docv) (normalized objective units, >= 0) of \
+                 the last canonically-kept one; 0 keeps exactly \
+                 ceil(n/eta).")
+  in
   let run workload file max_clocks constraints iterations seed jobs cache_dir
-      no_cache json stats_json smoke eta min_iterations objective timings
-      timings_json =
+      no_cache json stats_json smoke eta min_iterations objective no_resume
+      race race_margin close_threshold timings timings_json =
     require_at_least ~what:"--eta" ~min:2 eta;
+    if race_margin < 0. then or_die (Error "--race-margin must be >= 0");
+    if close_threshold < 0. then
+      or_die (Error "--close-threshold must be >= 0");
     Option.iter (require_positive ~what:"--iterations") iterations;
     Option.iter (require_positive ~what:"--min-iterations") min_iterations;
     Option.iter (require_positive ~what:"--max-clocks") max_clocks;
@@ -790,12 +821,16 @@ let search_cmd =
       Mclock_exec.Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
           let result =
             Mclock_explore.Halving.run ~pool ?cache ~eta ?min_iterations
-              ~constraints ~seed ~iterations ~max_clocks ~objective ~name
-              ~sched_constraints input.graph
+              ~constraints ~seed ~iterations ~max_clocks ~objective
+              ~resume:(not no_resume) ~race ~race_margin ~close_threshold
+              ~name ~sched_constraints input.graph
           in
           emit_timings pool ~timings ~timings_json;
           result)
     in
+    Option.iter
+      (fun msg -> Fmt.epr "warning: %s@." msg)
+      result.Mclock_explore.Halving.degenerate;
     print_string (Mclock_explore.Halving.render_text result);
     Option.iter
       (fun p -> write_doc p (Mclock_explore.Halving.result_json result))
@@ -812,12 +847,17 @@ let search_cmd =
              the scalarized objective, double down on the survivors until \
              one rung runs at full fidelity. Shares the persistent \
              evaluation cache with $(b,mclock explore); results are \
-             byte-identical across job counts and cache states.")
+             byte-identical across job counts and cache states. By \
+             default each rung resumes the survivors' simulations from \
+             the previous rung's checkpoints instead of restarting \
+             them (see $(b,--no-resume), $(b,--race)).")
     Term.(
       const run $ workload_arg $ file_arg $ max_clocks_arg $ constraint_arg
       $ explore_iterations_arg $ seed_arg $ jobs_arg $ cache_dir_arg
       $ no_cache_arg $ json_arg $ stats_json_arg $ smoke_arg $ eta_arg
-      $ min_iterations_arg $ objective_arg $ timings_arg $ timings_json_arg)
+      $ min_iterations_arg $ objective_arg $ no_resume_arg $ race_arg
+      $ race_margin_arg $ close_threshold_arg $ timings_arg
+      $ timings_json_arg)
 
 (* --- estimate ------------------------------------------------------------ *)
 
@@ -879,6 +919,100 @@ let estimate_cmd =
       $ clocks_arg $ iterations_arg $ seed_arg $ stimulus_arg $ json_arg
       $ compare_arg)
 
+let cache_cmd =
+  let module Store = Mclock_explore.Store in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the result as JSON.")
+  in
+  let stats_cmd =
+    let rebuild_arg =
+      Arg.(value & flag & info [ "rebuild" ]
+             ~doc:"Rescan the cache directory and rewrite the manifest \
+                   instead of trusting an existing one.")
+    in
+    let run cache_dir rebuild json =
+      let store = Store.open_ ~dir:cache_dir () in
+      let m = Store.manifest ~rebuild store in
+      if json then
+        print_endline
+          (Mclock_lint.Json.to_string_pretty
+             (Mclock_lint.Json.Obj
+                [
+                  ("dir", Mclock_lint.Json.String (Store.dir store));
+                  ("entries", Mclock_lint.Json.Int m.Store.m_entries);
+                  ("bytes", Mclock_lint.Json.Int m.Store.m_bytes);
+                  ("rebuilt", Mclock_lint.Json.Bool m.Store.m_rebuilt);
+                ]))
+      else
+        Fmt.pr "%s: %d entries, %d bytes%s@." (Store.dir store)
+          m.Store.m_entries m.Store.m_bytes
+          (if m.Store.m_rebuilt then " (manifest rebuilt)" else "")
+    in
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:"Entry-count and byte totals for the evaluation cache \
+               (metrics entries plus checkpoint sidecars), O(1) via the \
+               manifest when one is present.")
+      Term.(const run $ cache_dir_arg $ rebuild_arg $ json_arg)
+  in
+  let gc_cmd =
+    let max_age_arg =
+      Arg.(value & opt (some float) None & info [ "max-age" ] ~docv:"SECONDS"
+             ~doc:"Remove entries older than $(docv) seconds.")
+    in
+    let max_size_arg =
+      Arg.(value & opt (some int) None & info [ "max-size" ] ~docv:"BYTES"
+             ~doc:"Evict oldest-first until at most $(docv) bytes remain.")
+    in
+    let run cache_dir max_age max_size json =
+      (match (max_age, max_size) with
+      | None, None ->
+          or_die (Error "cache gc: give --max-age and/or --max-size")
+      | _ -> ());
+      (match max_age with
+      | Some a when a < 0. -> or_die (Error "--max-age must be >= 0")
+      | _ -> ());
+      (match max_size with
+      | Some s when s < 0 -> or_die (Error "--max-size must be >= 0")
+      | _ -> ());
+      let store = Store.open_ ~dir:cache_dir () in
+      let r = Store.gc ?max_age ?max_bytes:max_size store in
+      if json then
+        print_endline
+          (Mclock_lint.Json.to_string_pretty
+             (Mclock_lint.Json.Obj
+                [
+                  ("dir", Mclock_lint.Json.String (Store.dir store));
+                  ( "removed_entries",
+                    Mclock_lint.Json.Int r.Store.gc_removed_entries );
+                  ( "removed_bytes",
+                    Mclock_lint.Json.Int r.Store.gc_removed_bytes );
+                  ( "remaining_entries",
+                    Mclock_lint.Json.Int r.Store.gc_remaining_entries );
+                  ( "remaining_bytes",
+                    Mclock_lint.Json.Int r.Store.gc_remaining_bytes );
+                ]))
+      else
+        Fmt.pr "%s: removed %d entries (%d bytes), %d entries (%d bytes) \
+                remain@."
+          (Store.dir store) r.Store.gc_removed_entries
+          r.Store.gc_removed_bytes r.Store.gc_remaining_entries
+          r.Store.gc_remaining_bytes
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:"Bounded eviction over the evaluation cache: drop entries \
+               older than $(b,--max-age), then evict oldest-first down to \
+               $(b,--max-size) bytes.  Result and checkpoint entries are \
+               treated uniformly; the manifest is rewritten with the \
+               post-GC totals.")
+      Term.(const run $ cache_dir_arg $ max_age_arg $ max_size_arg $ json_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:"Inspect and bound the persistent evaluation cache.")
+    [ stats_cmd; gc_cmd ]
+
 let () =
   let info =
     Cmd.info "mclock" ~version:"1.0.0"
@@ -887,4 +1021,4 @@ let () =
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; show_cmd; synth_cmd; lint_cmd; table_cmd; waves_cmd;
          sweep_cmd; explore_cmd; search_cmd; estimate_cmd; controller_cmd;
-         calibrate_cmd ]))
+         calibrate_cmd; cache_cmd ]))

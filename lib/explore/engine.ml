@@ -135,9 +135,30 @@ let cell_key space ~seed ~iterations p =
 
 (* --- Partial-fidelity evaluation --------------------------------------- *)
 
-type rung_stats = { rs_cache_hits : int; rs_simulated : int }
+type rung_stats = {
+  rs_cache_hits : int;
+  rs_simulated : int;
+  rs_resumed : int;
+  rs_resumed_iterations : int;
+  rs_fresh_iterations : int;
+  rs_checkpoints_written : int;
+}
 
-let evaluate_at ~pool ?cache ~seed ~iterations space cells =
+(* Evaluate [cells] at a fidelity rung.  [resume_from] is the ladder
+   of lower iteration counts whose checkpoint sidecars are worth
+   trying (highest first wins); [checkpoints] stores a sidecar at this
+   rung for each fresh simulation.  Resuming is byte-identical to a
+   fresh run (the kernel contract), so the returned metrics — and
+   everything downstream, frontier and winner included — are
+   invariant to the checkpoint cache's state.  All cache traffic
+   stays on the submitting domain; workers only simulate and
+   encode/decode blobs. *)
+let evaluate_at ~pool ?cache ?(resume_from = []) ?(checkpoints = false) ~seed
+    ~iterations space cells =
+  let ladder =
+    List.sort_uniq (fun a b -> compare b a) resume_from
+    |> List.filter (fun k -> k > 0 && k < iterations)
+  in
   let looked =
     List.map
       (fun p ->
@@ -147,54 +168,112 @@ let evaluate_at ~pool ?cache ~seed ~iterations space cells =
           | None -> None
           | Some store -> Store.find store ~key
         in
-        (p, key, hit))
+        let blob =
+          match (hit, cache) with
+          | Some _, _ | _, None -> None
+          | None, Some store ->
+              List.find_map
+                (fun k ->
+                  let k_key = cell_key space ~seed ~iterations:k p in
+                  Store.find_checkpoint store ~key:k_key)
+                ladder
+        in
+        (p, key, hit, blob))
       cells
   in
   let misses =
     List.filter_map
-      (function p, key, None -> Some (p, key) | _ -> None)
+      (function p, key, None, blob -> Some (p, key, blob) | _ -> None)
       looked
   in
   let misses_arr = Array.of_list misses in
+  let want_ckpt = checkpoints && cache <> None in
   let fresh =
     Mclock_exec.Pool.map pool
       ~label:(fun i ->
-        Printf.sprintf "%s/%s@%d" space.sp_name (fst misses_arr.(i)).p_label
-          iterations)
-      (fun _ (p, _key) ->
-        let report =
-          Mclock_power.Report.evaluate ~seed ~iterations ~kernel:`Compiled
+        let p, _, _ = misses_arr.(i) in
+        Printf.sprintf "%s/%s@%d" space.sp_name p.p_label iterations)
+      (fun _ (p, _key, blob) ->
+        let evaluate ?resume_from () =
+          Mclock_power.Report.evaluate_resumable ~seed ~iterations ?resume_from
             ~label:p.p_label space.sp_tech p.p_design space.sp_graph
         in
-        Metrics.of_report ~config:p.p_config ~tech:space.sp_tech
-          ~latency_steps:(Mclock_rtl.Design.num_steps p.p_design)
-          report)
+        (* A checkpoint that fails to decode, or decodes but does not
+           fit this design/fidelity, degrades to a fresh run — the
+           cache can make evaluation faster, never wrong. *)
+        let report, ck, resumed_from =
+          match Option.map Mclock_sim.Compiled.Checkpoint.decode blob with
+          | Some (Ok ck) -> (
+              match evaluate ~resume_from:ck () with
+              | report, ck' ->
+                  ( report,
+                    ck',
+                    Some (Mclock_sim.Compiled.checkpoint_iterations ck) )
+              | exception Invalid_argument _ ->
+                  let report, ck' = evaluate () in
+                  (report, ck', None))
+          | Some (Error _) | None ->
+              let report, ck' = evaluate () in
+              (report, ck', None)
+        in
+        let metrics =
+          Metrics.of_report ~config:p.p_config ~tech:space.sp_tech
+            ~latency_steps:(Mclock_rtl.Design.num_steps p.p_design)
+            report
+        in
+        let encoded =
+          if want_ckpt then Some (Mclock_sim.Compiled.Checkpoint.encode ck)
+          else None
+        in
+        (metrics, encoded, resumed_from))
       misses
   in
   (* Write-back on the submitting domain. *)
+  let checkpoints_written = ref 0 in
   (match cache with
   | None -> ()
   | Some store ->
-      List.iter2 (fun (_, key) m -> Store.store store ~key m) misses fresh);
+      List.iter2
+        (fun (_, key, _) (m, encoded, _) ->
+          Store.store store ~key m;
+          match encoded with
+          | Some blob ->
+              Store.store_checkpoint store ~key blob;
+              incr checkpoints_written
+          | None -> ())
+        misses fresh);
   (* Stitch hits and fresh results back into input order. *)
   let fresh_q = ref fresh in
   let metrics =
     List.map
-      (fun (_, _, hit) ->
+      (fun (_, _, hit, _) ->
         match hit with
         | Some m -> m
         | None -> (
             match !fresh_q with
-            | m :: rest ->
+            | (m, _, _) :: rest ->
                 fresh_q := rest;
                 m
             | [] -> assert false))
       looked
   in
+  let resumed, resumed_iterations =
+    List.fold_left
+      (fun (n, iters) (_, _, resumed_from) ->
+        match resumed_from with
+        | Some k -> (n + 1, iters + k)
+        | None -> (n, iters))
+      (0, 0) fresh
+  in
+  let n_misses = List.length misses in
   ( metrics,
     {
-      rs_cache_hits = List.length cells - List.length misses;
-      rs_simulated = List.length misses;
+      rs_cache_hits = List.length cells - n_misses;
+      rs_simulated = n_misses;
+      rs_resumed = resumed;
+      rs_resumed_iterations = resumed_iterations;
+      rs_fresh_iterations = (n_misses * iterations) - resumed_iterations;
+      rs_checkpoints_written = !checkpoints_written;
     } )
 
 let explore ~pool ?cache ?(constraints = []) ?(seed = 42) ?(iterations = 400)

@@ -88,11 +88,21 @@ val cell_key : space -> seed:int -> iterations:int -> prepared -> string
     iteration count is part of the key, so partial-fidelity runs cache
     independently of (and alongside) full-fidelity ones. *)
 
-type rung_stats = { rs_cache_hits : int; rs_simulated : int }
+type rung_stats = {
+  rs_cache_hits : int;  (** served from the metrics cache *)
+  rs_simulated : int;  (** misses that ran the simulator *)
+  rs_resumed : int;  (** of those, how many extended a checkpoint *)
+  rs_resumed_iterations : int;
+      (** iterations *not* re-simulated thanks to checkpoints *)
+  rs_fresh_iterations : int;  (** iterations actually simulated *)
+  rs_checkpoints_written : int;  (** sidecars stored at this rung *)
+}
 
 val evaluate_at :
   pool:Mclock_exec.Pool.t ->
   ?cache:Store.t ->
+  ?resume_from:int list ->
+  ?checkpoints:bool ->
   seed:int ->
   iterations:int ->
   space ->
@@ -104,7 +114,17 @@ val evaluate_at :
     so results are jobs-invariant), writing fresh results back.
     Returns metrics in input order.  Successive-halving rungs are
     built on this; [iterations] need not match the fidelity the space
-    was prepared at. *)
+    was prepared at.
+
+    [resume_from] lists lower iteration counts whose checkpoint
+    sidecars (if cached) can seed this rung — the highest available
+    one wins, and the remaining iterations alone are simulated.
+    [checkpoints] stores a sidecar at this rung for every fresh
+    simulation, so a later, higher rung (or a later run) can extend
+    it.  Resuming is byte-identical to fresh simulation, and a
+    corrupt or mismatched sidecar silently degrades to a fresh run:
+    the metrics returned are invariant to the checkpoint cache's
+    state.  Both options are inert without [cache]. *)
 
 val explore :
   pool:Mclock_exec.Pool.t ->

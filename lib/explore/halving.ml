@@ -29,6 +29,7 @@ type candidate = {
   c_config : Config.t;
   c_metrics : Metrics.t;
   c_score : float;
+  c_raced_at : int option;
 }
 
 type rung = {
@@ -43,6 +44,10 @@ type stats = {
   simulated : int;
   simulated_iterations : int;
   store_failures : int;
+  resumed : int;
+  resumed_iterations : int;
+  checkpoints_written : int;
+  raced_out : int;
 }
 
 type result = {
@@ -54,6 +59,11 @@ type result = {
   iterations : int;
   objective : Objective.t;
   constraints : Metrics.constraint_ list;
+  resume : bool;
+  race : bool;
+  race_margin : float;
+  close_threshold : float;
+  degenerate : string option;
   enumerated : int;
   pruned : int;
   rungs : rung list;
@@ -90,14 +100,40 @@ let score_rung objective survivors metrics =
         c_config = p.Engine.p_config;
         c_metrics = m;
         c_score = score;
+        c_raced_at = None;
       })
     pairs
 
+(* Adaptive keep width.  The canonical keep-set is the best
+   [ceil (field / eta)] functional candidates; when the next scores
+   are within [close_threshold] of the last canonically-kept one, the
+   small-budget rung cannot reliably separate them, so the set widens
+   to include every candidate with score strictly below
+   [boundary + close_threshold].  At the default threshold 0 this is
+   exactly the canonical rule (a score is never strictly below
+   itself), pinning backwards compatibility.  [scores] are the rung's
+   functional scores in ascending order. *)
+let keep_width ~eta ~close_threshold ~field scores =
+  let base = max 1 ((field + eta - 1) / eta) in
+  match List.nth_opt scores (base - 1) with
+  | None -> List.length scores
+  | Some boundary ->
+      let widened =
+        List.length
+          (List.filter (fun s -> s -. boundary < close_threshold) scores)
+      in
+      max base widened
+
 let run ~pool ?cache ?(eta = 2) ?min_iterations ?(constraints = [])
     ?(seed = 42) ?(iterations = 400) ?(max_clocks = 4) ?tech ?width
-    ?(objective = Objective.default) ~name ~sched_constraints graph =
+    ?(objective = Objective.default) ?(resume = true) ?(race = false)
+    ?(race_margin = 0.25) ?(close_threshold = 0.) ~name ~sched_constraints
+    graph =
   if eta < 2 then invalid_arg "Halving.run: eta >= 2";
   if iterations < 1 then invalid_arg "Halving.run: iterations >= 1";
+  if not (race_margin >= 0.) then invalid_arg "Halving.run: race_margin >= 0";
+  if not (close_threshold >= 0.) then
+    invalid_arg "Halving.run: close_threshold >= 0";
   let min_iterations =
     match min_iterations with
     | None -> max 1 (iterations / 16)
@@ -105,6 +141,18 @@ let run ~pool ?cache ?(eta = 2) ?min_iterations ?(constraints = [])
         if m < 1 || m > iterations then
           invalid_arg "Halving.run: min_iterations in 1..iterations";
         m
+  in
+  let first_budget = min iterations min_iterations in
+  let degenerate =
+    if first_budget >= iterations then
+      Some
+        (Printf.sprintf
+           "rung schedule degenerates to a single full-fidelity rung \
+            (min_iterations %d >= iterations %d): successive halving saves \
+            nothing over exhaustive evaluation; lower min_iterations or \
+            raise iterations"
+           min_iterations iterations)
+    else None
   in
   (* Counters accumulate across runs sharing a store; snapshot so this
      result reports only its own failures. *)
@@ -134,29 +182,111 @@ let run ~pool ?cache ?(eta = 2) ?min_iterations ?(constraints = [])
         | c -> c)
       admissible
   in
-  let keep_count n = max 1 ((n + eta - 1) / eta) in
-  let rec loop rung_no budget survivors acc =
-    let rungs_acc, hits, sims, sim_iters, eval_iters = acc in
+  (* Run-wide counters (mutated by [eval] below, read once at the end).
+     [past] is the ladder of budgets this search has already
+     checkpointed — later rungs resume from the highest one cached. *)
+  let hits = ref 0 in
+  let sims = ref 0 in
+  let fresh_iters = ref 0 in
+  let resumed = ref 0 in
+  let resumed_iters = ref 0 in
+  let ckpts = ref 0 in
+  let raced_out = ref 0 in
+  let eval_iters = ref 0 in
+  let past = ref [] in
+  let eval ~budget survivors =
+    let resume_from = if resume then !past else [] in
     let metrics, rs =
-      Engine.evaluate_at ~pool ?cache ~seed ~iterations:budget space survivors
+      Engine.evaluate_at ~pool ?cache ~resume_from ~checkpoints:resume ~seed
+        ~iterations:budget space survivors
     in
-    let candidates = score_rung objective survivors metrics in
-    let ranked =
-      List.stable_sort
-        (fun a b ->
-          match Float.compare a.c_score b.c_score with
-          | 0 -> Stdlib.compare a.c_index b.c_index
-          | c -> c)
-        candidates
+    hits := !hits + rs.Engine.rs_cache_hits;
+    sims := !sims + rs.Engine.rs_simulated;
+    fresh_iters := !fresh_iters + rs.Engine.rs_fresh_iterations;
+    resumed := !resumed + rs.Engine.rs_resumed;
+    resumed_iters := !resumed_iters + rs.Engine.rs_resumed_iterations;
+    ckpts := !ckpts + rs.Engine.rs_checkpoints_written;
+    past := budget :: !past;
+    metrics
+  in
+  (* The nominal cost of evaluating [n] cells at [budget] when they
+     last ran at [prev]: incremental under resume, a restart without.
+     Deliberately a function of the schedule alone — never of the
+     cache state — so [evaluation_iterations] stays byte-identical
+     across cold and warm runs. *)
+  let charge ~n ~prev ~budget =
+    eval_iters := !eval_iters + (n * if resume then budget - prev else budget)
+  in
+  let rank =
+    List.stable_sort (fun a b ->
+        match Float.compare a.c_score b.c_score with
+        | 0 -> Stdlib.compare a.c_index b.c_index
+        | c -> c)
+  in
+  let rec loop rung_no prev_budget budget survivors rungs_acc =
+    let n = List.length survivors in
+    let base_keep = max 1 ((n + eta - 1) / eta) in
+    (* Racing: evaluate everyone at half the rung budget first; a
+       candidate scoring worse than the keep-boundary by more than
+       [race_margin] cannot plausibly close the gap, so it is raced
+       out and never pays the full rung.  Survivors of the race are
+       always confirmed at the full rung budget — the keep decision
+       (and the winner) only ever reads full-budget scores. *)
+    let mid = budget / 2 in
+    let do_race = race && n > 1 && mid > prev_budget && mid < budget in
+    let raced, continue_set, race_base =
+      if not do_race then ([], survivors, prev_budget)
+      else begin
+        let mid_metrics = eval ~budget:mid survivors in
+        charge ~n ~prev:prev_budget ~budget:mid;
+        let mid_ranked = rank (score_rung objective survivors mid_metrics) in
+        let mid_functional =
+          List.filter (fun c -> c.c_score < infinity) mid_ranked
+        in
+        match List.nth_opt mid_functional (base_keep - 1) with
+        | None -> ([], survivors, mid)
+        | Some boundary_c ->
+            let boundary = boundary_c.c_score in
+            let raced_tbl = Hashtbl.create 16 in
+            List.iter
+              (fun c ->
+                if c.c_score > boundary +. race_margin then
+                  Hashtbl.replace raced_tbl c.c_index
+                    { c with c_raced_at = Some mid })
+              mid_ranked;
+            let continue_set =
+              List.filter
+                (fun (p : Engine.prepared) ->
+                  not (Hashtbl.mem raced_tbl p.Engine.p_index))
+                survivors
+            in
+            let raced =
+              List.filter_map
+                (fun (p : Engine.prepared) ->
+                  Hashtbl.find_opt raced_tbl p.Engine.p_index)
+                survivors
+            in
+            raced_out := !raced_out + List.length raced;
+            (raced, continue_set, mid)
+      end
+    in
+    let metrics = eval ~budget continue_set in
+    charge ~n:(List.length continue_set) ~prev:race_base ~budget;
+    let full_candidates = score_rung objective continue_set metrics in
+    (* The rung's candidate list keeps survivor (evaluation) order;
+       raced-out candidates carry their half-budget metrics and score. *)
+    let cand_tbl = Hashtbl.create 16 in
+    List.iter
+      (fun c -> Hashtbl.replace cand_tbl c.c_index c)
+      (full_candidates @ raced);
+    let candidates =
+      List.map
+        (fun (p : Engine.prepared) -> Hashtbl.find cand_tbl p.Engine.p_index)
+        survivors
     in
     let functional_ranked =
-      List.filter (fun c -> c.c_score < infinity) ranked
+      List.filter (fun c -> c.c_score < infinity) (rank full_candidates)
     in
-    let n = List.length survivors in
-    let hits = hits + rs.Engine.rs_cache_hits in
-    let sims = sims + rs.Engine.rs_simulated in
-    let sim_iters = sim_iters + (rs.Engine.rs_simulated * budget) in
-    let eval_iters = eval_iters + (n * budget) in
     if budget >= iterations then
       (* The full-fidelity rung: its best functional candidate is the
          winner. *)
@@ -172,11 +302,13 @@ let run ~pool ?cache ?(eta = 2) ?min_iterations ?(constraints = [])
           r_kept = kept;
         }
       in
-      (List.rev (r :: rungs_acc), winner, hits, sims, sim_iters, eval_iters)
+      (List.rev (r :: rungs_acc), winner)
     else
-      let kept =
-        List.filteri (fun i _ -> i < keep_count n) functional_ranked
+      let kept_n =
+        keep_width ~eta ~close_threshold ~field:n
+          (List.map (fun c -> c.c_score) functional_ranked)
       in
+      let kept = List.filteri (fun i _ -> i < kept_n) functional_ranked in
       let r =
         {
           r_number = rung_no;
@@ -188,7 +320,7 @@ let run ~pool ?cache ?(eta = 2) ?min_iterations ?(constraints = [])
       match kept with
       | [] ->
           (* Every survivor failed functionally — nothing to promote. *)
-          (List.rev (r :: rungs_acc), None, hits, sims, sim_iters, eval_iters)
+          (List.rev (r :: rungs_acc), None)
       | _ ->
           let next_budget =
             if List.length kept <= 1 then iterations
@@ -202,13 +334,12 @@ let run ~pool ?cache ?(eta = 2) ?min_iterations ?(constraints = [])
           let next =
             List.map (fun c -> Hashtbl.find by_index c.c_index) kept
           in
-          loop (rung_no + 1) next_budget next
-            (r :: rungs_acc, hits, sims, sim_iters, eval_iters)
+          loop (rung_no + 1) budget next_budget next (r :: rungs_acc)
   in
-  let rungs, winner, hits, sims, sim_iters, eval_iters =
+  let rungs, winner =
     match seed_pool with
-    | [] -> ([], None, 0, 0, 0, 0)
-    | _ -> loop 0 (min iterations min_iterations) seed_pool ([], 0, 0, 0, 0)
+    | [] -> ([], None)
+    | _ -> loop 0 0 first_budget seed_pool []
   in
   {
     workload = name;
@@ -219,23 +350,32 @@ let run ~pool ?cache ?(eta = 2) ?min_iterations ?(constraints = [])
     iterations;
     objective;
     constraints;
+    resume;
+    race;
+    race_margin;
+    close_threshold;
+    degenerate;
     enumerated = List.length space.Engine.sp_cells;
     pruned = List.length rejected;
     rungs;
     winner;
-    evaluation_iterations = eval_iters;
+    evaluation_iterations = !eval_iters;
     exhaustive_iterations = List.length admissible * iterations;
     stats =
       {
-        cache_hits = hits;
-        simulated = sims;
-        simulated_iterations = sim_iters;
+        cache_hits = !hits;
+        simulated = !sims;
+        simulated_iterations = !fresh_iters;
         store_failures =
           (match cache with
           | None -> 0
           | Some store ->
               (Store.stats store).Store.store_failures
               - store_failures_before);
+        resumed = !resumed;
+        resumed_iterations = !resumed_iters;
+        checkpoints_written = !ckpts;
+        raced_out = !raced_out;
       };
   }
 
@@ -255,6 +395,9 @@ let render_text result =
   Buffer.add_string buf
     (Printf.sprintf "cells: %d enumerated, %d pruned by constraints\n"
        result.enumerated result.pruned);
+  (match result.degenerate with
+  | Some msg -> Buffer.add_string buf (Printf.sprintf "warning: %s\n" msg)
+  | None -> ());
   List.iter
     (fun r ->
       let is_kept l = List.mem l r.r_kept in
@@ -274,9 +417,12 @@ let render_text result =
         (fun c ->
           let m = c.c_metrics in
           let verdict =
-            if not m.Metrics.functional_ok then "FUNCTIONAL FAIL"
-            else if is_kept c.c_label then "kept"
-            else "dropped"
+            match c.c_raced_at with
+            | Some mid -> Printf.sprintf "raced out @ %d" mid
+            | None ->
+                if not m.Metrics.functional_ok then "FUNCTIONAL FAIL"
+                else if is_kept c.c_label then "kept"
+                else "dropped"
           in
           Mclock_util.Table.add_row table
             [
@@ -322,6 +468,10 @@ let candidate_json c =
       ( "energy_per_computation_pj",
         Mclock_lint.Json.Float m.Metrics.energy_per_computation_pj );
       ("memory_cells", Mclock_lint.Json.Int m.Metrics.memory_cells);
+      ( "raced_at",
+        match c.c_raced_at with
+        | Some mid -> Mclock_lint.Json.Int mid
+        | None -> Mclock_lint.Json.Null );
     ]
 
 let rung_json r =
@@ -352,6 +502,14 @@ let result_json result =
           (List.map
              (fun c -> Mclock_lint.Json.String (Metrics.constraint_to_string c))
              result.constraints) );
+      ("resume", Mclock_lint.Json.Bool result.resume);
+      ("race", Mclock_lint.Json.Bool result.race);
+      ("race_margin", Mclock_lint.Json.Float result.race_margin);
+      ("close_threshold", Mclock_lint.Json.Float result.close_threshold);
+      ( "degenerate",
+        match result.degenerate with
+        | Some msg -> Mclock_lint.Json.String msg
+        | None -> Mclock_lint.Json.Null );
       ("enumerated", Mclock_lint.Json.Int result.enumerated);
       ("pruned", Mclock_lint.Json.Int result.pruned);
       ("rungs", Mclock_lint.Json.List (List.map rung_json result.rungs));
@@ -374,4 +532,8 @@ let stats_json result =
       ("simulated", Mclock_lint.Json.Int s.simulated);
       ("simulated_iterations", Mclock_lint.Json.Int s.simulated_iterations);
       ("store_failures", Mclock_lint.Json.Int s.store_failures);
+      ("resumed", Mclock_lint.Json.Int s.resumed);
+      ("resumed_iterations", Mclock_lint.Json.Int s.resumed_iterations);
+      ("checkpoints_written", Mclock_lint.Json.Int s.checkpoints_written);
+      ("raced_out", Mclock_lint.Json.Int s.raced_out);
     ]

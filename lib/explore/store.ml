@@ -18,6 +18,9 @@ type t = {
   mutable stores : int;
   mutable store_failures : int;
   mutable swept_tmp : int;
+  mutable ckpt_hits : int;
+  mutable ckpt_misses : int;
+  mutable ckpt_stores : int;
 }
 
 let dir t = t.dir
@@ -67,6 +70,9 @@ let open_ ?(tmp_max_age = 3600.) ~dir () =
     stores = 0;
     store_failures = 0;
     swept_tmp = swept;
+    ckpt_hits = 0;
+    ckpt_misses = 0;
+    ckpt_stores = 0;
   }
 
 (* Keys come from Cachekey.digest (hex), but defend against a caller
@@ -118,6 +124,26 @@ let find t ~key =
   | None -> t.misses <- t.misses + 1);
   result
 
+(* Atomic write: temp file in the same directory, then rename.  The
+   temp name embeds the key and pid so concurrent writers never
+   collide and the opening sweep can age out orphans. *)
+let write_atomic t ~key ~dest text =
+  match
+    let tmp =
+      Filename.concat t.dir (Printf.sprintf ".%s.%d.tmp" key (Unix.getpid ()))
+    in
+    let oc = open_out_bin tmp in
+    (match output_string oc text with
+    | () -> close_out oc
+    | exception e ->
+        close_out_noerr oc;
+        (try Sys.remove tmp with Sys_error _ -> ());
+        raise e);
+    Sys.rename tmp dest
+  with
+  | () -> true
+  | exception (Sys_error _ | Unix.Unix_error (_, _, _)) -> false
+
 let store t ~key metrics =
   if safe_key key then begin
     let entry =
@@ -129,25 +155,179 @@ let store t ~key metrics =
         ]
     in
     let text = Mclock_lint.Json.to_string_pretty entry ^ "\n" in
-    match
-      let tmp =
-        Filename.concat t.dir
-          (Printf.sprintf ".%s.%d.tmp" key (Unix.getpid ()))
-      in
-      let oc = open_out_bin tmp in
-      (match output_string oc text with
-      | () -> close_out oc
-      | exception e ->
-          close_out_noerr oc;
-          (try Sys.remove tmp with Sys_error _ -> ());
-          raise e);
-      Sys.rename tmp (entry_path t ~key)
-    with
-    | () -> t.stores <- t.stores + 1
-    | exception (Sys_error _ | Unix.Unix_error (_, _, _)) ->
-        t.store_failures <- t.store_failures + 1
+    if write_atomic t ~key ~dest:(entry_path t ~key) text then
+      t.stores <- t.stores + 1
+    else t.store_failures <- t.store_failures + 1
   end
   else t.store_failures <- t.store_failures + 1
+
+(* --- Checkpoint sidecars ----------------------------------------------- *)
+
+(* A cell's simulation checkpoint lives next to its metrics entry as
+   <key>.ckpt.  The store treats the blob as opaque sealed bytes: the
+   consumer ([Engine.evaluate_at]) decodes it and degrades any
+   corruption to a miss, mirroring the JSON entries' philosophy.
+   Because the iteration count is part of the cache key, a checkpoint
+   sidecar is always a checkpoint *at* its key's fidelity. *)
+
+let checkpoint_path t ~key = Filename.concat t.dir (key ^ ".ckpt")
+
+let find_checkpoint t ~key =
+  let result =
+    if not (safe_key key) then None
+    else read_file (checkpoint_path t ~key)
+  in
+  (match result with
+  | Some _ -> t.ckpt_hits <- t.ckpt_hits + 1
+  | None -> t.ckpt_misses <- t.ckpt_misses + 1);
+  result
+
+let store_checkpoint t ~key blob =
+  if safe_key key && write_atomic t ~key ~dest:(checkpoint_path t ~key) blob
+  then t.ckpt_stores <- t.ckpt_stores + 1
+  else t.store_failures <- t.store_failures + 1
+
+(* --- Manifest and garbage collection ----------------------------------- *)
+
+let manifest_name = "MANIFEST.json"
+let manifest_path t = Filename.concat t.dir manifest_name
+
+(* An entry file is a metrics .json or a checkpoint .ckpt — not the
+   manifest, not a temp file. *)
+let is_entry_name name =
+  (not (is_tmp_name name))
+  && (not (String.equal name manifest_name))
+  && (Filename.check_suffix name ".json" || Filename.check_suffix name ".ckpt")
+
+(* Stat every entry file: (path, mtime, bytes).  Sorted by (mtime,
+   name) so eviction order is deterministic under equal timestamps. *)
+let scan_entries t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter_map (fun name ->
+             if not (is_entry_name name) then None
+             else
+               let path = Filename.concat t.dir name in
+               match Unix.stat path with
+               | exception Unix.Unix_error (_, _, _) -> None
+               | st when st.Unix.st_kind = Unix.S_REG ->
+                   Some (name, st.Unix.st_mtime, st.Unix.st_size)
+               | _ -> None)
+      |> List.sort (fun (n1, m1, _) (n2, m2, _) ->
+             match Float.compare m1 m2 with
+             | 0 -> String.compare n1 n2
+             | c -> c)
+
+let write_manifest t ~entries ~bytes =
+  let j =
+    Mclock_lint.Json.Obj
+      [
+        ("version", Mclock_lint.Json.Int version);
+        ("entries", Mclock_lint.Json.Int entries);
+        ("bytes", Mclock_lint.Json.Int bytes);
+      ]
+  in
+  ignore
+    (write_atomic t ~key:"manifest" ~dest:(manifest_path t)
+       (Mclock_lint.Json.to_string_pretty j ^ "\n"))
+
+type manifest = { m_entries : int; m_bytes : int; m_rebuilt : bool }
+
+let rebuild_manifest t =
+  let files = scan_entries t in
+  let entries = List.length files in
+  let bytes = List.fold_left (fun acc (_, _, b) -> acc + b) 0 files in
+  write_manifest t ~entries ~bytes;
+  { m_entries = entries; m_bytes = bytes; m_rebuilt = true }
+
+let manifest ?(rebuild = false) t =
+  if rebuild then rebuild_manifest t
+  else
+    let cached =
+      match read_file (manifest_path t) with
+      | None -> None
+      | Some text -> (
+          match Mclock_lint.Json.parse text with
+          | Error _ -> None
+          | Ok j -> (
+              match
+                ( Mclock_lint.Json.member "version" j,
+                  Mclock_lint.Json.member "entries" j,
+                  Mclock_lint.Json.member "bytes" j )
+              with
+              | ( Some (Mclock_lint.Json.Int v),
+                  Some (Mclock_lint.Json.Int entries),
+                  Some (Mclock_lint.Json.Int bytes) )
+                when v = version && entries >= 0 && bytes >= 0 ->
+                  Some { m_entries = entries; m_bytes = bytes; m_rebuilt = false }
+              | _ -> None))
+    in
+    match cached with Some m -> m | None -> rebuild_manifest t
+
+type gc_result = {
+  gc_removed_entries : int;
+  gc_removed_bytes : int;
+  gc_remaining_entries : int;
+  gc_remaining_bytes : int;
+}
+
+(* Age pass first (drop entries older than [max_age] seconds), then a
+   size pass evicting oldest-mtime-first until the store fits in
+   [max_bytes].  Metrics entries and checkpoint sidecars are
+   first-class citizens of the same budget — a checkpoint is just a
+   bigger, more valuable cache entry.  Every removal failure is
+   tolerated (the entry simply still counts as remaining), and the
+   manifest is rewritten to the post-GC totals. *)
+let gc ?max_age ?max_bytes t =
+  let files = scan_entries t in
+  let now = Unix.gettimeofday () in
+  let expired (_, mtime, _) =
+    match max_age with Some a -> now -. mtime > a | None -> false
+  in
+  let remove_ok (name, _, _) =
+    match Sys.remove (Filename.concat t.dir name) with
+    | () -> true
+    | exception Sys_error _ -> false
+  in
+  (* Age pass: a failed removal keeps the entry in the survivor set. *)
+  let survivors_rev, removed, removed_bytes =
+    List.fold_left
+      (fun (kept, r, rb) ((_, _, bytes) as f) ->
+        if expired f && remove_ok f then (kept, r + 1, rb + bytes)
+        else (f :: kept, r, rb))
+      ([], 0, 0) files
+  in
+  let survivors = List.rev survivors_rev in
+  let total = List.fold_left (fun a (_, _, b) -> a + b) 0 survivors in
+  let removed, removed_bytes, remaining, remaining_bytes =
+    match max_bytes with
+    | None -> (removed, removed_bytes, List.length survivors, total)
+    | Some budget ->
+        let rec evict files total kept (removed, removed_bytes) =
+          match files with
+          | ((_, _, bytes) as f) :: rest when total > budget ->
+              if remove_ok f then
+                evict rest (total - bytes) kept
+                  (removed + 1, removed_bytes + bytes)
+              else evict rest total (f :: kept) (removed, removed_bytes)
+          | _ ->
+              let remaining = List.rev_append kept files in
+              ( removed,
+                removed_bytes,
+                List.length remaining,
+                List.fold_left (fun a (_, _, b) -> a + b) 0 remaining )
+        in
+        evict survivors total [] (removed, removed_bytes)
+  in
+  write_manifest t ~entries:remaining ~bytes:remaining_bytes;
+  {
+    gc_removed_entries = removed;
+    gc_removed_bytes = removed_bytes;
+    gc_remaining_entries = remaining;
+    gc_remaining_bytes = remaining_bytes;
+  }
 
 type stats = {
   hits : int;
@@ -155,6 +335,9 @@ type stats = {
   stores : int;
   store_failures : int;
   swept_tmp : int;
+  ckpt_hits : int;
+  ckpt_misses : int;
+  ckpt_stores : int;
 }
 
 let stats (t : t) : stats =
@@ -164,6 +347,9 @@ let stats (t : t) : stats =
     stores = t.stores;
     store_failures = t.store_failures;
     swept_tmp = t.swept_tmp;
+    ckpt_hits = t.ckpt_hits;
+    ckpt_misses = t.ckpt_misses;
+    ckpt_stores = t.ckpt_stores;
   }
 
 let reset_stats (t : t) =
@@ -171,4 +357,7 @@ let reset_stats (t : t) =
   t.misses <- 0;
   t.stores <- 0;
   t.store_failures <- 0;
-  t.swept_tmp <- 0
+  t.swept_tmp <- 0;
+  t.ckpt_hits <- 0;
+  t.ckpt_misses <- 0;
+  t.ckpt_stores <- 0

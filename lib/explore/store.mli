@@ -36,12 +36,57 @@ val find : t -> key:string -> Metrics.t option
 val store : t -> key:string -> Metrics.t -> unit
 (** Atomic write (temp file + rename).  Never raises. *)
 
+val find_checkpoint : t -> key:string -> string option
+(** Raw bytes of the checkpoint sidecar stored for [key], if any.  The
+    store does not interpret the blob — the consumer decodes it (see
+    {!Mclock_sim.Compiled.Checkpoint.decode}) and treats any
+    corruption as a miss.  Never raises. *)
+
+val store_checkpoint : t -> key:string -> string -> unit
+(** Atomically write a checkpoint sidecar ([<key>.ckpt]) next to the
+    metrics entry.  Because the iteration count is part of the cache
+    key, the sidecar is always a checkpoint at its key's fidelity.
+    Never raises. *)
+
+type manifest = {
+  m_entries : int;
+  m_bytes : int;
+  m_rebuilt : bool;  (** [true] if this call had to rescan the dir *)
+}
+
+val manifest : ?rebuild:bool -> t -> manifest
+(** Entry-count and byte totals for the store (metrics entries plus
+    checkpoint sidecars).  Read from [MANIFEST.json] in O(1) when one
+    is present and well-formed; otherwise — or when [rebuild] is set —
+    recomputed by scanning the directory and rewritten atomically.
+    The manifest is advisory: plain [store]s do not update it (that
+    would race concurrent writers), so it reflects the totals as of
+    the last rebuild or {!gc}. *)
+
+type gc_result = {
+  gc_removed_entries : int;
+  gc_removed_bytes : int;
+  gc_remaining_entries : int;
+  gc_remaining_bytes : int;
+}
+
+val gc : ?max_age:float -> ?max_bytes:int -> t -> gc_result
+(** Bounded eviction over metrics entries *and* checkpoint sidecars:
+    first drop entries older than [max_age] seconds, then evict
+    oldest-mtime-first (ties broken by name, so the order is
+    deterministic) until at most [max_bytes] remain.  Failures to
+    remove are tolerated — the entry counts as remaining.  Rewrites
+    the manifest with the post-GC totals.  Never raises. *)
+
 type stats = {
   hits : int;
   misses : int;
   stores : int;
   store_failures : int;
   swept_tmp : int;  (** stale temp files removed when the store opened *)
+  ckpt_hits : int;
+  ckpt_misses : int;
+  ckpt_stores : int;
 }
 
 val stats : t -> stats
@@ -49,3 +94,6 @@ val reset_stats : t -> unit
 
 val entry_path : t -> key:string -> string
 (** Where an entry for [key] lives (exposed for tests and tooling). *)
+
+val checkpoint_path : t -> key:string -> string
+(** Where the checkpoint sidecar for [key] lives. *)

@@ -32,9 +32,7 @@ let simulate ~kernel ~seed tech design ~iterations =
         (Mclock_sim.Compiled.compile tech design)
         ~iterations
 
-let evaluate ?(seed = 42) ?(iterations = 400) ?(kernel = `Compiled) ~label tech
-    design graph =
-  let sim = simulate ~kernel ~seed tech design ~iterations in
+let of_sim ~label tech design graph ~iterations sim =
   let width = Datapath.width (Design.datapath design) in
   let verify = Mclock_sim.Verify.check ~width graph sim in
   let datapath = Design.datapath design in
@@ -53,6 +51,26 @@ let evaluate ?(seed = 42) ?(iterations = 400) ?(kernel = `Compiled) ~label tech
     iterations;
     functional_ok = Mclock_sim.Verify.ok verify;
   }
+
+let evaluate ?(seed = 42) ?(iterations = 400) ?(kernel = `Compiled) ~label tech
+    design graph =
+  let sim = simulate ~kernel ~seed tech design ~iterations in
+  of_sim ~label tech design graph ~iterations sim
+
+(* Checkpointed evaluation: always the compiled kernel (checkpoints
+   are a kernel-state snapshot), seeded fresh or extended from a prior
+   checkpoint.  The report is byte-identical to [evaluate]'s at the
+   same total iteration count — resuming only skips re-simulating the
+   prefix. *)
+let evaluate_resumable ?(seed = 42) ?(iterations = 400) ?resume_from ~label
+    tech design graph =
+  let kernel = Mclock_sim.Compiled.compile tech design in
+  let sim, ck =
+    match resume_from with
+    | None -> Mclock_sim.Compiled.run_with_checkpoint ~seed kernel ~iterations
+    | Some ck -> Mclock_sim.Compiled.resume kernel ck ~iterations
+  in
+  (of_sim ~label tech design graph ~iterations sim, ck)
 
 (* Batch evaluation across the exec pool.  Each cell is an independent
    simulation from the same integer seed, so the reports are identical

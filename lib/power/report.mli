@@ -32,6 +32,24 @@ val evaluate :
 (** Simulate (default 400 computations), verify against golden
     evaluation, and collect the paper's table columns. *)
 
+val evaluate_resumable :
+  ?seed:int ->
+  ?iterations:int ->
+  ?resume_from:Mclock_sim.Compiled.checkpoint ->
+  label:string ->
+  Mclock_tech.Library.t ->
+  Mclock_rtl.Design.t ->
+  Mclock_dfg.Graph.t ->
+  t * Mclock_sim.Compiled.checkpoint
+(** Like {!evaluate} with the compiled kernel, additionally returning
+    a checkpoint at [iterations] computations.  When [resume_from] is
+    a checkpoint of the same design/seed at fewer computations, only
+    the remaining computations are simulated; the report is
+    byte-identical to a fresh {!evaluate} at the same total count.
+    Raises [Invalid_argument] if the checkpoint does not match the
+    design shape or does not precede [iterations] (cache layers should
+    degrade such checkpoints to a miss instead of passing them in). *)
+
 val evaluate_batch :
   pool:Mclock_exec.Pool.t ->
   ?seed:int ->

@@ -87,6 +87,16 @@ let add t ~comp ~category pj =
 
 let total t = t.total
 
+(* Checkpoint support.  [total] is the running float accumulation, not
+   a derived quantity: re-summing the cells would reassociate the
+   additions and drift from the uninterrupted run by ULPs, so copies
+   and raw snapshots carry it verbatim. *)
+let copy t = { cells = Array.copy t.cells; total = t.total }
+
+let raw_cells t = Array.copy t.cells
+
+let of_raw ~cells ~total = { cells = Array.copy cells; total }
+
 let max_comp t = (Array.length t.cells / num_categories) - 1
 
 let get t ~comp ~category =

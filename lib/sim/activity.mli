@@ -26,6 +26,18 @@ val create : ?max_comp:int -> unit -> t
 val add : t -> comp:int -> category:category -> float -> unit
 val total : t -> float
 
+val copy : t -> t
+(** Independent deep copy — charges to one never show in the other. *)
+
+val raw_cells : t -> float array
+(** A copy of the flat cell array ([comp * |categories| + category]),
+    for checkpoint serialization.  Pair it with {!total}: the running
+    total must be carried verbatim, not re-summed, to keep resumed
+    accumulations bit-identical. *)
+
+val of_raw : cells:float array -> total:float -> t
+(** Rebuild from a {!raw_cells} / {!total} snapshot (copies [cells]). *)
+
 val get : t -> comp:int -> category:category -> float
 (** Energy charged to one (component, category) cell; 0 if never charged. *)
 

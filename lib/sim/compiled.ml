@@ -362,45 +362,137 @@ let compile tech design =
     e_gate = ept tech.L.gating_cell_cap;
   }
 
-let run ?(seed = 42) ?trace ?observer ?stimulus k ~iterations =
-  if iterations < 1 then invalid_arg "Simulator.run: iterations must be >= 1";
-  let width = k.width in
+(* The complete mutable run state, factored out so a prefix run can be
+   snapshotted and resumed.  [Simulator.result]-visible accumulations
+   (activity, outputs) live here next to the kernel-internal arrays;
+   everything is deep-copied by [copy_state], so a checkpoint is
+   independent of the run that produced it. *)
+type rstate = {
+  s_values : int array;
+  s_val_stamp : int array;
+  s_ctrl_stamp : int array;
+  s_op_stamp : int array;
+  s_mux_sel : int array;
+  s_alu_op : int array;
+  s_alu_in_a : int array;
+  s_alu_in_b : int array;
+  s_alu_busy_prev : bool array;
+  s_load_prev : bool array;
+  s_activity : Activity.t;
+  mutable s_outputs_rev : Golden.env list; (* completed iterations *)
+  mutable s_current : Golden.env; (* taps of the iteration in progress *)
+}
+
+(* A checkpoint after [ck_iterations] computations.  The state is the
+   one *one cycle before* the run's last ([ck_iterations * t_steps]):
+   that last cycle is the only one whose effect depends on whether the
+   run continues (a longer run applies the next computation's inputs
+   to register-backed ports during it), so [resume] re-executes it
+   with the extension-aware behavior while the prefix run executed it
+   in final-cycle form for its own result.  Everything else — values,
+   stamps, the activity accumulator, recorded outputs, the RNG
+   position after drawing the prefix stimulus — transfers verbatim. *)
+type checkpoint = {
+  ck_width : int;
+  ck_t_steps : int;
+  ck_n : int; (* component array length, for shape validation *)
+  ck_seed : int;
+  ck_iterations : int;
+  ck_stimulus : bool; (* prefix ran on a user-supplied stimulus *)
+  ck_rng : int64; (* RNG state after drawing the prefix envs *)
+  ck_envs : Golden.env array; (* the prefix's input envs *)
+  ck_state : rstate;
+}
+
+let checkpoint_iterations ck = ck.ck_iterations
+
+let fresh_state k env0 =
   let n = k.max_id + 1 in
-  let rng = Mclock_util.Rng.create seed in
-  let values = Array.make n 0 in
-  (* Change stamps: cycle at which a value / mux select / ALU function
-     last changed.  Cycle 1 forces a full evaluation (reset values are
-     not consistent with the netlist); afterwards an instruction whose
-     inputs carry no current stamp would compute a zero Hamming
-     distance, so skipping it drops only zero charges. *)
-  let val_stamp = Array.make n 0 in
-  let ctrl_stamp = Array.make n 0 in
-  let op_stamp = Array.make n 0 in
-  let mux_sel = Array.make n 0 in
-  let alu_op = Array.make n 0 in
-  Array.iter (fun (id, code) -> alu_op.(id) <- code) k.default_ops;
-  let alu_in_a = Array.make n 0 in
-  let alu_in_b = Array.make n 0 in
-  let alu_busy_prev = Array.make n false in
-  let load_prev = Array.make n false in
-  let activity = Activity.create ~max_comp:k.max_id () in
+  let st =
+    {
+      s_values = Array.make n 0;
+      (* Change stamps: cycle at which a value / mux select / ALU
+         function last changed.  Cycle 1 forces a full evaluation
+         (reset values are not consistent with the netlist);
+         afterwards an instruction whose inputs carry no current stamp
+         would compute a zero Hamming distance, so skipping it drops
+         only zero charges. *)
+      s_val_stamp = Array.make n 0;
+      s_ctrl_stamp = Array.make n 0;
+      s_op_stamp = Array.make n 0;
+      s_mux_sel = Array.make n 0;
+      s_alu_op = Array.make n 0;
+      s_alu_in_a = Array.make n 0;
+      s_alu_in_b = Array.make n 0;
+      s_alu_busy_prev = Array.make n false;
+      s_load_prev = Array.make n false;
+      s_activity = Activity.create ~max_comp:k.max_id ();
+      s_outputs_rev = [];
+      s_current = Var.Map.empty;
+    }
+  in
+  Array.iter (fun (id, code) -> st.s_alu_op.(id) <- code) k.default_ops;
+  (* Reset: ports and input registers preloaded with the first
+     computation's values (no energy charged). *)
+  Array.iter
+    (fun (v, port, reg) ->
+      let v0 = B.to_int (Var.Map.find v env0) in
+      st.s_values.(port) <- v0;
+      if reg >= 0 then st.s_values.(reg) <- v0)
+    k.plumbing;
+  st
+
+let copy_state st =
+  {
+    s_values = Array.copy st.s_values;
+    s_val_stamp = Array.copy st.s_val_stamp;
+    s_ctrl_stamp = Array.copy st.s_ctrl_stamp;
+    s_op_stamp = Array.copy st.s_op_stamp;
+    s_mux_sel = Array.copy st.s_mux_sel;
+    s_alu_op = Array.copy st.s_alu_op;
+    s_alu_in_a = Array.copy st.s_alu_in_a;
+    s_alu_in_b = Array.copy st.s_alu_in_b;
+    s_alu_busy_prev = Array.copy st.s_alu_busy_prev;
+    s_load_prev = Array.copy st.s_load_prev;
+    s_activity = Activity.copy st.s_activity;
+    s_outputs_rev = st.s_outputs_rev;
+    s_current = st.s_current;
+  }
+
+(* Trace signals are looked up before registering so a resumed run can
+   keep sampling into the dump its prefix started (the header freezes
+   on the first sample). *)
+let setup_signals k trace =
+  match trace with
+  | None -> []
+  | Some { Simulator.vcd; _ } ->
+      List.map
+        (fun c ->
+          let name = Printf.sprintf "%s_c%d" (Comp.name c) (Comp.id c) in
+          ( Comp.id c,
+            match Vcd.lookup vcd ~name with
+            | Some s -> s
+            | None -> Vcd.register vcd ~name ~width:k.width ))
+        k.comps
+
+(* Execute cycles [from_cycle .. to_cycle] of a run totalling
+   [iterations] computations.  The body is the hot path; all state
+   arrays are re-bound to locals once per range. *)
+let exec_range k st ~envs ~iterations ?trace ?observer ~vcd_signals
+    ~from_cycle ~to_cycle () =
+  let width = k.width in
+  let values = st.s_values in
+  let val_stamp = st.s_val_stamp in
+  let ctrl_stamp = st.s_ctrl_stamp in
+  let op_stamp = st.s_op_stamp in
+  let mux_sel = st.s_mux_sel in
+  let alu_op = st.s_alu_op in
+  let alu_in_a = st.s_alu_in_a in
+  let alu_in_b = st.s_alu_in_b in
+  let alu_busy_prev = st.s_alu_busy_prev in
+  let load_prev = st.s_load_prev in
+  let activity = st.s_activity in
   let charge ~comp ~category pj = Activity.add activity ~comp ~category pj in
-  let envs =
-    Simulator.materialize_stimulus ?stimulus rng ~inputs:k.graph_inputs ~width
-      ~iterations
-  in
-  let vcd_signals =
-    match trace with
-    | None -> []
-    | Some { Simulator.vcd; _ } ->
-        List.map
-          (fun c ->
-            ( Comp.id c,
-              Vcd.register vcd
-                ~name:(Printf.sprintf "%s_c%d" (Comp.name c) (Comp.id c))
-                ~width ))
-          k.comps
-  in
   let record_trace cycle =
     match trace with
     | Some { Simulator.vcd; max_cycles } when cycle <= max_cycles ->
@@ -419,25 +511,14 @@ let run ?(seed = 42) ?trace ?observer ?stimulus k ~iterations =
       val_stamp.(port) <- cycle
     end
   in
-  (* Reset: ports and input registers preloaded with the first
-     computation's values (no energy charged). *)
-  Array.iter
-    (fun (v, port, reg) ->
-      let v0 = B.to_int (Var.Map.find v envs.(0)) in
-      values.(port) <- v0;
-      if reg >= 0 then values.(reg) <- v0)
-    k.plumbing;
-  let all_outputs = ref [] in
-  let current_outputs = ref Var.Map.empty in
-  let total_cycles = iterations * k.t_steps in
-  for cycle = 1 to total_cycles do
+  for cycle = from_cycle to to_cycle do
     let step = ((cycle - 1) mod k.t_steps) + 1 in
     let iter_idx = (cycle - 1) / k.t_steps in
     let phase = Clock.phase_of_cycle k.clock cycle in
     let first_eval = cycle = 1 in
     (* 1. Fresh inputs. *)
     if step = 1 then begin
-      current_outputs := Var.Map.empty;
+      st.s_current <- Var.Map.empty;
       if iter_idx > 0 then
         Array.iter
           (fun ((_, _, reg) as p) ->
@@ -573,12 +654,15 @@ let run ?(seed = 42) ?trace ?observer ?stimulus k ~iterations =
     (* 5. Output taps. *)
     Array.iter
       (fun (v, src) ->
-        current_outputs :=
-          Var.Map.add v (B.create ~width (src_val values src)) !current_outputs)
+        st.s_current <-
+          Var.Map.add v (B.create ~width (src_val values src)) st.s_current)
       k.taps_at.(step);
-    if step = k.t_steps then all_outputs := !current_outputs :: !all_outputs
-  done;
-  let energy_pj = Activity.total activity in
+    if step = k.t_steps then st.s_outputs_rev <- st.s_current :: st.s_outputs_rev
+  done
+
+let finish k st ~iterations ~envs =
+  let total_cycles = iterations * k.t_steps in
+  let energy_pj = Activity.total st.s_activity in
   let sim_time_s = float_of_int total_cycles *. Clock.period k.clock in
   let power_mw = energy_pj *. 1e-12 /. sim_time_s *. 1e3 in
   {
@@ -587,7 +671,265 @@ let run ?(seed = 42) ?trace ?observer ?stimulus k ~iterations =
     sim_time_s;
     energy_pj;
     power_mw;
-    activity;
+    activity = st.s_activity;
     inputs = Array.to_list envs;
-    outputs = List.rev !all_outputs;
+    outputs = List.rev st.s_outputs_rev;
   }
+
+let run ?(seed = 42) ?trace ?observer ?stimulus k ~iterations =
+  if iterations < 1 then invalid_arg "Simulator.run: iterations must be >= 1";
+  let rng = Mclock_util.Rng.create seed in
+  let envs =
+    Simulator.materialize_stimulus ?stimulus rng ~inputs:k.graph_inputs
+      ~width:k.width ~iterations
+  in
+  let st = fresh_state k envs.(0) in
+  let vcd_signals = setup_signals k trace in
+  exec_range k st ~envs ~iterations ?trace ?observer ~vcd_signals
+    ~from_cycle:1 ~to_cycle:(iterations * k.t_steps) ();
+  finish k st ~iterations ~envs
+
+(* The checkpoint boundary sits one cycle before the end of the run:
+   cycle [iterations * t_steps] is the only cycle a longer run executes
+   differently (it applies the next computation's inputs to
+   register-backed ports), so the snapshot is taken before it and
+   [resume] re-executes it in extension form.  The charge sequence the
+   resumed run then emits — and with it every float accumulation, every
+   output env, the VCD sample stream — is exactly the uninterrupted
+   run's, which is what the differential suite pins down.
+
+   Consequence for tracing/observation: the prefix run samples cycles
+   [1 .. boundary - 1] only, and a resume into the same VCD samples
+   [boundary ..] — together byte-identical to an uninterrupted run's
+   dump.  The prefix's *result* still covers all its cycles. *)
+let run_with_checkpoint ?(seed = 42) ?trace ?observer ?stimulus k ~iterations =
+  if iterations < 1 then invalid_arg "Simulator.run: iterations must be >= 1";
+  let rng = Mclock_util.Rng.create seed in
+  let envs =
+    Simulator.materialize_stimulus ?stimulus rng ~inputs:k.graph_inputs
+      ~width:k.width ~iterations
+  in
+  let rng_after = Mclock_util.Rng.state rng in
+  let st = fresh_state k envs.(0) in
+  let vcd_signals = setup_signals k trace in
+  let boundary = iterations * k.t_steps in
+  exec_range k st ~envs ~iterations ?trace ?observer ~vcd_signals
+    ~from_cycle:1 ~to_cycle:(boundary - 1) ();
+  let ck =
+    {
+      ck_width = k.width;
+      ck_t_steps = k.t_steps;
+      ck_n = k.max_id + 1;
+      ck_seed = seed;
+      ck_iterations = iterations;
+      ck_stimulus = stimulus <> None;
+      ck_rng = rng_after;
+      ck_envs = envs;
+      ck_state = copy_state st;
+    }
+  in
+  exec_range k st ~envs ~iterations ~vcd_signals:[] ~from_cycle:boundary
+    ~to_cycle:boundary ();
+  (finish k st ~iterations ~envs, ck)
+
+let resume ?trace ?observer ?stimulus k ck ~iterations =
+  if ck.ck_width <> k.width || ck.ck_t_steps <> k.t_steps
+     || ck.ck_n <> k.max_id + 1
+  then invalid_arg "Compiled.resume: checkpoint does not match this kernel";
+  if iterations <= ck.ck_iterations then
+    invalid_arg "Compiled.resume: iterations must exceed the checkpoint's";
+  let k1 = ck.ck_iterations in
+  let envs, rng_after =
+    match stimulus with
+    | Some _ ->
+        (* The prefix's stimulus must be the prefix of this one, or the
+           checkpointed state is for a different input stream. *)
+        let all =
+          Simulator.materialize_stimulus ?stimulus
+            (Mclock_util.Rng.create ck.ck_seed)
+            ~inputs:k.graph_inputs ~width:k.width ~iterations
+        in
+        Array.iteri
+          (fun i env ->
+            if i < k1 && not (Var.Map.equal B.equal env ck.ck_envs.(i)) then
+              invalid_arg
+                "Compiled.resume: stimulus prefix differs from the \
+                 checkpointed run's inputs")
+          all;
+        (all, ck.ck_rng)
+    | None ->
+        if ck.ck_stimulus then
+          invalid_arg
+            "Compiled.resume: the checkpointed run used an explicit \
+             stimulus; pass ~stimulus covering the combined run";
+        let rng = Mclock_util.Rng.of_state ck.ck_rng in
+        let extra =
+          Simulator.materialize_stimulus rng ~inputs:k.graph_inputs
+            ~width:k.width ~iterations:(iterations - k1)
+        in
+        (Array.append ck.ck_envs extra, Mclock_util.Rng.state rng)
+  in
+  let st = copy_state ck.ck_state in
+  let vcd_signals = setup_signals k trace in
+  let boundary = iterations * k.t_steps in
+  exec_range k st ~envs ~iterations ?trace ?observer ~vcd_signals
+    ~from_cycle:(k1 * k.t_steps) ~to_cycle:(boundary - 1) ();
+  let ck' =
+    {
+      ck with
+      ck_iterations = iterations;
+      ck_stimulus = ck.ck_stimulus || stimulus <> None;
+      ck_rng = rng_after;
+      ck_envs = envs;
+      ck_state = copy_state st;
+    }
+  in
+  exec_range k st ~envs ~iterations ~vcd_signals:[] ~from_cycle:boundary
+    ~to_cycle:boundary ();
+  (finish k st ~iterations ~envs, ck')
+
+(* --- Checkpoint serialization ------------------------------------------ *)
+
+module Checkpoint = struct
+  module Binio = Mclock_util.Binio
+
+  (* Bump on any layout change: version skew degrades to a decode
+     error, which cache consumers treat as a miss. *)
+  let magic = "MCLOCK-CKPT-v1\n"
+
+  let write_env w env =
+    Binio.W.int w (Var.Map.cardinal env);
+    Var.Map.iter
+      (fun v b ->
+        Binio.W.string w (Var.name v);
+        Binio.W.int w (B.width b);
+        Binio.W.int w (B.to_int b))
+      env
+
+  let read_env r =
+    let n = Binio.R.int r in
+    let rec go acc i =
+      if i = n then acc
+      else
+        let name = Binio.R.string r in
+        let width = Binio.R.int r in
+        let value = Binio.R.int r in
+        go (Var.Map.add (Var.v name) (B.create ~width value) acc) (i + 1)
+    in
+    go Var.Map.empty 0
+
+  let encode ck =
+    let w = Binio.W.create () in
+    Binio.W.int w ck.ck_width;
+    Binio.W.int w ck.ck_t_steps;
+    Binio.W.int w ck.ck_n;
+    Binio.W.int w ck.ck_seed;
+    Binio.W.int w ck.ck_iterations;
+    Binio.W.bool w ck.ck_stimulus;
+    Binio.W.i64 w ck.ck_rng;
+    Binio.W.int w (Array.length ck.ck_envs);
+    Array.iter (write_env w) ck.ck_envs;
+    let st = ck.ck_state in
+    Binio.W.int_array w st.s_values;
+    Binio.W.int_array w st.s_val_stamp;
+    Binio.W.int_array w st.s_ctrl_stamp;
+    Binio.W.int_array w st.s_op_stamp;
+    Binio.W.int_array w st.s_mux_sel;
+    Binio.W.int_array w st.s_alu_op;
+    Binio.W.int_array w st.s_alu_in_a;
+    Binio.W.int_array w st.s_alu_in_b;
+    Binio.W.bool_array w st.s_alu_busy_prev;
+    Binio.W.bool_array w st.s_load_prev;
+    Binio.W.float_array w (Activity.raw_cells st.s_activity);
+    Binio.W.float w (Activity.total st.s_activity);
+    Binio.W.int w (List.length st.s_outputs_rev);
+    List.iter (write_env w) st.s_outputs_rev;
+    write_env w st.s_current;
+    Binio.seal ~magic (Binio.W.contents w)
+
+  let decode blob =
+    match Binio.unseal ~magic blob with
+    | Error e -> Error e
+    | Ok payload -> (
+        match
+          let r = Binio.R.of_string payload in
+          let ck_width = Binio.R.int r in
+          let ck_t_steps = Binio.R.int r in
+          let ck_n = Binio.R.int r in
+          let ck_seed = Binio.R.int r in
+          let ck_iterations = Binio.R.int r in
+          let ck_stimulus = Binio.R.bool r in
+          let ck_rng = Binio.R.i64 r in
+          let n_envs = Binio.R.int r in
+          if n_envs <> ck_iterations then
+            raise (Binio.Corrupt "checkpoint: env count <> iterations");
+          (* Explicit ascending loops: the reader is stateful and
+             [Array.init]/[List.init] evaluation order is unspecified. *)
+          let ck_envs = Array.make n_envs Var.Map.empty in
+          for i = 0 to n_envs - 1 do
+            ck_envs.(i) <- read_env r
+          done;
+          let int_arr () =
+            let a = Binio.R.int_array r in
+            if Array.length a <> ck_n then
+              raise (Binio.Corrupt "checkpoint: bad state array length");
+            a
+          in
+          let bool_arr () =
+            let a = Binio.R.bool_array r in
+            if Array.length a <> ck_n then
+              raise (Binio.Corrupt "checkpoint: bad state array length");
+            a
+          in
+          let s_values = int_arr () in
+          let s_val_stamp = int_arr () in
+          let s_ctrl_stamp = int_arr () in
+          let s_op_stamp = int_arr () in
+          let s_mux_sel = int_arr () in
+          let s_alu_op = int_arr () in
+          let s_alu_in_a = int_arr () in
+          let s_alu_in_b = int_arr () in
+          let s_alu_busy_prev = bool_arr () in
+          let s_load_prev = bool_arr () in
+          let cells = Binio.R.float_array r in
+          let total = Binio.R.float r in
+          let n_out = Binio.R.int r in
+          let outputs_rev =
+            let rec go i acc =
+              if i = n_out then List.rev acc else go (i + 1) (read_env r :: acc)
+            in
+            go 0 []
+          in
+          let current = read_env r in
+          Binio.R.expect_end r;
+          {
+            ck_width;
+            ck_t_steps;
+            ck_n;
+            ck_seed;
+            ck_iterations;
+            ck_stimulus;
+            ck_rng;
+            ck_envs;
+            ck_state =
+              {
+                s_values;
+                s_val_stamp;
+                s_ctrl_stamp;
+                s_op_stamp;
+                s_mux_sel;
+                s_alu_op;
+                s_alu_in_a;
+                s_alu_in_b;
+                s_alu_busy_prev;
+                s_load_prev;
+                s_activity = Activity.of_raw ~cells ~total;
+                s_outputs_rev = outputs_rev;
+                s_current = current;
+              };
+          }
+        with
+        | ck -> Ok ck
+        | exception Binio.Corrupt m -> Error m
+        | exception Invalid_argument m -> Error m)
+end

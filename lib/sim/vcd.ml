@@ -43,6 +43,13 @@ let register t ~name ~width =
   t.signals <- s :: t.signals;
   s
 
+(* A resumed simulation continues into the dump its prefix started;
+   by then the header is out and [register] would raise, so the kernel
+   looks its signals up by name instead.  The [last] cache rides
+   along, which is exactly right: a value unchanged across the
+   checkpoint boundary is not re-emitted, as in an uninterrupted run. *)
+let lookup t ~name = List.find_opt (fun s -> String.equal s.name name) t.signals
+
 let emit_header t =
   Buffer.add_string t.buf (Printf.sprintf "$timescale %s $end\n" t.timescale);
   Buffer.add_string t.buf "$scope module mclock $end\n";

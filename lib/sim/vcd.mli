@@ -8,6 +8,12 @@ val create : ?timescale:string -> unit -> t
 val register : t -> name:string -> width:int -> signal
 (** Must precede the first {!sample}. *)
 
+val lookup : t -> name:string -> signal option
+(** Find an already-registered signal by name.  A resumed simulation
+    uses this to keep sampling into the dump its prefix run started
+    (after the first {!sample} the header is frozen and {!register}
+    raises). *)
+
 val sample : t -> time:int -> (signal * Mclock_util.Bitvec.t) list -> unit
 (** Emit changes at a time stamp (monotonically increasing). *)
 

@@ -1,0 +1,192 @@
+(* Tagged binary serialization.
+
+   One byte of type tag per value keeps decoding self-checking: a
+   reader that drifts out of sync (version skew, truncation that
+   survived the outer digest, a buggy caller) fails loudly on the next
+   tag instead of silently misinterpreting bytes.  All multi-byte
+   quantities are little-endian 64-bit words via [Bytes.set_int64_le],
+   so ints and floats round-trip bit-exactly on every platform OCaml
+   supports. *)
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+(* Type tags. Arrays length-prefix once and pack elements untagged. *)
+let tag_bool = 'b'
+let tag_int = 'i'
+let tag_i64 = 'j'
+let tag_float = 'f'
+let tag_string = 's'
+let tag_int_array = 'I'
+let tag_bool_array = 'B'
+let tag_float_array = 'F'
+
+module W = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 4096
+  let raw_i64 b v = Buffer.add_int64_le b v
+  let raw_int b v = raw_i64 b (Int64.of_int v)
+
+  let bool b v =
+    Buffer.add_char b tag_bool;
+    Buffer.add_char b (if v then '\001' else '\000')
+
+  let int b v =
+    Buffer.add_char b tag_int;
+    raw_int b v
+
+  let i64 b v =
+    Buffer.add_char b tag_i64;
+    raw_i64 b v
+
+  let float b v =
+    Buffer.add_char b tag_float;
+    raw_i64 b (Int64.bits_of_float v)
+
+  let string b s =
+    Buffer.add_char b tag_string;
+    raw_int b (String.length s);
+    Buffer.add_string b s
+
+  let int_array b a =
+    Buffer.add_char b tag_int_array;
+    raw_int b (Array.length a);
+    Array.iter (raw_int b) a
+
+  let bool_array b a =
+    Buffer.add_char b tag_bool_array;
+    raw_int b (Array.length a);
+    Array.iter (fun v -> Buffer.add_char b (if v then '\001' else '\000')) a
+
+  let float_array b a =
+    Buffer.add_char b tag_float_array;
+    raw_int b (Array.length a);
+    Array.iter (fun v -> raw_i64 b (Int64.bits_of_float v)) a
+
+  let contents = Buffer.contents
+end
+
+module R = struct
+  type t = { data : string; mutable pos : int }
+
+  let of_string data = { data; pos = 0 }
+
+  let need r n =
+    if r.pos + n > String.length r.data then
+      corrupt "Binio: truncated stream (need %d bytes at offset %d of %d)" n
+        r.pos
+        (String.length r.data)
+
+  let raw_i64 r =
+    need r 8;
+    let v = String.get_int64_le r.data r.pos in
+    r.pos <- r.pos + 8;
+    v
+
+  let raw_int r =
+    let v = raw_i64 r in
+    let i = Int64.to_int v in
+    if Int64.of_int i <> v then corrupt "Binio: int out of range";
+    i
+
+  let tag r expected =
+    need r 1;
+    let c = r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    if c <> expected then
+      corrupt "Binio: expected tag %C, found %C at offset %d" expected c
+        (r.pos - 1)
+
+  let bool r =
+    tag r tag_bool;
+    need r 1;
+    let c = r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    match c with
+    | '\000' -> false
+    | '\001' -> true
+    | c -> corrupt "Binio: bad bool byte %C" c
+
+  let int r =
+    tag r tag_int;
+    raw_int r
+
+  let i64 r =
+    tag r tag_i64;
+    raw_i64 r
+
+  let float r =
+    tag r tag_float;
+    Int64.float_of_bits (raw_i64 r)
+
+  let len r =
+    let n = raw_int r in
+    if n < 0 then corrupt "Binio: negative length %d" n;
+    n
+
+  let string r =
+    tag r tag_string;
+    let n = len r in
+    need r n;
+    let s = String.sub r.data r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  (* [Array.init]'s evaluation order is unspecified, so element reads
+     (which advance the cursor) go through an explicit ascending loop. *)
+  let int_array r =
+    tag r tag_int_array;
+    let n = len r in
+    need r (8 * n);
+    let a = Array.make n 0 in
+    for i = 0 to n - 1 do
+      a.(i) <- raw_int r
+    done;
+    a
+
+  let bool_array r =
+    tag r tag_bool_array;
+    let n = len r in
+    need r n;
+    let a = Array.make n false in
+    for i = 0 to n - 1 do
+      (a.(i) <-
+         (match r.data.[r.pos] with
+         | '\000' -> false
+         | '\001' -> true
+         | c -> corrupt "Binio: bad bool byte %C" c));
+      r.pos <- r.pos + 1
+    done;
+    a
+
+  let float_array r =
+    tag r tag_float_array;
+    let n = len r in
+    need r (8 * n);
+    let a = Array.make n 0. in
+    for i = 0 to n - 1 do
+      a.(i) <- Int64.float_of_bits (raw_i64 r)
+    done;
+    a
+
+  let expect_end r =
+    if r.pos <> String.length r.data then
+      corrupt "Binio: %d trailing bytes" (String.length r.data - r.pos)
+end
+
+(* [Digest] is MD5 — not cryptographic, but the threat model is bit
+   rot and truncation, the same bar the JSON store's key check sets. *)
+let seal ~magic payload = magic ^ Digest.string payload ^ payload
+
+let unseal ~magic blob =
+  let ml = String.length magic in
+  if String.length blob < ml + 16 then Error "sealed blob too short"
+  else if not (String.equal (String.sub blob 0 ml) magic) then
+    Error "bad magic"
+  else
+    let digest = String.sub blob ml 16 in
+    let payload = String.sub blob (ml + 16) (String.length blob - ml - 16) in
+    if String.equal digest (Digest.string payload) then Ok payload
+    else Error "digest mismatch"

@@ -1,0 +1,61 @@
+(** Tagged binary serialization for checkpoint payloads.
+
+    A tiny, dependency-free wire format: every value is written with a
+    one-byte type tag followed by a fixed- or length-prefixed encoding
+    (ints and floats as little-endian 64-bit words, so round-trips are
+    bit-exact — floats are carried as their IEEE-754 image, never
+    re-parsed from text).  Readers validate every tag and every length;
+    any irregularity raises {!Corrupt}, which callers turn into a
+    degrade-to-miss.
+
+    {!seal} / {!unseal} wrap a payload with a magic string and an MD5
+    digest so that truncated or bit-flipped files are rejected before
+    any structural decoding starts. *)
+
+exception Corrupt of string
+(** Raised by every {!R} accessor on a malformed stream. *)
+
+(** Append-only writer. *)
+module W : sig
+  type t
+
+  val create : unit -> t
+  val bool : t -> bool -> unit
+  val int : t -> int -> unit
+  val i64 : t -> int64 -> unit
+
+  val float : t -> float -> unit
+  (** Bit-exact: the IEEE-754 image is written, so NaNs and signed
+      zeros survive the round-trip unchanged. *)
+
+  val string : t -> string -> unit
+  val int_array : t -> int array -> unit
+  val bool_array : t -> bool array -> unit
+  val float_array : t -> float array -> unit
+  val contents : t -> string
+end
+
+(** Validating reader over a string produced by {!W}. *)
+module R : sig
+  type t
+
+  val of_string : string -> t
+  val bool : t -> bool
+  val int : t -> int
+  val i64 : t -> int64
+  val float : t -> float
+  val string : t -> string
+  val int_array : t -> int array
+  val bool_array : t -> bool array
+  val float_array : t -> float array
+
+  val expect_end : t -> unit
+  (** Raises {!Corrupt} unless the whole stream was consumed. *)
+end
+
+val seal : magic:string -> string -> string
+(** [seal ~magic payload] is [magic ^ md5 payload ^ payload]. *)
+
+val unseal : magic:string -> string -> (string, string) result
+(** Recover the payload of a sealed blob; [Error] (never an exception)
+    on wrong magic, truncation, or digest mismatch. *)

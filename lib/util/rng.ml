@@ -14,6 +14,15 @@ let create seed = { state = Int64.of_int seed }
 
 let copy t = { state = t.state }
 
+(* The whole generator is its 64-bit counter, so a stream can be
+   suspended and resumed exactly: [of_state (state t)] continues the
+   draw sequence where [t] stood.  This is what makes simulation
+   checkpoints deterministic — the resumed run draws precisely the
+   stimulus the uninterrupted run would have drawn. *)
+let state t = t.state
+
+let of_state s = { state = s }
+
 (* SplitMix64 finalizer. *)
 let mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in

@@ -11,6 +11,14 @@ val create : int -> t
 val copy : t -> t
 (** [copy t] is an independent generator starting at [t]'s current state. *)
 
+val state : t -> int64
+(** The generator's complete internal state.  [of_state (state t)]
+    resumes [t]'s stream exactly where it stood — the primitive that
+    simulation checkpoints use to continue a stimulus stream. *)
+
+val of_state : int64 -> t
+(** A generator continuing from a captured {!state}. *)
+
 val split : t -> t
 (** [split t] advances [t] and returns a statistically independent child
     generator; use to give sub-tasks their own streams. *)

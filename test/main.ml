@@ -22,5 +22,6 @@ let () =
       ("properties", Test_props.suite);
       ("explore", Test_explore.suite);
       ("search", Test_search.suite);
+      ("resume", Test_resume.suite);
       ("static", Test_static.suite);
     ]

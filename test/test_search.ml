@@ -34,11 +34,13 @@ let smoke_graph = Mclock_workloads.Workload.graph smoke_workload
 let smoke_constraints = smoke_workload.Mclock_workloads.Workload.constraints
 
 let search ?cache ?(jobs = 1) ?(eta = 2) ?min_iterations ?constraints
-    ?(iterations = 60) ?(max_clocks = 2) ?objective () =
+    ?(iterations = 60) ?(max_clocks = 2) ?objective ?resume ?race ?race_margin
+    ?close_threshold () =
   Mclock_exec.Pool.with_pool ~jobs (fun pool ->
       Halving.run ~pool ?cache ~eta ?min_iterations ?constraints ~seed:42
-        ~iterations ~max_clocks ?objective ~name:"facet"
-        ~sched_constraints:smoke_constraints smoke_graph)
+        ~iterations ~max_clocks ?objective ?resume ?race ?race_margin
+        ?close_threshold ~name:"facet" ~sched_constraints:smoke_constraints
+        smoke_graph)
 
 let doc r = Mclock_lint.Json.to_string (Halving.result_json r)
 
@@ -194,9 +196,15 @@ let test_halving_rung_schedule () =
     (List.map
        (fun g -> List.length g.Halving.r_candidates)
        r.Halving.rungs);
+  (* With resume (the default), promotion is incremental: each rung
+     charges only the budget beyond the previous rung's checkpoint. *)
   check Alcotest.int "evaluation iterations"
-    ((32 * 3) + (16 * 6) + (8 * 12) + (4 * 24) + (2 * 48) + 60)
+    ((32 * 3) + (16 * (6 - 3)) + (8 * (12 - 6)) + (4 * (24 - 12))
+    + (2 * (48 - 24)) + (60 - 48))
     r.Halving.evaluation_iterations;
+  check Alcotest.int "restart evaluation iterations"
+    ((32 * 3) + (16 * 6) + (8 * 12) + (4 * 24) + (2 * 48) + 60)
+    (search ~resume:false ()).Halving.evaluation_iterations;
   check Alcotest.int "exhaustive iterations" (32 * 60)
     r.Halving.exhaustive_iterations;
   (* Each rung's kept set is exactly the next rung's field. *)

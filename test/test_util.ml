@@ -343,6 +343,94 @@ let test_list_ext_assoc_update () =
   let a = List_ext.assoc_update ~key:"x" ~default:0 (fun n -> n + 1) a in
   check Alcotest.int "update" 2 (List.assoc "x" a)
 
+(* --- Binio -------------------------------------------------------------- *)
+
+let test_binio_roundtrip () =
+  let module B = Mclock_util.Binio in
+  let w = B.W.create () in
+  B.W.bool w true;
+  B.W.bool w false;
+  B.W.int w min_int;
+  B.W.int w max_int;
+  B.W.i64 w 0x1234_5678_9abc_def0L;
+  B.W.float w 0.1;
+  B.W.float w nan;
+  B.W.float w neg_infinity;
+  B.W.string w "";
+  B.W.string w "hello\x00world";
+  B.W.int_array w [| -1; 0; 42 |];
+  B.W.bool_array w [| true; false; true |];
+  B.W.float_array w [| 1.5; -0.0 |];
+  let r = B.R.of_string (B.W.contents w) in
+  Alcotest.(check bool) "bool t" true (B.R.bool r);
+  Alcotest.(check bool) "bool f" false (B.R.bool r);
+  Alcotest.(check int) "min_int" min_int (B.R.int r);
+  Alcotest.(check int) "max_int" max_int (B.R.int r);
+  Alcotest.(check int64) "i64" 0x1234_5678_9abc_def0L (B.R.i64 r);
+  Alcotest.(check (float 0.)) "float bit-exact" 0.1 (B.R.float r);
+  Alcotest.(check bool) "nan round-trips" true (Float.is_nan (B.R.float r));
+  Alcotest.(check (float 0.)) "neg_infinity" neg_infinity (B.R.float r);
+  Alcotest.(check string) "empty string" "" (B.R.string r);
+  Alcotest.(check string) "nul-safe string" "hello\x00world" (B.R.string r);
+  Alcotest.(check (array int)) "int array" [| -1; 0; 42 |] (B.R.int_array r);
+  Alcotest.(check (array bool)) "bool array" [| true; false; true |]
+    (B.R.bool_array r);
+  Alcotest.(check (array (float 0.))) "float array" [| 1.5; -0.0 |]
+    (B.R.float_array r);
+  B.R.expect_end r
+
+let test_binio_corruption () =
+  let module B = Mclock_util.Binio in
+  let corrupt f =
+    match f () with
+    | _ -> Alcotest.fail "corrupt stream decoded"
+    | exception B.Corrupt _ -> ()
+  in
+  (* Wrong tag: an int read from a float's bytes. *)
+  let w = B.W.create () in
+  B.W.float w 1.0;
+  let s = B.W.contents w in
+  corrupt (fun () -> B.R.int (B.R.of_string s));
+  (* Truncation mid-value. *)
+  corrupt (fun () ->
+      B.R.float (B.R.of_string (String.sub s 0 (String.length s - 1))));
+  (* Trailing bytes. *)
+  corrupt (fun () ->
+      let r = B.R.of_string (s ^ "x") in
+      ignore (B.R.float r);
+      B.R.expect_end r);
+  (* Negative array length. *)
+  let w = B.W.create () in
+  B.W.int_array w [||];
+  let bad =
+    let b = Bytes.of_string (B.W.contents w) in
+    Bytes.set_int64_le b 1 (-1L);
+    Bytes.to_string b
+  in
+  corrupt (fun () -> B.R.int_array (B.R.of_string bad))
+
+let test_binio_seal () =
+  let module B = Mclock_util.Binio in
+  let magic = "TEST-v1\n" in
+  let payload = "some sealed payload" in
+  let blob = B.seal ~magic payload in
+  (match B.unseal ~magic blob with
+  | Ok p -> Alcotest.(check string) "unseal inverts seal" payload p
+  | Error e -> Alcotest.fail e);
+  (match B.unseal ~magic:"OTHER-v1" blob with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong magic accepted");
+  let flipped = Bytes.of_string blob in
+  Bytes.set flipped
+    (String.length blob - 1)
+    (Char.chr (Char.code (Bytes.get flipped (String.length blob - 1)) lxor 1));
+  (match B.unseal ~magic (Bytes.to_string flipped) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "flipped payload accepted");
+  match B.unseal ~magic "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty blob accepted"
+
 let suite =
   [
     ("rng deterministic", `Quick, test_rng_deterministic);
@@ -387,4 +475,7 @@ let suite =
     ("list_ext basics", `Quick, test_list_ext_basics);
     ("list_ext group_by", `Quick, test_list_ext_group_by);
     ("list_ext assoc_update", `Quick, test_list_ext_assoc_update);
+    ("binio roundtrip", `Quick, test_binio_roundtrip);
+    ("binio corruption", `Quick, test_binio_corruption);
+    ("binio seal", `Quick, test_binio_seal);
   ]
