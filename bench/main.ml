@@ -34,7 +34,14 @@
           static-accuracy (static power estimate vs simulation vs
           certified bound over the catalog x every method; asserts
           soundness on every cell and writes the error distribution
-          to BENCH_static.json) *)
+          to BENCH_static.json)
+          remote (read-through cache tier against a loopback HTTP
+          server: cold local, then remote-warm into an empty local
+          store — asserting a byte-identical frontier with zero
+          simulations and nonzero remote hits — then a degraded pass
+          against the stopped server, asserting identical local
+          results with the failures counted; writes
+          BENCH_remote.json) *)
 
 let tech = Mclock_tech.Cmos08.t
 let iterations = 500
@@ -1458,6 +1465,234 @@ let run_static_accuracy () =
   close_out oc;
   Fmt.pr "wrote %s@." path
 
+(* --- Remote read-through cache tier ------------------------------------------------------------ *)
+
+(* Three legs per workload against one loopback server:
+
+     cold      — plain local exploration populating the source store;
+     remote    — a loopback server on the source store backs an empty
+                 local store through the read-through tier: the
+                 frontier must be byte-identical and *zero* cells may
+                 be simulated (every find is a remote fill);
+     degraded  — the server is stopped and a fresh client pointed at
+                 the dead port backs another empty store: the frontier
+                 must again be byte-identical (everything re-simulated
+                 locally) with the failures visible in the client's
+                 counters, not as a crash or a hang.
+
+   Writes BENCH_remote.json (--json PATH overrides; --smoke shrinks
+   the grid for CI). *)
+let run_remote () =
+  let smoke = argv_flag "--smoke" in
+  let iterations = if smoke then 120 else 400 in
+  let max_clocks = if smoke then 2 else 4 in
+  let workloads =
+    if smoke then [ Mclock_workloads.Facet.t ]
+    else Mclock_workloads.Catalog.paper_tables
+  in
+  section
+    (Printf.sprintf
+       "Remote read-through cache tier — cold vs remote-warm vs degraded \
+        (max %d clocks, %d computations)"
+       max_clocks iterations);
+  let dir_of tag =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mclock-bench-remote-%s.%d" tag (Unix.getpid ()))
+  in
+  let src_dir = dir_of "src" in
+  let dst_dir = dir_of "dst" in
+  let deg_dir = dir_of "deg" in
+  let drop_dir dir =
+    try
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Unix.rmdir dir
+    with Sys_error _ | Unix.Unix_error (_, _, _) -> ()
+  in
+  let explore ~cache w =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Mclock_explore.Engine.explore ~pool ~cache ~seed ~iterations
+        ~max_clocks ~name:w.Mclock_workloads.Workload.name
+        ~sched_constraints:w.Mclock_workloads.Workload.constraints
+        (Mclock_workloads.Workload.graph w)
+    in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let frontier r =
+    Mclock_lint.Json.to_string (Mclock_explore.Engine.frontier_json r)
+  in
+  (* Leg 1: cold local exploration populating the source store. *)
+  let cold_runs =
+    List.map
+      (fun w ->
+        let cache = Mclock_explore.Store.open_ ~dir:src_dir () in
+        let r, dt = explore ~cache w in
+        (w, r, dt))
+      workloads
+  in
+  (* Leg 2: loopback server over the source store backs empty stores. *)
+  let server =
+    match Mclock_remote.Server.create ~dir:src_dir () with
+    | Ok s -> s
+    | Error m -> Fmt.failwith "cannot start loopback cache server: %s" m
+  in
+  Mclock_remote.Server.start server;
+  let server_url = Mclock_remote.Server.url server in
+  let client =
+    match Mclock_remote.Client.create ~url:server_url () with
+    | Ok c -> c
+    | Error m -> Fmt.failwith "client: %s" m
+  in
+  let remote_runs =
+    List.map
+      (fun (w, cold, _) ->
+        let name = w.Mclock_workloads.Workload.name in
+        let cache = Mclock_explore.Store.open_ ~dir:dst_dir () in
+        Mclock_explore.Store.set_remote cache
+          (Some (Mclock_remote.Client.tier client));
+        let r, dt = explore ~cache w in
+        if frontier cold <> frontier r then
+          Fmt.failwith "%s: remote-warm frontier differs from cold local" name;
+        if r.Mclock_explore.Engine.stats.Mclock_explore.Engine.simulated <> 0
+        then
+          Fmt.failwith "%s: remote-warm pass simulated %d cells (expected 0)"
+            name r.Mclock_explore.Engine.stats.Mclock_explore.Engine.simulated;
+        let fills =
+          (Mclock_explore.Store.stats cache)
+            .Mclock_explore.Store.remote_fills
+        in
+        if fills = 0 then
+          Fmt.failwith "%s: remote-warm pass filled no entries from the tier"
+            name;
+        (r, dt, fills))
+      cold_runs
+  in
+  let client_stats = Mclock_remote.Client.stats client in
+  if client_stats.Mclock_remote.Client.remote_hits = 0 then
+    Fmt.failwith "remote-warm legs recorded no remote hits";
+  if client_stats.Mclock_remote.Client.remote_errors <> 0 then
+    Fmt.failwith "remote-warm legs recorded %d remote errors against a live \
+                  loopback server"
+      client_stats.Mclock_remote.Client.remote_errors;
+  let server_stats_json = Mclock_remote.Server.stats_json server in
+  Mclock_remote.Server.stop server;
+  (* Leg 3: the port is now dead; everything must degrade to local. *)
+  let dead_client =
+    match
+      Mclock_remote.Client.create ~timeout:0.5 ~retries:0
+        ~breaker_threshold:1 ~url:server_url ()
+    with
+    | Ok c -> c
+    | Error m -> Fmt.failwith "client: %s" m
+  in
+  let degraded_runs =
+    List.map
+      (fun (w, cold, _) ->
+        let name = w.Mclock_workloads.Workload.name in
+        let cache = Mclock_explore.Store.open_ ~dir:deg_dir () in
+        Mclock_explore.Store.set_remote cache
+          (Some (Mclock_remote.Client.tier dead_client));
+        let r, dt = explore ~cache w in
+        if frontier cold <> frontier r then
+          Fmt.failwith "%s: degraded-remote frontier differs from cold local"
+            name;
+        (r, dt))
+      cold_runs
+  in
+  let dead_stats = Mclock_remote.Client.stats dead_client in
+  if dead_stats.Mclock_remote.Client.remote_errors = 0 then
+    Fmt.failwith "degraded legs recorded no remote errors against a dead port";
+  if not dead_stats.Mclock_remote.Client.breaker_open then
+    Fmt.failwith "degraded legs did not open the circuit breaker";
+  let table =
+    Mclock_util.Table.create
+      ~header:
+        [ "workload"; "cells"; "frontier"; "cold [s]"; "remote [s]";
+          "fills"; "degraded [s]" ]
+      ~aligns:
+        Mclock_util.Table.[ Left; Right; Right; Right; Right; Right; Right ]
+      ()
+  in
+  let rows =
+    List.map2
+      (fun ((w, cold, cold_dt), (_, remote_dt, fills)) (_, degraded_dt) ->
+        (w, cold, cold_dt, remote_dt, fills, degraded_dt))
+      (List.combine cold_runs remote_runs)
+      degraded_runs
+  in
+  List.iter
+    (fun (w, cold, cold_dt, remote_dt, fills, degraded_dt) ->
+      let cs = cold.Mclock_explore.Engine.stats in
+      Mclock_util.Table.add_row table
+        [
+          w.Mclock_workloads.Workload.name;
+          string_of_int cs.Mclock_explore.Engine.enumerated;
+          string_of_int
+            (List.length
+               cold.Mclock_explore.Engine.pareto.Mclock_explore.Pareto.frontier);
+          Printf.sprintf "%.3f" cold_dt;
+          Printf.sprintf "%.3f" remote_dt;
+          string_of_int fills;
+          Printf.sprintf "%.3f" degraded_dt;
+        ])
+    rows;
+  Mclock_util.Table.print table;
+  Fmt.pr
+    "remote tier: %d hits, %d misses, %d errors over %d requests; degraded: \
+     %d errors, breaker %s@."
+    client_stats.Mclock_remote.Client.remote_hits
+    client_stats.Mclock_remote.Client.remote_misses
+    client_stats.Mclock_remote.Client.remote_errors
+    client_stats.Mclock_remote.Client.attempts
+    dead_stats.Mclock_remote.Client.remote_errors
+    (if dead_stats.Mclock_remote.Client.breaker_open then "open" else "closed");
+  drop_dir src_dir;
+  drop_dir dst_dir;
+  drop_dir deg_dir;
+  let path = Option.value (argv_opt "--json") ~default:"BENCH_remote.json" in
+  let json =
+    Mclock_lint.Json.Obj
+      [
+        ("benchmark", Mclock_lint.Json.String "remote");
+        ("iterations", Mclock_lint.Json.Int iterations);
+        ("max_clocks", Mclock_lint.Json.Int max_clocks);
+        ("seed", Mclock_lint.Json.Int seed);
+        ( "results",
+          Mclock_lint.Json.List
+            (List.map
+               (fun (w, cold, cold_dt, remote_dt, fills, degraded_dt) ->
+                 let cs = cold.Mclock_explore.Engine.stats in
+                 Mclock_lint.Json.Obj
+                   [
+                     ( "workload",
+                       Mclock_lint.Json.String w.Mclock_workloads.Workload.name
+                     );
+                     ( "enumerated",
+                       Mclock_lint.Json.Int cs.Mclock_explore.Engine.enumerated
+                     );
+                     ( "cold_simulated",
+                       Mclock_lint.Json.Int cs.Mclock_explore.Engine.simulated );
+                     ("remote_simulated", Mclock_lint.Json.Int 0);
+                     ("remote_fills", Mclock_lint.Json.Int fills);
+                     ("cold_seconds", Mclock_lint.Json.Float cold_dt);
+                     ("remote_seconds", Mclock_lint.Json.Float remote_dt);
+                     ("degraded_seconds", Mclock_lint.Json.Float degraded_dt);
+                   ])
+               rows) );
+        ("client", Mclock_remote.Client.stats_json client);
+        ("degraded_client", Mclock_remote.Client.stats_json dead_client);
+        ("server", server_stats_json);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Mclock_lint.Json.to_string_pretty json ^ "\n");
+  close_out oc;
+  Fmt.pr "wrote %s@." path;
+  Mclock_exec.Pool.shutdown pool
+
 (* --- Entry ------------------------------------------------------------------------------------- *)
 
 (* Timings go to stderr / a side file so stdout stays byte-identical
@@ -1541,5 +1776,6 @@ let () =
   else if argv_flag "search" then run_search ()
   else if argv_flag "resume" then run_resume ()
   else if argv_flag "static-accuracy" then run_static_accuracy ()
+  else if argv_flag "remote" then run_remote ()
   else if argv_flag "--smoke" then run_smoke ()
   else run_full ()

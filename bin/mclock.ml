@@ -580,6 +580,65 @@ let objective_arg =
                candidates being compared (lower is better). Valid \
                metrics: power, area, latency, energy, mem.")
 
+let remote_arg =
+  let env = Cmd.Env.info "MCLOCK_REMOTE" ~doc:"Default remote cache URL." in
+  Arg.(value & opt (some string) None & info [ "remote" ] ~docv:"URL" ~env
+         ~doc:"Read-through remote cache server, e.g. \
+               $(b,http://127.0.0.1:8090). A local cache miss consults the \
+               server; verified payloads populate the local cache and are \
+               served as hits. Every remote failure — dead host, timeout, \
+               garbled body — degrades to a plain local miss, and after a \
+               few consecutive failures a circuit breaker goes local-only \
+               for the rest of the run.")
+
+let remote_push_arg =
+  Arg.(value & flag & info [ "remote-push" ]
+         ~doc:"Also upload freshly evaluated results and checkpoints to the \
+               $(b,--remote) server (which must run with $(b,--writable)).")
+
+(* Attach the remote tier to the local store.  --remote without a local
+   cache is refused: the tier works by populating the local store. *)
+let attach_remote ~remote ~remote_push cache =
+  match remote with
+  | None ->
+      if remote_push then or_die (Error "--remote-push requires --remote URL");
+      None
+  | Some url ->
+      let cache =
+        match cache with
+        | Some c -> c
+        | None -> or_die (Error "--remote cannot be combined with --no-cache")
+      in
+      let client = or_die (Mclock_remote.Client.create ~url ()) in
+      Mclock_explore.Store.set_remote cache
+        (Some (Mclock_remote.Client.tier ~push:remote_push client));
+      Some client
+
+(* The remote summary goes to stderr so stdout documents stay
+   byte-identical with and without a remote; the counters ride into
+   --stats-json under a "remote" key. *)
+let remote_summary client =
+  Option.iter
+    (fun c ->
+      let s = Mclock_remote.Client.stats c in
+      Fmt.epr "remote %s: %d hits, %d misses, %d errors, %d pushes%s@."
+        (Mclock_remote.Client.url c) s.Mclock_remote.Client.remote_hits
+        s.Mclock_remote.Client.remote_misses
+        s.Mclock_remote.Client.remote_errors
+        s.Mclock_remote.Client.remote_pushes
+        (if s.Mclock_remote.Client.breaker_open then " (breaker open)" else ""))
+    client
+
+let with_remote_stats client json =
+  match client with
+  | None -> json
+  | Some c -> (
+      match json with
+      | Mclock_lint.Json.Obj fields ->
+          Mclock_lint.Json.Obj
+            (fields @ [ ("remote", Mclock_remote.Client.stats_json c) ])
+      | j -> j)
+
 (* Shared by explore and search so both emit documents identically. *)
 let write_doc path json =
   let oc = open_out path in
@@ -629,7 +688,7 @@ let explore_cmd =
   in
   let run workload file max_clocks constraints iterations seed jobs cache_dir
       no_cache json stats_json smoke estimate_first top_k objective best
-      timings timings_json =
+      remote remote_push timings timings_json =
     Option.iter (require_positive ~what:"--iterations") iterations;
     Option.iter (require_positive ~what:"--max-clocks") max_clocks;
     Option.iter (require_positive ~what:"--jobs") jobs;
@@ -643,6 +702,9 @@ let explore_cmd =
     let objective =
       Option.value ~default:Mclock_explore.Objective.default objective_opt
     in
+    let all_workloads = workload = Some "all" in
+    if all_workloads && file <> None then
+      or_die (Error "--workload all cannot be combined with --file");
     let workload =
       match (workload, file, smoke) with
       | None, None, true -> Some "facet"
@@ -655,53 +717,91 @@ let explore_cmd =
       match iterations with Some n -> n | None -> if smoke then 120 else 400
     in
     let constraints = parse_constraints constraints in
-    let input = or_die (load ~workload ~file ~scheduler:`Annotated) in
-    let name =
-      match (workload, file) with
-      | Some n, _ -> n
-      | _, Some p -> Filename.remove_extension (Filename.basename p)
-      | None, None -> "design"
+    (* --workload all: every catalog behaviour in one pool session
+       against one shared cache (and one remote client/breaker). *)
+    let targets =
+      if all_workloads then
+        List.map
+          (fun w ->
+            ( w.Mclock_workloads.Workload.name,
+              Mclock_workloads.Workload.graph w,
+              w.Mclock_workloads.Workload.constraints ))
+          Mclock_workloads.Catalog.all
+      else
+        let input = or_die (load ~workload ~file ~scheduler:`Annotated) in
+        let name =
+          match (workload, file) with
+          | Some n, _ -> n
+          | _, Some p -> Filename.remove_extension (Filename.basename p)
+          | None, None -> "design"
+        in
+        [ (name, input.graph, sched_constraints_of ~workload) ]
     in
-    let sched_constraints = sched_constraints_of ~workload in
     let cache =
       if no_cache then None else Some (Mclock_explore.Store.open_ ~dir:cache_dir ())
     in
-    let result =
+    let client = attach_remote ~remote ~remote_push cache in
+    let results =
       Mclock_exec.Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
-          let result =
-            Mclock_explore.Engine.explore ~pool ?cache ~constraints ~seed
-              ~iterations ~max_clocks ~estimate_first ?top_k ~name
-              ~sched_constraints input.graph
+          let results =
+            List.map
+              (fun (name, graph, sched_constraints) ->
+                Mclock_explore.Engine.explore ~pool ?cache ~constraints ~seed
+                  ~iterations ~max_clocks ~estimate_first ?top_k ~name
+                  ~sched_constraints graph)
+              targets
           in
           emit_timings pool ~timings ~timings_json;
-          result)
+          results)
     in
-    print_string (Mclock_explore.Engine.render_text result);
-    if best then
-      (match Mclock_explore.Engine.best ~objective result with
-      | Some (cell, score) ->
-          Printf.printf "best (%s): %s (score %.4f)\n"
-            (Mclock_explore.Objective.to_string objective)
-            cell.Mclock_explore.Engine.cell_label score
-      | None ->
-          Printf.printf "best (%s): none (no evaluated functional cell)\n"
-            (Mclock_explore.Objective.to_string objective));
+    List.iter
+      (fun result ->
+        if all_workloads then
+          Printf.printf "== %s ==\n" result.Mclock_explore.Engine.workload;
+        print_string (Mclock_explore.Engine.render_text result);
+        if best then
+          match Mclock_explore.Engine.best ~objective result with
+          | Some (cell, score) ->
+              Printf.printf "best (%s): %s (score %.4f)\n"
+                (Mclock_explore.Objective.to_string objective)
+                cell.Mclock_explore.Engine.cell_label score
+          | None ->
+              Printf.printf "best (%s): none (no evaluated functional cell)\n"
+                (Mclock_explore.Objective.to_string objective))
+      results;
+    remote_summary client;
+    (* Single-workload documents keep their original shape (CI diffs
+       them byte-for-byte); "all" wraps per-workload documents in one
+       "workloads" list. *)
+    let doc_of one_of_each = function
+      | [ single ] when not all_workloads -> one_of_each single
+      | many ->
+          Mclock_lint.Json.Obj
+            [ ("workloads", Mclock_lint.Json.List (List.map one_of_each many)) ]
+    in
     Option.iter
-      (fun p -> write_doc p (Mclock_explore.Engine.frontier_json result))
+      (fun p -> write_doc p (doc_of Mclock_explore.Engine.frontier_json results))
       json;
     Option.iter
-      (fun p -> write_doc p (Mclock_explore.Engine.stats_json result))
+      (fun p ->
+        write_doc p
+          (with_remote_stats client
+             (doc_of Mclock_explore.Engine.stats_json results)))
       stats_json;
     let any_functional_failure =
       List.exists
-        (fun (c : Mclock_explore.Engine.cell) ->
-          match c.Mclock_explore.Engine.status with
-          | Mclock_explore.Engine.Cached m | Mclock_explore.Engine.Simulated m
-            ->
-              not m.Mclock_explore.Metrics.functional_ok
-          | Mclock_explore.Engine.Pruned _ | Mclock_explore.Engine.Skipped _ ->
-              false)
-        result.Mclock_explore.Engine.cells
+        (fun result ->
+          List.exists
+            (fun (c : Mclock_explore.Engine.cell) ->
+              match c.Mclock_explore.Engine.status with
+              | Mclock_explore.Engine.Cached m
+              | Mclock_explore.Engine.Simulated m ->
+                  not m.Mclock_explore.Metrics.functional_ok
+              | Mclock_explore.Engine.Pruned _
+              | Mclock_explore.Engine.Skipped _ ->
+                  false)
+            result.Mclock_explore.Engine.cells)
+        results
     in
     if any_functional_failure then exit 2
   in
@@ -710,13 +810,15 @@ let explore_cmd =
        ~doc:"Explore the scheduler x allocator x clock-count x transfers x \
              voltage design space; prune with pre-simulation bounds, reuse \
              the persistent evaluation cache, and report the \
-             power/area/latency Pareto frontier.")
+             power/area/latency Pareto frontier.  $(b,--workload all) \
+             iterates the whole catalog in one pool session against one \
+             shared cache.")
     Term.(
       const run $ workload_arg $ file_arg $ max_clocks_arg $ constraint_arg
       $ explore_iterations_arg $ seed_arg $ jobs_arg $ cache_dir_arg
       $ no_cache_arg $ json_arg $ stats_json_arg $ smoke_arg
       $ estimate_first_arg $ top_k_arg $ objective_arg $ best_arg
-      $ timings_arg $ timings_json_arg)
+      $ remote_arg $ remote_push_arg $ timings_arg $ timings_json_arg)
 
 (* --- search ------------------------------------------------------------------ *)
 
@@ -770,7 +872,8 @@ let search_cmd =
   in
   let run workload file max_clocks constraints iterations seed jobs cache_dir
       no_cache json stats_json smoke eta min_iterations objective no_resume
-      race race_margin close_threshold timings timings_json =
+      race race_margin close_threshold remote remote_push timings timings_json
+      =
     require_at_least ~what:"--eta" ~min:2 eta;
     if race_margin < 0. then or_die (Error "--race-margin must be >= 0");
     if close_threshold < 0. then
@@ -817,6 +920,7 @@ let search_cmd =
       if no_cache then None
       else Some (Mclock_explore.Store.open_ ~dir:cache_dir ())
     in
+    let client = attach_remote ~remote ~remote_push cache in
     let result =
       Mclock_exec.Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
           let result =
@@ -832,11 +936,14 @@ let search_cmd =
       (fun msg -> Fmt.epr "warning: %s@." msg)
       result.Mclock_explore.Halving.degenerate;
     print_string (Mclock_explore.Halving.render_text result);
+    remote_summary client;
     Option.iter
       (fun p -> write_doc p (Mclock_explore.Halving.result_json result))
       json;
     Option.iter
-      (fun p -> write_doc p (Mclock_explore.Halving.stats_json result))
+      (fun p ->
+        write_doc p
+          (with_remote_stats client (Mclock_explore.Halving.stats_json result)))
       stats_json;
     if result.Mclock_explore.Halving.winner = None then exit 2
   in
@@ -856,8 +963,8 @@ let search_cmd =
       $ explore_iterations_arg $ seed_arg $ jobs_arg $ cache_dir_arg
       $ no_cache_arg $ json_arg $ stats_json_arg $ smoke_arg $ eta_arg
       $ min_iterations_arg $ objective_arg $ no_resume_arg $ race_arg
-      $ race_margin_arg $ close_threshold_arg $ timings_arg
-      $ timings_json_arg)
+      $ race_margin_arg $ close_threshold_arg $ remote_arg $ remote_push_arg
+      $ timings_arg $ timings_json_arg)
 
 (* --- estimate ------------------------------------------------------------ *)
 
@@ -930,30 +1037,54 @@ let cache_cmd =
              ~doc:"Rescan the cache directory and rewrite the manifest \
                    instead of trusting an existing one.")
     in
-    let run cache_dir rebuild json =
-      let store = Store.open_ ~dir:cache_dir () in
-      let m = Store.manifest ~rebuild store in
-      if json then
-        print_endline
-          (Mclock_lint.Json.to_string_pretty
-             (Mclock_lint.Json.Obj
-                [
-                  ("dir", Mclock_lint.Json.String (Store.dir store));
-                  ("entries", Mclock_lint.Json.Int m.Store.m_entries);
-                  ("bytes", Mclock_lint.Json.Int m.Store.m_bytes);
-                  ("rebuilt", Mclock_lint.Json.Bool m.Store.m_rebuilt);
-                ]))
-      else
-        Fmt.pr "%s: %d entries, %d bytes%s@." (Store.dir store)
-          m.Store.m_entries m.Store.m_bytes
-          (if m.Store.m_rebuilt then " (manifest rebuilt)" else "")
+    let stats_remote_arg =
+      Arg.(value & opt (some string) None & info [ "remote" ] ~docv:"URL"
+             ~doc:"Query a running cache server's /v1/stats instead of a \
+                   local directory.")
+    in
+    let run cache_dir rebuild remote json =
+      match remote with
+      | Some url ->
+          let client = or_die (Mclock_remote.Client.create ~url ()) in
+          (match Mclock_remote.Client.remote_stats client with
+          | None ->
+              or_die
+                (Error
+                   (Printf.sprintf "no stats from %s (server down?)"
+                      (Mclock_remote.Client.url client)))
+          | Some j ->
+              if json then
+                print_endline (Mclock_lint.Json.to_string_pretty j)
+              else
+                Fmt.pr "%s: %s@."
+                  (Mclock_remote.Client.url client)
+                  (Mclock_lint.Json.to_string j))
+      | None ->
+          let store = Store.open_ ~dir:cache_dir () in
+          let m = Store.manifest ~rebuild store in
+          if json then
+            print_endline
+              (Mclock_lint.Json.to_string_pretty
+                 (Mclock_lint.Json.Obj
+                    [
+                      ("dir", Mclock_lint.Json.String (Store.dir store));
+                      ("entries", Mclock_lint.Json.Int m.Store.m_entries);
+                      ("bytes", Mclock_lint.Json.Int m.Store.m_bytes);
+                      ("rebuilt", Mclock_lint.Json.Bool m.Store.m_rebuilt);
+                    ]))
+          else
+            Fmt.pr "%s: %d entries, %d bytes%s@." (Store.dir store)
+              m.Store.m_entries m.Store.m_bytes
+              (if m.Store.m_rebuilt then " (manifest rebuilt)" else "")
     in
     Cmd.v
       (Cmd.info "stats"
          ~doc:"Entry-count and byte totals for the evaluation cache \
                (metrics entries plus checkpoint sidecars), O(1) via the \
-               manifest when one is present.")
-      Term.(const run $ cache_dir_arg $ rebuild_arg $ json_arg)
+               manifest when one is present; or, with $(b,--remote), a \
+               running cache server's serving counters.")
+      Term.(const run $ cache_dir_arg $ rebuild_arg $ stats_remote_arg
+            $ json_arg)
   in
   let gc_cmd =
     let max_age_arg =
@@ -964,7 +1095,13 @@ let cache_cmd =
       Arg.(value & opt (some int) None & info [ "max-size" ] ~docv:"BYTES"
              ~doc:"Evict oldest-first until at most $(docv) bytes remain.")
     in
-    let run cache_dir max_age max_size json =
+    let dry_run_arg =
+      Arg.(value & flag & info [ "dry-run" ]
+             ~doc:"Report what would be removed — entry count, bytes, and \
+                   the oldest/newest would-be victims — without deleting \
+                   anything or touching the manifest.")
+    in
+    let run cache_dir max_age max_size dry_run json =
       (match (max_age, max_size) with
       | None, None ->
           or_die (Error "cache gc: give --max-age and/or --max-size")
@@ -976,13 +1113,18 @@ let cache_cmd =
       | Some s when s < 0 -> or_die (Error "--max-size must be >= 0")
       | _ -> ());
       let store = Store.open_ ~dir:cache_dir () in
-      let r = Store.gc ?max_age ?max_bytes:max_size store in
+      let r = Store.gc ?max_age ?max_bytes:max_size ~dry_run store in
       if json then
+        let mtime_json = function
+          | None -> Mclock_lint.Json.Null
+          | Some m -> Mclock_lint.Json.Float m
+        in
         print_endline
           (Mclock_lint.Json.to_string_pretty
              (Mclock_lint.Json.Obj
                 [
                   ("dir", Mclock_lint.Json.String (Store.dir store));
+                  ("dry_run", Mclock_lint.Json.Bool dry_run);
                   ( "removed_entries",
                     Mclock_lint.Json.Int r.Store.gc_removed_entries );
                   ( "removed_bytes",
@@ -991,13 +1133,23 @@ let cache_cmd =
                     Mclock_lint.Json.Int r.Store.gc_remaining_entries );
                   ( "remaining_bytes",
                     Mclock_lint.Json.Int r.Store.gc_remaining_bytes );
+                  ("oldest_removed", mtime_json r.Store.gc_oldest_removed);
+                  ("newest_removed", mtime_json r.Store.gc_newest_removed);
                 ]))
-      else
-        Fmt.pr "%s: removed %d entries (%d bytes), %d entries (%d bytes) \
-                remain@."
-          (Store.dir store) r.Store.gc_removed_entries
-          r.Store.gc_removed_bytes r.Store.gc_remaining_entries
-          r.Store.gc_remaining_bytes
+      else begin
+        Fmt.pr "%s: %s %d entries (%d bytes), %d entries (%d bytes) %s@."
+          (Store.dir store)
+          (if dry_run then "would remove" else "removed")
+          r.Store.gc_removed_entries r.Store.gc_removed_bytes
+          r.Store.gc_remaining_entries r.Store.gc_remaining_bytes
+          (if dry_run then "would remain" else "remain");
+        match (r.Store.gc_oldest_removed, r.Store.gc_newest_removed) with
+        | Some oldest, Some newest ->
+            let now = Unix.gettimeofday () in
+            Fmt.pr "  victims span %.0fs to %.0fs old@." (now -. newest)
+              (now -. oldest)
+        | _ -> ()
+      end
     in
     Cmd.v
       (Cmd.info "gc"
@@ -1005,13 +1157,66 @@ let cache_cmd =
                older than $(b,--max-age), then evict oldest-first down to \
                $(b,--max-size) bytes.  Result and checkpoint entries are \
                treated uniformly; the manifest is rewritten with the \
-               post-GC totals.")
-      Term.(const run $ cache_dir_arg $ max_age_arg $ max_size_arg $ json_arg)
+               post-GC totals.  $(b,--dry-run) only reports.")
+      Term.(const run $ cache_dir_arg $ max_age_arg $ max_size_arg
+            $ dry_run_arg $ json_arg)
+  in
+  let serve_cmd =
+    let dir_arg =
+      Arg.(value & opt string ".mclock-cache"
+           & info [ "dir"; "cache-dir" ] ~docv:"DIR"
+               ~doc:"Cache directory to serve (created on demand).")
+    in
+    let host_arg =
+      Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
+             ~doc:"Address to bind (an IP literal).")
+    in
+    let port_arg =
+      Arg.(value & opt int 8090 & info [ "p"; "port" ] ~docv:"PORT"
+             ~doc:"Port to bind; 0 lets the kernel pick one (printed on \
+                   stderr).")
+    in
+    let writable_arg =
+      Arg.(value & flag & info [ "writable" ]
+             ~doc:"Accept PUT uploads (every body is verified before it is \
+                   written). Off by default: the server is read-only.")
+    in
+    let max_body_arg =
+      Arg.(value & opt (some int) None & info [ "max-body" ] ~docv:"BYTES"
+             ~doc:"Largest request/response body accepted (default 16 MiB).")
+    in
+    let io_timeout_arg =
+      Arg.(value & opt float 10. & info [ "io-timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-connection socket read/write deadline.")
+    in
+    let run dir host port writable max_body io_timeout =
+      if port < 0 || port > 65535 then
+        or_die (Error "--port must be in 0..65535");
+      Option.iter (require_positive ~what:"--max-body") max_body;
+      if io_timeout <= 0. then or_die (Error "--io-timeout must be > 0");
+      let server =
+        or_die
+          (Mclock_remote.Server.create ~host ~port ~writable ?max_body
+             ~io_timeout ~dir ())
+      in
+      Fmt.epr "serving %s on %s%s@." dir
+        (Mclock_remote.Server.url server)
+        (if writable then " (writable)" else " (read-only)");
+      Mclock_remote.Server.serve server
+    in
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:"Serve a cache directory over HTTP for read-through clients \
+               ($(b,--remote) on $(b,explore)/$(b,search)): verified \
+               entries and checkpoint sidecars under /v1, liveness at \
+               /v1/healthz, counters at /v1/stats.  Runs until killed.")
+      Term.(const run $ dir_arg $ host_arg $ port_arg $ writable_arg
+            $ max_body_arg $ io_timeout_arg)
   in
   Cmd.group
     (Cmd.info "cache"
-       ~doc:"Inspect and bound the persistent evaluation cache.")
-    [ stats_cmd; gc_cmd ]
+       ~doc:"Inspect, bound and serve the persistent evaluation cache.")
+    [ stats_cmd; gc_cmd; serve_cmd ]
 
 let () =
   let info =

@@ -575,7 +575,8 @@ let frontier_json result =
 (* --- Objective-based best pick ----------------------------------------- *)
 
 (* Cells arrive in enumeration order, so Objective.best's first-wins
-   tie-break is canonical config order. *)
+   tie-break is canonical config order.  The winner index is resolved
+   against an array — List.nth would rescan the evaluated list. *)
 let best ~objective result =
   let evaluated =
     List.filter_map
@@ -585,10 +586,11 @@ let best ~objective result =
         | _ -> None)
       result.cells
   in
+  let by_index = Array.of_list evaluated in
   match Objective.best objective (List.map snd evaluated) with
   | None -> None
   | Some (i, score) ->
-      let cell, _ = List.nth evaluated i in
+      let cell, _ = by_index.(i) in
       Some (cell, score)
 
 let stats_json result =

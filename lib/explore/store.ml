@@ -7,9 +7,20 @@
    metrics before anything is returned; any irregularity degrades to a
    miss.  Writes go through a temp file and a rename so a concurrent
    or killed run can leave behind at worst a stale temp file, never a
-   half-written entry under a valid key. *)
+   half-written entry under a valid key.
+
+   The optional remote tier obeys the same philosophy one level up:
+   bytes fetched over the network are verified with the exact same
+   decoder as bytes read from disk before they are written locally, so
+   a hostile or corrupted remote degrades to a miss, never to a
+   poisoned store. *)
 
 let version = 1
+
+type remote = {
+  r_fetch : [ `Entry | `Ckpt ] -> key:string -> string option;
+  r_push : ([ `Entry | `Ckpt ] -> key:string -> string -> unit) option;
+}
 
 type t = {
   dir : string;
@@ -21,9 +32,13 @@ type t = {
   mutable ckpt_hits : int;
   mutable ckpt_misses : int;
   mutable ckpt_stores : int;
+  mutable remote_fills : int;
+  mutable remote_ckpt_fills : int;
+  mutable remote : remote option;
 }
 
 let dir t = t.dir
+let set_remote t r = t.remote <- r
 
 (* A run killed between temp-write and rename leaves a ".<key>.<pid>.tmp"
    orphan behind.  They are invisible to lookups but accumulate
@@ -73,11 +88,14 @@ let open_ ?(tmp_max_age = 3600.) ~dir () =
     ckpt_hits = 0;
     ckpt_misses = 0;
     ckpt_stores = 0;
+    remote_fills = 0;
+    remote_ckpt_fills = 0;
+    remote = None;
   }
 
 (* Keys come from Cachekey.digest (hex), but defend against a caller
    handing over something path-hostile anyway. *)
-let safe_key key =
+let valid_key key =
   String.length key > 0
   && String.for_all
        (function 'a' .. 'f' | 'A' .. 'F' | '0' .. '9' -> true | _ -> false)
@@ -97,7 +115,7 @@ let read_file path =
       close_in_noerr ic;
       r
 
-let decode ~key text =
+let decode_entry ~key text =
   match Mclock_lint.Json.parse text with
   | Error _ -> None
   | Ok j -> (
@@ -111,18 +129,16 @@ let decode ~key text =
           match Metrics.of_json m with Ok metrics -> Some metrics | Error _ -> None)
       | _ -> None)
 
-let find t ~key =
-  let result =
-    if not (safe_key key) then None
-    else
-      match read_file (entry_path t ~key) with
-      | None -> None
-      | Some text -> decode ~key text
+let encode_entry ~key metrics =
+  let entry =
+    Mclock_lint.Json.Obj
+      [
+        ("version", Mclock_lint.Json.Int version);
+        ("key", Mclock_lint.Json.String key);
+        ("metrics", Metrics.to_json metrics);
+      ]
   in
-  (match result with
-  | Some _ -> t.hits <- t.hits + 1
-  | None -> t.misses <- t.misses + 1);
-  result
+  Mclock_lint.Json.to_string_pretty entry ^ "\n"
 
 (* Atomic write: temp file in the same directory, then rename.  The
    temp name embeds the key and pid so concurrent writers never
@@ -144,19 +160,56 @@ let write_atomic t ~key ~dest text =
   | () -> true
   | exception (Sys_error _ | Unix.Unix_error (_, _, _)) -> false
 
+(* Read-through: a verified remote payload is first persisted locally
+   (a failed local write is counted but doesn't lose the fill — the
+   decoded value is still returned), so the next lookup never touches
+   the network.  The tier's callbacks must not raise, but a stray
+   exception is contained here anyway: a broken tier is a miss. *)
+let remote_fill_entry t ~key =
+  match t.remote with
+  | None -> None
+  | Some { r_fetch; _ } -> (
+      match r_fetch `Entry ~key with
+      | exception _ -> None
+      | None -> None
+      | Some text -> (
+          match decode_entry ~key text with
+          | None -> None
+          | Some metrics ->
+              t.remote_fills <- t.remote_fills + 1;
+              if not (write_atomic t ~key ~dest:(entry_path t ~key) text) then
+                t.store_failures <- t.store_failures + 1;
+              Some metrics))
+
+let find t ~key =
+  let result =
+    if not (valid_key key) then None
+    else
+      let local =
+        match read_file (entry_path t ~key) with
+        | None -> None
+        | Some text -> decode_entry ~key text
+      in
+      match local with Some _ -> local | None -> remote_fill_entry t ~key
+  in
+  (match result with
+  | Some _ -> t.hits <- t.hits + 1
+  | None -> t.misses <- t.misses + 1);
+  result
+
+let push_remote t kind ~key payload =
+  match t.remote with
+  | Some { r_push = Some push; _ } -> (
+      try push kind ~key payload with _ -> ())
+  | _ -> ()
+
 let store t ~key metrics =
-  if safe_key key then begin
-    let entry =
-      Mclock_lint.Json.Obj
-        [
-          ("version", Mclock_lint.Json.Int version);
-          ("key", Mclock_lint.Json.String key);
-          ("metrics", Metrics.to_json metrics);
-        ]
-    in
-    let text = Mclock_lint.Json.to_string_pretty entry ^ "\n" in
-    if write_atomic t ~key ~dest:(entry_path t ~key) text then
-      t.stores <- t.stores + 1
+  if valid_key key then begin
+    let text = encode_entry ~key metrics in
+    if write_atomic t ~key ~dest:(entry_path t ~key) text then begin
+      t.stores <- t.stores + 1;
+      push_remote t `Entry ~key text
+    end
     else t.store_failures <- t.store_failures + 1
   end
   else t.store_failures <- t.store_failures + 1
@@ -168,14 +221,35 @@ let store t ~key metrics =
    consumer ([Engine.evaluate_at]) decodes it and degrades any
    corruption to a miss, mirroring the JSON entries' philosophy.
    Because the iteration count is part of the cache key, a checkpoint
-   sidecar is always a checkpoint *at* its key's fidelity. *)
+   sidecar is always a checkpoint *at* its key's fidelity.
+
+   Remote checkpoint bytes are opaque here too — the fetch callback is
+   responsible for decoding them before handing them over (the HTTP
+   client does), and the consumer decodes again after the local read,
+   so an unverified tier still cannot do worse than waste disk. *)
 
 let checkpoint_path t ~key = Filename.concat t.dir (key ^ ".ckpt")
 
+let remote_fill_ckpt t ~key =
+  match t.remote with
+  | None -> None
+  | Some { r_fetch; _ } -> (
+      match r_fetch `Ckpt ~key with
+      | exception _ -> None
+      | None -> None
+      | Some blob ->
+          t.remote_ckpt_fills <- t.remote_ckpt_fills + 1;
+          if not (write_atomic t ~key ~dest:(checkpoint_path t ~key) blob) then
+            t.store_failures <- t.store_failures + 1;
+          Some blob)
+
 let find_checkpoint t ~key =
   let result =
-    if not (safe_key key) then None
-    else read_file (checkpoint_path t ~key)
+    if not (valid_key key) then None
+    else
+      match read_file (checkpoint_path t ~key) with
+      | Some blob -> Some blob
+      | None -> remote_fill_ckpt t ~key
   in
   (match result with
   | Some _ -> t.ckpt_hits <- t.ckpt_hits + 1
@@ -183,8 +257,11 @@ let find_checkpoint t ~key =
   result
 
 let store_checkpoint t ~key blob =
-  if safe_key key && write_atomic t ~key ~dest:(checkpoint_path t ~key) blob
-  then t.ckpt_stores <- t.ckpt_stores + 1
+  if valid_key key && write_atomic t ~key ~dest:(checkpoint_path t ~key) blob
+  then begin
+    t.ckpt_stores <- t.ckpt_stores + 1;
+    push_remote t `Ckpt ~key blob
+  end
   else t.store_failures <- t.store_failures + 1
 
 (* --- Manifest and garbage collection ----------------------------------- *)
@@ -271,6 +348,8 @@ type gc_result = {
   gc_removed_bytes : int;
   gc_remaining_entries : int;
   gc_remaining_bytes : int;
+  gc_oldest_removed : float option;
+  gc_newest_removed : float option;
 }
 
 (* Age pass first (drop entries older than [max_age] seconds), then a
@@ -279,17 +358,36 @@ type gc_result = {
    first-class citizens of the same budget — a checkpoint is just a
    bigger, more valuable cache entry.  Every removal failure is
    tolerated (the entry simply still counts as remaining), and the
-   manifest is rewritten to the post-GC totals. *)
-let gc ?max_age ?max_bytes t =
+   manifest is rewritten to the post-GC totals.
+
+   A dry run takes every removal decision identically but deletes
+   nothing and leaves the manifest alone, so the report predicts
+   exactly what the real pass would do (modulo entries whose real
+   removal would fail). *)
+let gc ?max_age ?max_bytes ?(dry_run = false) t =
   let files = scan_entries t in
   let now = Unix.gettimeofday () in
   let expired (_, mtime, _) =
     match max_age with Some a -> now -. mtime > a | None -> false
   in
-  let remove_ok (name, _, _) =
-    match Sys.remove (Filename.concat t.dir name) with
-    | () -> true
-    | exception Sys_error _ -> false
+  let removed_span = ref None in
+  let note_removed (_, mtime, _) =
+    removed_span :=
+      Some
+        (match !removed_span with
+        | None -> (mtime, mtime)
+        | Some (lo, hi) -> (Float.min lo mtime, Float.max hi mtime))
+  in
+  let remove_ok ((name, _, _) as f) =
+    let ok =
+      dry_run
+      ||
+      match Sys.remove (Filename.concat t.dir name) with
+      | () -> true
+      | exception Sys_error _ -> false
+    in
+    if ok then note_removed f;
+    ok
   in
   (* Age pass: a failed removal keeps the entry in the survivor set. *)
   let survivors_rev, removed, removed_bytes =
@@ -321,12 +419,14 @@ let gc ?max_age ?max_bytes t =
         in
         evict survivors total [] (removed, removed_bytes)
   in
-  write_manifest t ~entries:remaining ~bytes:remaining_bytes;
+  if not dry_run then write_manifest t ~entries:remaining ~bytes:remaining_bytes;
   {
     gc_removed_entries = removed;
     gc_removed_bytes = removed_bytes;
     gc_remaining_entries = remaining;
     gc_remaining_bytes = remaining_bytes;
+    gc_oldest_removed = Option.map fst !removed_span;
+    gc_newest_removed = Option.map snd !removed_span;
   }
 
 type stats = {
@@ -338,6 +438,8 @@ type stats = {
   ckpt_hits : int;
   ckpt_misses : int;
   ckpt_stores : int;
+  remote_fills : int;
+  remote_ckpt_fills : int;
 }
 
 let stats (t : t) : stats =
@@ -350,6 +452,8 @@ let stats (t : t) : stats =
     ckpt_hits = t.ckpt_hits;
     ckpt_misses = t.ckpt_misses;
     ckpt_stores = t.ckpt_stores;
+    remote_fills = t.remote_fills;
+    remote_ckpt_fills = t.remote_ckpt_fills;
   }
 
 let reset_stats (t : t) =
@@ -360,4 +464,6 @@ let reset_stats (t : t) =
   t.swept_tmp <- 0;
   t.ckpt_hits <- 0;
   t.ckpt_misses <- 0;
-  t.ckpt_stores <- 0
+  t.ckpt_stores <- 0;
+  t.remote_fills <- 0;
+  t.remote_ckpt_fills <- 0

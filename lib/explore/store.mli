@@ -7,7 +7,14 @@
     (read-only directory, full disk) is counted but never raised — a
     cache must not be able to crash or corrupt an exploration, only to
     make it slower.  Counters for hits / misses / stores / failures
-    are kept for observability. *)
+    are kept for observability.
+
+    A store can optionally be backed by a {!remote} read-through tier:
+    a local miss consults the tier, and a verified payload is
+    atomically populated into the local directory and served as a hit.
+    The tier is plugged as plain callbacks so the store stays free of
+    any network dependency; {!Mclock_remote.Client.tier} provides the
+    HTTP implementation. *)
 
 type t
 
@@ -29,24 +36,65 @@ val open_ : ?tmp_max_age:float -> dir:string -> unit -> t
 
 val dir : t -> string
 
+val valid_key : string -> bool
+(** The store's key hygiene: nonempty hexadecimal only, so a key can
+    never traverse outside the directory.  Exposed so the remote tier
+    (server and client alike) rejects hostile keys with the same rule
+    instead of a parallel one. *)
+
+val decode_entry : key:string -> string -> Metrics.t option
+(** Full verification of an entry's on-disk/on-wire bytes: JSON parse,
+    version check, recorded-key-equals-[key] check, and a complete
+    metrics decode.  [None] on any irregularity.  This is the only
+    gate through which foreign bytes (disk or network) become metrics. *)
+
+val encode_entry : key:string -> Metrics.t -> string
+(** The canonical entry serialization [decode_entry] accepts — what
+    {!store} writes and what the remote tier transports. *)
+
+type remote = {
+  r_fetch : [ `Entry | `Ckpt ] -> key:string -> string option;
+      (** Consulted on a local miss.  Must return only payloads it has
+          verified (the HTTP client decodes checkpoints before handing
+          them over); entries are re-verified by the store with
+          {!decode_entry} before anything touches the local directory,
+          so a lying tier degrades to a miss, never to a poisoned
+          store.  Must not raise. *)
+  r_push : ([ `Entry | `Ckpt ] -> key:string -> string -> unit) option;
+      (** When present, every freshly stored payload is offered to the
+          tier after the local write succeeds (the [--remote-push]
+          mode).  Failures are the tier's to swallow; must not
+          raise. *)
+}
+(** A read-through (and optionally write-back) second cache tier. *)
+
+val set_remote : t -> remote option -> unit
+(** Attach or detach the remote tier.  [None] (the initial state)
+    makes the store purely local. *)
+
 val find : t -> key:string -> Metrics.t option
 (** [Some metrics] only if a well-formed, current-version entry whose
-    recorded key matches [key] exists.  Never raises. *)
+    recorded key matches [key] exists — locally, or via the remote
+    tier (in which case the verified bytes are first written into the
+    local store, so the next lookup is purely local).  Never raises. *)
 
 val store : t -> key:string -> Metrics.t -> unit
-(** Atomic write (temp file + rename).  Never raises. *)
+(** Atomic write (temp file + rename), then an [r_push] offer when a
+    pushing remote tier is attached.  Never raises. *)
 
 val find_checkpoint : t -> key:string -> string option
-(** Raw bytes of the checkpoint sidecar stored for [key], if any.  The
-    store does not interpret the blob — the consumer decodes it (see
+(** Raw bytes of the checkpoint sidecar stored for [key], if any —
+    local first, then the remote tier (remote bytes are persisted
+    locally before being returned).  The store does not interpret the
+    blob — the consumer decodes it (see
     {!Mclock_sim.Compiled.Checkpoint.decode}) and treats any
     corruption as a miss.  Never raises. *)
 
 val store_checkpoint : t -> key:string -> string -> unit
 (** Atomically write a checkpoint sidecar ([<key>.ckpt]) next to the
-    metrics entry.  Because the iteration count is part of the cache
-    key, the sidecar is always a checkpoint at its key's fidelity.
-    Never raises. *)
+    metrics entry, then offer it to a pushing remote tier.  Because
+    the iteration count is part of the cache key, the sidecar is
+    always a checkpoint at its key's fidelity.  Never raises. *)
 
 type manifest = {
   m_entries : int;
@@ -68,15 +116,22 @@ type gc_result = {
   gc_removed_bytes : int;
   gc_remaining_entries : int;
   gc_remaining_bytes : int;
+  gc_oldest_removed : float option;
+      (** mtime of the oldest (would-be-)removed entry, if any *)
+  gc_newest_removed : float option;
 }
 
-val gc : ?max_age:float -> ?max_bytes:int -> t -> gc_result
+val gc : ?max_age:float -> ?max_bytes:int -> ?dry_run:bool -> t -> gc_result
 (** Bounded eviction over metrics entries *and* checkpoint sidecars:
     first drop entries older than [max_age] seconds, then evict
     oldest-mtime-first (ties broken by name, so the order is
     deterministic) until at most [max_bytes] remain.  Failures to
     remove are tolerated — the entry counts as remaining.  Rewrites
-    the manifest with the post-GC totals.  Never raises. *)
+    the manifest with the post-GC totals.
+
+    [dry_run] computes the same report — what would be removed, with
+    the removed set's oldest/newest mtimes — without deleting anything
+    and without touching the manifest.  Never raises. *)
 
 type stats = {
   hits : int;
@@ -87,6 +142,9 @@ type stats = {
   ckpt_hits : int;
   ckpt_misses : int;
   ckpt_stores : int;
+  remote_fills : int;
+      (** entries served by the remote tier and populated locally *)
+  remote_ckpt_fills : int;  (** checkpoint sidecars filled from the tier *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,261 @@
+(* The client's contract with the engine is absolute: [fetch] is a
+   total function returning an option under a hard time bound.  All
+   network pathology — dead hosts, slow hosts, lying hosts — collapses
+   into [None], which the store reads as a plain miss and the engine
+   never sees at all. *)
+
+module Store = Mclock_explore.Store
+module Checkpoint = Mclock_sim.Compiled.Checkpoint
+module Json = Mclock_lint.Json
+
+type stats = {
+  remote_hits : int;
+  remote_misses : int;
+  remote_errors : int;
+  remote_pushes : int;
+  push_errors : int;
+  breaker_trips : int;
+  attempts : int;
+  breaker_open : bool;
+}
+
+type t = {
+  u : Http.url;
+  timeout : float;
+  retries : int;
+  backoff : float;
+  breaker_threshold : int;
+  breaker_cooldown : float option;
+  limits : Http.limits;
+  mutable consecutive_failures : int;
+  mutable open_since : float option;  (* Some t = breaker open since t *)
+  mutable jitter_state : int64;  (* xorshift64, private to this client *)
+  mutable remote_hits : int;
+  mutable remote_misses : int;
+  mutable remote_errors : int;
+  mutable remote_pushes : int;
+  mutable push_errors : int;
+  mutable breaker_trips : int;
+  mutable attempts : int;
+}
+
+let url t =
+  if t.u.Http.u_port = 80 then
+    Printf.sprintf "http://%s%s" t.u.Http.u_host t.u.Http.u_prefix
+  else
+    Printf.sprintf "http://%s:%d%s" t.u.Http.u_host t.u.Http.u_port
+      t.u.Http.u_prefix
+
+let create ?(timeout = 3.) ?(retries = 2) ?(backoff = 0.05)
+    ?(breaker_threshold = 4) ?breaker_cooldown ?max_body ~url () =
+  match Http.parse_url url with
+  | Error m -> Error m
+  | Ok u ->
+      let limits =
+        match max_body with
+        | None -> Http.default_limits
+        | Some n -> { Http.default_limits with Http.max_body = n }
+      in
+      Ok
+        {
+          u;
+          timeout;
+          retries = max 0 retries;
+          backoff = Float.max 0. backoff;
+          breaker_threshold = max 1 breaker_threshold;
+          breaker_cooldown;
+          limits;
+          consecutive_failures = 0;
+          open_since = None;
+          jitter_state = 0x9E3779B97F4A7C15L;
+          remote_hits = 0;
+          remote_misses = 0;
+          remote_errors = 0;
+          remote_pushes = 0;
+          push_errors = 0;
+          breaker_trips = 0;
+          attempts = 0;
+        }
+
+(* --- Jittered backoff -------------------------------------------------- *)
+
+(* xorshift64: cheap, stateful per client, and deliberately not the
+   stdlib Random so exploration determinism (seeded elsewhere) is
+   untouched by how flaky the network happens to be. *)
+let next_jitter t =
+  let x = t.jitter_state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  t.jitter_state <- x;
+  (* uniform in [0,1) from the low 30 bits *)
+  Int64.to_float (Int64.logand x 0x3FFFFFFFL) /. 1073741824.
+
+let backoff_sleep t ~attempt =
+  let base = t.backoff *. (2. ** float_of_int attempt) in
+  let jittered = base *. (0.5 +. next_jitter t) in
+  let capped = Float.min jittered 2.0 in
+  if capped > 0. then Thread.delay capped
+
+(* --- Breaker ----------------------------------------------------------- *)
+
+(* `Closed: full retry budget.  `Probe: the cooldown elapsed, allow a
+   single half-open attempt.  `Open: fail instantly. *)
+let breaker_state t =
+  match t.open_since with
+  | None -> `Closed
+  | Some since -> (
+      match t.breaker_cooldown with
+      | None -> `Open
+      | Some cd ->
+          if Unix.gettimeofday () -. since >= cd then `Probe else `Open)
+
+let note_success t =
+  t.consecutive_failures <- 0;
+  t.open_since <- None
+
+let note_failure t =
+  t.consecutive_failures <- t.consecutive_failures + 1;
+  if t.consecutive_failures >= t.breaker_threshold && t.open_since = None
+  then begin
+    t.breaker_trips <- t.breaker_trips + 1;
+    t.open_since <- Some (Unix.gettimeofday ())
+  end
+  else if t.open_since <> None then
+    (* a failed half-open probe re-arms the cooldown *)
+    t.open_since <- Some (Unix.gettimeofday ())
+
+(* --- Requests ---------------------------------------------------------- *)
+
+let path_of t kind ~key =
+  let seg = match kind with `Entry -> "entry" | `Ckpt -> "ckpt" in
+  Printf.sprintf "%s/v1/%s/%s" t.u.Http.u_prefix seg key
+
+let one_request t ~meth ~path ?body () =
+  t.attempts <- t.attempts + 1;
+  Http.request ~limits:t.limits ~timeout:t.timeout ~host:t.u.Http.u_host
+    ~port:t.u.Http.u_port ~meth ~path ?body ()
+
+let verify kind ~key body =
+  match kind with
+  | `Entry -> Store.decode_entry ~key body <> None
+  | `Ckpt -> (
+      match Checkpoint.decode body with Ok _ -> true | Error _ -> false)
+
+(* One GET outcome: `Hit verified-bytes | `Miss (clean 404) | `Fail.
+   A 200 with an unverifiable body is a `Fail — a peer serving garbage
+   is indistinguishable from a broken one and should trip the breaker
+   rather than burn a retry budget per key forever. *)
+let attempt_fetch t ~kind ~key =
+  match one_request t ~meth:Http.GET ~path:(path_of t kind ~key) () with
+  | Error _ -> `Fail
+  | Ok rs ->
+      if rs.Http.rs_status = 404 then `Miss
+      else if rs.Http.rs_status = 200 then
+        if verify kind ~key rs.Http.rs_body then `Hit rs.Http.rs_body
+        else `Fail
+      else `Fail
+
+let fetch t ~kind ~key =
+  if not (Store.valid_key key) then None
+  else
+    let budget =
+      match breaker_state t with
+      | `Open -> 0
+      | `Probe -> 1
+      | `Closed -> t.retries + 1
+    in
+    if budget = 0 then None
+    else
+      let rec go attempt =
+        if attempt >= budget then begin
+          t.remote_errors <- t.remote_errors + 1;
+          note_failure t;
+          None
+        end
+        else begin
+          if attempt > 0 then backoff_sleep t ~attempt:(attempt - 1);
+          match attempt_fetch t ~kind ~key with
+          | `Hit body ->
+              note_success t;
+              t.remote_hits <- t.remote_hits + 1;
+              Some body
+          | `Miss ->
+              note_success t;
+              t.remote_misses <- t.remote_misses + 1;
+              None
+          | `Fail -> go (attempt + 1)
+        end
+      in
+      go 0
+
+let push t ~kind ~key body =
+  if Store.valid_key key then
+    match breaker_state t with
+    | `Open -> ()
+    | `Probe | `Closed -> (
+        match
+          one_request t ~meth:Http.PUT ~path:(path_of t kind ~key) ~body ()
+        with
+        | Ok rs when rs.Http.rs_status >= 200 && rs.Http.rs_status < 300 ->
+            note_success t;
+            t.remote_pushes <- t.remote_pushes + 1
+        | Ok _ ->
+            (* the server answered — alive but unwilling (read-only,
+               rejected body).  Not a breaker event. *)
+            t.push_errors <- t.push_errors + 1
+        | Error _ ->
+            t.push_errors <- t.push_errors + 1;
+            note_failure t)
+
+let ping t =
+  match
+    one_request t ~meth:Http.GET ~path:(t.u.Http.u_prefix ^ "/v1/healthz") ()
+  with
+  | Ok rs -> rs.Http.rs_status = 200
+  | Error _ -> false
+
+let remote_stats t =
+  match
+    one_request t ~meth:Http.GET ~path:(t.u.Http.u_prefix ^ "/v1/stats") ()
+  with
+  | Ok rs when rs.Http.rs_status = 200 -> (
+      match Json.parse rs.Http.rs_body with Ok j -> Some j | Error _ -> None)
+  | Ok _ | Error _ -> None
+
+let push_payload = push
+
+let tier ?(push = false) t =
+  {
+    Store.r_fetch = (fun kind ~key -> fetch t ~kind ~key);
+    Store.r_push =
+      (if push then Some (fun kind ~key body -> push_payload t ~kind ~key body)
+       else None);
+  }
+
+let stats t =
+  {
+    remote_hits = t.remote_hits;
+    remote_misses = t.remote_misses;
+    remote_errors = t.remote_errors;
+    remote_pushes = t.remote_pushes;
+    push_errors = t.push_errors;
+    breaker_trips = t.breaker_trips;
+    attempts = t.attempts;
+    breaker_open = (match breaker_state t with `Open -> true | _ -> false);
+  }
+
+let stats_json t =
+  let s = stats t in
+  Json.Obj
+    [
+      ("url", Json.String (url t));
+      ("remote_hits", Json.Int s.remote_hits);
+      ("remote_misses", Json.Int s.remote_misses);
+      ("remote_errors", Json.Int s.remote_errors);
+      ("remote_pushes", Json.Int s.remote_pushes);
+      ("push_errors", Json.Int s.push_errors);
+      ("breaker_trips", Json.Int s.breaker_trips);
+      ("attempts", Json.Int s.attempts);
+      ("breaker_open", Json.Bool s.breaker_open);
+    ]

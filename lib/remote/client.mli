@@ -1,0 +1,79 @@
+(** The resilient cache client: turns a remote cache server into a
+    {!Mclock_explore.Store.remote} read-through tier that can never
+    fail or stall an exploration.
+
+    Failure containment, in layers:
+
+    - every request runs under a per-request [timeout] (connect and
+      each read/write);
+    - a failed request is retried up to [retries] extra times with
+      jittered exponential backoff (deterministic xorshift jitter —
+      no global RNG state is touched);
+    - [breaker_threshold] consecutive exhausted fetches open a circuit
+      breaker: further fetches return instantly as misses without
+      touching the network.  By default the breaker stays open for the
+      rest of the session (a dead remote stays dead); passing
+      [breaker_cooldown] enables half-open probing — after the
+      cooldown one single-attempt probe is allowed, and a success
+      closes the breaker again.
+
+    A 404 is a *successful* request (the remote just doesn't have the
+    key) — it resets the consecutive-failure count and is counted as a
+    remote miss, not an error.  A 200 whose body fails verification is
+    treated exactly like a network failure: the bytes never reach the
+    local store.  Checkpoint bodies are decoded here (the store treats
+    them as opaque); entry bodies are verified again by the store. *)
+
+type t
+
+val create :
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown:float ->
+  ?max_body:int ->
+  url:string ->
+  unit ->
+  (t, string) result
+(** Defaults: 3s timeout, 2 retries (3 attempts), 50ms base backoff
+    (doubling, jittered, capped at 2s), breaker at 4 consecutive
+    failures, no cooldown (open = session-long).  [Error] only on an
+    unparseable [url]. *)
+
+val url : t -> string
+
+val fetch : t -> kind:[ `Entry | `Ckpt ] -> key:string -> string option
+(** The read-through hook: [Some bytes] only for a 200 whose body
+    verifies for [key].  Every other outcome — 404, timeout, refused,
+    garbled body, breaker open — is [None].  Never raises; never
+    blocks past [timeout * (retries+1)] plus backoff. *)
+
+val push : t -> kind:[ `Entry | `Ckpt ] -> key:string -> string -> unit
+(** Best-effort PUT.  A 4xx answer (read-only server, rejected body)
+    counts as [push_errors] but not toward the breaker — the remote is
+    alive, it just said no; network failures count toward both. *)
+
+val ping : t -> bool
+(** One GET /v1/healthz, single attempt, bypassing the breaker. *)
+
+val remote_stats : t -> Mclock_lint.Json.t option
+(** GET /v1/stats from the server, parsed; [None] on any failure. *)
+
+val tier : ?push:bool -> t -> Mclock_explore.Store.remote
+(** Package this client as a store tier.  [push] (default false)
+    enables write-back of freshly stored payloads. *)
+
+type stats = {
+  remote_hits : int;
+  remote_misses : int;  (** clean 404s *)
+  remote_errors : int;  (** fetches that exhausted their attempts *)
+  remote_pushes : int;
+  push_errors : int;
+  breaker_trips : int;
+  attempts : int;  (** individual HTTP requests sent (pushes included) *)
+  breaker_open : bool;
+}
+
+val stats : t -> stats
+val stats_json : t -> Mclock_lint.Json.t

@@ -1,0 +1,452 @@
+(* Threat model: the peer is arbitrary bytes.  Parsing therefore never
+   trusts a length it did not bound itself, never waits without a
+   deadline, and never raises — internal helpers throw [Fail] and the
+   public entry points catch it (plus any stray [Unix_error]) into the
+   [error] type.  The happy path is a cache peer speaking the five
+   routes in Server; everything else gets a 4xx or an [Error _]. *)
+
+type meth = GET | HEAD | PUT
+
+let meth_to_string = function GET -> "GET" | HEAD -> "HEAD" | PUT -> "PUT"
+
+type limits = {
+  max_request_line : int;
+  max_uri : int;
+  max_header_count : int;
+  max_header_bytes : int;
+  max_body : int;
+}
+
+let default_limits =
+  {
+    max_request_line = 2048;
+    max_uri = 2048;
+    max_header_count = 64;
+    max_header_bytes = 8192;
+    max_body = 16 * 1024 * 1024;
+  }
+
+type error =
+  | Bad_request of string
+  | Method_not_allowed of string
+  | Too_large of string
+  | Timeout of string
+  | Io of string
+
+let error_to_string = function
+  | Bad_request m -> "bad request: " ^ m
+  | Method_not_allowed m -> "method not allowed: " ^ m
+  | Too_large m -> "too large: " ^ m
+  | Timeout m -> "timeout: " ^ m
+  | Io m -> "io: " ^ m
+
+let status_of_error = function
+  | Bad_request _ -> (400, "Bad Request")
+  | Method_not_allowed _ -> (405, "Method Not Allowed")
+  | Too_large _ -> (413, "Content Too Large")
+  | Timeout _ -> (408, "Request Timeout")
+  | Io _ -> (400, "Bad Request")
+
+type request = {
+  rq_meth : meth;
+  rq_path : string;
+  rq_headers : (string * string) list;
+  rq_body : string;
+}
+
+type response = {
+  rs_status : int;
+  rs_reason : string;
+  rs_headers : (string * string) list;
+  rs_body : string;
+}
+
+exception Fail of error
+
+let fail e = raise (Fail e)
+
+(* Timeouts are armed on the fd with SO_RCVTIMEO/SO_SNDTIMEO, so a
+   stuck peer surfaces as EAGAIN/EWOULDBLOCK from read/write. *)
+let io_error op = function
+  | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT ->
+      Timeout (op ^ ": deadline expired")
+  | e -> Io (op ^ ": " ^ Unix.error_message e)
+
+(* --- Buffered reader --------------------------------------------------- *)
+
+type reader = {
+  refill : bytes -> int -> int -> int;  (* like Unix.read; 0 = EOF *)
+  buf : Buffer.t;  (* bytes read but not yet consumed *)
+  chunk : bytes;
+}
+
+let reader_of_fd fd =
+  {
+    refill =
+      (fun b pos len ->
+        match Unix.read fd b pos len with
+        | n -> n
+        | exception Unix.Unix_error (e, _, _) -> fail (io_error "read" e));
+    buf = Buffer.create 512;
+    chunk = Bytes.create 4096;
+  }
+
+let reader_of_string s =
+  let consumed = ref 0 in
+  {
+    refill =
+      (fun b pos len ->
+        let n = min len (String.length s - !consumed) in
+        Bytes.blit_string s !consumed b pos n;
+        consumed := !consumed + n;
+        n);
+    buf = Buffer.create 512;
+    chunk = Bytes.create 4096;
+  }
+
+let refill_once r =
+  let n = r.refill r.chunk 0 (Bytes.length r.chunk) in
+  if n > 0 then Buffer.add_subbytes r.buf r.chunk 0 n;
+  n
+
+(* One CRLF-terminated line, at most [max] bytes before the CRLF.  A
+   bare LF is a protocol violation, not a lenient alternative — being
+   strict here closes request-smuggling ambiguity for free. *)
+let read_line r ~max ~what =
+  let rec find_lf from =
+    let s = Buffer.contents r.buf in
+    match String.index_from_opt s from '\n' with
+    | Some i -> Some (s, i)
+    | None ->
+        if String.length s > max + 2 then
+          fail (Too_large (what ^ " exceeds " ^ string_of_int max ^ " bytes"));
+        let searched = String.length s in
+        if refill_once r = 0 then None else find_lf searched
+  in
+  match find_lf 0 with
+  | None ->
+      if Buffer.length r.buf = 0 then fail (Io (what ^ ": connection closed"))
+      else fail (Bad_request (what ^ ": truncated line"))
+  | Some (s, i) ->
+      if i = 0 || s.[i - 1] <> '\r' then
+        fail (Bad_request (what ^ ": bare LF"));
+      let line = String.sub s 0 (i - 1) in
+      if String.length line > max then
+        fail (Too_large (what ^ " exceeds " ^ string_of_int max ^ " bytes"));
+      Buffer.clear r.buf;
+      Buffer.add_substring r.buf s (i + 1) (String.length s - i - 1);
+      line
+
+let read_exact r ~len ~what =
+  let rec grow () =
+    if Buffer.length r.buf >= len then ()
+    else if refill_once r = 0 then
+      fail
+        (Io
+           (Printf.sprintf "%s: connection closed after %d of %d bytes" what
+              (Buffer.length r.buf) len))
+    else grow ()
+  in
+  grow ();
+  let s = Buffer.contents r.buf in
+  let body = String.sub s 0 len in
+  Buffer.clear r.buf;
+  Buffer.add_substring r.buf s len (String.length s - len);
+  body
+
+let read_to_eof r ~max ~what =
+  let rec grow () =
+    if Buffer.length r.buf > max then
+      fail (Too_large (what ^ " exceeds " ^ string_of_int max ^ " bytes"))
+    else if refill_once r = 0 then ()
+    else grow ()
+  in
+  grow ();
+  let s = Buffer.contents r.buf in
+  Buffer.clear r.buf;
+  s
+
+(* --- Headers ----------------------------------------------------------- *)
+
+let trim_ows s =
+  let is_ows c = c = ' ' || c = '\t' in
+  let n = String.length s in
+  let i = ref 0 and j = ref n in
+  while !i < n && is_ows s.[!i] do incr i done;
+  while !j > !i && is_ows s.[!j - 1] do decr j done;
+  String.sub s !i (!j - !i)
+
+let parse_headers limits r =
+  let rec loop acc count =
+    let line = read_line r ~max:limits.max_header_bytes ~what:"header" in
+    if String.equal line "" then List.rev acc
+    else if count >= limits.max_header_count then
+      fail
+        (Too_large
+           ("more than " ^ string_of_int limits.max_header_count ^ " headers"))
+    else
+      match String.index_opt line ':' with
+      | None | Some 0 -> fail (Bad_request "header without a name")
+      | Some i ->
+          let name = String.lowercase_ascii (String.sub line 0 i) in
+          if String.exists (fun c -> c = ' ' || c = '\t') name then
+            fail (Bad_request "whitespace in header name");
+          let value =
+            trim_ows (String.sub line (i + 1) (String.length line - i - 1))
+          in
+          loop ((name, value) :: acc) (count + 1)
+  in
+  loop [] 0
+
+(* Strict decimal, no sign, no whitespace; duplicates rejected. *)
+let content_length limits headers =
+  match List.filter (fun (n, _) -> String.equal n "content-length") headers with
+  | [] -> None
+  | _ :: _ :: _ -> fail (Bad_request "duplicate content-length")
+  | [ (_, v) ] ->
+      if
+        String.length v = 0
+        || String.length v > 18
+        || not (String.for_all (function '0' .. '9' -> true | _ -> false) v)
+      then fail (Bad_request ("unparseable content-length: " ^ v));
+      let n = int_of_string v in
+      if n > limits.max_body then
+        fail
+          (Too_large
+             (Printf.sprintf "content-length %d exceeds max body %d" n
+                limits.max_body));
+      Some n
+
+(* --- Request ----------------------------------------------------------- *)
+
+let parse_request_exn limits r =
+  let line = read_line r ~max:limits.max_request_line ~what:"request line" in
+  let meth_s, path, version =
+    match String.split_on_char ' ' line with
+    | [ m; p; v ] when m <> "" && p <> "" -> (m, p, v)
+    | _ -> fail (Bad_request ("malformed request line: " ^ line))
+  in
+  if not (String.equal version "HTTP/1.1" || String.equal version "HTTP/1.0")
+  then fail (Bad_request ("unsupported version: " ^ version));
+  let meth =
+    match meth_s with
+    | "GET" -> GET
+    | "HEAD" -> HEAD
+    | "PUT" -> PUT
+    | m ->
+        if String.for_all (function 'A' .. 'Z' -> true | _ -> false) m then
+          fail (Method_not_allowed m)
+        else fail (Bad_request ("malformed method: " ^ m))
+  in
+  if String.length path > limits.max_uri then
+    fail (Too_large ("uri exceeds " ^ string_of_int limits.max_uri ^ " bytes"));
+  if path.[0] <> '/' then fail (Bad_request "uri must be absolute path");
+  let headers = parse_headers limits r in
+  let body =
+    match (meth, content_length limits headers) with
+    | PUT, None -> fail (Bad_request "PUT without content-length")
+    | _, None -> ""
+    | _, Some n -> read_exact r ~len:n ~what:"request body"
+  in
+  { rq_meth = meth; rq_path = path; rq_headers = headers; rq_body = body }
+
+let parse_request ?(limits = default_limits) r =
+  match parse_request_exn limits r with
+  | rq -> Ok rq
+  | exception Fail e -> Error e
+  | exception Unix.Unix_error (e, op, _) -> Error (io_error op e)
+
+(* --- Response ---------------------------------------------------------- *)
+
+let read_response_exn ?(head = false) limits r =
+  let line = read_line r ~max:limits.max_request_line ~what:"status line" in
+  let status, reason =
+    match String.split_on_char ' ' line with
+    | version :: code :: rest
+      when String.length version >= 5
+           && String.equal (String.sub version 0 5) "HTTP/" -> (
+        match int_of_string_opt code with
+        | Some s when s >= 100 && s <= 599 -> (s, String.concat " " rest)
+        | _ -> fail (Bad_request ("malformed status code: " ^ code)))
+    | _ -> fail (Bad_request ("malformed status line: " ^ line))
+  in
+  let headers = parse_headers limits r in
+  let body =
+    (* A HEAD answer advertises a Content-Length but carries no body
+       bytes — reading it per the header would block until EOF-error. *)
+    if head then ""
+    else
+      match content_length limits headers with
+      | Some n -> read_exact r ~len:n ~what:"response body"
+      | None -> read_to_eof r ~max:limits.max_body ~what:"response body"
+  in
+  { rs_status = status; rs_reason = reason; rs_headers = headers; rs_body = body }
+
+let read_response ?(limits = default_limits) ?head r =
+  match read_response_exn ?head limits r with
+  | rs -> Ok rs
+  | exception Fail e -> Error e
+  | exception Unix.Unix_error (e, op, _) -> Error (io_error op e)
+
+(* --- Writing ----------------------------------------------------------- *)
+
+let write_all fd s =
+  let len = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let rec go pos =
+    if pos < len then
+      match Unix.write fd b pos (len - pos) with
+      | 0 -> fail (Io "write: connection closed")
+      | n -> go (pos + n)
+      | exception Unix.Unix_error (e, _, _) -> fail (io_error "write" e)
+  in
+  go 0
+
+let render_headers b headers =
+  List.iter
+    (fun (name, value) ->
+      Buffer.add_string b name;
+      Buffer.add_string b ": ";
+      Buffer.add_string b value;
+      Buffer.add_string b "\r\n")
+    headers
+
+let write_response fd ?body_for_head rs =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" rs.rs_status rs.rs_reason);
+  render_headers b rs.rs_headers;
+  let declared =
+    match body_for_head with
+    | Some n -> n
+    | None -> String.length rs.rs_body
+  in
+  Buffer.add_string b (Printf.sprintf "content-length: %d\r\n" declared);
+  Buffer.add_string b "connection: close\r\n\r\n";
+  if body_for_head = None then Buffer.add_string b rs.rs_body;
+  match write_all fd (Buffer.contents b) with
+  | () -> Ok ()
+  | exception Fail e -> Error e
+
+let write_request fd ?host rq =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "%s %s HTTP/1.1\r\n" (meth_to_string rq.rq_meth) rq.rq_path);
+  (match host with
+  | Some h -> Buffer.add_string b (Printf.sprintf "host: %s\r\n" h)
+  | None -> ());
+  render_headers b rq.rq_headers;
+  if rq.rq_meth = PUT || String.length rq.rq_body > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "content-length: %d\r\n" (String.length rq.rq_body));
+  Buffer.add_string b "connection: close\r\n\r\n";
+  Buffer.add_string b rq.rq_body;
+  match write_all fd (Buffer.contents b) with
+  | () -> Ok ()
+  | exception Fail e -> Error e
+
+(* --- Client connect ---------------------------------------------------- *)
+
+let set_io_timeouts fd timeout =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
+
+let resolve host port =
+  match
+    Unix.getaddrinfo host (string_of_int port)
+      [ Unix.AI_FAMILY Unix.PF_INET; Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+  with
+  | [] -> fail (Io ("cannot resolve host: " ^ host))
+  | ai :: _ -> ai.Unix.ai_addr
+  | exception Unix.Unix_error (e, _, _) -> fail (io_error "getaddrinfo" e)
+
+(* Non-blocking connect + select so a black-holed host cannot wedge us
+   for the kernel's default (minutes); then blocking mode with
+   SO_RCVTIMEO/SO_SNDTIMEO for the rest of the socket's life. *)
+let connect_exn ~timeout ~host ~port =
+  let addr = resolve host port in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.set_nonblock fd;
+     (match Unix.connect fd addr with
+     | () -> ()
+     | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _)
+       -> (
+         match Unix.select [] [ fd ] [] timeout with
+         | _, [], _ -> fail (Timeout "connect: deadline expired")
+         | _ -> (
+             match Unix.getsockopt_error fd with
+             | None -> ()
+             | Some e -> fail (io_error "connect" e)))
+     | exception Unix.Unix_error (e, _, _) -> fail (io_error "connect" e));
+     Unix.clear_nonblock fd;
+     set_io_timeouts fd timeout
+   with e ->
+     (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+     raise e);
+  fd
+
+let connect ~timeout ~host ~port =
+  match connect_exn ~timeout ~host ~port with
+  | fd -> Ok fd
+  | exception Fail e -> Error e
+  | exception Unix.Unix_error (e, op, _) -> Error (io_error op e)
+
+let request ?limits ~timeout ~host ~port ~meth ~path ?(body = "") () =
+  match connect ~timeout ~host ~port with
+  | Error e -> Error e
+  | Ok fd ->
+      let result =
+        let rq =
+          { rq_meth = meth; rq_path = path; rq_headers = []; rq_body = body }
+        in
+        match write_request fd ~host rq with
+        | Error _ as e -> e
+        | Ok () -> read_response ?limits ~head:(meth = HEAD) (reader_of_fd fd)
+      in
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+      result
+
+(* --- URL --------------------------------------------------------------- *)
+
+type url = { u_host : string; u_port : int; u_prefix : string }
+
+let parse_url s =
+  let prefix = "http://" in
+  let plen = String.length prefix in
+  if String.length s <= plen || not (String.equal (String.sub s 0 plen) prefix)
+  then Error ("remote url must start with http://: " ^ s)
+  else
+    let rest = String.sub s plen (String.length s - plen) in
+    let authority, path =
+      match String.index_opt rest '/' with
+      | None -> (rest, "")
+      | Some i ->
+          (String.sub rest 0 i, String.sub rest i (String.length rest - i))
+    in
+    let host, port =
+      match String.index_opt authority ':' with
+      | None -> (authority, Ok 80)
+      | Some i ->
+          let p = String.sub authority (i + 1) (String.length authority - i - 1) in
+          ( String.sub authority 0 i,
+            match int_of_string_opt p with
+            | Some n when n > 0 && n < 65536 -> Ok n
+            | _ -> Error ("invalid port in remote url: " ^ s) )
+    in
+    if String.equal host "" then Error ("empty host in remote url: " ^ s)
+    else
+      match port with
+      | Error _ as e -> e
+      | Ok port ->
+          let prefix =
+            (* normalize: no trailing slash, "" for bare root *)
+            let p = path in
+            let p =
+              if String.length p > 0 && p.[String.length p - 1] = '/' then
+                String.sub p 0 (String.length p - 1)
+              else p
+            in
+            if String.equal p "/" then "" else p
+          in
+          Ok { u_host = host; u_port = port; u_prefix = prefix }

@@ -1,0 +1,122 @@
+(** A minimal, hostile-input-safe HTTP/1.1 codec plus blocking client
+    and server primitives over Unix sockets.
+
+    Deliberately tiny: the cache protocol needs exactly GET / HEAD /
+    PUT with Content-Length bodies, so there is no chunked encoding,
+    no keep-alive (every response carries [Connection: close]), no
+    TLS, and no percent-decoding — a cache key is hex, anything else
+    is rejected before it can mean something.
+
+    Every parse is bounded by {!limits} before any allocation trusts
+    the input: request-line length, method whitelist, URI length,
+    header count, per-header size, and Content-Length range.  Every
+    socket read and write runs under a deadline ([SO_RCVTIMEO] /
+    [SO_SNDTIMEO]); an expired deadline surfaces as [Timeout], never
+    as a hang.  No function in this module raises on malformed or
+    hostile input — errors are values. *)
+
+type meth = GET | HEAD | PUT
+
+val meth_to_string : meth -> string
+
+type limits = {
+  max_request_line : int;  (** bytes, method + URI + version *)
+  max_uri : int;
+  max_header_count : int;
+  max_header_bytes : int;  (** per header line *)
+  max_body : int;  (** upper bound accepted for Content-Length *)
+}
+
+val default_limits : limits
+(** 2 KiB request line / URI, 64 headers of at most 8 KiB each,
+    16 MiB body. *)
+
+type error =
+  | Bad_request of string  (** malformed syntax — maps to 400 *)
+  | Method_not_allowed of string  (** parseable but unsupported — 405 *)
+  | Too_large of string  (** a limit tripped — 413 (or 431) *)
+  | Timeout of string  (** a read/write/connect deadline expired — 408 *)
+  | Io of string  (** connection reset, refused, EOF mid-message, ... *)
+
+val error_to_string : error -> string
+
+val status_of_error : error -> int * string
+(** The response status a server should answer with. *)
+
+type request = {
+  rq_meth : meth;
+  rq_path : string;  (** as received; no decoding beyond the limits *)
+  rq_headers : (string * string) list;  (** names lowercased *)
+  rq_body : string;  (** ["" ] when absent *)
+}
+
+type response = {
+  rs_status : int;
+  rs_reason : string;
+  rs_headers : (string * string) list;  (** names lowercased *)
+  rs_body : string;
+}
+
+(** {1 Buffered reading} *)
+
+type reader
+(** A buffered byte source with strict CRLF line discipline.  Backed
+    by a file descriptor or, for parser tests, by an in-memory
+    string. *)
+
+val reader_of_fd : Unix.file_descr -> reader
+val reader_of_string : string -> reader
+
+(** {1 Message codec} *)
+
+val parse_request : ?limits:limits -> reader -> (request, error) result
+(** Reads and validates one full request (headers and, when
+    Content-Length says so, the body).  A PUT without a Content-Length
+    is a [Bad_request] — the codec never reads a body to EOF on the
+    server side. *)
+
+val read_response :
+  ?limits:limits -> ?head:bool -> reader -> (response, error) result
+(** Reads one full response.  The body is read per Content-Length, or
+    to EOF (bounded by [max_body]) when the peer omitted it.  [head]
+    (default false) marks the answer to a HEAD request: the declared
+    Content-Length is kept as a header but no body bytes are read. *)
+
+val write_response :
+  Unix.file_descr -> ?body_for_head:int -> response -> (unit, error) result
+(** Serializes with [Content-Length] and [Connection: close] appended.
+    [body_for_head] declares the length a HEAD answer advertises while
+    sending no body bytes. *)
+
+val write_request :
+  Unix.file_descr -> ?host:string -> request -> (unit, error) result
+
+(** {1 Client primitives} *)
+
+val connect :
+  timeout:float -> host:string -> port:int -> (Unix.file_descr, error) result
+(** Non-blocking connect with a deadline, then read/write timeouts
+    armed on the resulting socket for the rest of its life. *)
+
+val request :
+  ?limits:limits ->
+  timeout:float ->
+  host:string ->
+  port:int ->
+  meth:meth ->
+  path:string ->
+  ?body:string ->
+  unit ->
+  (response, error) result
+(** One-shot: connect, send, read the response, close.  Never raises;
+    never outlives the deadline by more than one socket operation. *)
+
+(** {1 URL} *)
+
+type url = { u_host : string; u_port : int; u_prefix : string }
+(** [u_prefix] carries any path prefix (no trailing slash; [""] when
+    the URL is bare). *)
+
+val parse_url : string -> (url, string) result
+(** Accepts [http://host[:port][/prefix]].  Anything else — other
+    schemes, empty host, junk port — is an [Error]. *)

@@ -1,0 +1,337 @@
+(* Serving philosophy: the store directory is just bytes that claim to
+   be cache entries.  Nothing is served or accepted without passing
+   the same verification gates the local store applies, so this
+   process can sit on a shared directory, take hostile traffic, and
+   the worst outcome is a 4xx/404 — never a poisoned peer and never a
+   crash (each connection thread catches everything). *)
+
+module Store = Mclock_explore.Store
+module Checkpoint = Mclock_sim.Compiled.Checkpoint
+module Json = Mclock_lint.Json
+
+type stats = {
+  s_connections : int;
+  s_requests : int;
+  s_entry_hits : int;
+  s_entry_misses : int;
+  s_ckpt_hits : int;
+  s_ckpt_misses : int;
+  s_puts_ok : int;
+  s_puts_denied : int;
+  s_puts_invalid : int;
+  s_bad_requests : int;
+  s_errors : int;
+}
+
+let zero_stats =
+  {
+    s_connections = 0;
+    s_requests = 0;
+    s_entry_hits = 0;
+    s_entry_misses = 0;
+    s_ckpt_hits = 0;
+    s_ckpt_misses = 0;
+    s_puts_ok = 0;
+    s_puts_denied = 0;
+    s_puts_invalid = 0;
+    s_bad_requests = 0;
+    s_errors = 0;
+  }
+
+type t = {
+  store : Store.t;
+  host : string;
+  bound_port : int;
+  listener : Unix.file_descr;
+  writable : bool;
+  limits : Http.limits;
+  io_timeout : float;
+  mutable running : bool;
+  mutable accept_thread : Thread.t option;
+  mutex : Mutex.t;
+  mutable stats : stats;
+}
+
+let bump t f =
+  Mutex.lock t.mutex;
+  t.stats <- f t.stats;
+  Mutex.unlock t.mutex
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s = t.stats in
+  Mutex.unlock t.mutex;
+  s
+
+let stats_json t =
+  let s = stats t in
+  Json.Obj
+    [
+      ("connections", Json.Int s.s_connections);
+      ("requests", Json.Int s.s_requests);
+      ("entry_hits", Json.Int s.s_entry_hits);
+      ("entry_misses", Json.Int s.s_entry_misses);
+      ("ckpt_hits", Json.Int s.s_ckpt_hits);
+      ("ckpt_misses", Json.Int s.s_ckpt_misses);
+      ("puts_ok", Json.Int s.s_puts_ok);
+      ("puts_denied", Json.Int s.s_puts_denied);
+      ("puts_invalid", Json.Int s.s_puts_invalid);
+      ("bad_requests", Json.Int s.s_bad_requests);
+      ("errors", Json.Int s.s_errors);
+    ]
+
+let port t = t.bound_port
+let url t = Printf.sprintf "http://%s:%d" t.host t.bound_port
+
+(* --- Responses --------------------------------------------------------- *)
+
+let text_response status reason body =
+  {
+    Http.rs_status = status;
+    rs_reason = reason;
+    rs_headers = [ ("content-type", "text/plain") ];
+    rs_body = body;
+  }
+
+let not_found = text_response 404 "Not Found" "not found\n"
+
+let octet_response body =
+  {
+    Http.rs_status = 200;
+    rs_reason = "OK";
+    rs_headers = [ ("content-type", "application/octet-stream") ];
+    rs_body = body;
+  }
+
+(* --- File access ------------------------------------------------------- *)
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let r =
+        match really_input_string ic (in_channel_length ic) with
+        | s -> Some s
+        | exception (Sys_error _ | End_of_file) -> None
+      in
+      close_in_noerr ic;
+      r
+
+(* --- Routing ----------------------------------------------------------- *)
+
+type route =
+  | Entry of string  (** /v1/entry/<key> *)
+  | Ckpt of string  (** /v1/ckpt/<key> *)
+  | Stats
+  | Healthz
+  | Unknown
+
+(* No percent-decoding happens anywhere, so "%2e%2e" stays literal and
+   fails the hex-key check; a raw ".." or an empty segment likewise.
+   Traversal cannot even form a path: only [Store.valid_key] keys are
+   ever joined to the directory. *)
+let route_of_path path =
+  match String.split_on_char '/' path with
+  | [ ""; "v1"; "entry"; key ] when Store.valid_key key -> Entry key
+  | [ ""; "v1"; "ckpt"; key ] when Store.valid_key key -> Ckpt key
+  | [ ""; "v1"; "stats" ] -> Stats
+  | [ ""; "v1"; "healthz" ] -> Healthz
+  | _ -> Unknown
+
+(* --- Handlers ---------------------------------------------------------- *)
+
+(* Serve bytes only if they verify; a corrupt on-disk file is
+   indistinguishable from a missing one, exactly like a local miss. *)
+let get_entry t ~key =
+  match read_file (Store.entry_path t.store ~key) with
+  | None -> None
+  | Some text ->
+      if Store.decode_entry ~key text <> None then Some text else None
+
+let get_ckpt t ~key =
+  match read_file (Store.checkpoint_path t.store ~key) with
+  | None -> None
+  | Some blob -> (
+      match Checkpoint.decode blob with Ok _ -> Some blob | Error _ -> None)
+
+let handle_get t ~key ~verified =
+  match verified with
+  | Some body ->
+      bump t (fun s ->
+          match key with
+          | `E -> { s with s_entry_hits = s.s_entry_hits + 1 }
+          | `C -> { s with s_ckpt_hits = s.s_ckpt_hits + 1 });
+      octet_response body
+  | None ->
+      bump t (fun s ->
+          match key with
+          | `E -> { s with s_entry_misses = s.s_entry_misses + 1 }
+          | `C -> { s with s_ckpt_misses = s.s_ckpt_misses + 1 });
+      not_found
+
+let handle_put t route (rq : Http.request) =
+  if not t.writable then begin
+    bump t (fun s -> { s with s_puts_denied = s.s_puts_denied + 1 });
+    text_response 403 "Forbidden" "server is read-only\n"
+  end
+  else
+    let accepted =
+      match route with
+      | Entry key -> (
+          match Store.decode_entry ~key rq.Http.rq_body with
+          | Some metrics ->
+              (* Re-canonicalize through the store so what lands on
+                 disk is exactly what a local run would have written. *)
+              Store.store t.store ~key metrics;
+              true
+          | None -> false)
+      | Ckpt key -> (
+          match Checkpoint.decode rq.Http.rq_body with
+          | Ok _ ->
+              Store.store_checkpoint t.store ~key rq.Http.rq_body;
+              true
+          | Error _ -> false)
+      | _ -> false
+    in
+    if accepted then begin
+      bump t (fun s -> { s with s_puts_ok = s.s_puts_ok + 1 });
+      text_response 200 "OK" "stored\n"
+    end
+    else begin
+      bump t (fun s -> { s with s_puts_invalid = s.s_puts_invalid + 1 });
+      text_response 422 "Unprocessable Content" "body failed verification\n"
+    end
+
+let handle_request t (rq : Http.request) =
+  bump t (fun s -> { s with s_requests = s.s_requests + 1 });
+  let route = route_of_path rq.Http.rq_path in
+  match (rq.Http.rq_meth, route) with
+  | (Http.GET | Http.HEAD), Healthz -> text_response 200 "OK" "ok\n"
+  | Http.GET, Stats ->
+      {
+        Http.rs_status = 200;
+        rs_reason = "OK";
+        rs_headers = [ ("content-type", "application/json") ];
+        rs_body = Json.to_string_pretty (stats_json t) ^ "\n";
+      }
+  | (Http.GET | Http.HEAD), Entry key ->
+      handle_get t ~key:`E ~verified:(get_entry t ~key)
+  | (Http.GET | Http.HEAD), Ckpt key ->
+      handle_get t ~key:`C ~verified:(get_ckpt t ~key)
+  | Http.PUT, (Entry _ | Ckpt _) -> handle_put t route rq
+  | _, Unknown ->
+      bump t (fun s -> { s with s_bad_requests = s.s_bad_requests + 1 });
+      not_found
+  | _ ->
+      bump t (fun s -> { s with s_bad_requests = s.s_bad_requests + 1 });
+      text_response 405 "Method Not Allowed" "method not allowed\n"
+
+(* --- Connection loop --------------------------------------------------- *)
+
+let handle_connection t fd =
+  bump t (fun s -> { s with s_connections = s.s_connections + 1 });
+  let cleanup () =
+    (try Unix.shutdown fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error (_, _, _) -> ());
+    try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+  in
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.io_timeout;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.io_timeout;
+     let reader = Http.reader_of_fd fd in
+     let response, head =
+       match Http.parse_request ~limits:t.limits reader with
+       | Ok rq -> (handle_request t rq, rq.Http.rq_meth = Http.HEAD)
+       | Error e ->
+           bump t (fun s -> { s with s_bad_requests = s.s_bad_requests + 1 });
+           let status, reason = Http.status_of_error e in
+           (text_response status reason (Http.error_to_string e ^ "\n"), false)
+     in
+     let write =
+       if head then
+         Http.write_response fd
+           ~body_for_head:(String.length response.Http.rs_body)
+           { response with Http.rs_body = "" }
+       else Http.write_response fd response
+     in
+     match write with
+     | Ok () -> ()
+     | Error _ -> bump t (fun s -> { s with s_errors = s.s_errors + 1 })
+   with _ -> bump t (fun s -> { s with s_errors = s.s_errors + 1 }));
+  cleanup ()
+
+let accept_loop t =
+  while t.running do
+    match Unix.accept t.listener with
+    | fd, _ -> ignore (Thread.create (fun () -> handle_connection t fd) ())
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+        (* listener closed by stop *)
+        ()
+    | exception Unix.Unix_error (_, _, _) -> Thread.yield ()
+  done
+
+(* --- Lifecycle --------------------------------------------------------- *)
+
+let create ?(host = "127.0.0.1") ?(port = 0) ?(writable = false) ?max_body
+    ?(io_timeout = 10.) ~dir () =
+  (* A peer vanishing mid-write must be an EPIPE error, not a signal. *)
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+   with Invalid_argument _ | Sys_error _ -> ());
+  let limits =
+    match max_body with
+    | None -> Http.default_limits
+    | Some n -> { Http.default_limits with Http.max_body = n }
+  in
+  match
+    let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+    let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt listener Unix.SO_REUSEADDR true;
+       Unix.bind listener addr;
+       Unix.listen listener 64
+     with e ->
+       (try Unix.close listener with Unix.Unix_error (_, _, _) -> ());
+       raise e);
+    let bound_port =
+      match Unix.getsockname listener with
+      | Unix.ADDR_INET (_, p) -> p
+      | Unix.ADDR_UNIX _ -> port
+    in
+    {
+      store = Store.open_ ~dir ();
+      host;
+      bound_port;
+      listener;
+      writable;
+      limits;
+      io_timeout;
+      running = true;
+      accept_thread = None;
+      mutex = Mutex.create ();
+      stats = zero_stats;
+    }
+  with
+  | t -> Ok t
+  | exception Unix.Unix_error (e, op, _) ->
+      Error (Printf.sprintf "cannot serve on %s:%d: %s: %s" host port op
+               (Unix.error_message e))
+  | exception Failure m -> Error m
+
+let serve t = accept_loop t
+
+let start t = t.accept_thread <- Some (Thread.create accept_loop t)
+
+let stop t =
+  if t.running then begin
+    t.running <- false;
+    (* Closing the listener makes the blocking accept fail, which the
+       loop reads as shutdown. *)
+    (try Unix.shutdown t.listener Unix.SHUTDOWN_ALL
+     with Unix.Unix_error (_, _, _) -> ());
+    (try Unix.close t.listener with Unix.Unix_error (_, _, _) -> ());
+    match t.accept_thread with
+    | Some th ->
+        t.accept_thread <- None;
+        Thread.join th
+    | None -> ()
+  end

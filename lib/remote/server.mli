@@ -1,0 +1,78 @@
+(** The cache server: exposes a {!Mclock_explore.Store} directory over
+    the {!Http} codec, one system thread per connection.
+
+    Routes (all under a fixed [/v1] prefix):
+
+    {v
+    GET/HEAD /v1/entry/<key>   verified metrics entry, 404 on any doubt
+    GET/HEAD /v1/ckpt/<key>    verified checkpoint sidecar
+    PUT      /v1/entry/<key>   store a verified entry   (requires writable)
+    PUT      /v1/ckpt/<key>    store a verified sidecar (requires writable)
+    GET      /v1/stats         serving counters as JSON
+    GET/HEAD /v1/healthz       liveness probe, body "ok\n"
+    v}
+
+    The server never trusts its own disk or its peers: every served
+    body is re-verified ([Store.decode_entry] for entries,
+    [Compiled.Checkpoint.decode] for sidecars) before a 200, and every
+    accepted PUT body is verified before anything is written — a
+    garbled upload is a 422, a corrupt on-disk file is a 404, and keys
+    are validated with [Store.valid_key] so traversal attempts cannot
+    name a path.  Request parsing failures map to 400/405/408/413 per
+    {!Http.status_of_error}.  PUT against a read-only server is 403.
+
+    Threads are cheap here because connections are short-lived
+    (connection-close protocol) and the payloads are small; sys-threads
+    also share the runtime lock, so the store's counters need no
+    additional synchronization beyond the server's own stats mutex. *)
+
+type t
+
+val create :
+  ?host:string ->
+  ?port:int ->
+  ?writable:bool ->
+  ?max_body:int ->
+  ?io_timeout:float ->
+  dir:string ->
+  unit ->
+  (t, string) result
+(** Binds and listens (default host 127.0.0.1; port 0 — the default —
+    lets the kernel pick, see {!port}).  [writable] (default false)
+    enables PUT.  [io_timeout] (default 10s) bounds every socket
+    read/write, so a stalled client cannot pin its thread forever. *)
+
+val port : t -> int
+(** The actually bound port (useful with [port:0]). *)
+
+val url : t -> string
+(** [http://<host>:<port>] for handing to {!Client.create}. *)
+
+val start : t -> unit
+(** Runs the accept loop in a background thread and returns. *)
+
+val serve : t -> unit
+(** Runs the accept loop on the calling thread; returns after {!stop}
+    is called from elsewhere. *)
+
+val stop : t -> unit
+(** Stops accepting, closes the listener, and joins the accept thread
+    if {!start} was used.  In-flight connection threads finish on
+    their own (each is deadline-bounded).  Idempotent. *)
+
+type stats = {
+  s_connections : int;
+  s_requests : int;
+  s_entry_hits : int;
+  s_entry_misses : int;
+  s_ckpt_hits : int;
+  s_ckpt_misses : int;
+  s_puts_ok : int;
+  s_puts_denied : int;  (** PUT without [writable] *)
+  s_puts_invalid : int;  (** body failed verification *)
+  s_bad_requests : int;  (** 4xx from parsing/routing *)
+  s_errors : int;  (** handler-side I/O failures *)
+}
+
+val stats : t -> stats
+val stats_json : t -> Mclock_lint.Json.t

@@ -24,4 +24,5 @@ let () =
       ("search", Test_search.suite);
       ("resume", Test_resume.suite);
       ("static", Test_static.suite);
+      ("remote", Test_remote.suite);
     ]

@@ -346,6 +346,48 @@ let test_store_unsafe_key_rejected () =
     (Sys.file_exists (Filename.concat dir "../evil.json"));
   rm_rf dir
 
+let test_store_gc_dry_run_previews_without_removing () =
+  let dir = temp_dir () in
+  let s = Store.open_ ~dir () in
+  let keys = List.map (fun c -> String.make 32 c) [ 'a'; 'b'; 'c'; 'd' ] in
+  List.iter (fun key -> Store.store s ~key sample_metrics) keys;
+  (* Distinct, known mtimes so the victim span is deterministic. *)
+  let now = Unix.gettimeofday () in
+  List.iteri
+    (fun i key ->
+      let t = now -. float_of_int (100 * (List.length keys - i)) in
+      Unix.utimes (Store.entry_path s ~key) t t)
+    keys;
+  let dry = Store.gc ~max_bytes:0 ~dry_run:true s in
+  check Alcotest.int "dry run would remove everything" (List.length keys)
+    dry.Store.gc_removed_entries;
+  check Alcotest.int "dry run would leave nothing" 0
+    dry.Store.gc_remaining_entries;
+  check Alcotest.bool "dry run removed bytes counted" true
+    (dry.Store.gc_removed_bytes > 0);
+  (match (dry.Store.gc_oldest_removed, dry.Store.gc_newest_removed) with
+  | Some oldest, Some newest ->
+      if oldest > newest then fail "victim span inverted"
+  | _ -> fail "dry run must report the victim mtime span");
+  (* Nothing may actually have been deleted. *)
+  List.iter
+    (fun key ->
+      if Store.find s ~key = None then
+        fail (Printf.sprintf "dry-run gc deleted entry %s" key))
+    keys;
+  (* The real gc must then do exactly what the dry run predicted. *)
+  let wet = Store.gc ~max_bytes:0 s in
+  check Alcotest.int "real gc removes the predicted count"
+    dry.Store.gc_removed_entries wet.Store.gc_removed_entries;
+  check Alcotest.int "real gc removes the predicted bytes"
+    dry.Store.gc_removed_bytes wet.Store.gc_removed_bytes;
+  List.iter
+    (fun key ->
+      if Store.find s ~key <> None then
+        fail (Printf.sprintf "real gc left entry %s behind" key))
+    keys;
+  rm_rf dir
+
 (* --- Pareto ------------------------------------------------------------ *)
 
 let point index label power area latency =
@@ -697,6 +739,36 @@ let test_engine_scaled_cells_consistent () =
             <= c.Engine.bounds.Metrics.b_energy_pj *. (1. +. 1e-9)))
     r.Engine.cells
 
+(* Regression for an indexing bug class: [Engine.best] resolves the
+   objective's winning index against the *evaluated* cell list (grid
+   order, pruned/failed cells excluded), not the full grid.  Derive
+   that list independently and pin the correspondence. *)
+let test_engine_best_index_correspondence () =
+  let r = explore () in
+  let objective = Objective.default in
+  let evaluated =
+    List.filter_map
+      (fun (c : Engine.cell) ->
+        match c.Engine.status with
+        | (Engine.Cached m | Engine.Simulated m) when m.Metrics.functional_ok
+          ->
+            Some (c, m)
+        | _ -> None)
+      r.Engine.cells
+  in
+  check Alcotest.bool "grid has evaluated cells" true (evaluated <> []);
+  match Engine.best ~objective r with
+  | None -> fail "functional grid has no best"
+  | Some (cell, score) -> (
+      match Objective.best objective (List.map snd evaluated) with
+      | None -> fail "objective scan is empty"
+      | Some (i, expected_score) ->
+          let expected_cell, _ = List.nth evaluated i in
+          check Alcotest.string "best resolves the objective's index"
+            expected_cell.Engine.cell_label cell.Engine.cell_label;
+          if not (Float.equal score expected_score) then
+            fail "best score differs from the objective's")
+
 let suite =
   [
     ("enumerate valid+unique", `Quick, test_enumerate_valid_and_unique);
@@ -718,6 +790,7 @@ let suite =
     ("store garbage entry", `Quick, test_store_garbage_entry_is_miss);
     ("store unwritable dir", `Quick, test_store_unwritable_dir_never_raises);
     ("store unsafe key", `Quick, test_store_unsafe_key_rejected);
+    ("store gc dry run", `Quick, test_store_gc_dry_run_previews_without_removing);
     ("pareto frontier+attribution", `Quick, test_pareto_frontier_and_attribution);
     ("pareto ties", `Quick, test_pareto_ties_stay_on_frontier);
     ("pareto attribution on frontier", `Quick, test_pareto_attribution_lands_on_frontier);
@@ -730,4 +803,5 @@ let suite =
     ("engine estimate-first invariant", `Quick, test_engine_estimate_first_invariant);
     ("engine top-k cutoff", `Quick, test_engine_top_k_cutoff);
     ("engine scaled cells consistent", `Quick, test_engine_scaled_cells_consistent);
+    ("engine best index correspondence", `Quick, test_engine_best_index_correspondence);
   ]

@@ -1,0 +1,679 @@
+(* Remote cache tier suite: the HTTP codec's hostile-input catalog
+   (every malformed, oversized, truncated or smuggling-shaped input
+   must come back as a typed error, never an exception), the server's
+   routing and verification gates over a real loopback socket, and the
+   client's degradation ladder — timeouts, retries, garbled bodies,
+   dead ports, the circuit breaker and its half-open probe — each of
+   which must collapse into a plain local miss with the failure
+   counted, never a crash, a hang, or a poisoned store. *)
+
+module Http = Mclock_remote.Http
+module Server = Mclock_remote.Server
+module Client = Mclock_remote.Client
+module Store = Mclock_explore.Store
+module Metrics = Mclock_explore.Metrics
+module Compiled = Mclock_sim.Compiled
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+let tech = Mclock_tech.Cmos08.t
+
+let temp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "mclock-test-remote.%d.%d" (Unix.getpid ()) !counter)
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    dir
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error (_, _, _) -> ()
+  end
+
+let sample_key = String.make 32 'a'
+
+let sample_metrics =
+  {
+    Metrics.power_mw = 2.5;
+    area = 80000.0;
+    latency_steps = 5;
+    energy_per_computation_pj = 75.0;
+    memory_cells = 9;
+    mux_inputs = 10;
+    functional_ok = true;
+  }
+
+let entry_bytes = Store.encode_entry ~key:sample_key sample_metrics
+
+(* A real, decodable checkpoint blob (the codec requires genuine
+   simulator state — garbage is exactly what must be rejected). *)
+let checkpoint_blob =
+  lazy
+    (let w = Mclock_workloads.Facet.t in
+     let schedule = Mclock_workloads.Workload.schedule w in
+     let design =
+       Mclock_core.Flow.synthesize ~method_:(Mclock_core.Flow.Integrated 2)
+         ~name:"remote" schedule
+     in
+     let kernel = Compiled.compile tech design in
+     let _, ck = Compiled.run_with_checkpoint ~seed:7 kernel ~iterations:3 in
+     Compiled.Checkpoint.encode ck)
+
+(* --- Parser helpers ---------------------------------------------------- *)
+
+let parse s = Http.parse_request (Http.reader_of_string s)
+
+let expect_error label outcome = function
+  | Ok _ -> fail (label ^ ": hostile input parsed successfully")
+  | Error e ->
+      let tag =
+        match e with
+        | Http.Bad_request _ -> `Bad_request
+        | Http.Method_not_allowed _ -> `Method_not_allowed
+        | Http.Too_large _ -> `Too_large
+        | Http.Timeout _ -> `Timeout
+        | Http.Io _ -> `Io
+      in
+      if tag <> outcome then
+        fail
+          (Printf.sprintf "%s: wrong error class: %s" label
+             (Http.error_to_string e))
+
+(* --- Codec: well-formed input ------------------------------------------ *)
+
+let test_parse_valid_get () =
+  match parse "GET /v1/healthz HTTP/1.1\r\nHost: h\r\nX-A: b\r\n\r\n" with
+  | Error e -> fail (Http.error_to_string e)
+  | Ok rq ->
+      check Alcotest.string "path" "/v1/healthz" rq.Http.rq_path;
+      check Alcotest.string "body empty" "" rq.Http.rq_body;
+      (match rq.Http.rq_meth with
+      | Http.GET -> ()
+      | _ -> fail "method not GET");
+      (* Header names come out lowercased. *)
+      check Alcotest.(option string) "header" (Some "b")
+        (List.assoc_opt "x-a" rq.Http.rq_headers)
+
+let test_parse_valid_put_body () =
+  let body = "hello body" in
+  let msg =
+    Printf.sprintf "PUT /v1/entry/%s HTTP/1.1\r\ncontent-length: %d\r\n\r\n%s"
+      sample_key (String.length body) body
+  in
+  match parse msg with
+  | Error e -> fail (Http.error_to_string e)
+  | Ok rq ->
+      check Alcotest.string "body read exactly" body rq.Http.rq_body
+
+(* --- Codec: the hostile-input catalog ---------------------------------- *)
+
+let test_parse_garbage_request_line () =
+  expect_error "binary garbage" `Bad_request
+    (parse "\x00\x01\x02garbage\r\n\r\n");
+  expect_error "two tokens" `Bad_request (parse "GET /x\r\n\r\n");
+  expect_error "empty line" `Bad_request (parse "\r\n\r\n");
+  expect_error "empty input" `Io (parse "")
+
+let test_parse_unknown_method () =
+  expect_error "POST" `Method_not_allowed
+    (parse "POST /v1/stats HTTP/1.1\r\n\r\n");
+  expect_error "DELETE" `Method_not_allowed
+    (parse "DELETE /v1/entry/aa HTTP/1.1\r\n\r\n");
+  (* Not-even-a-token methods are malformed, not merely unsupported. *)
+  expect_error "lowercase junk" `Bad_request (parse "get /x HTTP/1.1\r\n\r\n")
+
+let test_parse_bad_version () =
+  expect_error "HTTP/2.0" `Bad_request (parse "GET /x HTTP/2.0\r\n\r\n");
+  expect_error "junk version" `Bad_request (parse "GET /x POTATO\r\n\r\n")
+
+let test_parse_bare_lf_rejected () =
+  (* Bare-LF line endings are a request-smuggling classic; the codec
+     takes CRLF only. *)
+  expect_error "bare LF request line" `Bad_request
+    (parse "GET /v1/healthz HTTP/1.1\nHost: h\n\n")
+
+let test_parse_oversized_uri () =
+  let uri = "/" ^ String.make 4096 'a' in
+  expect_error "oversized URI" `Too_large
+    (parse (Printf.sprintf "GET %s HTTP/1.1\r\n\r\n" uri))
+
+let test_parse_oversized_headers () =
+  let big = String.make 9000 'x' in
+  expect_error "oversized header line" `Too_large
+    (parse (Printf.sprintf "GET /x HTTP/1.1\r\nh: %s\r\n\r\n" big));
+  let many =
+    String.concat ""
+      (List.init 100 (fun i -> Printf.sprintf "h%d: v\r\n" i))
+  in
+  expect_error "too many headers" `Too_large
+    (parse ("GET /x HTTP/1.1\r\n" ^ many ^ "\r\n"))
+
+let test_parse_content_length_pathologies () =
+  let put cl =
+    parse
+      (Printf.sprintf "PUT /v1/entry/aa HTTP/1.1\r\ncontent-length: %s\r\n\r\nx"
+         cl)
+  in
+  expect_error "non-numeric" `Bad_request (put "one");
+  expect_error "negative" `Bad_request (put "-1");
+  expect_error "trailing junk" `Bad_request (put "1x");
+  expect_error "absurd magnitude" `Bad_request
+    (put "99999999999999999999999999");
+  expect_error "over max_body" `Too_large (put "999999999");
+  (* Duplicate, disagreeing Content-Length headers are the smuggling
+     vector; even agreeing duplicates are rejected. *)
+  expect_error "duplicate" `Bad_request
+    (parse
+       "PUT /v1/entry/aa HTTP/1.1\r\ncontent-length: 1\r\ncontent-length: \
+        1\r\n\r\nx")
+
+let test_parse_truncated_body () =
+  expect_error "body shorter than declared" `Io
+    (parse
+       (Printf.sprintf
+          "PUT /v1/entry/%s HTTP/1.1\r\ncontent-length: 100\r\n\r\nshort"
+          sample_key));
+  expect_error "headers cut mid-stream" `Io
+    (parse "GET /v1/healthz HTTP/1.1\r\nHost: h\r\n")
+
+let test_parse_put_requires_content_length () =
+  expect_error "PUT without content-length" `Bad_request
+    (parse (Printf.sprintf "PUT /v1/entry/%s HTTP/1.1\r\n\r\n" sample_key))
+
+let test_parse_url () =
+  (match Http.parse_url "http://127.0.0.1:8090" with
+  | Ok u ->
+      check Alcotest.string "host" "127.0.0.1" u.Http.u_host;
+      check Alcotest.int "port" 8090 u.Http.u_port;
+      check Alcotest.string "prefix" "" u.Http.u_prefix
+  | Error e -> fail e);
+  (match Http.parse_url "http://cache.local/mclock/" with
+  | Ok u ->
+      check Alcotest.int "default port" 80 u.Http.u_port;
+      check Alcotest.string "prefix normalized" "/mclock" u.Http.u_prefix
+  | Error e -> fail e);
+  List.iter
+    (fun bad ->
+      match Http.parse_url bad with
+      | Ok _ -> fail (Printf.sprintf "junk URL %S parsed" bad)
+      | Error _ -> ())
+    [ "https://x"; "ftp://x"; "http://"; "http://:80"; "http://h:notaport";
+      "not a url at all" ]
+
+(* --- Server over a real loopback socket -------------------------------- *)
+
+let with_server ?writable ~dir f =
+  match Server.create ?writable ~dir () with
+  | Error m -> fail m
+  | Ok srv ->
+      Server.start srv;
+      Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f srv)
+
+let get ?(timeout = 2.) srv path =
+  match
+    Http.request ~timeout ~host:"127.0.0.1" ~port:(Server.port srv)
+      ~meth:Http.GET ~path ()
+  with
+  | Ok rs -> rs
+  | Error e -> fail (Http.error_to_string e)
+
+let test_server_healthz_stats_and_404 () =
+  let dir = temp_dir () in
+  with_server ~dir (fun srv ->
+      check Alcotest.int "healthz" 200 (get srv "/v1/healthz").Http.rs_status;
+      let stats = get srv "/v1/stats" in
+      check Alcotest.int "stats" 200 stats.Http.rs_status;
+      (match Mclock_lint.Json.parse stats.Http.rs_body with
+      | Ok _ -> ()
+      | Error e -> fail ("stats body is not JSON: " ^ e));
+      check Alcotest.int "unknown route" 404 (get srv "/nope").Http.rs_status;
+      check Alcotest.int "missing entry" 404
+        (get srv ("/v1/entry/" ^ sample_key)).Http.rs_status);
+  rm_rf dir
+
+let test_server_traversal_keys_rejected () =
+  let dir = temp_dir () in
+  (* Plant a file outside the store dir that a traversal would reach. *)
+  let secret = Filename.concat (Filename.dirname dir) "secret-outside" in
+  Out_channel.with_open_bin secret (fun oc ->
+      Out_channel.output_string oc "leak");
+  with_server ~dir (fun srv ->
+      List.iter
+        (fun path ->
+          check Alcotest.int (Printf.sprintf "%s -> 404" path) 404
+            (get srv path).Http.rs_status)
+        [
+          "/v1/entry/../secret-outside";
+          "/v1/entry/%2e%2e%2fsecret-outside";
+          "/v1/entry/..";
+          "/v1/entry/xyz";  (* not hex *)
+          "/v1/entry/";
+          "/v1/ckpt/../secret-outside";
+        ]);
+  Sys.remove secret;
+  rm_rf dir
+
+let test_server_serves_only_verified_entries () =
+  let dir = temp_dir () in
+  let store = Store.open_ ~dir () in
+  Store.store store ~key:sample_key sample_metrics;
+  let corrupt_key = String.make 32 'b' in
+  Out_channel.with_open_bin (Store.entry_path store ~key:corrupt_key)
+    (fun oc -> Out_channel.output_string oc "{ \"version\": 1, truncated");
+  with_server ~dir (fun srv ->
+      let rs = get srv ("/v1/entry/" ^ sample_key) in
+      check Alcotest.int "valid entry served" 200 rs.Http.rs_status;
+      (match Store.decode_entry ~key:sample_key rs.Http.rs_body with
+      | Some m ->
+          if not (Metrics.equal m sample_metrics) then
+            fail "served entry decodes to different metrics"
+      | None -> fail "served body fails verification");
+      (* A corrupt on-disk file must look exactly like a miss. *)
+      check Alcotest.int "corrupt entry is 404" 404
+        (get srv ("/v1/entry/" ^ corrupt_key)).Http.rs_status;
+      (* HEAD: status and length, no body bytes. *)
+      match
+        Http.request ~timeout:2. ~host:"127.0.0.1" ~port:(Server.port srv)
+          ~meth:Http.HEAD ~path:("/v1/entry/" ^ sample_key) ()
+      with
+      | Error e -> fail (Http.error_to_string e)
+      | Ok head ->
+          check Alcotest.int "HEAD status" 200 head.Http.rs_status;
+          check Alcotest.string "HEAD body empty" "" head.Http.rs_body;
+          check Alcotest.(option string) "HEAD declares full length"
+            (Some (string_of_int (String.length rs.Http.rs_body)))
+            (List.assoc_opt "content-length" head.Http.rs_headers));
+  rm_rf dir
+
+let test_server_put_gates () =
+  let ro_dir = temp_dir () in
+  with_server ~dir:ro_dir (fun srv ->
+      match
+        Http.request ~timeout:2. ~host:"127.0.0.1" ~port:(Server.port srv)
+          ~meth:Http.PUT ~path:("/v1/entry/" ^ sample_key) ~body:entry_bytes
+          ()
+      with
+      | Error e -> fail (Http.error_to_string e)
+      | Ok rs -> check Alcotest.int "read-only PUT" 403 rs.Http.rs_status);
+  rm_rf ro_dir;
+  let rw_dir = temp_dir () in
+  with_server ~writable:true ~dir:rw_dir (fun srv ->
+      let put path body =
+        match
+          Http.request ~timeout:2. ~host:"127.0.0.1" ~port:(Server.port srv)
+            ~meth:Http.PUT ~path ~body ()
+        with
+        | Ok rs -> rs.Http.rs_status
+        | Error e -> fail (Http.error_to_string e)
+      in
+      check Alcotest.int "valid PUT accepted" 200
+        (put ("/v1/entry/" ^ sample_key) entry_bytes);
+      check Alcotest.int "garbled entry PUT" 422
+        (put ("/v1/entry/" ^ String.make 32 'c') "{ not an entry");
+      check Alcotest.int "garbled ckpt PUT" 422
+        (put ("/v1/ckpt/" ^ sample_key) "junk checkpoint bytes");
+      (* What landed on disk is a verifiable entry under its key. *)
+      let store = Store.open_ ~dir:rw_dir () in
+      match Store.find store ~key:sample_key with
+      | Some m ->
+          if not (Metrics.equal m sample_metrics) then
+            fail "stored entry decodes differently"
+      | None -> fail "accepted PUT not readable from the store");
+  rm_rf rw_dir
+
+(* --- Client: read-through, verification, degradation ------------------- *)
+
+let client ?timeout ?retries ?breaker_threshold ?breaker_cooldown ~url () =
+  match Client.create ?timeout ?retries ?breaker_threshold ?breaker_cooldown
+          ~url ()
+  with
+  | Ok c -> c
+  | Error m -> fail m
+
+let test_client_read_through_fill () =
+  let remote_dir = temp_dir () in
+  let local_dir = temp_dir () in
+  let remote_store = Store.open_ ~dir:remote_dir () in
+  Store.store remote_store ~key:sample_key sample_metrics;
+  Store.store_checkpoint remote_store ~key:sample_key
+    (Lazy.force checkpoint_blob);
+  let local = Store.open_ ~dir:local_dir () in
+  with_server ~dir:remote_dir (fun srv ->
+      let c = client ~url:(Server.url srv) () in
+      Store.set_remote local (Some (Client.tier c));
+      (match Store.find local ~key:sample_key with
+      | Some m ->
+          if not (Metrics.equal m sample_metrics) then
+            fail "remote-filled metrics differ"
+      | None -> fail "remote entry not served through the tier");
+      (match Store.find_checkpoint local ~key:sample_key with
+      | Some blob -> (
+          match Compiled.Checkpoint.decode blob with
+          | Ok _ -> ()
+          | Error e -> fail ("remote-filled checkpoint does not decode: " ^ e))
+      | None -> fail "remote checkpoint not served through the tier");
+      let s = Store.stats local in
+      check Alcotest.int "entry fill counted" 1 s.Store.remote_fills;
+      check Alcotest.int "ckpt fill counted" 1 s.Store.remote_ckpt_fills;
+      check Alcotest.int "fill is a hit" 1 s.Store.hits);
+  (* The server is now down; the fills must have landed locally. *)
+  check Alcotest.bool "second find is purely local" true
+    (Store.find local ~key:sample_key <> None);
+  check Alcotest.bool "second ckpt find is purely local" true
+    (Store.find_checkpoint local ~key:sample_key <> None);
+  rm_rf remote_dir;
+  rm_rf local_dir
+
+(* A canned server: accepts one connection at a time, drains a little
+   request, answers with exactly [response] (or stalls when [None]),
+   closes.  The shape every lying or broken peer takes in this suite. *)
+let hostile_server response =
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen listener 8;
+  let port =
+    match Unix.getsockname listener with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  let running = ref true in
+  let th =
+    Thread.create
+      (fun () ->
+        while !running do
+          match Unix.accept listener with
+          | fd, _ ->
+              (try
+                 let buf = Bytes.create 4096 in
+                 (try ignore (Unix.read fd buf 0 4096)
+                  with Unix.Unix_error (_, _, _) -> ());
+                 (match response with
+                 | Some s -> (
+                     try
+                       ignore (Unix.write_substring fd s 0 (String.length s))
+                     with Unix.Unix_error (_, _, _) -> ())
+                 | None -> Thread.delay 0.6);
+                 Unix.close fd
+               with _ -> ())
+          | exception Unix.Unix_error (_, _, _) -> ()
+        done)
+      ()
+  in
+  let stop () =
+    running := false;
+    (try Unix.shutdown listener Unix.SHUTDOWN_ALL
+     with Unix.Unix_error (_, _, _) -> ());
+    (try Unix.close listener with Unix.Unix_error (_, _, _) -> ());
+    Thread.join th
+  in
+  (port, stop)
+
+let test_client_garbled_200_never_pollutes () =
+  (* A 200 whose body is not a verifiable entry: fetch must say None,
+     count an error, and the local store must stay empty. *)
+  let port, stop =
+    hostile_server
+      (Some
+         "HTTP/1.1 200 OK\r\ncontent-length: 12\r\nconnection: \
+          close\r\n\r\nnot an entry")
+  in
+  Fun.protect ~finally:stop (fun () ->
+      let local_dir = temp_dir () in
+      let local = Store.open_ ~dir:local_dir () in
+      let c =
+        client ~timeout:1. ~retries:0
+          ~url:(Printf.sprintf "http://127.0.0.1:%d" port) ()
+      in
+      Store.set_remote local (Some (Client.tier c));
+      check Alcotest.bool "garbled body is a miss" true
+        (Store.find local ~key:sample_key = None);
+      let cs = Client.stats c in
+      check Alcotest.int "error counted" 1 cs.Client.remote_errors;
+      check Alcotest.int "no hit counted" 0 cs.Client.remote_hits;
+      check Alcotest.bool "nothing written locally" false
+        (Sys.file_exists (Store.entry_path local ~key:sample_key));
+      rm_rf local_dir)
+
+let test_client_truncated_body_is_miss () =
+  (* The peer declares 100 bytes and drops the connection after 5. *)
+  let port, stop =
+    hostile_server
+      (Some "HTTP/1.1 200 OK\r\ncontent-length: 100\r\n\r\nshort")
+  in
+  Fun.protect ~finally:stop (fun () ->
+      let c =
+        client ~timeout:1. ~retries:0
+          ~url:(Printf.sprintf "http://127.0.0.1:%d" port) ()
+      in
+      check Alcotest.bool "mid-body drop is a miss" true
+        (Client.fetch c ~kind:`Entry ~key:sample_key = None);
+      check Alcotest.int "error counted" 1
+        (Client.stats c).Client.remote_errors)
+
+let test_client_timeout_bounded () =
+  (* A peer that accepts and never answers must cost one timeout, not
+     a hang. *)
+  let port, stop = hostile_server None in
+  Fun.protect ~finally:stop (fun () ->
+      let c =
+        client ~timeout:0.2 ~retries:0
+          ~url:(Printf.sprintf "http://127.0.0.1:%d" port) ()
+      in
+      let t0 = Unix.gettimeofday () in
+      check Alcotest.bool "stalled peer is a miss" true
+        (Client.fetch c ~kind:`Entry ~key:sample_key = None);
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt > 2.0 then
+        fail (Printf.sprintf "timeout took %.2fs (deadline was 0.2s)" dt);
+      check Alcotest.int "error counted" 1
+        (Client.stats c).Client.remote_errors)
+
+let test_client_breaker_opens_and_stops_trying () =
+  (* Nobody listens on this port (bind-then-close reserves a dead one). *)
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  Unix.close sock;
+  let c =
+    client ~timeout:0.5 ~retries:0 ~breaker_threshold:2
+      ~url:(Printf.sprintf "http://127.0.0.1:%d" port) ()
+  in
+  check Alcotest.bool "first fetch misses" true
+    (Client.fetch c ~kind:`Entry ~key:sample_key = None);
+  check Alcotest.bool "second fetch misses" true
+    (Client.fetch c ~kind:`Entry ~key:sample_key = None);
+  let s = Client.stats c in
+  check Alcotest.int "breaker tripped once" 1 s.Client.breaker_trips;
+  check Alcotest.bool "breaker open" true s.Client.breaker_open;
+  let attempts_frozen = s.Client.attempts in
+  (* With the breaker open, further fetches are instant local misses
+     that never touch the network. *)
+  check Alcotest.bool "open-breaker fetch misses" true
+    (Client.fetch c ~kind:`Entry ~key:sample_key = None);
+  check Alcotest.int "no further network attempts" attempts_frozen
+    (Client.stats c).Client.attempts
+
+(* A garbled server trips the breaker; inside the cooldown nothing
+   touches the network; after the cooldown exactly one half-open probe
+   goes out, and — still failing — re-arms the cooldown rather than
+   resuming the hammering. *)
+let test_client_breaker_half_open_probe_recovers () =
+  let port, stop =
+    hostile_server
+      (Some
+         "HTTP/1.1 200 OK\r\ncontent-length: 7\r\nconnection: \
+          close\r\n\r\ngarbage")
+  in
+  Fun.protect ~finally:stop (fun () ->
+      let c =
+        client ~timeout:1. ~retries:0 ~breaker_threshold:1
+          ~breaker_cooldown:0.05
+          ~url:(Printf.sprintf "http://127.0.0.1:%d" port) ()
+      in
+      check Alcotest.bool "first fetch misses" true
+        (Client.fetch c ~kind:`Entry ~key:sample_key = None);
+      check Alcotest.int "breaker tripped" 1
+        (Client.stats c).Client.breaker_trips;
+      let before = (Client.stats c).Client.attempts in
+      (* Inside the cooldown: no probe, no network. *)
+      check Alcotest.bool "inside cooldown: instant miss" true
+        (Client.fetch c ~kind:`Entry ~key:sample_key = None);
+      check Alcotest.int "inside cooldown: no attempt" before
+        (Client.stats c).Client.attempts;
+      Thread.delay 0.08;
+      (* After the cooldown: exactly one half-open probe. *)
+      check Alcotest.bool "probe still misses" true
+        (Client.fetch c ~kind:`Entry ~key:sample_key = None);
+      check Alcotest.int "probe made one attempt" (before + 1)
+        (Client.stats c).Client.attempts;
+      (* The failed probe re-armed the cooldown. *)
+      check Alcotest.bool "breaker re-armed" true
+        (Client.stats c).Client.breaker_open)
+
+let test_client_push_roundtrip () =
+  let remote_dir = temp_dir () in
+  let local_dir = temp_dir () in
+  (match Server.create ~writable:true ~dir:remote_dir () with
+  | Error m -> fail m
+  | Ok srv ->
+      Server.start srv;
+      Fun.protect ~finally:(fun () -> Server.stop srv) (fun () ->
+          let local = Store.open_ ~dir:local_dir () in
+          let c = client ~url:(Server.url srv) () in
+          Store.set_remote local (Some (Client.tier ~push:true c));
+          Store.store local ~key:sample_key sample_metrics;
+          check Alcotest.int "store pushed" 1
+            (Client.stats c).Client.remote_pushes;
+          let remote_store = Store.open_ ~dir:remote_dir () in
+          match Store.find remote_store ~key:sample_key with
+          | Some m ->
+              if not (Metrics.equal m sample_metrics) then
+                fail "pushed entry decodes differently"
+          | None -> fail "pushed entry absent from the server store"));
+  rm_rf remote_dir;
+  rm_rf local_dir
+
+let test_client_push_denied_is_not_breaker_event () =
+  let remote_dir = temp_dir () in
+  let local_dir = temp_dir () in
+  with_server ~dir:remote_dir (fun srv ->
+      (* read-only server *)
+      let local = Store.open_ ~dir:local_dir () in
+      let c = client ~breaker_threshold:1 ~url:(Server.url srv) () in
+      Store.set_remote local (Some (Client.tier ~push:true c));
+      Store.store local ~key:sample_key sample_metrics;
+      let s = Client.stats c in
+      check Alcotest.int "denied push counted" 1 s.Client.push_errors;
+      check Alcotest.int "no push recorded" 0 s.Client.remote_pushes;
+      (* The server is alive; a 403 must not open the breaker. *)
+      check Alcotest.bool "breaker still closed" false s.Client.breaker_open;
+      (* The local write itself succeeded regardless. *)
+      check Alcotest.bool "local store intact" true
+        (Store.find local ~key:sample_key <> None));
+  rm_rf remote_dir;
+  rm_rf local_dir
+
+(* --- End-to-end engine differential ------------------------------------ *)
+
+let test_engine_remote_warm_differential () =
+  (* The acceptance criterion in miniature: a cold local exploration,
+     then an empty store backed by a loopback server over the first
+     store — byte-identical frontier, zero simulations; then the same
+     against the dead port — byte-identical again, all local. *)
+  let w = Mclock_workloads.Facet.t in
+  let graph = Mclock_workloads.Workload.graph w in
+  let constraints = w.Mclock_workloads.Workload.constraints in
+  let explore ~cache () =
+    Mclock_exec.Pool.with_pool ~jobs:1 (fun pool ->
+        Mclock_explore.Engine.explore ~pool ~cache ~seed:42 ~iterations:60
+          ~max_clocks:2 ~name:"facet" ~sched_constraints:constraints graph)
+  in
+  let frontier r =
+    Mclock_lint.Json.to_string (Mclock_explore.Engine.frontier_json r)
+  in
+  let src_dir = temp_dir () in
+  let cold = explore ~cache:(Store.open_ ~dir:src_dir ()) () in
+  let dst_dir = temp_dir () in
+  let dead_url = ref "" in
+  with_server ~dir:src_dir (fun srv ->
+      dead_url := Server.url srv;
+      let c = client ~url:(Server.url srv) () in
+      let dst = Store.open_ ~dir:dst_dir () in
+      Store.set_remote dst (Some (Client.tier c));
+      let warm = explore ~cache:dst () in
+      check Alcotest.string "remote-warm frontier byte-identical"
+        (frontier cold) (frontier warm);
+      check Alcotest.int "remote-warm simulated nothing" 0
+        warm.Mclock_explore.Engine.stats.Mclock_explore.Engine.simulated;
+      check Alcotest.bool "remote hits recorded" true
+        ((Client.stats c).Client.remote_hits > 0));
+  (* Server stopped: same URL, fresh store — everything re-simulates
+     locally behind the failing tier. *)
+  let deg_dir = temp_dir () in
+  let c = client ~timeout:0.5 ~retries:0 ~breaker_threshold:1 ~url:!dead_url () in
+  let deg = Store.open_ ~dir:deg_dir () in
+  Store.set_remote deg (Some (Client.tier c));
+  let degraded = explore ~cache:deg () in
+  check Alcotest.string "degraded frontier byte-identical" (frontier cold)
+    (frontier degraded);
+  check Alcotest.bool "degraded errors counted" true
+    ((Client.stats c).Client.remote_errors > 0);
+  rm_rf src_dir;
+  rm_rf dst_dir;
+  rm_rf deg_dir
+
+let suite =
+  [
+    ("parse valid GET", `Quick, test_parse_valid_get);
+    ("parse valid PUT body", `Quick, test_parse_valid_put_body);
+    ("parse garbage request line", `Quick, test_parse_garbage_request_line);
+    ("parse unknown method", `Quick, test_parse_unknown_method);
+    ("parse bad version", `Quick, test_parse_bad_version);
+    ("parse bare LF rejected", `Quick, test_parse_bare_lf_rejected);
+    ("parse oversized URI", `Quick, test_parse_oversized_uri);
+    ("parse oversized headers", `Quick, test_parse_oversized_headers);
+    ( "parse content-length pathologies",
+      `Quick,
+      test_parse_content_length_pathologies );
+    ("parse truncated body", `Quick, test_parse_truncated_body);
+    ( "parse PUT requires content-length",
+      `Quick,
+      test_parse_put_requires_content_length );
+    ("parse url", `Quick, test_parse_url);
+    ("server healthz/stats/404", `Quick, test_server_healthz_stats_and_404);
+    ("server traversal keys", `Quick, test_server_traversal_keys_rejected);
+    ( "server serves only verified entries",
+      `Quick,
+      test_server_serves_only_verified_entries );
+    ("server put gates", `Quick, test_server_put_gates);
+    ("client read-through fill", `Quick, test_client_read_through_fill);
+    ( "client garbled 200 never pollutes",
+      `Quick,
+      test_client_garbled_200_never_pollutes );
+    ("client truncated body", `Quick, test_client_truncated_body_is_miss);
+    ("client timeout bounded", `Quick, test_client_timeout_bounded);
+    ("client breaker opens", `Quick, test_client_breaker_opens_and_stops_trying);
+    ( "client breaker half-open probe",
+      `Quick,
+      test_client_breaker_half_open_probe_recovers );
+    ("client push roundtrip", `Quick, test_client_push_roundtrip);
+    ( "client push denied not breaker",
+      `Quick,
+      test_client_push_denied_is_not_breaker_event );
+    ( "engine remote-warm differential",
+      `Quick,
+      test_engine_remote_warm_differential );
+  ]
