@@ -107,37 +107,37 @@ let print_paper_comparison w reports =
             Mclock_util.Table.[ Left; Right; Right; Right; Right; Right; Right ]
           ()
       in
-      (* The reductions are relative to the gated-clock row; find it by
-         label rather than position so a reordered suite fails loudly
-         instead of silently mispairing rows. *)
+      (* The reductions are relative to the gated-clock row; both the
+         paper row and our report are found by label rather than
+         position, and the row pairing itself is label-checked, so a
+         reordered suite fails loudly instead of silently mispairing
+         rows. *)
+      let what =
+        Printf.sprintf "paper comparison for %s"
+          w.Mclock_workloads.Workload.name
+      in
       let gated_label =
         Mclock_core.Flow.method_label Mclock_core.Flow.Conventional_gated
       in
-      let gated_index =
-        let rec find i = function
-          | [] ->
-              Fmt.failwith
-                "paper comparison for %s: no report labelled %S among [%s]"
-                w.Mclock_workloads.Workload.name gated_label
-                (String.concat "; "
-                   (List.map
-                      (fun r -> r.Mclock_power.Report.label)
-                      reports))
-          | r :: _ when r.Mclock_power.Report.label = gated_label -> i
-          | _ :: rest -> find (i + 1) rest
-        in
-        find 0 reports
+      let paper_gated =
+        Mclock_util.List_ext.find_by ~what
+          ~label_of:(fun (p : Paper_data.row) -> p.Paper_data.label)
+          gated_label paper.Paper_data.rows
       in
-      if List.length paper.Paper_data.rows <> List.length reports then
-        Fmt.failwith
-          "paper comparison for %s: %d published rows vs %d measured reports"
-          w.Mclock_workloads.Workload.name
-          (List.length paper.Paper_data.rows)
-          (List.length reports);
-      let paper_gated = List.nth paper.Paper_data.rows gated_index in
-      let our_gated = List.nth reports gated_index in
-      List.iter2
-        (fun (p : Paper_data.row) (r : Mclock_power.Report.t) ->
+      let our_gated =
+        Mclock_util.List_ext.find_by ~what
+          ~label_of:(fun (r : Mclock_power.Report.t) ->
+            r.Mclock_power.Report.label)
+          gated_label reports
+      in
+      let pairs =
+        Mclock_util.List_ext.zip_strict ~what paper.Paper_data.rows reports
+      in
+      List.iter
+        (fun ((p : Paper_data.row), (r : Mclock_power.Report.t)) ->
+          if p.Paper_data.label <> r.Mclock_power.Report.label then
+            Fmt.failwith "%s: paper row %S paired with report %S" what
+              p.Paper_data.label r.Mclock_power.Report.label;
           let paper_dp =
             100. *. (paper_gated.Paper_data.power -. p.Paper_data.power)
             /. paper_gated.Paper_data.power
@@ -161,7 +161,7 @@ let print_paper_comparison w reports =
               Printf.sprintf "%+.0f%%" paper_da;
               Printf.sprintf "%+.0f%%" our_da;
             ])
-        paper.Paper_data.rows reports;
+        pairs;
       Mclock_util.Table.print table
 
 let run_table index w =

@@ -1,65 +1,72 @@
 (* The published numbers of the paper's Tables 1-4, used to print the
-   measured-vs-paper comparisons.  Power in mW, area in lambda^2, in
-   row order: conventional non-gated, conventional gated, 1 clock,
-   2 clocks, 3 clocks. *)
+   measured-vs-paper comparisons.  Power in mW, area in lambda^2.  Each
+   row carries the label of the design style it reports, matching
+   [Mclock_core.Flow.method_label] exactly, so consumers pair paper
+   rows with measured reports by label rather than by position. *)
 
-type row = { power : float; area : float }
+type row = { label : string; power : float; area : float }
 
 type table = { bench : string; rows : row list }
 
-let row power area = { power; area }
+(* The five designs of each published table, in row order; must match
+   [Mclock_core.Flow.standard_suite]'s labels (checked by test_util). *)
+let suite_labels =
+  [
+    "Conven. Alloc. (Non-Gated Clock)";
+    "Conven. Alloc. (Gated Clock)";
+    "1 Clock";
+    "2 Clocks";
+    "3 Clocks";
+  ]
+
+let rows_of bench pairs =
+  List.map
+    (fun (label, (power, area)) -> { label; power; area })
+    (Mclock_util.List_ext.zip_strict
+       ~what:(Printf.sprintf "Paper_data.rows_of %s" bench)
+       suite_labels pairs)
+
+let table bench pairs = { bench; rows = rows_of bench pairs }
 
 let facet =
-  {
-    bench = "facet";
-    rows =
-      [
-        row 9.85 2680425.;
-        row 6.92 2383553.;
-        row 7.39 2668365.;
-        row 6.41 2552425.;
-        row 3.52 2484873.;
-      ];
-  }
+  table "facet"
+    [
+      (9.85, 2680425.);
+      (6.92, 2383553.);
+      (7.39, 2668365.);
+      (6.41, 2552425.);
+      (3.52, 2484873.);
+    ]
 
 let hal =
-  {
-    bench = "hal";
-    rows =
-      [
-        row 12.48 3080133.;
-        row 8.12 2819025.;
-        row 5.61 2627484.;
-        row 4.98 2901501.;
-        row 3.73 2954465.;
-      ];
-  }
+  table "hal"
+    [
+      (12.48, 3080133.);
+      (8.12, 2819025.);
+      (5.61, 2627484.);
+      (4.98, 2901501.);
+      (3.73, 2954465.);
+    ]
 
 let biquad =
-  {
-    bench = "biquad";
-    rows =
-      [
-        row 18.65 5118795.;
-        row 11.49 4826283.;
-        row 11.31 5126718.;
-        row 9.24 5194451.;
-        row 7.19 5327823.;
-      ];
-  }
+  table "biquad"
+    [
+      (18.65, 5118795.);
+      (11.49, 4826283.);
+      (11.31, 5126718.);
+      (9.24, 5194451.);
+      (7.19, 5327823.);
+    ]
 
 let bandpass =
-  {
-    bench = "bandpass";
-    rows =
-      [
-        row 18.01 5588975.;
-        row 8.87 4181238.;
-        row 7.39 3049956.;
-        row 6.15 3729654.;
-        row 5.78 4728731.;
-      ];
-  }
+  table "bandpass"
+    [
+      (18.01, 5588975.);
+      (8.87, 4181238.);
+      (7.39, 3049956.);
+      (6.15, 3729654.);
+      (5.78, 4728731.);
+    ]
 
 let tables = [ facet; hal; biquad; bandpass ]
 

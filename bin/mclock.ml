@@ -173,6 +173,43 @@ let emit_timings pool ~timings ~timings_json =
       Fmt.epr "wrote %s@." path)
     timings_json
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH"
+         ~doc:"Write a Chrome trace-event JSON file of this run's spans \
+               (compile/simulate, per-cell evaluation, cache and remote \
+               operations) to $(docv); load it in Perfetto or \
+               chrome://tracing. Tracing never touches stdout or the \
+               result documents — they stay byte-identical with and \
+               without it.")
+
+let trace_summary_arg =
+  Arg.(value & flag & info [ "trace-summary" ]
+         ~doc:"Print a per-span timing table and all non-zero counters \
+               to stderr when the run finishes.")
+
+(* Tracing brackets a whole subcommand.  [f] must RETURN (exit codes
+   are decided by the caller afterwards): [exit] would skip the
+   Fun.protect finalizer and lose the trace file.  Trace output goes
+   to a side file / stderr only, preserving stdout byte-identity. *)
+let with_tracing ~name ~trace ~trace_summary f =
+  if trace = None && not trace_summary then f ()
+  else begin
+    Mclock_obs.Obs.start ();
+    let flush_trace () =
+      let events = Mclock_obs.Obs.stop () in
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc (Mclock_obs.Obs.to_chrome_json events);
+          close_out oc;
+          Fmt.epr "wrote %s@." path)
+        trace;
+      if trace_summary then prerr_string (Mclock_obs.Obs.summary events)
+    in
+    Fun.protect ~finally:flush_trace (fun () ->
+        Mclock_obs.Obs.with_span ~cat:"cli" ~name f)
+  end
+
 let method_of = function
   | `Conv, _ -> Mclock_core.Flow.Conventional_non_gated
   | `Gated, _ -> Mclock_core.Flow.Conventional_gated
@@ -244,8 +281,10 @@ let synth_cmd =
            ~doc:"Write a VCD waveform trace of the first computations to $(docv).")
   in
   let run workload file scheduler method_ clocks iterations seed kernel vhdl
-      verilog dot vcd =
-    let input = or_die (load ~workload ~file ~scheduler) in
+      verilog dot vcd trace trace_summary =
+    let ok =
+      with_tracing ~name:"synth" ~trace ~trace_summary @@ fun () ->
+      let input = or_die (load ~workload ~file ~scheduler) in
     let m = method_of (method_, clocks) in
     let name =
       match (workload, file) with
@@ -311,7 +350,9 @@ let synth_cmd =
         | Some t -> write p (Mclock_sim.Vcd.contents t.Mclock_sim.Simulator.vcd)
         | None -> ())
       vcd;
-    if not (Mclock_sim.Verify.ok verify) then exit 2
+      Mclock_sim.Verify.ok verify
+    in
+    if not ok then exit 2
   in
   Cmd.v
     (Cmd.info "synth"
@@ -319,7 +360,7 @@ let synth_cmd =
     Term.(
       const run $ workload_arg $ file_arg $ scheduler_arg $ method_arg
       $ clocks_arg $ iterations_arg $ seed_arg $ kernel_arg $ vhdl_arg
-      $ verilog_arg $ dot_arg $ vcd_arg)
+      $ verilog_arg $ dot_arg $ vcd_arg $ trace_arg $ trace_summary_arg)
 
 (* --- lint --------------------------------------------------------------------- *)
 
@@ -390,9 +431,10 @@ let lint_cmd =
 
 let table_cmd =
   let run workload file scheduler iterations seed kernel jobs timings
-      timings_json =
+      timings_json trace trace_summary =
     require_positive ~what:"--iterations" iterations;
     Option.iter (require_positive ~what:"--jobs") jobs;
+    with_tracing ~name:"table" ~trace ~trace_summary @@ fun () ->
     let input = or_die (load ~workload ~file ~scheduler) in
     let name = Option.value ~default:"design" workload in
     let suite = Mclock_core.Flow.standard_suite ~name input.schedule in
@@ -414,7 +456,8 @@ let table_cmd =
     (Cmd.info "table" ~doc:"The paper's five-design comparison table.")
     Term.(
       const run $ workload_arg $ file_arg $ scheduler_arg $ iterations_arg
-      $ seed_arg $ kernel_arg $ jobs_arg $ timings_arg $ timings_json_arg)
+      $ seed_arg $ kernel_arg $ jobs_arg $ timings_arg $ timings_json_arg
+      $ trace_arg $ trace_summary_arg)
 
 (* --- controller ------------------------------------------------------------------ *)
 
@@ -476,10 +519,11 @@ let sweep_cmd =
     Arg.(value & opt int 4 & info [ "max" ] ~docv:"N" ~doc:"Largest clock count.")
   in
   let run workload file scheduler iterations seed kernel max_n jobs timings
-      timings_json =
+      timings_json trace trace_summary =
     require_positive ~what:"--iterations" iterations;
     require_positive ~what:"--max" max_n;
     Option.iter (require_positive ~what:"--jobs") jobs;
+    with_tracing ~name:"sweep" ~trace ~trace_summary @@ fun () ->
     let input = or_die (load ~workload ~file ~scheduler) in
     let table =
       Mclock_util.Table.create ~title:"clock-count sweep"
@@ -527,7 +571,7 @@ let sweep_cmd =
     Term.(
       const run $ workload_arg $ file_arg $ scheduler_arg $ iterations_arg
       $ seed_arg $ kernel_arg $ max_arg $ jobs_arg $ timings_arg
-      $ timings_json_arg)
+      $ timings_json_arg $ trace_arg $ trace_summary_arg)
 
 (* --- explore / search shared options ------------------------------------- *)
 
@@ -688,11 +732,13 @@ let explore_cmd =
   in
   let run workload file max_clocks constraints iterations seed jobs cache_dir
       no_cache json stats_json smoke estimate_first top_k objective best
-      remote remote_push timings timings_json =
+      remote remote_push timings timings_json trace trace_summary =
     Option.iter (require_positive ~what:"--iterations") iterations;
     Option.iter (require_positive ~what:"--max-clocks") max_clocks;
     Option.iter (require_positive ~what:"--jobs") jobs;
     Option.iter (require_positive ~what:"--top-k") top_k;
+    let any_functional_failure =
+      with_tracing ~name:"explore" ~trace ~trace_summary @@ fun () ->
     let objective_opt =
       Option.map (fun s -> or_die (Mclock_explore.Objective.parse s)) objective
     in
@@ -788,7 +834,6 @@ let explore_cmd =
           (with_remote_stats client
              (doc_of Mclock_explore.Engine.stats_json results)))
       stats_json;
-    let any_functional_failure =
       List.exists
         (fun result ->
           List.exists
@@ -818,7 +863,8 @@ let explore_cmd =
       $ explore_iterations_arg $ seed_arg $ jobs_arg $ cache_dir_arg
       $ no_cache_arg $ json_arg $ stats_json_arg $ smoke_arg
       $ estimate_first_arg $ top_k_arg $ objective_arg $ best_arg
-      $ remote_arg $ remote_push_arg $ timings_arg $ timings_json_arg)
+      $ remote_arg $ remote_push_arg $ timings_arg $ timings_json_arg
+      $ trace_arg $ trace_summary_arg)
 
 (* --- search ------------------------------------------------------------------ *)
 
@@ -873,7 +919,7 @@ let search_cmd =
   let run workload file max_clocks constraints iterations seed jobs cache_dir
       no_cache json stats_json smoke eta min_iterations objective no_resume
       race race_margin close_threshold remote remote_push timings timings_json
-      =
+      trace trace_summary =
     require_at_least ~what:"--eta" ~min:2 eta;
     if race_margin < 0. then or_die (Error "--race-margin must be >= 0");
     if close_threshold < 0. then
@@ -908,6 +954,8 @@ let search_cmd =
       | Some s -> or_die (Mclock_explore.Objective.parse s)
     in
     let constraints = parse_constraints constraints in
+    let no_winner =
+      with_tracing ~name:"search" ~trace ~trace_summary @@ fun () ->
     let input = or_die (load ~workload ~file ~scheduler:`Annotated) in
     let name =
       match (workload, file) with
@@ -945,7 +993,9 @@ let search_cmd =
         write_doc p
           (with_remote_stats client (Mclock_explore.Halving.stats_json result)))
       stats_json;
-    if result.Mclock_explore.Halving.winner = None then exit 2
+      result.Mclock_explore.Halving.winner = None
+    in
+    if no_winner then exit 2
   in
   Cmd.v
     (Cmd.info "search"
@@ -964,7 +1014,7 @@ let search_cmd =
       $ no_cache_arg $ json_arg $ stats_json_arg $ smoke_arg $ eta_arg
       $ min_iterations_arg $ objective_arg $ no_resume_arg $ race_arg
       $ race_margin_arg $ close_threshold_arg $ remote_arg $ remote_push_arg
-      $ timings_arg $ timings_json_arg)
+      $ timings_arg $ timings_json_arg $ trace_arg $ trace_summary_arg)
 
 (* --- estimate ------------------------------------------------------------ *)
 
@@ -1189,11 +1239,12 @@ let cache_cmd =
       Arg.(value & opt float 10. & info [ "io-timeout" ] ~docv:"SECONDS"
              ~doc:"Per-connection socket read/write deadline.")
     in
-    let run dir host port writable max_body io_timeout =
+    let run dir host port writable max_body io_timeout trace trace_summary =
       if port < 0 || port > 65535 then
         or_die (Error "--port must be in 0..65535");
       Option.iter (require_positive ~what:"--max-body") max_body;
       if io_timeout <= 0. then or_die (Error "--io-timeout must be > 0");
+      with_tracing ~name:"cache serve" ~trace ~trace_summary @@ fun () ->
       let server =
         or_die
           (Mclock_remote.Server.create ~host ~port ~writable ?max_body
@@ -1211,7 +1262,7 @@ let cache_cmd =
                entries and checkpoint sidecars under /v1, liveness at \
                /v1/healthz, counters at /v1/stats.  Runs until killed.")
       Term.(const run $ dir_arg $ host_arg $ port_arg $ writable_arg
-            $ max_body_arg $ io_timeout_arg)
+            $ max_body_arg $ io_timeout_arg $ trace_arg $ trace_summary_arg)
   in
   Cmd.group
     (Cmd.info "cache"

@@ -15,7 +15,12 @@
 
    Telemetry (wall clock + allocated bytes per task) is collected into
    the same per-task slots and appended to the pool's log in submission
-   order, so even the telemetry stream is stable across job counts. *)
+   order, so even the telemetry stream is stable across job counts.
+   The same totals feed the pool's `Mclock_obs.Registry` (tasks,
+   wall_us, alloc_bytes), and when tracing is on each task runs inside
+   a span parented to the span that submitted the batch — the
+   submitter's ambient context is captured once per batch and
+   re-installed on the worker domain around the task body. *)
 
 type timing = {
   t_label : string;
@@ -33,6 +38,10 @@ type t = {
   mutable closed : bool;
   mutable workers : unit Domain.t list;
   mutable timings_rev : timing list; (* most recent batch first *)
+  obs : Mclock_obs.Registry.t;
+  c_tasks : Mclock_obs.Registry.counter;
+  c_wall_us : Mclock_obs.Registry.counter;
+  c_alloc_bytes : Mclock_obs.Registry.counter;
 }
 
 let default_jobs () =
@@ -65,6 +74,7 @@ let rec worker_loop t worker_id =
 let create ?jobs () =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if jobs < 1 then invalid_arg "Exec.Pool.create: jobs must be >= 1";
+  let obs = Mclock_obs.Registry.create ~name:"pool" () in
   let t =
     {
       jobs;
@@ -75,6 +85,10 @@ let create ?jobs () =
       closed = false;
       workers = [];
       timings_rev = [];
+      obs;
+      c_tasks = Mclock_obs.Registry.counter obs "tasks";
+      c_wall_us = Mclock_obs.Registry.counter obs "wall_us";
+      c_alloc_bytes = Mclock_obs.Registry.counter obs "alloc_bytes";
     }
   in
   if jobs > 1 then
@@ -83,6 +97,7 @@ let create ?jobs () =
   t
 
 let jobs t = t.jobs
+let registry t = t.obs
 
 let shutdown t =
   Mutex.lock t.mutex;
@@ -98,22 +113,29 @@ let with_pool ?jobs f =
 
 (* One task: run [f], fill the result/error slot, and record telemetry.
    Runs on a worker domain (or the submitting domain when jobs = 1), so
-   [Gc.allocated_bytes] is the running domain's own counter. *)
-let run_slot ~label ~results ~errors ~timings f i x worker_id =
-  let t0 = Unix.gettimeofday () in
-  let a0 = Gc.allocated_bytes () in
-  (try results.(i) <- Some (f i x)
-   with e ->
-     let bt = Printexc.get_raw_backtrace () in
-     errors.(i) <- Some (e, bt));
-  timings.(i) <-
-    Some
-      {
-        t_label = label i;
-        t_wall_s = Unix.gettimeofday () -. t0;
-        t_alloc_bytes = Gc.allocated_bytes () -. a0;
-        t_worker = worker_id;
-      }
+   [Gc.allocated_bytes] is the running domain's own counter.  [parent]
+   is the submitter's ambient span context, re-installed here so the
+   task span (and anything the task opens) nests under the submitting
+   job in the trace. *)
+let run_slot ~parent ~label ~results ~errors ~timings f i x worker_id =
+  Mclock_obs.Obs.with_context parent (fun () ->
+      Mclock_obs.Obs.with_span ~cat:"pool" ~name:(label i)
+        ~attrs:[ ("worker", string_of_int worker_id) ]
+        (fun () ->
+          let t0 = Unix.gettimeofday () in
+          let a0 = Gc.allocated_bytes () in
+          (try results.(i) <- Some (f i x)
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             errors.(i) <- Some (e, bt));
+          timings.(i) <-
+            Some
+              {
+                t_label = label i;
+                t_wall_s = Unix.gettimeofday () -. t0;
+                t_alloc_bytes = Gc.allocated_bytes () -. a0;
+                t_worker = worker_id;
+              }))
 
 let map t ?label f items =
   let arr = Array.of_list items in
@@ -122,7 +144,10 @@ let map t ?label f items =
   let results = Array.make n None in
   let errors = Array.make n None in
   let timings = Array.make n None in
-  let run_slot i x w = run_slot ~label ~results ~errors ~timings f i x w in
+  let parent = Mclock_obs.Obs.context () in
+  let run_slot i x w =
+    run_slot ~parent ~label ~results ~errors ~timings f i x w
+  in
   if n > 0 then
     if t.jobs <= 1 || n = 1 then begin
       if t.closed then invalid_arg "Exec.Pool.map: pool is shut down";
@@ -153,11 +178,20 @@ let map t ?label f items =
       Mutex.unlock t.mutex
     end;
   (* Append this batch's telemetry in submission order, whatever order
-     the workers finished in. *)
+     the workers finished in; bump the registry with the same rounded
+     quantities so the counters are a pure function of the timing
+     stream (parity-tested). *)
   Mutex.lock t.mutex;
   Array.iter
     (function
-      | Some tm -> t.timings_rev <- tm :: t.timings_rev | None -> ())
+      | Some tm ->
+          t.timings_rev <- tm :: t.timings_rev;
+          Mclock_obs.Registry.incr t.c_tasks;
+          Mclock_obs.Registry.incr t.c_wall_us
+            ~by:(int_of_float (tm.t_wall_s *. 1e6));
+          Mclock_obs.Registry.incr t.c_alloc_bytes
+            ~by:(int_of_float tm.t_alloc_bytes)
+      | None -> ())
     timings;
   Mutex.unlock t.mutex;
   (* Lowest-index failure wins, deterministically. *)

@@ -39,6 +39,11 @@ val create : ?jobs:int -> unit -> t
 
 val jobs : t -> int
 
+val registry : t -> Mclock_obs.Registry.t
+(** The pool's metrics registry (name ["pool"]): counters [tasks],
+    [wall_us] and [alloc_bytes], maintained in lock-step with
+    {!timings}. *)
+
 val shutdown : t -> unit
 (** Drains the queue and joins every worker domain. Idempotent;
     submitting to a shut-down pool raises [Invalid_argument]. *)

@@ -77,6 +77,9 @@ type space = {
 
 let prepare ?(tech = Mclock_tech.Cmos08.t) ?(width = 4) ?(max_clocks = 4)
     ~iterations ~name ~sched_constraints graph =
+  Mclock_obs.Obs.with_span ~cat:"explore" ~attrs:[ ("workload", name) ]
+    ~name:"explore.prepare"
+  @@ fun () ->
   let configs = Config.enumerate ~max_clocks in
   (* One schedule per scheduler, shared by every cell using it. *)
   let schedules = List.map (fun s -> (s, ref None)) Config.schedulers in
@@ -193,7 +196,15 @@ let evaluate_at ~pool ?cache ?(resume_from = []) ?(checkpoints = false) ~seed
       ~label:(fun i ->
         let p, _, _ = misses_arr.(i) in
         Printf.sprintf "%s/%s@%d" space.sp_name p.p_label iterations)
-      (fun _ (p, _key, blob) ->
+      (fun _ (p, key, blob) ->
+        Mclock_obs.Obs.with_span ~cat:"explore" ~name:"explore.evaluate"
+          ~attrs:
+            [
+              ("config", p.p_label);
+              ("key", key);
+              ("iterations", string_of_int iterations);
+            ]
+        @@ fun () ->
         let evaluate ?resume_from () =
           Mclock_power.Report.evaluate_resumable ~seed ~iterations ?resume_from
             ~label:p.p_label space.sp_tech p.p_design space.sp_graph
@@ -282,6 +293,14 @@ let explore ~pool ?cache ?(constraints = []) ?(seed = 42) ?(iterations = 400)
   (match top_k with
   | Some k when k < 1 -> invalid_arg "Engine.explore: top_k >= 1"
   | _ -> ());
+  Mclock_obs.Obs.with_span ~cat:"explore" ~name:"explore"
+    ~attrs:
+      [
+        ("workload", name);
+        ("max_clocks", string_of_int max_clocks);
+        ("iterations", string_of_int iterations);
+      ]
+  @@ fun () ->
   let estimate_first = estimate_first || top_k <> None in
   (* Counters accumulate across runs sharing a store (e.g. a cold/warm
      pair); snapshot so this result reports only its own failures. *)
@@ -350,7 +369,15 @@ let explore ~pool ?cache ?(constraints = []) ?(seed = 42) ?(iterations = 400)
       ~label:(fun i ->
         let _, _, (p, _) = selected_arr.(i) in
         Printf.sprintf "%s/%s" name p.p_label)
-      (fun _ (_, _, (p, _key)) ->
+      (fun _ (_, _, (p, key)) ->
+        Mclock_obs.Obs.with_span ~cat:"explore" ~name:"explore.simulate"
+          ~attrs:
+            [
+              ("config", p.p_label);
+              ("key", key);
+              ("iterations", string_of_int iterations);
+            ]
+        @@ fun () ->
         let report =
           Mclock_power.Report.evaluate ~seed ~iterations ~kernel:`Compiled
             ~label:p.p_label tech p.p_design graph

@@ -225,6 +225,18 @@ let run ~pool ?cache ?(eta = 2) ?min_iterations ?(constraints = [])
   in
   let rec loop rung_no prev_budget budget survivors rungs_acc =
     let n = List.length survivors in
+    (* One span per rung, ended before the recursive call so rungs are
+       siblings in the trace, not a nesting tower. *)
+    let sp =
+      Mclock_obs.Obs.begin_span ~cat:"search" ~name:"search.rung"
+        ~attrs:
+          [
+            ("rung", string_of_int rung_no);
+            ("budget", string_of_int budget);
+            ("candidates", string_of_int n);
+          ]
+        ()
+    in
     let base_keep = max 1 ((n + eta - 1) / eta) in
     (* Racing: evaluate everyone at half the rung budget first; a
        candidate scoring worse than the keep-boundary by more than
@@ -302,6 +314,8 @@ let run ~pool ?cache ?(eta = 2) ?min_iterations ?(constraints = [])
           r_kept = kept;
         }
       in
+      Mclock_obs.Obs.end_span sp
+        ~attrs:[ ("kept", string_of_int (List.length kept)) ];
       (List.rev (r :: rungs_acc), winner)
     else
       let kept_n =
@@ -317,6 +331,8 @@ let run ~pool ?cache ?(eta = 2) ?min_iterations ?(constraints = [])
           r_kept = List.map (fun c -> c.c_label) kept;
         }
       in
+      Mclock_obs.Obs.end_span sp
+        ~attrs:[ ("kept", string_of_int (List.length kept)) ];
       match kept with
       | [] ->
           (* Every survivor failed functionally — nothing to promote. *)

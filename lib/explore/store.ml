@@ -22,23 +22,30 @@ type remote = {
   r_push : ([ `Entry | `Ckpt ] -> key:string -> string -> unit) option;
 }
 
+(* All counters live in a per-store `Mclock_obs.Registry` (name
+   ["store"]); the legacy {!stats} record is derived from it on read,
+   so `cache stats`, `--stats-json` and the `--trace-summary` counter
+   table all observe the same cells. *)
 type t = {
   dir : string;
-  mutable hits : int;
-  mutable misses : int;
-  mutable stores : int;
-  mutable store_failures : int;
-  mutable swept_tmp : int;
-  mutable ckpt_hits : int;
-  mutable ckpt_misses : int;
-  mutable ckpt_stores : int;
-  mutable remote_fills : int;
-  mutable remote_ckpt_fills : int;
+  obs : Mclock_obs.Registry.t;
+  c_hits : Mclock_obs.Registry.counter;
+  c_misses : Mclock_obs.Registry.counter;
+  c_stores : Mclock_obs.Registry.counter;
+  c_store_failures : Mclock_obs.Registry.counter;
+  c_swept_tmp : Mclock_obs.Registry.counter;
+  c_ckpt_hits : Mclock_obs.Registry.counter;
+  c_ckpt_misses : Mclock_obs.Registry.counter;
+  c_ckpt_stores : Mclock_obs.Registry.counter;
+  c_remote_fills : Mclock_obs.Registry.counter;
+  c_remote_ckpt_fills : Mclock_obs.Registry.counter;
   mutable remote : remote option;
 }
 
 let dir t = t.dir
+let registry t = t.obs
 let set_remote t r = t.remote <- r
+let bump c = Mclock_obs.Registry.incr c
 
 (* A run killed between temp-write and rename leaves a ".<key>.<pid>.tmp"
    orphan behind.  They are invisible to lookups but accumulate
@@ -78,20 +85,27 @@ let open_ ?(tmp_max_age = 3600.) ~dir () =
   (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
    with Unix.Unix_error (_, _, _) | Sys_error _ -> ());
   let swept = sweep_tmp ~max_age:tmp_max_age dir in
-  {
-    dir;
-    hits = 0;
-    misses = 0;
-    stores = 0;
-    store_failures = 0;
-    swept_tmp = swept;
-    ckpt_hits = 0;
-    ckpt_misses = 0;
-    ckpt_stores = 0;
-    remote_fills = 0;
-    remote_ckpt_fills = 0;
-    remote = None;
-  }
+  let obs = Mclock_obs.Registry.create ~name:"store" () in
+  let counter = Mclock_obs.Registry.counter obs in
+  let t =
+    {
+      dir;
+      obs;
+      c_hits = counter "hits";
+      c_misses = counter "misses";
+      c_stores = counter "stores";
+      c_store_failures = counter "store_failures";
+      c_swept_tmp = counter "swept_tmp";
+      c_ckpt_hits = counter "ckpt_hits";
+      c_ckpt_misses = counter "ckpt_misses";
+      c_ckpt_stores = counter "ckpt_stores";
+      c_remote_fills = counter "remote_fills";
+      c_remote_ckpt_fills = counter "remote_ckpt_fills";
+      remote = None;
+    }
+  in
+  Mclock_obs.Registry.incr ~by:swept t.c_swept_tmp;
+  t
 
 (* Keys come from Cachekey.digest (hex), but defend against a caller
    handing over something path-hostile anyway. *)
@@ -176,12 +190,16 @@ let remote_fill_entry t ~key =
           match decode_entry ~key text with
           | None -> None
           | Some metrics ->
-              t.remote_fills <- t.remote_fills + 1;
+              bump t.c_remote_fills;
               if not (write_atomic t ~key ~dest:(entry_path t ~key) text) then
-                t.store_failures <- t.store_failures + 1;
+                bump t.c_store_failures;
               Some metrics))
 
 let find t ~key =
+  let sp =
+    Mclock_obs.Obs.begin_span ~cat:"store" ~attrs:[ ("key", key) ]
+      ~name:"store.find" ()
+  in
   let result =
     if not (valid_key key) then None
     else
@@ -193,8 +211,11 @@ let find t ~key =
       match local with Some _ -> local | None -> remote_fill_entry t ~key
   in
   (match result with
-  | Some _ -> t.hits <- t.hits + 1
-  | None -> t.misses <- t.misses + 1);
+  | Some _ -> bump t.c_hits
+  | None -> bump t.c_misses);
+  Mclock_obs.Obs.end_span sp
+    ~attrs:
+      [ ("result", match result with Some _ -> "hit" | None -> "miss") ];
   result
 
 let push_remote t kind ~key payload =
@@ -204,15 +225,17 @@ let push_remote t kind ~key payload =
   | _ -> ()
 
 let store t ~key metrics =
-  if valid_key key then begin
-    let text = encode_entry ~key metrics in
-    if write_atomic t ~key ~dest:(entry_path t ~key) text then begin
-      t.stores <- t.stores + 1;
-      push_remote t `Entry ~key text
-    end
-    else t.store_failures <- t.store_failures + 1
-  end
-  else t.store_failures <- t.store_failures + 1
+  Mclock_obs.Obs.with_span ~cat:"store" ~attrs:[ ("key", key) ]
+    ~name:"store.store" (fun () ->
+      if valid_key key then begin
+        let text = encode_entry ~key metrics in
+        if write_atomic t ~key ~dest:(entry_path t ~key) text then begin
+          bump t.c_stores;
+          push_remote t `Entry ~key text
+        end
+        else bump t.c_store_failures
+      end
+      else bump t.c_store_failures)
 
 (* --- Checkpoint sidecars ----------------------------------------------- *)
 
@@ -238,12 +261,16 @@ let remote_fill_ckpt t ~key =
       | exception _ -> None
       | None -> None
       | Some blob ->
-          t.remote_ckpt_fills <- t.remote_ckpt_fills + 1;
+          bump t.c_remote_ckpt_fills;
           if not (write_atomic t ~key ~dest:(checkpoint_path t ~key) blob) then
-            t.store_failures <- t.store_failures + 1;
+            bump t.c_store_failures;
           Some blob)
 
 let find_checkpoint t ~key =
+  let sp =
+    Mclock_obs.Obs.begin_span ~cat:"store" ~attrs:[ ("key", key) ]
+      ~name:"store.find_ckpt" ()
+  in
   let result =
     if not (valid_key key) then None
     else
@@ -252,17 +279,24 @@ let find_checkpoint t ~key =
       | None -> remote_fill_ckpt t ~key
   in
   (match result with
-  | Some _ -> t.ckpt_hits <- t.ckpt_hits + 1
-  | None -> t.ckpt_misses <- t.ckpt_misses + 1);
+  | Some _ -> bump t.c_ckpt_hits
+  | None -> bump t.c_ckpt_misses);
+  Mclock_obs.Obs.end_span sp
+    ~attrs:
+      [ ("result", match result with Some _ -> "hit" | None -> "miss") ];
   result
 
 let store_checkpoint t ~key blob =
-  if valid_key key && write_atomic t ~key ~dest:(checkpoint_path t ~key) blob
-  then begin
-    t.ckpt_stores <- t.ckpt_stores + 1;
-    push_remote t `Ckpt ~key blob
-  end
-  else t.store_failures <- t.store_failures + 1
+  Mclock_obs.Obs.with_span ~cat:"store" ~attrs:[ ("key", key) ]
+    ~name:"store.store_ckpt" (fun () ->
+      if
+        valid_key key
+        && write_atomic t ~key ~dest:(checkpoint_path t ~key) blob
+      then begin
+        bump t.c_ckpt_stores;
+        push_remote t `Ckpt ~key blob
+      end
+      else bump t.c_store_failures)
 
 (* --- Manifest and garbage collection ----------------------------------- *)
 
@@ -365,6 +399,10 @@ type gc_result = {
    exactly what the real pass would do (modulo entries whose real
    removal would fail). *)
 let gc ?max_age ?max_bytes ?(dry_run = false) t =
+  Mclock_obs.Obs.with_span ~cat:"store"
+    ~attrs:[ ("dry_run", string_of_bool dry_run) ]
+    ~name:"store.gc"
+  @@ fun () ->
   let files = scan_entries t in
   let now = Unix.gettimeofday () in
   let expired (_, mtime, _) =
@@ -442,28 +480,21 @@ type stats = {
   remote_ckpt_fills : int;
 }
 
+(* Derived from the registry, so the record and the counter table can
+   never disagree (parity-tested in test_obs.ml). *)
 let stats (t : t) : stats =
+  let v = Mclock_obs.Registry.value in
   {
-    hits = t.hits;
-    misses = t.misses;
-    stores = t.stores;
-    store_failures = t.store_failures;
-    swept_tmp = t.swept_tmp;
-    ckpt_hits = t.ckpt_hits;
-    ckpt_misses = t.ckpt_misses;
-    ckpt_stores = t.ckpt_stores;
-    remote_fills = t.remote_fills;
-    remote_ckpt_fills = t.remote_ckpt_fills;
+    hits = v t.c_hits;
+    misses = v t.c_misses;
+    stores = v t.c_stores;
+    store_failures = v t.c_store_failures;
+    swept_tmp = v t.c_swept_tmp;
+    ckpt_hits = v t.c_ckpt_hits;
+    ckpt_misses = v t.c_ckpt_misses;
+    ckpt_stores = v t.c_ckpt_stores;
+    remote_fills = v t.c_remote_fills;
+    remote_ckpt_fills = v t.c_remote_ckpt_fills;
   }
 
-let reset_stats (t : t) =
-  t.hits <- 0;
-  t.misses <- 0;
-  t.stores <- 0;
-  t.store_failures <- 0;
-  t.swept_tmp <- 0;
-  t.ckpt_hits <- 0;
-  t.ckpt_misses <- 0;
-  t.ckpt_stores <- 0;
-  t.remote_fills <- 0;
-  t.remote_ckpt_fills <- 0
+let reset_stats (t : t) = Mclock_obs.Registry.reset t.obs

@@ -150,6 +150,10 @@ type stats = {
 val stats : t -> stats
 val reset_stats : t -> unit
 
+val registry : t -> Mclock_obs.Registry.t
+(** The store's metrics registry (name ["store"]); {!stats} is a pure
+    read of its counters, so the two views can never diverge. *)
+
 val entry_path : t -> key:string -> string
 (** Where an entry for [key] lives (exposed for tests and tooling). *)
 

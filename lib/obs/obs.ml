@@ -1,0 +1,336 @@
+(* Spans and trace export.
+
+   One process-global trace buffer, off by default.  When tracing is
+   disabled every instrumentation point is a single atomic load and a
+   branch, so the hot paths carry the probes permanently; when a trace
+   is started (`--trace` / `--trace-summary` on the CLI), spans record
+   a start timestamp, a duration, the recording domain and thread, and
+   a parent id.
+
+   The parent id is ambient: each (domain, thread) pair owns a stack
+   of open span ids, so nested `with_span` calls link up without any
+   plumbing.  Crossing an execution boundary — the worker pool hands a
+   closure to another domain — is explicit: the submitter captures
+   `context ()` and the worker wraps the task in `with_context`, so
+   worker-side spans nest under the span that submitted the job.
+
+   Timestamps are quarantined by construction: they exist only inside
+   the trace buffer and leave the process only through the trace file
+   and the stderr summary, never through a result document.  The
+   determinism tests pin this (same frontier bytes with tracing on and
+   off).
+
+   The exporter emits Chrome trace-event JSON ("X" complete events,
+   microsecond timestamps, ts-sorted) loadable by chrome://tracing and
+   Perfetto. *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ts_us : float;  (** start, microseconds since trace start *)
+  ev_dur_us : float;
+  ev_domain : int;
+  ev_thread : int;
+  ev_id : int;
+  ev_parent : int option;
+  ev_attrs : (string * string) list;
+}
+
+type trace = {
+  tr_mutex : Mutex.t;
+  mutable tr_events_rev : event list;
+  tr_clock : unit -> float;  (** seconds; injectable for tests *)
+  tr_t0 : float;
+  tr_next_id : int Atomic.t;
+  (* ambient open-span stacks, keyed by (domain, thread) *)
+  tr_ctx : (int * int, int list) Hashtbl.t;
+}
+
+type span = {
+  sp_trace : trace;
+  sp_name : string;
+  sp_cat : string;
+  sp_attrs : (string * string) list;
+  sp_id : int;
+  sp_parent : int option;
+  sp_key : int * int;
+  sp_t0 : float;
+}
+
+type ctx = int  (** a span id, opaque to callers *)
+
+let current : trace option Atomic.t = Atomic.make None
+let tracing () = Atomic.get current <> None
+
+let start ?(clock = Unix.gettimeofday) () =
+  let tr =
+    {
+      tr_mutex = Mutex.create ();
+      tr_events_rev = [];
+      tr_clock = clock;
+      tr_t0 = clock ();
+      tr_next_id = Atomic.make 1;
+      tr_ctx = Hashtbl.create 16;
+    }
+  in
+  Atomic.set current (Some tr)
+
+let stop () =
+  match Atomic.get current with
+  | None -> []
+  | Some tr ->
+      Atomic.set current None;
+      Mutex.lock tr.tr_mutex;
+      let evs = List.rev tr.tr_events_rev in
+      Mutex.unlock tr.tr_mutex;
+      evs
+
+let self_key () = ((Domain.self () :> int), Thread.id (Thread.self ()))
+
+(* Stack operations run under tr_mutex. *)
+let peek tr key =
+  match Hashtbl.find_opt tr.tr_ctx key with
+  | Some (top :: _) -> Some top
+  | _ -> None
+
+let push tr key id =
+  let stack =
+    match Hashtbl.find_opt tr.tr_ctx key with Some s -> s | None -> []
+  in
+  Hashtbl.replace tr.tr_ctx key (id :: stack)
+
+(* Defensive pop: remove the topmost occurrence of [id], tolerating a
+   caller that unwound out of order. *)
+let pop tr key id =
+  match Hashtbl.find_opt tr.tr_ctx key with
+  | Some (top :: rest) when top = id -> Hashtbl.replace tr.tr_ctx key rest
+  | Some stack ->
+      let removed = ref false in
+      let stack =
+        List.filter
+          (fun x ->
+            if (not !removed) && x = id then begin
+              removed := true;
+              false
+            end
+            else true)
+          stack
+      in
+      Hashtbl.replace tr.tr_ctx key stack
+  | None -> ()
+
+(* --- Span recording ----------------------------------------------------- *)
+
+let begin_span ?(cat = "mclock") ?(attrs = []) ~name () =
+  match Atomic.get current with
+  | None -> None
+  | Some tr ->
+      let key = self_key () in
+      let id = Atomic.fetch_and_add tr.tr_next_id 1 in
+      Mutex.lock tr.tr_mutex;
+      let parent = peek tr key in
+      push tr key id;
+      Mutex.unlock tr.tr_mutex;
+      Some
+        {
+          sp_trace = tr;
+          sp_name = name;
+          sp_cat = cat;
+          sp_attrs = attrs;
+          sp_id = id;
+          sp_parent = parent;
+          sp_key = key;
+          sp_t0 = tr.tr_clock ();
+        }
+
+let end_span ?(attrs = []) sp =
+  match sp with
+  | None -> ()
+  | Some sp ->
+      let tr = sp.sp_trace in
+      let t1 = tr.tr_clock () in
+      let ev =
+        {
+          ev_name = sp.sp_name;
+          ev_cat = sp.sp_cat;
+          ev_ts_us = (sp.sp_t0 -. tr.tr_t0) *. 1e6;
+          ev_dur_us = Float.max 0. ((t1 -. sp.sp_t0) *. 1e6);
+          ev_domain = fst sp.sp_key;
+          ev_thread = snd sp.sp_key;
+          ev_id = sp.sp_id;
+          ev_parent = sp.sp_parent;
+          ev_attrs = sp.sp_attrs @ attrs;
+        }
+      in
+      Mutex.lock tr.tr_mutex;
+      pop tr sp.sp_key sp.sp_id;
+      tr.tr_events_rev <- ev :: tr.tr_events_rev;
+      Mutex.unlock tr.tr_mutex
+
+let with_span ?cat ?attrs ~name f =
+  match Atomic.get current with
+  | None -> f ()
+  | Some _ ->
+      let sp = begin_span ?cat ?attrs ~name () in
+      Fun.protect ~finally:(fun () -> end_span sp) f
+
+(* --- Cross-execution-boundary parenting -------------------------------- *)
+
+let context () =
+  match Atomic.get current with
+  | None -> None
+  | Some tr ->
+      let key = self_key () in
+      Mutex.lock tr.tr_mutex;
+      let p = peek tr key in
+      Mutex.unlock tr.tr_mutex;
+      p
+
+let with_context ctx f =
+  match (ctx, Atomic.get current) with
+  | None, _ | _, None -> f ()
+  | Some id, Some tr ->
+      let key = self_key () in
+      Mutex.lock tr.tr_mutex;
+      push tr key id;
+      Mutex.unlock tr.tr_mutex;
+      Fun.protect
+        ~finally:(fun () ->
+          Mutex.lock tr.tr_mutex;
+          pop tr key id;
+          Mutex.unlock tr.tr_mutex)
+        f
+
+(* --- Chrome trace-event export ----------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Events are sorted by (ts, id) so the file is monotone in ts — the
+   buffer itself is in completion order. *)
+let sorted_events events =
+  List.stable_sort
+    (fun a b ->
+      match Float.compare a.ev_ts_us b.ev_ts_us with
+      | 0 -> Stdlib.compare a.ev_id b.ev_id
+      | c -> c)
+    events
+
+let event_json pid ev =
+  let buf = Buffer.create 160 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\
+        \"pid\":%d,\"tid\":%d,\"args\":{\"id\":%d"
+       (json_escape ev.ev_name) (json_escape ev.ev_cat) ev.ev_ts_us
+       ev.ev_dur_us pid
+       ((ev.ev_domain lsl 16) lor (ev.ev_thread land 0xffff))
+       ev.ev_id);
+  (match ev.ev_parent with
+  | Some p -> Buffer.add_string buf (Printf.sprintf ",\"parent\":%d" p)
+  | None -> ());
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf ",\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+    ev.ev_attrs;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+let to_chrome_json events =
+  let pid = Unix.getpid () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  let rec go = function
+    | [] -> ()
+    | [ ev ] -> Buffer.add_string buf (event_json pid ev)
+    | ev :: rest ->
+        Buffer.add_string buf (event_json pid ev);
+        Buffer.add_string buf ",\n";
+        go rest
+  in
+  go (sorted_events events);
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+(* --- Text summary ------------------------------------------------------- *)
+
+(* Top spans by cumulative time, then every registered counter with a
+   non-zero value.  Goes to stderr only. *)
+let summary ?(top = 15) events =
+  let buf = Buffer.create 1024 in
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun ev ->
+      let count, total, mx =
+        match Hashtbl.find_opt tbl ev.ev_name with
+        | Some x -> x
+        | None -> (0, 0., 0.)
+      in
+      Hashtbl.replace tbl ev.ev_name
+        (count + 1, total +. ev.ev_dur_us, Float.max mx ev.ev_dur_us))
+    events;
+  let rows = Hashtbl.fold (fun name x acc -> (name, x) :: acc) tbl [] in
+  let rows =
+    List.stable_sort
+      (fun (na, (_, ta, _)) (nb, (_, tb, _)) ->
+        match Float.compare tb ta with
+        | 0 -> String.compare na nb
+        | c -> c)
+      rows
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "trace summary: %d events, %d distinct spans\n"
+       (List.length events) (List.length rows));
+  Buffer.add_string buf
+    (Printf.sprintf "  %-32s %8s %12s %12s %12s\n" "span" "count"
+       "total [ms]" "mean [ms]" "max [ms]");
+  let shown = ref 0 in
+  List.iter
+    (fun (name, (count, total, mx)) ->
+      if !shown < top then begin
+        incr shown;
+        Buffer.add_string buf
+          (Printf.sprintf "  %-32s %8d %12.2f %12.3f %12.3f\n" name count
+             (total /. 1000.)
+             (total /. 1000. /. float_of_int count)
+             (mx /. 1000.))
+      end)
+    rows;
+  if List.length rows > top then
+    Buffer.add_string buf
+      (Printf.sprintf "  ... %d more span names\n" (List.length rows - top));
+  let any_counters = ref false in
+  List.iter
+    (fun reg ->
+      let nonzero =
+        List.filter (fun (_, v) -> v <> 0) (Registry.snapshot reg)
+      in
+      if nonzero <> [] then begin
+        if not !any_counters then begin
+          any_counters := true;
+          Buffer.add_string buf "counters:\n"
+        end;
+        List.iter
+          (fun (name, v) ->
+            Buffer.add_string buf
+              (Printf.sprintf "  %-32s %12d\n"
+                 (Registry.name reg ^ "." ^ name)
+                 v))
+          nonzero
+      end)
+    (Registry.all ());
+  Buffer.contents buf

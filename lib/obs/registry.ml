@@ -1,0 +1,120 @@
+(* Named monotonic counters and gauges with atomic updates.
+
+   A registry is a flat namespace of counters (ints, increment-only in
+   normal operation) and gauges (floats, last-write-wins).  Handles
+   are cheap to hold and safe to bump from any domain or thread; the
+   registry mutex only guards the name table, never the hot update
+   path.  Subsystems (store, pool, remote client, cache server) each
+   own a registry and re-derive their legacy stats records from it, so
+   one snapshot mechanism serves `cache stats`, `--stats-json` and the
+   `--trace-summary` counter table alike. *)
+
+type counter = { c_name : string; c_cell : int Atomic.t }
+type gauge = { g_name : string; g_cell : float Atomic.t }
+
+type t = {
+  r_name : string;
+  r_mutex : Mutex.t;
+  r_counters : (string, counter) Hashtbl.t;
+  r_gauges : (string, gauge) Hashtbl.t;
+}
+
+(* Every registry self-registers here (creation order) so a process-wide
+   renderer — the trace summary — can enumerate all live counters
+   without the subsystems knowing about each other. *)
+let registries_mutex = Mutex.create ()
+let registries : t list ref = ref []
+
+let create ?(register = true) ~name () =
+  let t =
+    {
+      r_name = name;
+      r_mutex = Mutex.create ();
+      r_counters = Hashtbl.create 16;
+      r_gauges = Hashtbl.create 4;
+    }
+  in
+  if register then begin
+    Mutex.lock registries_mutex;
+    registries := t :: !registries;
+    Mutex.unlock registries_mutex
+  end;
+  t
+
+let all () =
+  Mutex.lock registries_mutex;
+  let l = List.rev !registries in
+  Mutex.unlock registries_mutex;
+  l
+
+let name t = t.r_name
+
+(* --- Counters ----------------------------------------------------------- *)
+
+let counter t cname =
+  Mutex.lock t.r_mutex;
+  let c =
+    match Hashtbl.find_opt t.r_counters cname with
+    | Some c -> c
+    | None ->
+        let c = { c_name = cname; c_cell = Atomic.make 0 } in
+        Hashtbl.add t.r_counters cname c;
+        c
+  in
+  Mutex.unlock t.r_mutex;
+  c
+
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.c_cell by)
+let value c = Atomic.get c.c_cell
+let set c v = Atomic.set c.c_cell v
+let counter_name c = c.c_name
+
+let get t cname =
+  Mutex.lock t.r_mutex;
+  let v = Hashtbl.find_opt t.r_counters cname in
+  Mutex.unlock t.r_mutex;
+  Option.map value v
+
+(* --- Gauges ------------------------------------------------------------- *)
+
+let gauge t gname =
+  Mutex.lock t.r_mutex;
+  let g =
+    match Hashtbl.find_opt t.r_gauges gname with
+    | Some g -> g
+    | None ->
+        let g = { g_name = gname; g_cell = Atomic.make 0. } in
+        Hashtbl.add t.r_gauges gname g;
+        g
+  in
+  Mutex.unlock t.r_mutex;
+  g
+
+let set_gauge g v = Atomic.set g.g_cell v
+let gauge_value g = Atomic.get g.g_cell
+
+(* --- Snapshots ---------------------------------------------------------- *)
+
+let snapshot t =
+  Mutex.lock t.r_mutex;
+  let cs =
+    Hashtbl.fold (fun _ c acc -> (c.c_name, value c) :: acc) t.r_counters []
+  in
+  Mutex.unlock t.r_mutex;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) cs
+
+let gauges_snapshot t =
+  Mutex.lock t.r_mutex;
+  let gs =
+    Hashtbl.fold
+      (fun _ g acc -> (g.g_name, gauge_value g) :: acc)
+      t.r_gauges []
+  in
+  Mutex.unlock t.r_mutex;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) gs
+
+let reset t =
+  Mutex.lock t.r_mutex;
+  Hashtbl.iter (fun _ c -> set c 0) t.r_counters;
+  Hashtbl.iter (fun _ g -> set_gauge g 0.) t.r_gauges;
+  Mutex.unlock t.r_mutex

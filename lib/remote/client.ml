@@ -19,6 +19,9 @@ type stats = {
   breaker_open : bool;
 }
 
+(* Counters live in a per-client `Mclock_obs.Registry` (name
+   ["remote"]); only the breaker's state machine stays as plain
+   mutable fields, since it is state, not telemetry. *)
 type t = {
   u : Http.url;
   timeout : float;
@@ -30,13 +33,14 @@ type t = {
   mutable consecutive_failures : int;
   mutable open_since : float option;  (* Some t = breaker open since t *)
   mutable jitter_state : int64;  (* xorshift64, private to this client *)
-  mutable remote_hits : int;
-  mutable remote_misses : int;
-  mutable remote_errors : int;
-  mutable remote_pushes : int;
-  mutable push_errors : int;
-  mutable breaker_trips : int;
-  mutable attempts : int;
+  obs : Mclock_obs.Registry.t;
+  c_remote_hits : Mclock_obs.Registry.counter;
+  c_remote_misses : Mclock_obs.Registry.counter;
+  c_remote_errors : Mclock_obs.Registry.counter;
+  c_remote_pushes : Mclock_obs.Registry.counter;
+  c_push_errors : Mclock_obs.Registry.counter;
+  c_breaker_trips : Mclock_obs.Registry.counter;
+  c_attempts : Mclock_obs.Registry.counter;
 }
 
 let url t =
@@ -56,6 +60,8 @@ let create ?(timeout = 3.) ?(retries = 2) ?(backoff = 0.05)
         | None -> Http.default_limits
         | Some n -> { Http.default_limits with Http.max_body = n }
       in
+      let obs = Mclock_obs.Registry.create ~name:"remote" () in
+      let counter = Mclock_obs.Registry.counter obs in
       Ok
         {
           u;
@@ -68,13 +74,14 @@ let create ?(timeout = 3.) ?(retries = 2) ?(backoff = 0.05)
           consecutive_failures = 0;
           open_since = None;
           jitter_state = 0x9E3779B97F4A7C15L;
-          remote_hits = 0;
-          remote_misses = 0;
-          remote_errors = 0;
-          remote_pushes = 0;
-          push_errors = 0;
-          breaker_trips = 0;
-          attempts = 0;
+          obs;
+          c_remote_hits = counter "remote_hits";
+          c_remote_misses = counter "remote_misses";
+          c_remote_errors = counter "remote_errors";
+          c_remote_pushes = counter "remote_pushes";
+          c_push_errors = counter "push_errors";
+          c_breaker_trips = counter "breaker_trips";
+          c_attempts = counter "attempts";
         }
 
 (* --- Jittered backoff -------------------------------------------------- *)
@@ -118,7 +125,7 @@ let note_failure t =
   t.consecutive_failures <- t.consecutive_failures + 1;
   if t.consecutive_failures >= t.breaker_threshold && t.open_since = None
   then begin
-    t.breaker_trips <- t.breaker_trips + 1;
+    Mclock_obs.Registry.incr t.c_breaker_trips;
     t.open_since <- Some (Unix.gettimeofday ())
   end
   else if t.open_since <> None then
@@ -132,9 +139,33 @@ let path_of t kind ~key =
   Printf.sprintf "%s/v1/%s/%s" t.u.Http.u_prefix seg key
 
 let one_request t ~meth ~path ?body () =
-  t.attempts <- t.attempts + 1;
-  Http.request ~limits:t.limits ~timeout:t.timeout ~host:t.u.Http.u_host
-    ~port:t.u.Http.u_port ~meth ~path ?body ()
+  Mclock_obs.Registry.incr t.c_attempts;
+  let sp =
+    Mclock_obs.Obs.begin_span ~cat:"remote" ~name:"remote.request"
+      ~attrs:
+        [
+          ( "method",
+            match meth with
+            | Http.GET -> "GET"
+            | Http.HEAD -> "HEAD"
+            | Http.PUT -> "PUT" );
+          ("path", path);
+        ]
+      ()
+  in
+  let r =
+    Http.request ~limits:t.limits ~timeout:t.timeout ~host:t.u.Http.u_host
+      ~port:t.u.Http.u_port ~meth ~path ?body ()
+  in
+  Mclock_obs.Obs.end_span sp
+    ~attrs:
+      [
+        ( "status",
+          match r with
+          | Ok rs -> string_of_int rs.Http.rs_status
+          | Error _ -> "error" );
+      ];
+  r
 
 let verify kind ~key body =
   match kind with
@@ -169,7 +200,7 @@ let fetch t ~kind ~key =
     else
       let rec go attempt =
         if attempt >= budget then begin
-          t.remote_errors <- t.remote_errors + 1;
+          Mclock_obs.Registry.incr t.c_remote_errors;
           note_failure t;
           None
         end
@@ -178,11 +209,11 @@ let fetch t ~kind ~key =
           match attempt_fetch t ~kind ~key with
           | `Hit body ->
               note_success t;
-              t.remote_hits <- t.remote_hits + 1;
+              Mclock_obs.Registry.incr t.c_remote_hits;
               Some body
           | `Miss ->
               note_success t;
-              t.remote_misses <- t.remote_misses + 1;
+              Mclock_obs.Registry.incr t.c_remote_misses;
               None
           | `Fail -> go (attempt + 1)
         end
@@ -199,13 +230,13 @@ let push t ~kind ~key body =
         with
         | Ok rs when rs.Http.rs_status >= 200 && rs.Http.rs_status < 300 ->
             note_success t;
-            t.remote_pushes <- t.remote_pushes + 1
+            Mclock_obs.Registry.incr t.c_remote_pushes
         | Ok _ ->
             (* the server answered — alive but unwilling (read-only,
                rejected body).  Not a breaker event. *)
-            t.push_errors <- t.push_errors + 1
+            Mclock_obs.Registry.incr t.c_push_errors
         | Error _ ->
-            t.push_errors <- t.push_errors + 1;
+            Mclock_obs.Registry.incr t.c_push_errors;
             note_failure t)
 
 let ping t =
@@ -233,15 +264,20 @@ let tier ?(push = false) t =
        else None);
   }
 
+let registry t = t.obs
+
+(* Derived from the registry, so the record, `--stats-json` and the
+   trace-summary counter table can never disagree. *)
 let stats t =
+  let v = Mclock_obs.Registry.value in
   {
-    remote_hits = t.remote_hits;
-    remote_misses = t.remote_misses;
-    remote_errors = t.remote_errors;
-    remote_pushes = t.remote_pushes;
-    push_errors = t.push_errors;
-    breaker_trips = t.breaker_trips;
-    attempts = t.attempts;
+    remote_hits = v t.c_remote_hits;
+    remote_misses = v t.c_remote_misses;
+    remote_errors = v t.c_remote_errors;
+    remote_pushes = v t.c_remote_pushes;
+    push_errors = v t.c_push_errors;
+    breaker_trips = v t.c_breaker_trips;
+    attempts = v t.c_attempts;
     breaker_open = (match breaker_state t with `Open -> true | _ -> false);
   }
 

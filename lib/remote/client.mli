@@ -77,3 +77,7 @@ type stats = {
 
 val stats : t -> stats
 val stats_json : t -> Mclock_lint.Json.t
+
+val registry : t -> Mclock_obs.Registry.t
+(** The client's metrics registry (name ["remote"]); {!stats} is a
+    pure read of its counters (plus the live breaker state). *)

@@ -23,21 +23,9 @@ type stats = {
   s_errors : int;
 }
 
-let zero_stats =
-  {
-    s_connections = 0;
-    s_requests = 0;
-    s_entry_hits = 0;
-    s_entry_misses = 0;
-    s_ckpt_hits = 0;
-    s_ckpt_misses = 0;
-    s_puts_ok = 0;
-    s_puts_denied = 0;
-    s_puts_invalid = 0;
-    s_bad_requests = 0;
-    s_errors = 0;
-  }
-
+(* Counters live in a per-server `Mclock_obs.Registry` (name
+   ["server"]) — atomics, so connection threads bump them without any
+   shared lock; the {!stats} record is derived on read. *)
 type t = {
   store : Store.t;
   host : string;
@@ -48,20 +36,38 @@ type t = {
   io_timeout : float;
   mutable running : bool;
   mutable accept_thread : Thread.t option;
-  mutex : Mutex.t;
-  mutable stats : stats;
+  obs : Mclock_obs.Registry.t;
+  c_connections : Mclock_obs.Registry.counter;
+  c_requests : Mclock_obs.Registry.counter;
+  c_entry_hits : Mclock_obs.Registry.counter;
+  c_entry_misses : Mclock_obs.Registry.counter;
+  c_ckpt_hits : Mclock_obs.Registry.counter;
+  c_ckpt_misses : Mclock_obs.Registry.counter;
+  c_puts_ok : Mclock_obs.Registry.counter;
+  c_puts_denied : Mclock_obs.Registry.counter;
+  c_puts_invalid : Mclock_obs.Registry.counter;
+  c_bad_requests : Mclock_obs.Registry.counter;
+  c_errors : Mclock_obs.Registry.counter;
 }
 
-let bump t f =
-  Mutex.lock t.mutex;
-  t.stats <- f t.stats;
-  Mutex.unlock t.mutex
+let bump c = Mclock_obs.Registry.incr c
+let registry t = t.obs
 
 let stats t =
-  Mutex.lock t.mutex;
-  let s = t.stats in
-  Mutex.unlock t.mutex;
-  s
+  let v = Mclock_obs.Registry.value in
+  {
+    s_connections = v t.c_connections;
+    s_requests = v t.c_requests;
+    s_entry_hits = v t.c_entry_hits;
+    s_entry_misses = v t.c_entry_misses;
+    s_ckpt_hits = v t.c_ckpt_hits;
+    s_ckpt_misses = v t.c_ckpt_misses;
+    s_puts_ok = v t.c_puts_ok;
+    s_puts_denied = v t.c_puts_denied;
+    s_puts_invalid = v t.c_puts_invalid;
+    s_bad_requests = v t.c_bad_requests;
+    s_errors = v t.c_errors;
+  }
 
 let stats_json t =
   let s = stats t in
@@ -157,21 +163,15 @@ let get_ckpt t ~key =
 let handle_get t ~key ~verified =
   match verified with
   | Some body ->
-      bump t (fun s ->
-          match key with
-          | `E -> { s with s_entry_hits = s.s_entry_hits + 1 }
-          | `C -> { s with s_ckpt_hits = s.s_ckpt_hits + 1 });
+      bump (match key with `E -> t.c_entry_hits | `C -> t.c_ckpt_hits);
       octet_response body
   | None ->
-      bump t (fun s ->
-          match key with
-          | `E -> { s with s_entry_misses = s.s_entry_misses + 1 }
-          | `C -> { s with s_ckpt_misses = s.s_ckpt_misses + 1 });
+      bump (match key with `E -> t.c_entry_misses | `C -> t.c_ckpt_misses);
       not_found
 
 let handle_put t route (rq : Http.request) =
   if not t.writable then begin
-    bump t (fun s -> { s with s_puts_denied = s.s_puts_denied + 1 });
+    bump t.c_puts_denied;
     text_response 403 "Forbidden" "server is read-only\n"
   end
   else
@@ -194,42 +194,60 @@ let handle_put t route (rq : Http.request) =
       | _ -> false
     in
     if accepted then begin
-      bump t (fun s -> { s with s_puts_ok = s.s_puts_ok + 1 });
+      bump t.c_puts_ok;
       text_response 200 "OK" "stored\n"
     end
     else begin
-      bump t (fun s -> { s with s_puts_invalid = s.s_puts_invalid + 1 });
+      bump t.c_puts_invalid;
       text_response 422 "Unprocessable Content" "body failed verification\n"
     end
 
 let handle_request t (rq : Http.request) =
-  bump t (fun s -> { s with s_requests = s.s_requests + 1 });
+  bump t.c_requests;
+  let sp =
+    Mclock_obs.Obs.begin_span ~cat:"server" ~name:"server.request"
+      ~attrs:
+        [
+          ( "method",
+            match rq.Http.rq_meth with
+            | Http.GET -> "GET"
+            | Http.HEAD -> "HEAD"
+            | Http.PUT -> "PUT" );
+          ("path", rq.Http.rq_path);
+        ]
+      ()
+  in
   let route = route_of_path rq.Http.rq_path in
-  match (rq.Http.rq_meth, route) with
-  | (Http.GET | Http.HEAD), Healthz -> text_response 200 "OK" "ok\n"
-  | Http.GET, Stats ->
-      {
-        Http.rs_status = 200;
-        rs_reason = "OK";
-        rs_headers = [ ("content-type", "application/json") ];
-        rs_body = Json.to_string_pretty (stats_json t) ^ "\n";
-      }
-  | (Http.GET | Http.HEAD), Entry key ->
-      handle_get t ~key:`E ~verified:(get_entry t ~key)
-  | (Http.GET | Http.HEAD), Ckpt key ->
-      handle_get t ~key:`C ~verified:(get_ckpt t ~key)
-  | Http.PUT, (Entry _ | Ckpt _) -> handle_put t route rq
-  | _, Unknown ->
-      bump t (fun s -> { s with s_bad_requests = s.s_bad_requests + 1 });
-      not_found
-  | _ ->
-      bump t (fun s -> { s with s_bad_requests = s.s_bad_requests + 1 });
-      text_response 405 "Method Not Allowed" "method not allowed\n"
+  let response =
+    match (rq.Http.rq_meth, route) with
+    | (Http.GET | Http.HEAD), Healthz -> text_response 200 "OK" "ok\n"
+    | Http.GET, Stats ->
+        {
+          Http.rs_status = 200;
+          rs_reason = "OK";
+          rs_headers = [ ("content-type", "application/json") ];
+          rs_body = Json.to_string_pretty (stats_json t) ^ "\n";
+        }
+    | (Http.GET | Http.HEAD), Entry key ->
+        handle_get t ~key:`E ~verified:(get_entry t ~key)
+    | (Http.GET | Http.HEAD), Ckpt key ->
+        handle_get t ~key:`C ~verified:(get_ckpt t ~key)
+    | Http.PUT, (Entry _ | Ckpt _) -> handle_put t route rq
+    | _, Unknown ->
+        bump t.c_bad_requests;
+        not_found
+    | _ ->
+        bump t.c_bad_requests;
+        text_response 405 "Method Not Allowed" "method not allowed\n"
+  in
+  Mclock_obs.Obs.end_span sp
+    ~attrs:[ ("status", string_of_int response.Http.rs_status) ];
+  response
 
 (* --- Connection loop --------------------------------------------------- *)
 
 let handle_connection t fd =
-  bump t (fun s -> { s with s_connections = s.s_connections + 1 });
+  bump t.c_connections;
   let cleanup () =
     (try Unix.shutdown fd Unix.SHUTDOWN_ALL
      with Unix.Unix_error (_, _, _) -> ());
@@ -243,7 +261,7 @@ let handle_connection t fd =
        match Http.parse_request ~limits:t.limits reader with
        | Ok rq -> (handle_request t rq, rq.Http.rq_meth = Http.HEAD)
        | Error e ->
-           bump t (fun s -> { s with s_bad_requests = s.s_bad_requests + 1 });
+           bump t.c_bad_requests;
            let status, reason = Http.status_of_error e in
            (text_response status reason (Http.error_to_string e ^ "\n"), false)
      in
@@ -256,8 +274,8 @@ let handle_connection t fd =
      in
      match write with
      | Ok () -> ()
-     | Error _ -> bump t (fun s -> { s with s_errors = s.s_errors + 1 })
-   with _ -> bump t (fun s -> { s with s_errors = s.s_errors + 1 }));
+     | Error _ -> bump t.c_errors
+   with _ -> bump t.c_errors);
   cleanup ()
 
 let accept_loop t =
@@ -297,6 +315,8 @@ let create ?(host = "127.0.0.1") ?(port = 0) ?(writable = false) ?max_body
       | Unix.ADDR_INET (_, p) -> p
       | Unix.ADDR_UNIX _ -> port
     in
+    let obs = Mclock_obs.Registry.create ~name:"server" () in
+    let counter = Mclock_obs.Registry.counter obs in
     {
       store = Store.open_ ~dir ();
       host;
@@ -307,8 +327,18 @@ let create ?(host = "127.0.0.1") ?(port = 0) ?(writable = false) ?max_body
       io_timeout;
       running = true;
       accept_thread = None;
-      mutex = Mutex.create ();
-      stats = zero_stats;
+      obs;
+      c_connections = counter "connections";
+      c_requests = counter "requests";
+      c_entry_hits = counter "entry_hits";
+      c_entry_misses = counter "entry_misses";
+      c_ckpt_hits = counter "ckpt_hits";
+      c_ckpt_misses = counter "ckpt_misses";
+      c_puts_ok = counter "puts_ok";
+      c_puts_denied = counter "puts_denied";
+      c_puts_invalid = counter "puts_invalid";
+      c_bad_requests = counter "bad_requests";
+      c_errors = counter "errors";
     }
   with
   | t -> Ok t

@@ -22,9 +22,9 @@
     {!Http.status_of_error}.  PUT against a read-only server is 403.
 
     Threads are cheap here because connections are short-lived
-    (connection-close protocol) and the payloads are small; sys-threads
-    also share the runtime lock, so the store's counters need no
-    additional synchronization beyond the server's own stats mutex. *)
+    (connection-close protocol) and the payloads are small.  Serving
+    counters are atomic cells in an [Mclock_obs.Registry], so
+    connection threads bump them without any shared lock. *)
 
 type t
 
@@ -76,3 +76,7 @@ type stats = {
 
 val stats : t -> stats
 val stats_json : t -> Mclock_lint.Json.t
+
+val registry : t -> Mclock_obs.Registry.t
+(** The server's metrics registry (name ["server"]); {!stats} and
+    {!stats_json} are pure reads of its counters. *)

@@ -140,6 +140,9 @@ type t = {
 }
 
 let compile tech design =
+  Mclock_obs.Obs.with_span ~cat:"sim" ~name:"sim.compile"
+    ~attrs:[ ("design", Design.name design) ]
+  @@ fun () ->
   let datapath = Design.datapath design in
   let control = Design.control design in
   let clock = Design.clock design in
@@ -678,6 +681,9 @@ let finish k st ~iterations ~envs =
 
 let run ?(seed = 42) ?trace ?observer ?stimulus k ~iterations =
   if iterations < 1 then invalid_arg "Simulator.run: iterations must be >= 1";
+  Mclock_obs.Obs.with_span ~cat:"sim" ~name:"sim.run"
+    ~attrs:[ ("iterations", string_of_int iterations) ]
+  @@ fun () ->
   let rng = Mclock_util.Rng.create seed in
   let envs =
     Simulator.materialize_stimulus ?stimulus rng ~inputs:k.graph_inputs
@@ -704,6 +710,10 @@ let run ?(seed = 42) ?trace ?observer ?stimulus k ~iterations =
    dump.  The prefix's *result* still covers all its cycles. *)
 let run_with_checkpoint ?(seed = 42) ?trace ?observer ?stimulus k ~iterations =
   if iterations < 1 then invalid_arg "Simulator.run: iterations must be >= 1";
+  Mclock_obs.Obs.with_span ~cat:"sim" ~name:"sim.run"
+    ~attrs:
+      [ ("iterations", string_of_int iterations); ("checkpoint", "true") ]
+  @@ fun () ->
   let rng = Mclock_util.Rng.create seed in
   let envs =
     Simulator.materialize_stimulus ?stimulus rng ~inputs:k.graph_inputs
@@ -819,6 +829,9 @@ module Checkpoint = struct
     go Var.Map.empty 0
 
   let encode ck =
+    Mclock_obs.Obs.with_span ~cat:"sim" ~name:"sim.ckpt_encode"
+      ~attrs:[ ("iterations", string_of_int ck.ck_iterations) ]
+    @@ fun () ->
     let w = Binio.W.create () in
     Binio.W.int w ck.ck_width;
     Binio.W.int w ck.ck_t_steps;
@@ -848,6 +861,7 @@ module Checkpoint = struct
     Binio.seal ~magic (Binio.W.contents w)
 
   let decode blob =
+    Mclock_obs.Obs.with_span ~cat:"sim" ~name:"sim.ckpt_decode" @@ fun () ->
     match Binio.unseal ~magic blob with
     | Error e -> Error e
     | Ok payload -> (

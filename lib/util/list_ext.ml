@@ -26,6 +26,21 @@ let min_by f = function
   | x :: rest ->
       List.fold_left (fun best y -> if f y < f best then y else best) x rest
 
+let find_by ~what ~label_of label items =
+  match List.find_opt (fun x -> String.equal (label_of x) label) items with
+  | Some x -> x
+  | None ->
+      invalid_arg
+        (Printf.sprintf "%s: no item labelled %S among [%s]" what label
+           (String.concat "; " (List.map label_of items)))
+
+let zip_strict ~what a b =
+  let la = List.length a and lb = List.length b in
+  if la <> lb then
+    invalid_arg
+      (Printf.sprintf "%s: length mismatch (%d vs %d items)" what la lb);
+  List.combine a b
+
 let dedup ~compare items =
   let sorted = List.sort compare items in
   let rec go = function

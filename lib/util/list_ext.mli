@@ -13,6 +13,17 @@ val max_by : ('a -> 'b) -> 'a list -> 'a
 
 val min_by : ('a -> 'b) -> 'a list -> 'a
 
+val find_by : what:string -> label_of:('a -> string) -> string -> 'a list -> 'a
+(** [find_by ~what ~label_of label items] is the first item whose
+    [label_of] equals [label]; raises [Invalid_argument] naming [what],
+    the missing label and every candidate label otherwise.  Use it to
+    pair rows by name instead of by position, so a reordered list fails
+    loudly instead of silently mispairing. *)
+
+val zip_strict : what:string -> 'a list -> 'b list -> ('a * 'b) list
+(** [List.combine] that raises [Invalid_argument] naming [what] and
+    both lengths on mismatch. *)
+
 val dedup : compare:('a -> 'a -> int) -> 'a list -> 'a list
 (** Sorted deduplicated copy. *)
 

@@ -25,4 +25,5 @@ let () =
       ("resume", Test_resume.suite);
       ("static", Test_static.suite);
       ("remote", Test_remote.suite);
+      ("obs", Test_obs.suite);
     ]

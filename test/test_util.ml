@@ -337,6 +337,27 @@ let test_fingerprint_distinguishes_values () =
   let s = fp_of (fun fp -> Fingerprint.option fp Fingerprint.int (Some 0)) in
   if n = s then fail "None and Some 0 digest equal"
 
+let test_list_ext_find_by () =
+  let items = [ ("a", 1); ("b", 2) ] in
+  check Alcotest.int "found" 2
+    (snd (List_ext.find_by ~what:"t" ~label_of:fst "b" items));
+  match List_ext.find_by ~what:"t" ~label_of:fst "z" items with
+  | _ -> fail "missing label accepted"
+  | exception Invalid_argument msg ->
+      if not (contains msg "\"z\"" && contains msg "a" && contains msg "b")
+      then fail ("unhelpful message: " ^ msg)
+
+let test_list_ext_zip_strict () =
+  check
+    Alcotest.(list (pair int string))
+    "zips" [ (1, "a"); (2, "b") ]
+    (List_ext.zip_strict ~what:"t" [ 1; 2 ] [ "a"; "b" ]);
+  match List_ext.zip_strict ~what:"rows" [ 1 ] [ "a"; "b" ] with
+  | _ -> fail "length mismatch accepted"
+  | exception Invalid_argument msg ->
+      if not (contains msg "rows" && contains msg "1" && contains msg "2")
+      then fail ("unhelpful message: " ^ msg)
+
 let test_list_ext_assoc_update () =
   let a = List_ext.assoc_update ~key:"x" ~default:0 (fun n -> n + 1) [] in
   check Alcotest.int "insert" 1 (List.assoc "x" a);
@@ -474,6 +495,8 @@ let suite =
     ("table bad row", `Quick, test_table_bad_row);
     ("list_ext basics", `Quick, test_list_ext_basics);
     ("list_ext group_by", `Quick, test_list_ext_group_by);
+    ("list_ext find_by", `Quick, test_list_ext_find_by);
+    ("list_ext zip_strict", `Quick, test_list_ext_zip_strict);
     ("list_ext assoc_update", `Quick, test_list_ext_assoc_update);
     ("binio roundtrip", `Quick, test_binio_roundtrip);
     ("binio corruption", `Quick, test_binio_corruption);
